@@ -1,0 +1,1 @@
+bench/exp_autoscale.ml: Autoscale Board Cluster Exp_common Format List Printf Resource Tapa_cs Tapa_cs_device

@@ -1,0 +1,1 @@
+bench/exp_cnn.ml: App Board Cnn Exp_common Flow List Printf Resource Table Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_hls Tapa_cs_util

@@ -1,0 +1,1 @@
+bench/exp_common.ml: App Board Cluster Compiler Flow Hashtbl Printf String Table Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_hls Tapa_cs_util

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: App Array Cnn Dataset Exp_common Filename Knn List Pagerank Stencil Sys Table Tapa_cs_apps Tapa_cs_graph Tapa_cs_util Task Taskgraph

@@ -1,0 +1,1 @@
+bench/exp_idle.ml: Cnn Dataset Design_sim Exp_common Flow Knn List Pagerank Stencil Table Tapa_cs Tapa_cs_apps Tapa_cs_sim Tapa_cs_util

@@ -1,0 +1,1 @@
+bench/exp_knn.ml: Array Board Compiler Exp_common Flow Knn List Printf Resource String Table Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_floorplan Tapa_cs_hls Tapa_cs_util

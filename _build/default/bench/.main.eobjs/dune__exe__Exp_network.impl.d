@@ -1,0 +1,1 @@
+bench/exp_network.ml: Board Constants Exp_common Link List Printf Protocol Resource Table Tapa_cs_device Tapa_cs_network Tapa_cs_util

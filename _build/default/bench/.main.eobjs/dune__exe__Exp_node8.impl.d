@@ -1,0 +1,1 @@
+bench/exp_node8.ml: App Cluster Dataset Exp_common Float Flow Pagerank Printf Stencil Table Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_util

@@ -1,0 +1,1 @@
+bench/exp_overheads.ml: App Cnn Compiler Exp_common Flow List Printf Stencil Table Tapa_cs Tapa_cs_apps Tapa_cs_graph Tapa_cs_util

@@ -1,0 +1,1 @@
+bench/exp_pagerank.ml: Array Board Compiler Dataset Exp_common Flow List Pagerank Printf Resource Table Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_floorplan Tapa_cs_hls Tapa_cs_util

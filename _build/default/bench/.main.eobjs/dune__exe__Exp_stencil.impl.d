@@ -1,0 +1,1 @@
+bench/exp_stencil.ml: Array Board Compiler Exp_common Flow List Printf Resource Stencil Table Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_floorplan Tapa_cs_hls Tapa_cs_util

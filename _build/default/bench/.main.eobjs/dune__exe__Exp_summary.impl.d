@@ -1,0 +1,1 @@
+bench/exp_summary.ml: Board Cnn Dataset Exp_common Knn List Pagerank Resource Stencil Table Tapa_cs_apps Tapa_cs_device Tapa_cs_util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_autoscale Exp_cnn Exp_fig9 Exp_idle Exp_knn Exp_network Exp_node8 Exp_overheads Exp_pagerank Exp_stencil Exp_summary List Micro Printf Sys Unix

@@ -1,0 +1,44 @@
+(* The §7 extension: automatic scale-up advice from the roofline planner,
+   cross-checked against the timed simulator. *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Exp_common
+
+let knn_kernel =
+  (* One KNN distance module as the replication unit. *)
+  {
+    Autoscale.name = "knn-distance";
+    elems = 4e6 *. 16.0;
+    ops_per_elem = 2.0;
+    bytes_per_elem = 4.0;
+    pe_resources = Resource.make ~lut:34_000 ~ff:52_400 ~bram:24 ~dsp:128 ~uram:4 ();
+    pe_lanes = 16;
+    exchange_bytes = 80.0 *. 10.0;
+  }
+
+let stencil_kernel =
+  {
+    Autoscale.name = "stencil-pe";
+    elems = 4096.0 *. 4096.0 *. 256.0;
+    ops_per_elem = 26.0;
+    bytes_per_elem = 0.031; (* near-perfect on-chip reuse *)
+    pe_resources = Resource.make ~lut:26_600 ~ff:42_800 ~bram:38 ~dsp:80 ();
+    pe_lanes = 4;
+    exchange_bytes = 576.9e6;
+  }
+
+let autoscale () =
+  section "Autoscaler (section 7 extension): roofline-driven scale-up plans";
+  List.iter
+    (fun kernel ->
+      Printf.printf "\nkernel %s:\n" kernel.Autoscale.name;
+      let cluster = Cluster.make ~board:Board.u55c 4 in
+      List.iter
+        (fun (_, plan) -> Format.printf "  %a@." Autoscale.pp_plan plan)
+        (Autoscale.sweep ~cluster kernel))
+    [ knn_kernel; stencil_kernel ];
+  note "memory-bound kernels stop replicating at the HBM wall (the §3 insight);";
+  note "network-bound plans flag designs whose exchanges outweigh their compute"
+
+let all () = autoscale ()

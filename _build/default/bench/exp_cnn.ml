@@ -1,0 +1,92 @@
+(* CNN (AutoSA systolic array) experiments: Table 7, Table 8, Fig. 17 and
+   the §5.5 frequency/routability story. *)
+
+open Tapa_cs
+open Tapa_cs_util
+open Tapa_cs_apps
+open Tapa_cs_device
+open Exp_common
+
+let app ~cols ~fpgas = Cnn.generate (Cnn.make_config ~cols ~fpgas ())
+
+let table7 () =
+  section "Table 7: CNN inter-FPGA transfer volume vs grid size (per input)";
+  let rows =
+    List.map
+      (fun cols ->
+        let c = Cnn.make_config ~batch:1 ~cols ~fpgas:2 () in
+        [
+          Printf.sprintf "13x%d" cols;
+          Table.fmt_float (Cnn.transfer_volume_bytes c /. (1024.0 *. 1024.0));
+        ])
+      Cnn.cols_tested
+  in
+  Table.print ~header:[ "Grid"; "Volume (MB)" ] ~aligns:[ Left; Right ] rows;
+  note "paper values: 2.14 / 4.28 / 6.42 / 8.57 / 10.71 MB"
+
+let table8 () =
+  section "Table 8: CNN single-device utilization vs grid size";
+  let board = Board.u55c () in
+  let rows =
+    List.map
+      (fun cols ->
+        let a = app ~cols ~fpgas:1 in
+        let syn = Tapa_cs_hls.Synthesis.run ~board a.App.graph in
+        let total = syn.Tapa_cs_hls.Synthesis.total_resources in
+        Printf.sprintf "13x%d" cols
+        :: List.map (fun (_, f) -> Table.fmt_pct f)
+             (Resource.utilization_by total ~total:board.Board.total))
+      Cnn.cols_tested
+  in
+  Table.print ~header:[ "Grid"; "LUT"; "FF"; "BRAM"; "DSP"; "URAM" ] rows;
+  note "paper LUT%%: 20.4 / 38.3 / 56.1 / 74 / 91.9 -- DSP%% exceeds 100 at 13x20";
+  note "grids beyond 13x8 cannot route on one device (checked in Fig. 17)"
+
+(* The paper's pairing: 13x4 on F1-V, 13x8 on F1-T, 13x12 on F2,
+   13x16 on F3, 13x20 on F4 -- all normalized to the 13x4 Vitis run. *)
+let pairs = [ ("F1-V", 4); ("F1-T", 8); ("F2", 12); ("F3", 16); ("F4", 20) ]
+
+let fig17 () =
+  section "Figure 17: CNN latency across grid sizes and devices";
+  (* First: routing failures of the large grids on one device. *)
+  List.iter
+    (fun cols ->
+      let a = app ~cols ~fpgas:1 in
+      let v = Flow.vitis a.App.graph and t = Flow.tapa a.App.graph in
+      Printf.printf "  13x%-2d single device: Vitis %s, TAPA %s\n" cols
+        (match v with Ok _ -> "routes" | Error _ -> "FAILS routing")
+        (match t with Ok _ -> "routes" | Error _ -> "FAILS routing"))
+    Cnn.cols_tested;
+  let runs = List.map (fun (flow, cols) -> (flow, cols, run_flow (app ~cols ~fpgas:(fpgas_of_flow flow)) flow)) pairs in
+  let baseline =
+    match runs with
+    | (_, _, r) :: _ -> r.latency_s
+    | [] -> infinity
+  in
+  let rows =
+    List.map
+      (fun (flow, cols, r) ->
+        [
+          flow;
+          Printf.sprintf "13x%d" cols;
+          fmt_lat r;
+          fmt_speedup_or_fail ~baseline r;
+          Printf.sprintf "%.0fMHz" r.freq_mhz;
+        ])
+      runs
+  in
+  Table.print ~header:[ "Flow"; "Grid"; "Latency"; "Speedup"; "Freq" ] rows;
+  List.iter
+    (fun (flow, paper) ->
+      let _, _, r = List.find (fun (f, _, _) -> f = flow) runs in
+      paper_vs_measured
+        ~what:(Printf.sprintf "cnn speedup %s" flow)
+        ~paper:(Table.fmt_speedup paper)
+        ~measured:(fmt_speedup_or_fail ~baseline r))
+    [ ("F1-T", 1.1); ("F2", 1.41); ("F3", 2.0); ("F4", 2.54) ];
+  note "paper: all CNN configurations run at 300 MHz"
+
+let all () =
+  table7 ();
+  table8 ();
+  fig17 ()

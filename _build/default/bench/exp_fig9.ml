@@ -1,0 +1,50 @@
+(* Figure 9: the benchmark topologies.  Emits Graphviz renderings of all
+   four task graphs (circles = compute, hexagons = HBM access, matching
+   the paper's drawing convention) and prints their structural summary. *)
+
+open Tapa_cs_util
+open Tapa_cs_graph
+open Tapa_cs_apps
+open Exp_common
+
+let fig9 () =
+  section "Figure 9: benchmark topologies (DOT files written to ./fig9/)";
+  let dir = "fig9" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let cases =
+    [
+      ("stencil", (Stencil.generate (Stencil.make_config ~iterations:64 ~fpgas:1 ())).App.graph);
+      ( "pagerank",
+        (Pagerank.generate (Pagerank.make_config ~dataset:Dataset.soc_slashdot0811 ~fpgas:1 ())).App.graph );
+      ("knn", (Knn.generate (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:1 ())).App.graph);
+      ("cnn", (Cnn.generate (Cnn.make_config ~cols:4 ~fpgas:1 ())).App.graph);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let path = Filename.concat dir (name ^ ".dot") in
+        let oc = open_out path in
+        output_string oc (Taskgraph.to_dot g);
+        close_out oc;
+        let mem =
+          Array.fold_left
+            (fun acc (t : Task.t) -> if t.Task.mem_ports <> [] then acc + 1 else acc)
+            0 (Taskgraph.tasks g)
+        in
+        [
+          name;
+          string_of_int (Taskgraph.num_tasks g);
+          string_of_int (Taskgraph.num_fifos g);
+          string_of_int mem;
+          (if Taskgraph.is_acyclic g then "acyclic" else "cyclic");
+          path;
+        ])
+      cases
+  in
+  Table.print
+    ~header:[ "Benchmark"; "Modules"; "FIFOs"; "HBM tasks"; "Structure"; "DOT" ]
+    rows;
+  note "pagerank is the one cyclic topology (PE <-> controller feedback), as drawn in Fig. 9"
+
+let all () = fig9 ()

@@ -1,0 +1,43 @@
+(* Idle-PE analysis (§5.2 and §5.5): the paper attributes the stencil's
+   limited scaling to downstream FPGAs idling behind their predecessors,
+   and the CNN's to AlveoLink contention.  The simulator's task traces
+   make both measurable. *)
+
+open Tapa_cs
+open Tapa_cs_util
+open Tapa_cs_apps
+open Tapa_cs_sim
+open Exp_common
+
+let idle_row label (r : Design_sim.result) k =
+  label
+  :: List.init k (fun fpga -> Table.fmt_pct (Design_sim.fpga_idle_fraction r ~fpga))
+
+let idle () =
+  section "Idle-time analysis (task traces): per-FPGA idle fraction on 4 devices";
+  let cases =
+    [
+      ( "stencil-64 (pipelined handoffs)",
+        Stencil.generate (Stencil.make_config ~iterations:64 ~fpgas:4 ()) );
+      ( "stencil-512 (heavy transfers)",
+        Stencil.generate (Stencil.make_config ~iterations:512 ~fpgas:4 ()) );
+      ( "pagerank (parallel launch)",
+        Pagerank.generate (Pagerank.make_config ~dataset:Dataset.web_google ~fpgas:4 ()) );
+      ( "knn (independent devices)",
+        Knn.generate (Knn.make_config ~n_points:4_000_000 ~dims:8 ~fpgas:4 ()) );
+      ("cnn 13x20 (link contention)", Cnn.generate (Cnn.make_config ~cols:20 ~fpgas:4 ()));
+    ]
+  in
+  let rows =
+    List.filter_map
+      (fun (label, app) ->
+        let run = run_flow app "F4" in
+        match run.design with
+        | Some d -> Some (idle_row label (Flow.simulate d) 4)
+        | None -> Some [ label; "fail" ])
+      cases
+  in
+  Table.print ~header:[ "Workload"; "FPGA0"; "FPGA1"; "FPGA2"; "FPGA3" ] rows;
+  note "paper: sequential stencil leaves successors idle; PageRank/KNN launch in parallel"
+
+let all () = idle ()

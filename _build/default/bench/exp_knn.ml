@@ -1,0 +1,128 @@
+(* KNN experiments: Table 6, Fig. 14 (speedup vs feature dimension),
+   Fig. 15 (speedup vs dataset size), Fig. 16 and the §5.4 frequencies. *)
+
+open Tapa_cs
+open Tapa_cs_util
+open Tapa_cs_apps
+open Tapa_cs_device
+open Exp_common
+
+let app ~n ~d ~fpgas = Knn.generate (Knn.make_config ~n_points:n ~dims:d ~fpgas ())
+
+let table6 () =
+  section "Table 6: KNN parameter space";
+  Table.print
+    ~header:[ "Parameter"; "Values" ]
+    [
+      [ "N (data points)"; String.concat ", " (List.map (fun n -> string_of_int (n / 1_000_000) ^ "M") Knn.n_tested) ];
+      [ "D (feature dims)"; String.concat ", " (List.map string_of_int Knn.d_tested) ];
+      [ "K"; "10" ];
+    ];
+  let small = Knn.search_space_bytes (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:1 ()) in
+  let big = Knn.search_space_bytes (Knn.make_config ~n_points:8_000_000 ~dims:128 ~fpgas:1 ()) in
+  note "search space spans %s - %s (paper: 8MB - 4GB)" (Table.fmt_bytes small) (Table.fmt_bytes big)
+
+(* Reference compiles per flow (floorplans are N/D-invariant). *)
+let base_runs () =
+  List.map
+    (fun flow -> (flow, run_flow (app ~n:4_000_000 ~d:2 ~fpgas:(fpgas_of_flow flow)) flow))
+    flows_all
+
+let sweep ~title ~configs ~label_of ~paper_average =
+  section title;
+  let base = base_runs () in
+  let rows =
+    List.map
+      (fun (n, d) ->
+        let bv = List.assoc "F1-V" base in
+        match bv.design with
+        | None -> [ label_of (n, d); "baseline failed" ]
+        | Some dv ->
+          let baseline = resimulate dv (app ~n ~d ~fpgas:1) in
+          label_of (n, d)
+          :: List.map
+               (fun flow ->
+                 let b = List.assoc flow base in
+                 match b.design with
+                 | None -> "fail"
+                 | Some df ->
+                   let lat = resimulate df (app ~n ~d ~fpgas:(fpgas_of_flow flow)) in
+                   Table.fmt_speedup (baseline /. lat))
+               (List.tl flows_all))
+      configs
+  in
+  Table.print ~header:([ "Config" ] @ List.tl flows_all) rows;
+  (* averages *)
+  let avg flow =
+    let bv = List.assoc "F1-V" base and bf = List.assoc flow base in
+    match (bv.design, bf.design) with
+    | Some dv, Some df ->
+      let ss =
+        List.map
+          (fun (n, d) ->
+            resimulate dv (app ~n ~d ~fpgas:1)
+            /. resimulate df (app ~n ~d ~fpgas:(fpgas_of_flow flow)))
+          configs
+      in
+      List.fold_left ( +. ) 0.0 ss /. float_of_int (List.length ss)
+    | _ -> 0.0
+  in
+  List.iter
+    (fun (flow, paper) ->
+      paper_vs_measured
+        ~what:(Printf.sprintf "average speedup %s" flow)
+        ~paper:(Table.fmt_speedup paper)
+        ~measured:(Table.fmt_speedup (avg flow)))
+    paper_average
+
+let fig14 () =
+  sweep ~title:"Figure 14: KNN speedup vs feature dimension (N=4M, K=10)"
+    ~configs:(List.map (fun d -> (4_000_000, d)) Knn.d_tested)
+    ~label_of:(fun (_, d) -> Printf.sprintf "D=%d" d)
+    ~paper_average:[ ("F1-T", 1.2); ("F2", 2.0); ("F3", 2.7); ("F4", 3.9) ]
+
+let fig15 () =
+  sweep ~title:"Figure 15: KNN speedup vs dataset size (D=2, K=10)"
+    ~configs:(List.map (fun n -> (n, 2)) Knn.n_tested)
+    ~label_of:(fun (n, _) -> Printf.sprintf "N=%dM" (n / 1_000_000))
+    ~paper_average:[ ("F1-T", 1.2); ("F2", 1.7); ("F3", 2.8); ("F4", 3.9) ]
+
+let fig16 () =
+  section "Figure 16: KNN resource utilization, F1-T vs the four F4 devices";
+  let single = run_flow (app ~n:4_000_000 ~d:2 ~fpgas:1) "F1-T" in
+  let quad = run_flow (app ~n:4_000_000 ~d:2 ~fpgas:4) "F4" in
+  let board_total = (Board.u55c ()).Board.total in
+  let row_of label (usage : Resource.t) =
+    label :: List.map (fun (_, f) -> Table.fmt_pct f) (Resource.utilization_by usage ~total:board_total)
+  in
+  let rows =
+    (match single.design with
+    | Some d -> [ row_of "F1-T" d.Flow.synthesis.Tapa_cs_hls.Synthesis.total_resources ]
+    | None -> [ [ "F1-T"; "fail" ] ])
+    @
+    match quad.design with
+    | Some { Flow.compiled = Some c; _ } ->
+      List.mapi
+        (fun i u -> row_of (Printf.sprintf "F4-%d" (i + 1)) u)
+        (Array.to_list c.Compiler.inter.Tapa_cs_floorplan.Inter_fpga.per_fpga_usage)
+    | _ -> [ [ "F4"; "fail" ] ]
+  in
+  Table.print ~header:[ "Design"; "LUT"; "FF"; "BRAM"; "DSP"; "URAM" ] rows
+
+let freq () =
+  section "Frequency: KNN (paper: 165 MHz Vitis, 198 MHz TAPA, 220 MHz TAPA-CS)";
+  List.iter
+    (fun (flow, paper) ->
+      let r = run_flow (app ~n:4_000_000 ~d:2 ~fpgas:(fpgas_of_flow flow)) flow in
+      paper_vs_measured
+        ~what:(Printf.sprintf "knn %s frequency" flow)
+        ~paper:(Printf.sprintf "%.0fMHz" paper)
+        ~measured:(Printf.sprintf "%.0fMHz" r.freq_mhz))
+    [ ("F1-V", 165.0); ("F1-T", 198.0); ("F2", 220.0); ("F3", 220.0); ("F4", 220.0) ]
+
+let all () =
+  table6 ();
+  fig14 ();
+  fig15 ();
+  fig16 ();
+  freq ()

@@ -1,0 +1,53 @@
+(* §5.7: scalability beyond a single server node — two 4-FPGA rings
+   bridged by a 10 Gbps host link. *)
+
+open Tapa_cs
+open Tapa_cs_util
+open Tapa_cs_apps
+open Tapa_cs_device
+open Exp_common
+
+let node8 () =
+  section "Section 5.7: two-node, 8-FPGA scaling";
+  let cluster = Cluster.two_node_testbed () in
+  (* Stencil, 512 iterations, 120 PEs: the host-staged handoff plus the
+     sequential topology makes the 8-FPGA design SLOWER than one FPGA. *)
+  (let single = Stencil.generate (Stencil.make_config ~iterations:512 ~fpgas:1 ()) in
+   let eight =
+     Stencil.generate (Stencil.make_config ~iterations:512 ~fpgas:8 ~inter_node_at:(Some 4) ())
+   in
+   match (Flow.vitis single.App.graph, Flow.tapa_cs ~cluster eight.App.graph) with
+   | Ok f1, Ok f8 ->
+     let l1 = Flow.latency_s f1 and l8 = Flow.latency_s f8 in
+     Printf.printf "stencil-512: F1-V %.2fs, 8-FPGA %.2fs\n" l1 l8;
+     paper_vs_measured ~what:"stencil 8-FPGA vs single (slowdown)"
+       ~paper:"1.45x slower"
+       ~measured:(Printf.sprintf "%.2fx %s" (Float.max (l8 /. l1) (l1 /. l8))
+                    (if l8 > l1 then "slower" else "faster"))
+   | Error e, _ -> Printf.printf "stencil single failed: %s\n" e
+   | _, Error e -> Printf.printf "stencil 8-FPGA failed: %s\n" e);
+  (* PageRank on cit-Patents with 32 PEs: parallel launch keeps it ahead of
+     the single FPGA, but the inter-node hop erodes the 2-FPGA advantage. *)
+  let ds = Dataset.cit_patents in
+  let single = Pagerank.generate (Pagerank.make_config ~dataset:ds ~fpgas:1 ()) in
+  let two = Pagerank.generate (Pagerank.make_config ~dataset:ds ~fpgas:2 ()) in
+  let eight = Pagerank.generate (Pagerank.make_config ~dataset:ds ~fpgas:8 ()) in
+  match
+    ( Flow.vitis single.App.graph,
+      Flow.tapa_cs ~cluster:(cluster_for 2) two.App.graph,
+      Flow.tapa_cs ~cluster eight.App.graph )
+  with
+  | Ok f1, Ok f2, Ok f8 ->
+    let l1 = Flow.latency_s f1 and l2 = Flow.latency_s f2 and l8 = Flow.latency_s f8 in
+    Printf.printf "pagerank cit-Patents: F1-V %.2fs, F2 %.2fs, 8-FPGA %.2fs\n" l1 l2 l8;
+    paper_vs_measured ~what:"pagerank 8-FPGA speedup vs single"
+      ~paper:"1.4x faster"
+      ~measured:(Table.fmt_speedup (l1 /. l8));
+    paper_vs_measured ~what:"8-FPGA slower than single-node F2 (paper: yes)"
+      ~paper:"yes"
+      ~measured:(if l8 > l2 then "yes" else "no")
+  | Error e, _, _ -> Printf.printf "pagerank single failed: %s\n" e
+  | _, Error e, _ -> Printf.printf "pagerank F2 failed: %s\n" e
+  | _, _, Error e -> Printf.printf "pagerank 8-FPGA failed: %s\n" e
+
+let all () = node8 ()

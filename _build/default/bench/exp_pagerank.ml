@@ -1,0 +1,110 @@
+(* PageRank experiments: Table 5, Fig. 12, Fig. 13 and the §5.3
+   frequency progression. *)
+
+open Tapa_cs
+open Tapa_cs_util
+open Tapa_cs_apps
+open Tapa_cs_device
+open Exp_common
+
+let app ~dataset ~fpgas = Pagerank.generate (Pagerank.make_config ~dataset ~fpgas ())
+
+let table5 () =
+  section "Table 5: PageRank networks (synthetic SNAP-matched instances)";
+  let rows =
+    List.map
+      (fun (s : Dataset.spec) ->
+        [ s.name; string_of_int s.nodes; string_of_int s.edges ])
+      Dataset.all
+  in
+  Table.print ~header:[ "Network"; "Nodes"; "Edges" ] ~aligns:[ Left; Right; Right ] rows
+
+(* The floorplan is dataset-invariant (identical graph shape); compile once
+   per flow on a reference dataset and re-simulate per network. *)
+let fig12 () =
+  section "Figure 12: PageRank latency across datasets and FPGA counts";
+  let reference = Dataset.soc_slashdot0811 in
+  let base_runs =
+    List.map (fun flow -> (flow, run_flow (app ~dataset:reference ~fpgas:(fpgas_of_flow flow)) flow)) flows_all
+  in
+  let rows =
+    List.map
+      (fun (ds : Dataset.spec) ->
+        ds.name
+        :: List.map
+             (fun (flow, base) ->
+               match base.design with
+               | None -> "fail"
+               | Some d ->
+                 let lat = resimulate d (app ~dataset:ds ~fpgas:(fpgas_of_flow flow)) in
+                 if lat >= 1.0 then Printf.sprintf "%.2fs" lat
+                 else Printf.sprintf "%.1fms" (lat *. 1e3))
+             base_runs)
+      Dataset.all
+  in
+  Table.print ~header:([ "Network" ] @ flows_all) rows;
+  (* average speedups vs F1-V across datasets *)
+  let avg flow =
+    let base_v = List.assoc "F1-V" base_runs in
+    let base_f = List.assoc flow base_runs in
+    match (base_v.design, base_f.design) with
+    | Some dv, Some df ->
+      let ss =
+        List.map
+          (fun ds ->
+            let bv = resimulate dv (app ~dataset:ds ~fpgas:1) in
+            let bf = resimulate df (app ~dataset:ds ~fpgas:(fpgas_of_flow flow)) in
+            bv /. bf)
+          Dataset.all
+      in
+      List.fold_left ( +. ) 0.0 ss /. float_of_int (List.length ss)
+    | _ -> 0.0
+  in
+  List.iter
+    (fun (flow, paper) ->
+      paper_vs_measured
+        ~what:(Printf.sprintf "pagerank average speedup %s" flow)
+        ~paper:(Table.fmt_speedup paper)
+        ~measured:(Table.fmt_speedup (avg flow)))
+    [ ("F1-T", 1.54); ("F2", 2.64); ("F3", 4.28); ("F4", 5.98) ]
+
+let fig13 () =
+  section "Figure 13: PageRank resource utilization, F1-T vs the four F4 devices";
+  let ds = Dataset.cit_patents in
+  let single = run_flow (app ~dataset:ds ~fpgas:1) "F1-T" in
+  let quad = run_flow (app ~dataset:ds ~fpgas:4) "F4" in
+  let board_total = (Board.u55c ()).Board.total in
+  let row_of label (usage : Resource.t) =
+    label :: List.map (fun (_, f) -> Table.fmt_pct f) (Resource.utilization_by usage ~total:board_total)
+  in
+  let rows =
+    (match single.design with
+    | Some d -> [ row_of "F1-T" d.Flow.synthesis.Tapa_cs_hls.Synthesis.total_resources ]
+    | None -> [ [ "F1-T"; "fail" ] ])
+    @
+    match quad.design with
+    | Some { Flow.compiled = Some c; _ } ->
+      List.mapi
+        (fun i u -> row_of (Printf.sprintf "F4-%d" (i + 1)) u)
+        (Array.to_list c.Compiler.inter.Tapa_cs_floorplan.Inter_fpga.per_fpga_usage)
+    | _ -> [ [ "F4"; "fail" ] ]
+  in
+  Table.print ~header:[ "Design"; "LUT"; "FF"; "BRAM"; "DSP"; "URAM" ] rows
+
+let freq () =
+  section "Frequency: PageRank (paper: 123 MHz Vitis, 190 MHz TAPA, 266 MHz TAPA-CS)";
+  let ds = Dataset.soc_slashdot0811 in
+  List.iter
+    (fun (flow, paper) ->
+      let r = run_flow (app ~dataset:ds ~fpgas:(fpgas_of_flow flow)) flow in
+      paper_vs_measured
+        ~what:(Printf.sprintf "pagerank %s frequency" flow)
+        ~paper:(Printf.sprintf "%.0fMHz" paper)
+        ~measured:(Printf.sprintf "%.0fMHz" r.freq_mhz))
+    [ ("F1-V", 123.0); ("F1-T", 190.0); ("F2", 266.0); ("F3", 266.0); ("F4", 266.0) ]
+
+let all () =
+  table5 ();
+  fig12 ();
+  fig13 ();
+  freq ()

@@ -1,0 +1,111 @@
+(* Stencil (Dilate) experiments: Table 4, Fig. 10, Fig. 11 and the §5.2
+   frequency progression. *)
+
+open Tapa_cs
+open Tapa_cs_util
+open Tapa_cs_apps
+open Tapa_cs_device
+open Exp_common
+
+let app ~iters ~fpgas = Stencil.generate (Stencil.make_config ~iterations:iters ~fpgas ())
+
+let runs_for ~iters =
+  List.map
+    (fun flow -> (flow, run_flow (app ~iters ~fpgas:(fpgas_of_flow flow)) flow))
+    flows_all
+
+let table4 () =
+  section "Table 4: Stencil compute intensity and inter-FPGA transfer volume";
+  let rows =
+    List.map
+      (fun iters ->
+        let c = Stencil.make_config ~iterations:iters ~fpgas:2 () in
+        [
+          string_of_int iters;
+          Table.fmt_float ~decimals:0 (Stencil.ops_per_byte c);
+          Table.fmt_float (Stencil.transfer_volume_bytes c /. (1024.0 *. 1024.0));
+        ])
+      Stencil.iterations_tested
+  in
+  Table.print ~header:[ "Iters"; "Ops/Byte"; "Volume (MB)" ] ~aligns:[ Right; Right; Right ] rows;
+  note "paper values: 208/416/832/1664 ops-per-byte, 144.22/288.43/576.86/1153.73 MB"
+
+let fig10 () =
+  section "Figure 10: Stencil latency, F1-V / F1-T / F2 / F3 / F4";
+  let rows =
+    List.map
+      (fun iters ->
+        let runs = runs_for ~iters in
+        let baseline = (List.assoc "F1-V" runs).latency_s in
+        string_of_int iters
+        :: List.map (fun (_, r) -> Printf.sprintf "%s (%s)" (fmt_lat r) (fmt_speedup_or_fail ~baseline r)) runs)
+      Stencil.iterations_tested
+  in
+  Table.print
+    ~header:([ "Iters" ] @ flows_all)
+    rows;
+  note "paper Table 3 average speedups: F1-T 1.25x, F2 1.71x, F3 2.37x, F4 3.06x";
+  let avg flow =
+    let ss =
+      List.filter_map
+        (fun iters ->
+          let runs = runs_for ~iters in
+          let baseline = (List.assoc "F1-V" runs).latency_s in
+          let r = List.assoc flow runs in
+          if r.error = None then Some (speedup ~baseline r) else None)
+        Stencil.iterations_tested
+    in
+    match ss with [] -> 0.0 | _ -> List.fold_left ( +. ) 0.0 ss /. float_of_int (List.length ss)
+  in
+  List.iter
+    (fun (flow, paper) ->
+      paper_vs_measured
+        ~what:(Printf.sprintf "stencil average speedup %s" flow)
+        ~paper:(Table.fmt_speedup paper)
+        ~measured:(Table.fmt_speedup (avg flow)))
+    [ ("F1-T", 1.25); ("F2", 1.71); ("F3", 2.37); ("F4", 3.06) ]
+
+let fig11 () =
+  section "Figure 11: Stencil resource utilization, F1-T vs the four F4 devices";
+  let iters = 512 in
+  let single = run_flow (app ~iters ~fpgas:1) "F1-T" in
+  let quad = run_flow (app ~iters ~fpgas:4) "F4" in
+  let row_of label (usage : Resource.t) (total : Resource.t) =
+    label
+    :: List.map (fun (_, f) -> Table.fmt_pct f) (Resource.utilization_by usage ~total)
+  in
+  let board_total = (Board.u55c ()).Board.total in
+  let rows =
+    (match single.design with
+    | Some d ->
+      let used = d.Flow.synthesis.Tapa_cs_hls.Synthesis.total_resources in
+      [ row_of "F1-T" used board_total ]
+    | None -> [ [ "F1-T"; "fail" ] ])
+    @
+    match quad.design with
+    | Some { Flow.compiled = Some c; _ } ->
+      List.mapi
+        (fun i u -> row_of (Printf.sprintf "F4-%d" (i + 1)) u board_total)
+        (Array.to_list c.Compiler.inter.Tapa_cs_floorplan.Inter_fpga.per_fpga_usage)
+    | _ -> [ [ "F4"; "fail" ] ]
+  in
+  Table.print ~header:[ "Design"; "LUT"; "FF"; "BRAM"; "DSP"; "URAM" ] rows;
+  note "shape check: per-device F4 utilization sits well below the F1-T profile"
+
+let freq () =
+  section "Frequency: Stencil (paper: 165 MHz Vitis, 250 MHz TAPA, 300 MHz TAPA-CS)";
+  List.iter
+    (fun (flow, paper) ->
+      let iters = 256 in
+      let r = run_flow (app ~iters ~fpgas:(fpgas_of_flow flow)) flow in
+      paper_vs_measured
+        ~what:(Printf.sprintf "stencil %s frequency" flow)
+        ~paper:(Printf.sprintf "%.0fMHz" paper)
+        ~measured:(Printf.sprintf "%.0fMHz" r.freq_mhz))
+    [ ("F1-V", 165.0); ("F1-T", 250.0); ("F2", 300.0); ("F3", 300.0); ("F4", 300.0) ]
+
+let all () =
+  table4 ();
+  fig10 ();
+  fig11 ();
+  freq ()

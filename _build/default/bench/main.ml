@@ -1,0 +1,75 @@
+(* Benchmark harness entry point.
+
+   Running with no arguments regenerates every table and figure of the
+   paper's evaluation section (DESIGN.md carries the experiment index);
+   passing experiment ids runs a subset, e.g.:
+
+     dune exec bench/main.exe -- table3 fig10
+     dune exec bench/main.exe -- micro
+*)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "qualitative comparison with prior work", Exp_summary.table1);
+    ("table2", "U55C resource availability", Exp_summary.table2);
+    ("table3", "speedup summary, all benchmarks", Exp_summary.table3);
+    ("table4", "stencil intensity + transfer volumes", Exp_stencil.table4);
+    ("fig10", "stencil latency", Exp_stencil.fig10);
+    ("fig11", "stencil resource utilization", Exp_stencil.fig11);
+    ("freq_stencil", "stencil frequency progression", Exp_stencil.freq);
+    ("fig9", "benchmark topologies (DOT export)", Exp_fig9.fig9);
+    ("table5", "pagerank datasets", Exp_pagerank.table5);
+    ("fig12", "pagerank latency across datasets", Exp_pagerank.fig12);
+    ("fig13", "pagerank resource utilization", Exp_pagerank.fig13);
+    ("freq_pagerank", "pagerank frequency progression", Exp_pagerank.freq);
+    ("table6", "knn parameter space", Exp_knn.table6);
+    ("fig14", "knn speedup vs feature dimension", Exp_knn.fig14);
+    ("fig15", "knn speedup vs dataset size", Exp_knn.fig15);
+    ("fig16", "knn resource utilization", Exp_knn.fig16);
+    ("freq_knn", "knn frequency progression", Exp_knn.freq);
+    ("table7", "cnn transfer volumes", Exp_cnn.table7);
+    ("table8", "cnn utilization vs grid size", Exp_cnn.table8);
+    ("fig17", "cnn latency + routability", Exp_cnn.fig17);
+    ("fig8", "alveolink throughput curve", Exp_network.fig8);
+    ("table9", "bandwidth hierarchy", Exp_network.table9);
+    ("table10", "communication protocol comparison", Exp_network.table10);
+    ("overhead_net", "networking IP overhead", Exp_network.overhead_net);
+    ("packet", "packet-size sensitivity (section 7)", Exp_network.packet);
+    ("overhead_fp", "floorplanner runtime overheads", Exp_overheads.overhead_fp);
+    ("node8", "two-node 8-FPGA scaling (section 5.7)", Exp_node8.node8);
+    ("ablate_topology", "topology ablation", Exp_ablate.ablate_topology);
+    ("ablate_pipeline", "pipelining ablation", Exp_ablate.ablate_pipeline);
+    ("ablate_hbm", "HBM binding ablation", Exp_ablate.ablate_hbm);
+    ("ablate_solver", "solver backend ablation", Exp_ablate.ablate_solver);
+    ("ablate_threshold", "utilization threshold ablation", Exp_ablate.ablate_threshold);
+    ("idle", "per-FPGA idle-time analysis (task traces)", Exp_idle.idle);
+    ("autoscale", "roofline autoscaler (section 7 extension)", Exp_autoscale.autoscale);
+    ("micro", "bechamel kernel microbenchmarks", Micro.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (id, descr, _) -> Printf.printf "  %-18s %s\n" id descr) experiments;
+  print_endline "  all                (default) run everything"
+
+let run_one id =
+  match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+  | Some (_, _, f) ->
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+  | None ->
+    Printf.printf "unknown experiment %S\n" id;
+    usage ();
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] | [ "all" ] ->
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (id, _, _) -> run_one id) experiments;
+    Printf.printf "\nAll experiments completed in %.1fs.\n" (Unix.gettimeofday () -. t0)
+  | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
+  | ids -> List.iter run_one ids

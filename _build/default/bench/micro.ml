@@ -1,0 +1,140 @@
+(* Bechamel microbenchmarks of the performance-critical kernels: exact
+   rational arithmetic, simplex pivoting, branch-and-bound, the heuristic
+   partitioner, the event queue and an end-to-end small simulation. *)
+
+open Bechamel
+open Toolkit
+open Tapa_cs_util
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_floorplan
+module Ilp = Tapa_cs_ilp
+
+let bigint_mul =
+  let a = Bigint.of_string "123456789012345678901234567890123456789" in
+  let b = Bigint.of_string "987654321098765432109876543210" in
+  Test.make ~name:"bigint mul (40x30 digits)" (Staged.stage (fun () -> ignore (Bigint.mul a b)))
+
+let bigint_divmod =
+  let a = Bigint.of_string "123456789012345678901234567890123456789" in
+  let b = Bigint.of_string "987654321098765432109" in
+  Test.make ~name:"bigint divmod" (Staged.stage (fun () -> ignore (Bigint.divmod a b)))
+
+let rat_add =
+  let a = Rat.of_ints 355 113 and b = Rat.of_ints 22 7 in
+  Test.make ~name:"rat add" (Staged.stage (fun () -> ignore (Rat.add a b)))
+
+let simplex_lp =
+  (* A 12-var, 10-constraint LP built once and re-solved. *)
+  let model =
+    let m = Ilp.Model.create () in
+    let rng = Prng.create 3 in
+    let vars = List.init 12 (fun _ -> Ilp.Model.add_var m Ilp.Model.Continuous ~ub:(Rat.of_int 10)) in
+    for _ = 1 to 10 do
+      let coeffs = List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 0 5))) vars in
+      Ilp.Model.add_constraint m (Ilp.Linear.of_terms coeffs) Ilp.Model.Le (Rat.of_int (Prng.int_in rng 5 40))
+    done;
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Linear.of_terms (List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 9))) vars));
+    m
+  in
+  Test.make ~name:"simplex 12x10 LP" (Staged.stage (fun () -> ignore (Ilp.Simplex.solve model)))
+
+let bb_ilp =
+  let model =
+    let m = Ilp.Model.create () in
+    let rng = Prng.create 17 in
+    let vars = List.init 10 (fun _ -> Ilp.Model.add_var m Ilp.Model.Binary) in
+    let coeffs = List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 2 9))) vars in
+    Ilp.Model.add_constraint m (Ilp.Linear.of_terms coeffs) Ilp.Model.Le (Rat.of_int 25);
+    Ilp.Model.set_objective m Ilp.Model.Maximize
+      (Ilp.Linear.of_terms (List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 20))) vars));
+    m
+  in
+  Test.make ~name:"branch&bound 10-var knapsack" (Staged.stage (fun () -> ignore (Ilp.Branch_bound.solve model)))
+
+let partition_heuristic =
+  let problem =
+    let rng = Prng.create 23 in
+    let n = 60 in
+    {
+      Partition.areas = Array.init n (fun _ -> Resource.make ~lut:(10_000 + Prng.int rng 20_000) ());
+      edges = List.init (2 * n) (fun _ ->
+          let a = Prng.int rng n and b = Prng.int rng n in
+          (min a b, (max a b + 1) mod n, float_of_int (32 * (1 + Prng.int rng 8))));
+      pulls = [];
+      k = 4;
+      capacities = Array.make 4 (Resource.make ~lut:600_000 ());
+      dist = (fun a b -> abs (a - b));
+      fixed = [];
+    }
+  in
+  Test.make ~name:"heuristic partition 60 tasks / 4 parts"
+    (Staged.stage (fun () -> ignore (Partition.solve ~strategy:Partition.Heuristic problem)))
+
+let event_queue =
+  Test.make ~name:"event heap push/pop x1000"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~cmp:compare in
+         for i = 999 downto 0 do
+           Heap.push h ((i * 7919) mod 1000)
+         done;
+         while not (Heap.is_empty h) do
+           ignore (Heap.pop h)
+         done))
+
+let small_sim =
+  let config =
+    let b = Taskgraph.Builder.create () in
+    let ids =
+      List.init 8 (fun i ->
+          Taskgraph.Builder.add_task b ~name:(Printf.sprintf "t%d" i)
+            ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
+            ())
+    in
+    let rec link = function
+      | a :: (c :: _ as rest) ->
+        ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~elems:1e5 ());
+        link rest
+      | _ -> ()
+    in
+    link ids;
+    let g = Taskgraph.Builder.build b in
+    let board = Board.u55c () in
+    let cluster = Cluster.make ~board:(fun () -> board) 1 in
+    let synthesis = Synthesis.run ~board g in
+    Tapa_cs_sim.Design_sim.make_config ~graph:g ~assignment:(Array.make 8 0)
+      ~freq_mhz:[| 300.0 |] ~cluster ~synthesis ()
+  in
+  Test.make ~name:"8-task pipeline simulation" (Staged.stage (fun () -> ignore (Tapa_cs_sim.Design_sim.run config)))
+
+let tests =
+  Test.make_grouped ~name:"kernels"
+    [ bigint_mul; bigint_divmod; rat_add; simplex_lp; bb_ilp; partition_heuristic; event_queue; small_sim ]
+
+let run () =
+  Exp_common.section "Microbenchmarks (Bechamel, monotonic clock)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] ->
+              let v, unit_ =
+                if est > 1e9 then (est /. 1e9, "s")
+                else if est > 1e6 then (est /. 1e6, "ms")
+                else if est > 1e3 then (est /. 1e3, "us")
+                else (est, "ns")
+              in
+              Printf.printf "  %-42s %8.2f %s/run\n" name v unit_
+            | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+          per_test)
+    results

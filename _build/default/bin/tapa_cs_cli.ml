@@ -1,0 +1,246 @@
+(* Command-line driver for the TAPA-CS reproduction.
+
+     tapa_cs_cli compile  --app knn --fpgas 2
+     tapa_cs_cli simulate --app stencil --iters 256 --fpgas 4 --flow tapa-cs
+     tapa_cs_cli dot      --app pagerank > pagerank.dot
+     tapa_cs_cli info
+*)
+
+open Cmdliner
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_apps
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let app_names = [ "stencil"; "pagerank"; "knn"; "cnn" ]
+
+let app_arg =
+  let doc = "Benchmark application: " ^ String.concat ", " app_names ^ "." in
+  Arg.(required & opt (some (enum (List.map (fun a -> (a, a)) app_names))) None & info [ "app" ] ~doc)
+
+let fpgas_arg =
+  let doc = "Number of FPGAs in the cluster." in
+  Arg.(value & opt int 1 & info [ "fpgas"; "k" ] ~doc)
+
+let iters_arg =
+  let doc = "Stencil iterations (64-512)." in
+  Arg.(value & opt int 64 & info [ "iters" ] ~doc)
+
+let dataset_arg =
+  let doc = "PageRank dataset name (Table 5)." in
+  Arg.(value & opt string "soc-Slashdot0811" & info [ "dataset" ] ~doc)
+
+let n_arg =
+  let doc = "KNN dataset size N." in
+  Arg.(value & opt int 4_000_000 & info [ "n" ] ~doc)
+
+let d_arg =
+  let doc = "KNN feature dimension D." in
+  Arg.(value & opt int 2 & info [ "d" ] ~doc)
+
+let cols_arg =
+  let doc = "CNN grid columns (grid is 13 x cols)." in
+  Arg.(value & opt int 8 & info [ "cols" ] ~doc)
+
+let flow_arg =
+  let doc = "Compilation flow: vitis, tapa, or tapa-cs." in
+  Arg.(value & opt (enum [ ("vitis", `Vitis); ("tapa", `Tapa); ("tapa-cs", `Tapa_cs) ]) `Tapa_cs
+       & info [ "flow" ] ~doc)
+
+let topology_arg =
+  let doc = "Cluster topology: ring, chain, bus, star, hypercube." in
+  Arg.(value
+       & opt (enum [ ("ring", Topology.Ring); ("chain", Topology.Daisy_chain);
+                     ("bus", Topology.Bus); ("star", Topology.Star); ("hypercube", Topology.Hypercube) ])
+           Topology.Ring
+       & info [ "topology" ] ~doc)
+
+let threshold_arg =
+  let doc = "Per-resource utilization threshold T of Eq. 1." in
+  Arg.(value & opt float Constants.utilization_threshold & info [ "threshold" ] ~doc)
+
+let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
+  match app with
+  | "stencil" -> Ok (Stencil.generate (Stencil.make_config ~iterations:iters ~fpgas ()))
+  | "pagerank" -> (
+    match Dataset.find dataset with
+    | Some ds -> Ok (Pagerank.generate (Pagerank.make_config ~dataset:ds ~fpgas ()))
+    | None -> Error (Printf.sprintf "unknown dataset %S (see Table 5)" dataset))
+  | "knn" -> Ok (Knn.generate (Knn.make_config ~n_points:n ~dims:d ~fpgas ()))
+  | "cnn" -> Ok (Cnn.generate (Cnn.make_config ~cols ~fpgas ()))
+  | other -> Error (Printf.sprintf "unknown app %S" other)
+
+let compile_design app_t ~flow ~fpgas ~topology ~threshold =
+  let options = { Compiler.default_options with threshold } in
+  match flow with
+  | `Vitis -> Flow.vitis app_t.App.graph
+  | `Tapa -> Flow.tapa ~options app_t.App.graph
+  | `Tapa_cs ->
+    let cluster = Cluster.make ~topology ~board:Board.u55c fpgas in
+    Flow.tapa_cs ~options ~cluster app_t.App.graph
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run app fpgas iters dataset n d cols flow topology threshold =
+    match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok a -> (
+      Format.printf "%a@." App.pp a;
+      match compile_design a ~flow ~fpgas ~topology ~threshold with
+      | Error e ->
+        Format.printf "compilation failed: %s@." e;
+        1
+      | Ok des ->
+        Format.printf "flow %s: %.0f MHz (max slot utilization %s)@." des.Flow.label
+          des.Flow.freq_mhz
+          (Tapa_cs_util.Table.fmt_pct des.Flow.max_slot_util);
+        (match des.Flow.compiled with
+        | Some c ->
+          Format.printf "%a" Compiler.pp_summary c;
+          Format.printf "floorplanner runtimes: L1 %.2fs, L2 %.2fs@." c.Compiler.l1_runtime_s
+            c.Compiler.l2_runtime_s
+        | None -> ());
+        0)
+  in
+  let term =
+    Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
+          $ flow_arg $ topology_arg $ threshold_arg)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Run the seven-step TAPA-CS compile and print the floorplan.") term
+
+let simulate_cmd =
+  let run app fpgas iters dataset n d cols flow topology threshold =
+    match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok a -> (
+      match compile_design a ~flow ~fpgas ~topology ~threshold with
+      | Error e ->
+        Format.printf "compilation failed: %s@." e;
+        1
+      | Ok des ->
+        let r = Flow.simulate des in
+        Format.printf "flow %s on %d FPGA(s): %.0f MHz@." des.Flow.label fpgas des.Flow.freq_mhz;
+        Format.printf "end-to-end latency: %.4f s (%d simulation events)@."
+          r.Tapa_cs_sim.Design_sim.latency_s r.Tapa_cs_sim.Design_sim.events;
+        List.iter
+          (fun (l : Tapa_cs_sim.Design_sim.link_stat) ->
+            Format.printf "  link %d->%d: %s moved, busy %.2f ms@." l.src_fpga l.dst_fpga
+              (Tapa_cs_util.Table.fmt_bytes l.bytes)
+              (1e3 *. l.busy_s))
+          r.Tapa_cs_sim.Design_sim.links;
+        0)
+  in
+  let term =
+    Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
+          $ flow_arg $ topology_arg $ threshold_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Compile and run the timed simulation.") term
+
+let dot_cmd =
+  let run app fpgas iters dataset n d cols =
+    match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok a ->
+      print_string (Taskgraph.to_dot a.App.graph);
+      0
+  in
+  let term =
+    Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Print the task graph in Graphviz format (Fig. 9 style).") term
+
+let emit_cmd =
+  let out_arg =
+    let doc = "Output directory for the CAD artifacts." in
+    Arg.(value & opt string "tapa_cs_out" & info [ "out"; "o" ] ~doc)
+  in
+  let run app fpgas iters dataset n d cols topology threshold out =
+    match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok a -> (
+      let options = { Compiler.default_options with threshold } in
+      let cluster = Cluster.make ~topology ~board:Board.u55c fpgas in
+      match Compiler.compile ~options ~cluster a.App.graph with
+      | Error e ->
+        Format.printf "compilation failed: %s@." e;
+        1
+      | Ok c ->
+        Emit.write_all c ~dir:out;
+        Format.printf "wrote floorplan tcl, connectivity cfg and design_report.json to %s/@." out;
+        0)
+  in
+  let term =
+    Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
+          $ topology_arg $ threshold_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Compile and write the Vitis-style CAD constraints (step 7 of §4.2).")
+    term
+
+let autoscale_cmd =
+  let elems_arg = Arg.(value & opt float 1e8 & info [ "elems" ] ~doc:"Total elements of work.") in
+  let ops_arg = Arg.(value & opt float 8.0 & info [ "ops" ] ~doc:"Arithmetic ops per element.") in
+  let bytes_arg = Arg.(value & opt float 8.0 & info [ "bytes" ] ~doc:"External-memory bytes per element.") in
+  let lanes_arg = Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"Elements per cycle one PE sustains.") in
+  let lut_arg = Arg.(value & opt int 30_000 & info [ "pe-lut" ] ~doc:"LUTs per processing element.") in
+  let run fpgas elems ops bytes lanes lut =
+    let kernel =
+      {
+        Autoscale.name = "cli-kernel";
+        elems;
+        ops_per_elem = ops;
+        bytes_per_elem = bytes;
+        pe_resources = Resource.make ~lut ~ff:(3 * lut / 2) ~bram:(lut / 800) ~dsp:(lut / 400) ();
+        pe_lanes = lanes;
+        exchange_bytes = elems *. bytes /. 100.0;
+      }
+    in
+    let cluster = Cluster.make ~board:Board.u55c (max 1 fpgas) in
+    List.iter (fun (_, plan) -> Format.printf "%a@." Autoscale.pp_plan plan)
+      (Autoscale.sweep ~cluster kernel);
+    0
+  in
+  let term = Term.(const run $ fpgas_arg $ elems_arg $ ops_arg $ bytes_arg $ lanes_arg $ lut_arg) in
+  Cmd.v
+    (Cmd.info "autoscale"
+       ~doc:"Roofline-driven scale-up advice for a data-parallel kernel (the section-7 extension).")
+    term
+
+let info_cmd =
+  let run () =
+    let b = Board.u55c () in
+    Format.printf "%a@." Board.pp b;
+    Format.printf "%a@." Board.pp (Board.u250 ());
+    Format.printf "%a@." Board.pp (Board.stratix10 ());
+    Format.printf "@.protocols:@.";
+    List.iter (fun p -> Format.printf "  %a@." Tapa_cs_network.Protocol.pp p) Tapa_cs_network.Protocol.all;
+    Format.printf "@.datasets:@.";
+    List.iter
+      (fun (s : Dataset.spec) -> Format.printf "  %-18s %8d nodes %9d edges@." s.name s.nodes s.edges)
+      Dataset.all;
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"List device models, protocols and datasets.") Term.(const run $ const ())
+
+let () =
+  let doc = "TAPA-CS reproduction: multi-FPGA dataflow compiler and simulator" in
+  let main =
+    Cmd.group (Cmd.info "tapa_cs_cli" ~doc)
+      [ compile_cmd; simulate_cmd; dot_cmd; emit_cmd; autoscale_cmd; info_cmd ]
+  in
+  exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/autoscaled_design.ml: Autoscale Board Cluster Compiler Emit Flow Format Frontend List Printf Resource Result Tapa_cs Tapa_cs_device Tapa_cs_graph Task Taskgraph

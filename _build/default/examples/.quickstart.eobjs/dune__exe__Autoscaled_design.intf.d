@@ -1,0 +1,1 @@
+examples/autoscaled_design.mli:

@@ -1,0 +1,1 @@
+examples/cnn_scaling.ml: App Board Cluster Cnn Compiler Flow Format List Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_floorplan Tapa_cs_sim Tapa_cs_util

@@ -1,0 +1,1 @@
+examples/cnn_scaling.mli:

@@ -1,0 +1,1 @@
+examples/knn_search.ml: App Board Cluster Flow Format Knn Tapa_cs Tapa_cs_apps Tapa_cs_device Tapa_cs_util

@@ -1,0 +1,1 @@
+examples/pagerank_ranking.ml: App Array Board Cluster Dataset Flow Format List Pagerank Tapa_cs Tapa_cs_apps Tapa_cs_device

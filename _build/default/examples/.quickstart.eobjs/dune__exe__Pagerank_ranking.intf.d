@@ -1,0 +1,1 @@
+examples/pagerank_ranking.mli:

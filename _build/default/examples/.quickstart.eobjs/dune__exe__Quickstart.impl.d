@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Board Cluster Compiler Flow Format List Printf Tapa_cs Tapa_cs_device Tapa_cs_floorplan Tapa_cs_graph Task Taskgraph

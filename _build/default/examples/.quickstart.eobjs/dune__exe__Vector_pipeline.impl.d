@@ -1,0 +1,1 @@
+examples/vector_pipeline.ml: Board Cluster Flow Format List Printf Resource Tapa_cs Tapa_cs_device Tapa_cs_graph Tapa_cs_sim Task Taskgraph Topology

@@ -1,0 +1,78 @@
+(* The full extended workflow in one example:
+
+   1. profile a data-parallel kernel and ask the autoscaler (the §7
+      "future work" feature) how to size it for each cluster size;
+   2. author the scaled design through the TAPA-style frontend eDSL;
+   3. compile it with the full TAPA-CS flow and simulate;
+   4. emit the Vitis-style CAD artifacts (pblock Tcl, v++ connectivity
+      config, JSON report) into ./tapa_cs_out/.
+
+     dune exec examples/autoscaled_design.exe *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+
+(* A feature-extraction kernel: for every input record, compute 24 ops
+   over 16 bytes of streamed data. *)
+let kernel =
+  {
+    Autoscale.name = "feature-extract";
+    elems = 2e8;
+    ops_per_elem = 24.0;
+    bytes_per_elem = 16.0;
+    (* the replication unit is a loader + PE pair, so budget both *)
+    pe_resources = Resource.make ~lut:50_000 ~ff:74_000 ~bram:58 ~dsp:96 ();
+    pe_lanes = 2;
+    exchange_bytes = 4e6;
+  }
+
+let build_scaled (plan : Autoscale.plan) =
+  let p = Frontend.program () in
+  let pes = plan.Autoscale.pes_per_fpga * plan.Autoscale.fpgas in
+  let elems_per_pe = kernel.Autoscale.elems /. float_of_int pes in
+  let outs =
+    List.init pes (fun i ->
+        let input = Frontend.stream p ~name:(Printf.sprintf "in_%02d" i) ~width_bits:plan.Autoscale.port_width_bits ~elems:elems_per_pe () in
+        let output = Frontend.stream p ~name:(Printf.sprintf "out_%02d" i) ~width_bits:64 ~elems:(elems_per_pe /. 16.0) () in
+        Frontend.task p
+          ~name:(Printf.sprintf "load_%02d" i)
+          ~kind:"loader" ~writes:[ input ]
+          ~reads_hbm:
+            [ Frontend.hbm ~width_bits:plan.Autoscale.port_width_bits
+                ~bytes:(elems_per_pe *. kernel.Autoscale.bytes_per_elem) () ]
+          ~compute:(Task.make_compute ~elems:elems_per_pe ~ii:1.0 ())
+          ();
+        Frontend.task p
+          ~name:(Printf.sprintf "pe_%02d" i)
+          ~kind:"feature_pe" ~reads:[ input ] ~writes:[ output ]
+          ~compute:
+            (Task.make_compute ~elems:elems_per_pe ~ii:1.0
+               ~ops_per_elem:kernel.Autoscale.ops_per_elem ~lanes:kernel.Autoscale.pe_lanes ())
+          ~resources:(Resource.make ~lut:42_000 ~ff:61_000 ~bram:48 ~dsp:96 ())
+          ();
+        output)
+  in
+  Frontend.task p ~name:"collect" ~reads:outs
+    ~compute:(Task.make_compute ~elems:(kernel.Autoscale.elems /. 16.0) ~ii:1.0 ~lanes:8 ())
+    ();
+  Frontend.build p
+
+let () =
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  Format.printf "autoscaler sweep for kernel %S:@." kernel.Autoscale.name;
+  List.iter (fun (_, pl) -> Format.printf "  %a@." Autoscale.pp_plan pl) (Autoscale.sweep ~cluster kernel);
+  let plan = Autoscale.plan ~cluster kernel in
+  Format.printf "@.chosen: %a@.@." Autoscale.pp_plan plan;
+  let graph = build_scaled plan in
+  Format.printf "authored design: %a@." Taskgraph.pp_summary graph;
+  match Compiler.compile ~cluster graph with
+  | Error e -> Format.printf "compile failed: %s@." e
+  | Ok c ->
+    Format.printf "%a" Compiler.pp_summary c;
+    let d = Result.get_ok (Flow.tapa_cs ~cluster graph) in
+    Format.printf "simulated latency: %.2f ms (planner predicted %.2f ms)@."
+      (1e3 *. Flow.latency_s d)
+      (1e3 *. plan.Autoscale.predicted_latency_s);
+    Emit.write_all c ~dir:"tapa_cs_out";
+    Format.printf "CAD artifacts written to tapa_cs_out/@."

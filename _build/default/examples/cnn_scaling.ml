@@ -1,0 +1,39 @@
+(* CNN systolic-array scaling (§5.5): grids beyond 13x8 cannot route on
+   one U55C; TAPA-CS splits them column-wise across devices and keeps the
+   clock at 300 MHz.
+
+     dune exec examples/cnn_scaling.exe *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_apps
+
+let () =
+  Format.printf "AutoSA systolic CNN, VGG conv3 (54.5M MACs per input)@.@.";
+  List.iter
+    (fun (cols, fpgas) ->
+      let app = Cnn.generate (Cnn.make_config ~cols ~fpgas ()) in
+      Format.printf "13x%-2d grid (%d modules):@." cols (Cnn.module_count (Cnn.make_config ~cols ~fpgas ()));
+      (* Does it route on one device? *)
+      (match Flow.vitis app.App.graph with
+      | Ok d -> Format.printf "  single FPGA (Vitis-like): routes at %.0f MHz@." d.Flow.freq_mhz
+      | Error _ -> Format.printf "  single FPGA (Vitis-like): routing FAILS@.");
+      if fpgas > 1 then begin
+        match Flow.tapa_cs ~cluster:(Cluster.make ~board:Board.u55c fpgas) app.App.graph with
+        | Ok d ->
+          let r = Flow.simulate d in
+          let traffic =
+            match d.Flow.compiled with
+            | Some c ->
+              Tapa_cs_util.Table.fmt_bytes
+                c.Compiler.inter.Tapa_cs_floorplan.Inter_fpga.traffic_bytes
+            | None -> "?"
+          in
+          Format.printf "  TAPA-CS on %d FPGAs: %.0f MHz, %.2f ms, %s inter-FPGA traffic@." fpgas
+            d.Flow.freq_mhz
+            (1e3 *. r.Tapa_cs_sim.Design_sim.latency_s)
+            traffic
+        | Error e -> Format.printf "  TAPA-CS on %d FPGAs failed: %s@." fpgas e
+      end;
+      Format.printf "@.")
+    [ (4, 1); (8, 1); (12, 2); (16, 3); (20, 4) ]

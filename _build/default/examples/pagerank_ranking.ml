@@ -1,0 +1,62 @@
+(* End-to-end PageRank example: generate a synthetic web graph, rank it
+   in software (the functional reference), then compile and simulate the
+   accelerator across 1-4 FPGAs.
+
+     dune exec examples/pagerank_ranking.exe *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_apps
+
+(* Software PageRank over the CSR graph: the reference the accelerator
+   would have to match. *)
+let pagerank_reference (g : Dataset.graph) ~iters ~damping =
+  let n = g.Dataset.spec.Dataset.nodes in
+  let rank = Array.make n (1.0 /. float_of_int n) in
+  let next = Array.make n 0.0 in
+  for _ = 1 to iters do
+    Array.fill next 0 n ((1.0 -. damping) /. float_of_int n);
+    for v = 0 to n - 1 do
+      let deg = Dataset.out_degree g v in
+      if deg > 0 then begin
+        let share = damping *. rank.(v) /. float_of_int deg in
+        for e = g.Dataset.offsets.(v) to g.Dataset.offsets.(v + 1) - 1 do
+          next.(g.Dataset.targets.(e)) <- next.(g.Dataset.targets.(e)) +. share
+        done
+      end
+      else next.(v) <- next.(v) +. (damping *. rank.(v) /. float_of_int n)
+    done;
+    Array.blit next 0 rank 0 n
+  done;
+  rank
+
+let () =
+  (* A scaled-down web-Google instance keeps the software reference fast. *)
+  let g = Dataset.generate_scaled ~max_edges:100_000 Dataset.web_google in
+  Format.printf "synthetic %s: %d nodes, %d edges, max out-degree %d@."
+    g.Dataset.spec.Dataset.name g.Dataset.spec.Dataset.nodes g.Dataset.spec.Dataset.edges
+    (Dataset.max_out_degree g);
+  let rank = pagerank_reference g ~iters:10 ~damping:0.85 in
+  let top =
+    List.init g.Dataset.spec.Dataset.nodes (fun v -> (rank.(v), v))
+    |> List.sort (fun a b -> compare b a)
+    |> fun l -> List.filteri (fun i _ -> i < 5) l
+  in
+  Format.printf "top-5 ranked vertices:@.";
+  List.iter (fun (r, v) -> Format.printf "  vertex %-8d rank %.6f@." v r) top;
+  (* Now the accelerator, scaled over the cluster. *)
+  Format.printf "@.accelerator latency (full-size %s):@." Dataset.web_google.Dataset.name;
+  List.iter
+    (fun fpgas ->
+      let app = Pagerank.generate (Pagerank.make_config ~dataset:Dataset.web_google ~fpgas ()) in
+      let result =
+        if fpgas = 1 then Flow.tapa app.App.graph
+        else Flow.tapa_cs ~cluster:(Cluster.make ~board:Board.u55c fpgas) app.App.graph
+      in
+      match result with
+      | Ok d ->
+        Format.printf "  %d FPGA(s): %.0f MHz, %.2f ms (%d PEs)@." fpgas d.Flow.freq_mhz
+          (1e3 *. Flow.latency_s d)
+          (Pagerank.total_pes (Pagerank.make_config ~dataset:Dataset.web_google ~fpgas ()))
+      | Error e -> Format.printf "  %d FPGA(s): %s@." fpgas e)
+    [ 1; 2; 3; 4 ]

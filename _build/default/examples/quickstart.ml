@@ -1,0 +1,73 @@
+(* Quickstart: build a small dataflow design, compile it for a 2-FPGA
+   cluster, and inspect the result.
+
+     dune exec examples/quickstart.exe
+
+   The design is a toy histogram pipeline: a reader streams data from HBM,
+   four workers bucket it in parallel, a reducer merges the counts. *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+
+let build_design () =
+  let b = Taskgraph.Builder.create () in
+  (* Each task carries a compute model (how many elements, how many cycles
+     per element) and, for memory-facing tasks, HBM ports. *)
+  let elems = 16e6 in
+  let reader =
+    Taskgraph.Builder.add_task b ~name:"reader"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:256 ())
+      ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:256 ~bytes:(elems *. 4.0) () ]
+      ()
+  in
+  let workers =
+    List.init 4 (fun i ->
+        Taskgraph.Builder.add_task b
+          ~name:(Printf.sprintf "bucket_%d" i)
+          ~kind:"bucket" (* same kind => one shared synthesis run *)
+          ~compute:(Task.make_compute ~elems:(elems /. 4.0) ~ii:1.0 ~ops_per_elem:3.0 ~lanes:2 ())
+          ())
+  in
+  let reducer =
+    Taskgraph.Builder.add_task b ~name:"reducer"
+      ~compute:(Task.make_compute ~elems:1e4 ~ii:1.0 ())
+      ~mem_ports:[ Task.mem_port ~dir:Task.Write ~width_bits:256 ~bytes:1e5 () ]
+      ()
+  in
+  (* FIFOs are the latency-insensitive cut points TAPA-CS may split at. *)
+  List.iter
+    (fun w ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:reader ~dst:w ~width_bits:64 ~elems:(elems /. 4.0) ());
+      ignore (Taskgraph.Builder.add_fifo b ~src:w ~dst:reducer ~width_bits:64 ~elems:2500.0 ()))
+    workers;
+  Taskgraph.Builder.build b
+
+let () =
+  let graph = build_design () in
+  Format.printf "design: %a@." Taskgraph.pp_summary graph;
+  (* Single-FPGA baselines first. *)
+  (match Flow.vitis graph with
+  | Ok d -> Format.printf "Vitis-like flow:  %.0f MHz, latency %.3f ms@." d.Flow.freq_mhz (1e3 *. Flow.latency_s d)
+  | Error e -> Format.printf "Vitis-like flow failed: %s@." e);
+  (match Flow.tapa graph with
+  | Ok d -> Format.printf "TAPA flow:        %.0f MHz, latency %.3f ms@." d.Flow.freq_mhz (1e3 *. Flow.latency_s d)
+  | Error e -> Format.printf "TAPA flow failed: %s@." e);
+  (* Now span two U55C cards connected by 100G Ethernet. *)
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Flow.tapa_cs ~cluster graph with
+  | Error e -> Format.printf "TAPA-CS flow failed: %s@." e
+  | Ok d ->
+    Format.printf "TAPA-CS (2 FPGA): %.0f MHz, latency %.3f ms@." d.Flow.freq_mhz (1e3 *. Flow.latency_s d);
+    (match d.Flow.compiled with
+    | Some c ->
+      Format.printf "%a" Compiler.pp_summary c;
+      Array.iteri
+        (fun tid fpga ->
+          match Compiler.slot_of c tid with
+          | Some slot ->
+            Format.printf "  task %-10s -> FPGA %d, slot %d@."
+              (Taskgraph.task graph tid).Task.name fpga slot
+          | None -> ())
+        c.Compiler.inter.Tapa_cs_floorplan.Inter_fpga.assignment
+    | None -> ())

@@ -1,0 +1,78 @@
+(* A user-authored design too large for one device: a wide vector-physics
+   pipeline (read -> windowed FIR -> nonlinear map -> reduce, replicated
+   over 12 parallel lanes).  Demonstrates:
+
+   - the single-FPGA flows failing placement, exactly like the paper's
+     large CNN grids (§5.5);
+   - TAPA-CS finding a 3-FPGA partition automatically;
+   - how frequency and latency respond to the topology choice.
+
+     dune exec examples/vector_pipeline.exe *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+
+let lanes = 12
+let samples = 8e6
+
+let build () =
+  let b = Taskgraph.Builder.create () in
+  let stage_resources = Resource.make ~lut:95_000 ~ff:130_000 ~bram:120 ~dsp:220 () in
+  let mk_lane i =
+    let rd =
+      Taskgraph.Builder.add_task b
+        ~name:(Printf.sprintf "rd_%02d" i)
+        ~kind:"reader"
+        ~compute:(Task.make_compute ~elems:samples ~ii:1.0 ~elem_bits:512 ())
+        ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:512 ~bytes:(samples *. 4.0) () ]
+        ()
+    in
+    let fir =
+      Taskgraph.Builder.add_task b
+        ~name:(Printf.sprintf "fir_%02d" i)
+        ~kind:"fir"
+        ~compute:(Task.make_compute ~elems:samples ~ii:1.0 ~ops_per_elem:16.0 ~lanes:4 ~buffer_bytes:32768 ())
+        ~resources:stage_resources ()
+    in
+    let nl =
+      Taskgraph.Builder.add_task b
+        ~name:(Printf.sprintf "nl_%02d" i)
+        ~kind:"nonlinear"
+        ~compute:(Task.make_compute ~elems:samples ~ii:1.0 ~ops_per_elem:8.0 ~lanes:4 ())
+        ()
+    in
+    ignore (Taskgraph.Builder.add_fifo b ~src:rd ~dst:fir ~width_bits:512 ~elems:samples ());
+    ignore (Taskgraph.Builder.add_fifo b ~src:fir ~dst:nl ~width_bits:512 ~elems:samples ());
+    nl
+  in
+  let outs = List.init lanes mk_lane in
+  let reduce =
+    Taskgraph.Builder.add_task b ~name:"reduce"
+      ~compute:(Task.make_compute ~elems:(samples /. 64.0) ~ii:1.0 ())
+      ~mem_ports:[ Task.mem_port ~dir:Task.Write ~width_bits:256 ~bytes:(samples /. 16.0) () ]
+      ()
+  in
+  List.iter
+    (fun nl -> ignore (Taskgraph.Builder.add_fifo b ~src:nl ~dst:reduce ~width_bits:64 ~elems:(samples /. 64.0) ()))
+    outs;
+  Taskgraph.Builder.build b
+
+let () =
+  let graph = build () in
+  Format.printf "design: %a@." Taskgraph.pp_summary graph;
+  (match Flow.tapa graph with
+  | Ok d -> Format.printf "unexpected: fits one FPGA at %.0f MHz@." d.Flow.freq_mhz
+  | Error e -> Format.printf "single FPGA: %s@." e);
+  List.iter
+    (fun (name, topo) ->
+      let cluster = Cluster.make ~topology:topo ~board:Board.u55c 3 in
+      match Flow.tapa_cs ~cluster graph with
+      | Ok d ->
+        let r = Flow.simulate d in
+        Format.printf "3 FPGAs over %-12s %.0f MHz, latency %.2f ms, %d network transfers@." name
+          d.Flow.freq_mhz
+          (1e3 *. r.Tapa_cs_sim.Design_sim.latency_s)
+          (List.length r.Tapa_cs_sim.Design_sim.links)
+      | Error e -> Format.printf "3 FPGAs over %-12s failed: %s@." name e)
+    [ ("ring", Topology.Ring); ("daisy chain", Topology.Daisy_chain); ("star", Topology.Star) ]

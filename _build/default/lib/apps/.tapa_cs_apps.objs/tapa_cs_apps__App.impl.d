@@ -1,0 +1,1 @@
+lib/apps/app.ml: Format Tapa_cs_graph Taskgraph

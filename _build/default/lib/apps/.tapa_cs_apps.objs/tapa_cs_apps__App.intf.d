@@ -1,0 +1,1 @@
+lib/apps/app.mli: Format Tapa_cs_graph Taskgraph

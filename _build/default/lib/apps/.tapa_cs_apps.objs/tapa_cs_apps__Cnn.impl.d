@@ -1,0 +1,1 @@
+lib/apps/cnn.ml: App Array Printf Resource Tapa_cs_device Tapa_cs_graph Task Taskgraph

@@ -1,0 +1,1 @@
+lib/apps/cnn.mli: App

@@ -1,0 +1,1 @@
+lib/apps/dataset.ml: Array Hashtbl List Prng Stdlib Tapa_cs_util

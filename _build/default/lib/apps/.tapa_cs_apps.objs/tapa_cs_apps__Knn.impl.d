@@ -1,0 +1,1 @@
+lib/apps/knn.ml: App Array List Printf Resource Stdlib Tapa_cs_device Tapa_cs_graph Task Taskgraph

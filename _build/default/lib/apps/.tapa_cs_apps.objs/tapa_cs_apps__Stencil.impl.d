@@ -1,0 +1,1 @@
+lib/apps/stencil.ml: App Fifo List Printf Resource Tapa_cs_device Tapa_cs_graph Task Taskgraph

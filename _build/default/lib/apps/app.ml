@@ -1,0 +1,13 @@
+open Tapa_cs_graph
+
+type t = {
+  name : string;
+  variant : string;
+  fpgas : int;
+  graph : Taskgraph.t;
+  description : string;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "%s[%s] for %d FPGA(s): %a" t.name t.variant t.fpgas Taskgraph.pp_summary
+    t.graph

@@ -1,0 +1,13 @@
+(** Common shape of a generated benchmark instance. *)
+
+open Tapa_cs_graph
+
+type t = {
+  name : string;  (** benchmark family, e.g. ["stencil"] *)
+  variant : string;  (** configuration label, e.g. ["iters=64"] *)
+  fpgas : int;  (** cluster size this instance is scaled for *)
+  graph : Taskgraph.t;
+  description : string;
+}
+
+val pp : Format.formatter -> t -> unit

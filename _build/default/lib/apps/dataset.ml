@@ -1,0 +1,80 @@
+open Tapa_cs_util
+
+type spec = { name : string; nodes : int; edges : int }
+
+let web_berkstan = { name = "web-BerkStan"; nodes = 685_230; edges = 7_600_595 }
+let soc_slashdot0811 = { name = "soc-Slashdot0811"; nodes = 77_360; edges = 905_468 }
+let web_google = { name = "web-Google"; nodes = 875_713; edges = 5_105_039 }
+let cit_patents = { name = "cit-Patents"; nodes = 3_774_768; edges = 16_518_948 }
+let web_notredame = { name = "web-NotreDame"; nodes = 325_729; edges = 1_497_134 }
+
+let all = [ web_berkstan; soc_slashdot0811; web_google; cit_patents; web_notredame ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+type graph = { spec : spec; offsets : int array; targets : int array }
+
+(* Preferential attachment over a fixed node set: edge targets are drawn
+   from a pool into which every chosen endpoint is re-inserted, giving the
+   rich-get-richer skew of web/citation graphs without materializing an
+   attachment tree. *)
+let generate ?(seed = 42) spec =
+  if spec.nodes <= 1 then invalid_arg "Dataset.generate: need at least two nodes";
+  let rng = Prng.create (seed + Hashtbl.hash spec.name) in
+  let degree = Array.make spec.nodes 0 in
+  (* Out-degrees: a small heavy tail.  Draw sources with preference too,
+     then rebalance so all [edges] are emitted. *)
+  let sources = Array.make spec.edges 0 in
+  let pool_size = ref spec.nodes in
+  (* pool.(i) for i < nodes is node i itself; appended entries repeat hot nodes. *)
+  let pool = ref (Array.init (spec.nodes * 2) (fun i -> i mod spec.nodes)) in
+  let pool_push v =
+    if !pool_size >= Array.length !pool then begin
+      let np = Array.make (2 * Array.length !pool) 0 in
+      Array.blit !pool 0 np 0 !pool_size;
+      pool := np
+    end;
+    !pool.(!pool_size) <- v;
+    incr pool_size
+  in
+  let draw () = !pool.(Prng.int rng !pool_size) in
+  for e = 0 to spec.edges - 1 do
+    let s = draw () in
+    sources.(e) <- s;
+    degree.(s) <- degree.(s) + 1;
+    pool_push s
+  done;
+  let offsets = Array.make (spec.nodes + 1) 0 in
+  for v = 0 to spec.nodes - 1 do
+    offsets.(v + 1) <- offsets.(v) + degree.(v)
+  done;
+  let cursor = Array.copy offsets in
+  let targets = Array.make spec.edges 0 in
+  for e = 0 to spec.edges - 1 do
+    let s = sources.(e) in
+    let t =
+      let cand = draw () in
+      if cand = s then (cand + 1) mod spec.nodes else cand
+    in
+    targets.(cursor.(s)) <- t;
+    cursor.(s) <- cursor.(s) + 1;
+    pool_push t
+  done;
+  { spec; offsets; targets }
+
+let generate_scaled ?seed ?(max_edges = 200_000) spec =
+  if spec.edges <= max_edges then generate ?seed spec
+  else begin
+    let ratio = float_of_int max_edges /. float_of_int spec.edges in
+    let nodes = Stdlib.max 2 (int_of_float (float_of_int spec.nodes *. ratio)) in
+    generate ?seed { spec with nodes; edges = max_edges }
+  end
+
+let out_degree g v = g.offsets.(v + 1) - g.offsets.(v)
+
+let max_out_degree g =
+  let best = ref 0 in
+  for v = 0 to g.spec.nodes - 1 do
+    best := Stdlib.max !best (out_degree g v)
+  done;
+  !best

@@ -1,0 +1,38 @@
+(** Graph datasets for PageRank.
+
+    The paper evaluates on five SNAP networks (Table 5).  SNAP data is not
+    available offline, so each dataset is regenerated synthetically with
+    the exact node and edge counts via deterministic preferential
+    attachment — PageRank's simulated cost depends only on |V|, |E| and the
+    degree skew, which the generator preserves (DESIGN.md §2). *)
+
+type spec = { name : string; nodes : int; edges : int }
+
+val web_berkstan : spec
+val soc_slashdot0811 : spec
+val web_google : spec
+val cit_patents : spec
+val web_notredame : spec
+
+val all : spec list
+(** Table 5 rows in paper order. *)
+
+val find : string -> spec option
+
+type graph = {
+  spec : spec;
+  offsets : int array;  (** CSR row offsets, length [nodes + 1] *)
+  targets : int array;  (** CSR column indices, length [edges] *)
+}
+
+val generate : ?seed:int -> spec -> graph
+(** Deterministic synthetic instance matching [spec] exactly.  Runs in
+    O(edges); hubs follow a preferential-attachment skew. *)
+
+val generate_scaled : ?seed:int -> ?max_edges:int -> spec -> graph
+(** Like {!generate} but capped at [max_edges] edges (node count scaled
+    proportionally) so unit tests and examples stay fast; the returned
+    [spec] reflects the true generated size. *)
+
+val out_degree : graph -> int -> int
+val max_out_degree : graph -> int

@@ -1,0 +1,117 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type config = { n_points : int; dims : int; k : int; fpgas : int }
+
+let make_config ?(k = 10) ~n_points ~dims ~fpgas () =
+  if n_points <= 0 || dims <= 0 || k <= 0 || fpgas <= 0 then invalid_arg "Knn.make_config";
+  { n_points; dims; k; fpgas }
+
+let n_tested = [ 1_000_000; 2_000_000; 3_000_000; 4_000_000; 8_000_000 ]
+let d_tested = [ 2; 4; 8; 16; 32; 64; 128 ]
+
+let blue_modules c = match c.fpgas with 1 -> 16 | 2 -> 36 | 3 -> 54 | 4 -> 72 | n -> 18 * n
+let yellow_modules c = Stdlib.max 1 (blue_modules c * 10 / 16)
+
+let search_space_bytes c = float_of_int c.n_points *. float_of_int c.dims *. 4.0
+
+let transfer_volume_bytes c =
+  (* Each sorter forwards K (distance, id) pairs toward the merger. *)
+  float_of_int (yellow_modules c * c.k * 8)
+
+let port_width_bits c = if c.fpgas > 1 then 512 else 256
+let buffer_bytes c = if c.fpgas > 1 then 128 * 1024 else 32 * 1024
+
+(* Calibrated so 27 modules at 256 bits fill a U55C to the Fig. 16-style
+   profile; the 512-bit multi-FPGA variant stays under threshold at 18
+   blue modules per device. *)
+let blue_resources ~width_bits =
+  let lanes = width_bits / 32 in
+  (* The 128 KB multi-FPGA buffers (§3) map to URAM; the 32 KB single-FPGA
+     variant stays in BRAM. *)
+  Resource.make
+    ~lut:(14_000 + (1_250 * lanes))
+    ~ff:(22_000 + (1_900 * lanes))
+    ~bram:(if lanes >= 16 then 24 else 30 + (2 * lanes))
+    ~dsp:(8 * lanes)
+    ~uram:(if lanes >= 16 then 4 else 0)
+    ()
+
+let yellow_resources = Resource.make ~lut:11_000 ~ff:15_000 ~bram:24 ~dsp:4 ()
+let green_resources = Resource.make ~lut:6_000 ~ff:8_000 ~bram:12 ()
+
+let generate c =
+  let b = Taskgraph.Builder.create () in
+  let nblue = blue_modules c in
+  let nyellow = yellow_modules c in
+  let w = port_width_bits c in
+  (* The distance datapath consumes 8 lanes regardless of port width: the
+     wider multi-FPGA ports exist to saturate the HBM pseudo-channel (§3),
+     not to widen the arithmetic. *)
+  let lanes = 8 in
+  let n = float_of_int c.n_points in
+  let d = float_of_int c.dims in
+  let dataset_bytes = search_space_bytes c in
+  let blues =
+    List.init nblue (fun i ->
+        Taskgraph.Builder.add_task b
+          ~name:(Printf.sprintf "dist_%02d" i)
+          ~kind:"knn_blue"
+          ~compute:
+            (Task.make_compute
+               ~elems:(n *. d /. float_of_int nblue)
+               ~ii:1.0 ~ops_per_elem:2.0 ~elem_bits:32 ~lanes
+               ~buffer_bytes:(buffer_bytes c) ())
+          ~mem_ports:
+            [ Task.mem_port ~dir:Task.Read ~width_bits:w ~bytes:(dataset_bytes /. float_of_int nblue) () ]
+          ~resources:(blue_resources ~width_bits:w) ())
+  in
+  let yellows =
+    List.init nyellow (fun i ->
+        (* Phase 2 (O(N*K), §3): every candidate distance shifts through a
+           K-deep insertion network.  This is the phase that limits KNN's
+           scaling — the distance phase saturates HBM long before the
+           sorters run dry. *)
+        Taskgraph.Builder.add_task b
+          ~name:(Printf.sprintf "sort_%02d" i)
+          ~kind:"knn_yellow"
+          ~compute:
+            (Task.make_compute
+               ~elems:(n /. float_of_int nyellow *. float_of_int c.k)
+               ~ii:1.0 ~ops_per_elem:1.0 ~elem_bits:64 ~lanes:4
+               ~buffer_bytes:4096 ())
+          ~resources:yellow_resources ())
+  in
+  let green =
+    Taskgraph.Builder.add_task b ~name:"merge_topk" ~kind:"knn_green"
+      ~compute:
+        (Task.make_compute ~elems:(float_of_int (nyellow * c.k)) ~ii:1.0 ~elem_bits:64 ())
+      ~mem_ports:[ Task.mem_port ~dir:Task.Write ~width_bits:256 ~bytes:(float_of_int (c.k * 8)) () ]
+      ~resources:green_resources ()
+  in
+  (* Each yellow sorter consumes the distances of its share of blue
+     modules and forwards only K candidates. *)
+  let yellow_arr = Array.of_list yellows in
+  List.iteri
+    (fun i blue ->
+      let y = yellow_arr.(i * nyellow / nblue) in
+      ignore
+        (Taskgraph.Builder.add_fifo b ~src:blue ~dst:y ~width_bits:32 ~depth:64
+           ~elems:(n /. float_of_int nblue) ()))
+    blues;
+  List.iter
+    (fun y ->
+      ignore
+        (Taskgraph.Builder.add_fifo b ~src:y ~dst:green ~width_bits:64 ~depth:16
+           ~elems:(float_of_int c.k) ()))
+    yellows;
+  {
+    App.name = "knn";
+    variant = Printf.sprintf "N=%dM,D=%d" (c.n_points / 1_000_000) c.dims;
+    fpgas = c.fpgas;
+    graph = Taskgraph.Builder.build b;
+    description =
+      Printf.sprintf
+        "CHIP-KNN: N=%d D=%d K=%d, %d distance + %d sort modules, %d-bit ports, %d KB buffers"
+        c.n_points c.dims c.k nblue nyellow w (buffer_bytes c / 1024);
+  }

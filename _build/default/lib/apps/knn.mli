@@ -1,0 +1,38 @@
+(** CHIP-KNN style K-nearest-neighbors accelerator (§3, §5.4).
+
+    Two phases (Fig. 4): blue modules stream the dataset from HBM and
+    compute query distances (O(N*D)); yellow modules keep running top-K
+    selections (O(N*K)); one green module merges the final result.
+
+    Scaling: 16 blue + 10 yellow + 1 green (27 modules) on one FPGA with
+    256-bit ports and 32 KB buffers; 36 / 54 / 72 blue modules over 2–4
+    FPGAs with the optimal 512-bit ports and 128 KB buffers (§3).  The
+    inter-FPGA traffic is the K candidates each sorter forwards —
+    independent of N and D, which is why KNN scales so well. *)
+
+type config = {
+  n_points : int;  (** dataset size N *)
+  dims : int;  (** feature dimension D *)
+  k : int;
+  fpgas : int;
+}
+
+val make_config : ?k:int -> n_points:int -> dims:int -> fpgas:int -> unit -> config
+
+val generate : config -> App.t
+
+val n_tested : int list
+(** 1M, 2M, 3M, 4M, 8M (Table 6). *)
+
+val d_tested : int list
+(** 2, 4, 8, 16, 32, 64, 128 (Table 6). *)
+
+val blue_modules : config -> int
+val search_space_bytes : config -> float
+(** N * D * sizeof(float), 8 MB – 4 GB over Table 6. *)
+
+val transfer_volume_bytes : config -> float
+(** Top-K candidate traffic crossing FPGA boundaries. *)
+
+val port_width_bits : config -> int
+val buffer_bytes : config -> int

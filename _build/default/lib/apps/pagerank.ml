@@ -1,0 +1,90 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type config = {
+  dataset : Dataset.spec;
+  fpgas : int;
+  convergence_iters : int;
+}
+
+let make_config ?(convergence_iters = 10) ~dataset ~fpgas () =
+  if fpgas <= 0 then invalid_arg "Pagerank.make_config";
+  { dataset; fpgas; convergence_iters }
+
+let total_pes c = 4 * c.fpgas
+
+(* 8 bytes per vertex rank update, exchanged every sweep. *)
+let transfer_volume_bytes c =
+  float_of_int c.dataset.Dataset.nodes *. 8.0 *. float_of_int c.convergence_iters
+
+(* Calibrated so that 4 PEs + router + controller + 27 HBM channels load a
+   U55C to the utilization the paper's Fig. 13 profile implies, with the
+   bottom die congested by the many memory ports. *)
+let pe_resources =
+  Resource.make ~lut:96_000 ~ff:150_000 ~bram:230 ~dsp:96 ~uram:48 ()
+
+let router_resources = Resource.make ~lut:64_000 ~ff:90_000 ~bram:160 ~dsp:0 ~uram:16 ()
+let controller_resources = Resource.make ~lut:40_000 ~ff:60_000 ~bram:120 ~dsp:16 ~uram:0 ()
+
+let generate c =
+  let b = Taskgraph.Builder.create () in
+  let pes = total_pes c in
+  let nodes = float_of_int c.dataset.Dataset.nodes in
+  let edges = float_of_int c.dataset.Dataset.edges in
+  let iters = float_of_int c.convergence_iters in
+  (* Edge shards are spread over 27 HBM channels on the single-FPGA
+     baseline; each PE keeps that per-PE channel budget as it scales. *)
+  let ports_per_pe = Stdlib.max 1 (27 / 4) in
+  let edge_bytes_per_pe = edges *. 8.0 *. iters /. float_of_int pes in
+  let rank_elems = nodes *. iters in
+  let router =
+    Taskgraph.Builder.add_task b ~name:"vertex_router" ~kind:"pr_router"
+      ~compute:(Task.make_compute ~elems:rank_elems ~ii:1.0 ~elem_bits:64 ~lanes:4 ())
+      ~mem_ports:
+        [ Task.mem_port ~dir:Task.Read ~width_bits:256 ~bytes:(nodes *. 8.0 *. iters) () ]
+      ~resources:router_resources ()
+  in
+  let controller =
+    Taskgraph.Builder.add_task b ~name:"controller" ~kind:"pr_controller"
+      ~compute:(Task.make_compute ~elems:rank_elems ~ii:1.0 ~elem_bits:64 ~lanes:4 ())
+      ~mem_ports:
+        [ Task.mem_port ~dir:Task.Write ~width_bits:256 ~bytes:(nodes *. 8.0 *. iters) () ]
+      ~resources:controller_resources ()
+  in
+  let pe_ids =
+    List.init pes (fun i ->
+        Taskgraph.Builder.add_task b
+          ~name:(Printf.sprintf "pe_%02d" i)
+          ~kind:"pr_pe"
+          ~compute:
+            (Task.make_compute
+               ~elems:(edges *. iters /. float_of_int pes)
+               ~ii:1.0 ~ops_per_elem:4.0 ~elem_bits:64 ~lanes:2
+               ~buffer_bytes:(256 * 1024) ())
+          ~mem_ports:
+            (List.init ports_per_pe (fun _ ->
+                 Task.mem_port ~dir:Task.Read ~width_bits:256
+                   ~bytes:(edge_bytes_per_pe /. float_of_int ports_per_pe)
+                   ()))
+          ~resources:pe_resources ())
+  in
+  (* Router fans rank data out to the PEs; updates flow back through the
+     controller, which closes the loop to the router (dependency cycle). *)
+  let rank_share = rank_elems /. float_of_int pes in
+  List.iter
+    (fun pe ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:router ~dst:pe ~width_bits:64 ~depth:64 ~elems:rank_share ());
+      ignore (Taskgraph.Builder.add_fifo b ~src:pe ~dst:controller ~width_bits:64 ~depth:64 ~elems:rank_share ()))
+    pe_ids;
+  ignore
+    (Taskgraph.Builder.add_fifo b ~src:controller ~dst:router ~width_bits:64 ~depth:64 ~elems:rank_elems ());
+  {
+    App.name = "pagerank";
+    variant = c.dataset.Dataset.name;
+    fpgas = c.fpgas;
+    graph = Taskgraph.Builder.build b;
+    description =
+      Printf.sprintf "edge-centric PageRank on %s (%d nodes, %d edges), %d PEs, %d sweeps"
+        c.dataset.Dataset.name c.dataset.Dataset.nodes c.dataset.Dataset.edges pes
+        c.convergence_iters;
+  }

@@ -1,0 +1,28 @@
+(** Edge-centric PageRank (§5.3), after the TAPA accelerator of [25]
+    implementing the citation-ranking algorithm of Page et al.
+
+    Topology (Fig. 9): a vertex router streams rank data to the PEs, each
+    PE streams its edge shard from HBM and propagates weighted ranks, and
+    a central controller accumulates updates and feeds them back —
+    a dependency cycle between the compute modules.
+
+    Scaling: 4 PEs on one FPGA, then 8 / 12 / 16 over 2–4 FPGAs (32 over
+    8, §5.7).  The inter-FPGA volume depends only on the dataset (rank
+    vector size x iterations), not on the PE count — the property behind
+    the paper's superlinear scaling.  Once the router has dispatched, all
+    PEs work in parallel. *)
+
+type config = {
+  dataset : Dataset.spec;
+  fpgas : int;
+  convergence_iters : int;  (** fixed sweep count standing in for convergence *)
+}
+
+val make_config : ?convergence_iters:int -> dataset:Dataset.spec -> fpgas:int -> unit -> config
+
+val generate : config -> App.t
+
+val total_pes : config -> int
+val transfer_volume_bytes : config -> float
+(** Rank traffic crossing any FPGA boundary over the full run — constant
+    in the PE count. *)

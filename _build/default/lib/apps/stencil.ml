@@ -1,0 +1,155 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type config = {
+  iterations : int;
+  fpgas : int;
+  grid_dim : int;
+  inter_node_at : int option;
+}
+
+let make_config ?(grid_dim = 4096) ?(inter_node_at = None) ~iterations ~fpgas () =
+  if iterations <= 0 || fpgas <= 0 then invalid_arg "Stencil.make_config";
+  { iterations; fpgas; grid_dim; inter_node_at }
+
+let iterations_tested = [ 64; 128; 256; 512 ]
+
+let cell_bytes = 4.0
+let ops_per_cell_iter = 26.0
+
+let cells c = float_of_int c.grid_dim *. float_of_int c.grid_dim
+let total_ops c = cells c *. ops_per_cell_iter *. float_of_int c.iterations
+
+(* External traffic under optimal reuse: the grid is read and written once. *)
+let external_bytes c = 2.0 *. cells c *. cell_bytes
+
+let ops_per_byte c = total_ops c /. external_bytes c
+
+(* Table 4: 144.22 MB at 64 iterations, scaling linearly. *)
+let transfer_volume_bytes c = float_of_int c.iterations *. 2.2535 *. 1024.0 *. 1024.0
+
+let memory_bound c = c.iterations <= 128
+
+let pes_per_fpga c =
+  if memory_bound c then 15
+  else begin
+    (* 15 / 30 / 60 / 90 total over 1-4 FPGAs; 120 over 8 (§5.7). *)
+    let total = match c.fpgas with 1 -> 15 | 2 -> 30 | 3 -> 60 | 4 -> 90 | n -> 15 * n in
+    (total + c.fpgas - 1) / c.fpgas
+  end
+
+let port_width_bits c = if memory_bound c && c.fpgas > 1 then 512 else 128
+
+(* Calibrated per-PE profile.  A 13-point window buffered over two full
+   grid rows; wide-port variants replicate the window datapath per lane. *)
+let pe_resources ~width_bits =
+  let lanes = width_bits / 32 in
+  (* Sub-linear growth in lane count: the window line buffers are shared
+     across lanes, only the arithmetic replicates. *)
+  Resource.make
+    ~lut:(21_000 + (1_400 * lanes))
+    ~ff:(30_000 + (3_200 * lanes))
+    ~bram:(30 + (2 * lanes))
+    ~dsp:(20 * lanes)
+    ~uram:(if lanes >= 16 then 4 else 0)
+    ()
+
+let io_resources ~width_bits =
+  Resource.make ~lut:(4_000 + (width_bits * 9)) ~ff:(6_000 + (width_bits * 14))
+    ~bram:(16 + (width_bits / 16)) ()
+
+let generate c =
+  let b = Taskgraph.Builder.create () in
+  let w = port_width_bits c in
+  let lanes = w / 32 in
+  let pes = pes_per_fpga c in
+  let n_cells = cells c in
+  let iters_per_fpga = float_of_int c.iterations /. float_of_int c.fpgas in
+  (* Each PE performs its share of cell-iterations at one lane-vector of
+     cells per cycle. *)
+  let pe_elems = n_cells *. iters_per_fpga /. float_of_int pes in
+  let reader_ports = 8 in
+  let grid_bytes = n_cells *. cell_bytes in
+  (* Handoffs between temporal segments use a serialized 64-bit interface:
+     a natural latency-insensitive cut point, which also makes the Eq. 2
+     optimum land on the segment boundaries. *)
+  let hop_width = 64 in
+  let hop_volume = transfer_volume_bytes c in
+  let hop_elems = hop_volume /. (float_of_int hop_width /. 8.0) in
+  let mk_segment fpga =
+    let tag = Printf.sprintf "f%d" fpga in
+    let reader =
+      Taskgraph.Builder.add_task b
+        ~name:(Printf.sprintf "read_%s" tag)
+        ~kind:"stencil_reader"
+        ~compute:(Task.make_compute ~elems:(grid_bytes /. (float_of_int w /. 8.0)) ~ii:1.0 ~elem_bits:w ())
+        ~mem_ports:
+          (List.init reader_ports (fun _ ->
+               Task.mem_port ~dir:Task.Read ~width_bits:w
+                 ~bytes:(grid_bytes /. float_of_int reader_ports)
+                 ()))
+        ~resources:(io_resources ~width_bits:w) ()
+    in
+    let pes_ids =
+      List.init pes (fun i ->
+          Taskgraph.Builder.add_task b
+            ~name:(Printf.sprintf "pe_%s_%02d" tag i)
+            ~kind:"stencil_pe"
+            ~compute:
+              (Task.make_compute ~elems:pe_elems ~ii:1.0 ~ops_per_elem:ops_per_cell_iter
+                 ~elem_bits:32 ~lanes ~buffer_bytes:(2 * c.grid_dim * 4) ())
+            ~resources:(pe_resources ~width_bits:w) ())
+    in
+    let writer =
+      Taskgraph.Builder.add_task b
+        ~name:(Printf.sprintf "write_%s" tag)
+        ~kind:"stencil_writer"
+        ~compute:(Task.make_compute ~elems:(grid_bytes /. (float_of_int w /. 8.0)) ~ii:1.0 ~elem_bits:w ())
+        ~mem_ports:
+          (List.init reader_ports (fun _ ->
+               Task.mem_port ~dir:Task.Write ~width_bits:w
+                 ~bytes:(grid_bytes /. float_of_int reader_ports)
+                 ()))
+        ~resources:(io_resources ~width_bits:w) ()
+    in
+    (* Chain: reader -> pe_0 -> ... -> pe_{n-1} -> writer, streaming the
+       grid; each link carries the full grid once. *)
+    let grid_elems = grid_bytes /. (float_of_int w /. 8.0) in
+    let rec chain prev = function
+      | [] -> prev
+      | pe :: rest ->
+        ignore (Taskgraph.Builder.add_fifo b ~src:prev ~dst:pe ~width_bits:w ~depth:64 ~elems:grid_elems ());
+        chain pe rest
+    in
+    let last = chain reader pes_ids in
+    ignore (Taskgraph.Builder.add_fifo b ~src:last ~dst:writer ~width_bits:w ~depth:64 ~elems:grid_elems ());
+    (reader, writer)
+  in
+  let segments = List.init c.fpgas mk_segment in
+  (* Temporal-tiling handoff between consecutive FPGAs: tile-streamed
+     within a node, bulk host-staged across nodes. *)
+  let rec connect = function
+    | (_, wr) :: ((rd, _) :: _ as rest) ->
+      let idx = c.fpgas - List.length rest in
+      let mode =
+        match c.inter_node_at with
+        | Some boundary when idx = boundary -> Fifo.Bulk
+        | _ -> Fifo.Stream
+      in
+      ignore
+        (Taskgraph.Builder.add_fifo b ~src:wr ~dst:rd ~width_bits:hop_width ~depth:512
+           ~elems:hop_elems ~mode ());
+      connect rest
+    | [ _ ] | [] -> ()
+  in
+  connect segments;
+  {
+    App.name = "stencil";
+    variant = Printf.sprintf "iters=%d" c.iterations;
+    fpgas = c.fpgas;
+    graph = Taskgraph.Builder.build b;
+    description =
+      Printf.sprintf
+        "Rodinia Dilate 13-point stencil, %dx%d grid, %d iterations, %d PE(s)/FPGA, %d-bit HBM ports"
+        c.grid_dim c.grid_dim c.iterations pes w;
+  }

@@ -1,0 +1,41 @@
+(** The Dilate kernel: a 2-D 13-point stencil from the Rodinia HLS suite
+    (§5.2).  Fixed 4096x4096 input, 64–512 iterations.
+
+    Scaling rules follow the paper exactly:
+    - 64/128 iterations (memory-bound): 15 PEs per FPGA; the HBM access
+      width grows from 128 bits (single FPGA) to 512 bits, and the design
+      uses 32 channels per participating FPGA.
+    - 256/512 iterations (compute-bound): width stays 128 bits; the PE
+      count grows 15 → 30 → 60 → 90 over 1–4 FPGAs (120 on 8).
+
+    The temporal-tiling handoff between consecutive FPGAs carries the
+    Table 4 volume ([iters * 2.2535 MB]); within a node it streams
+    tile-by-tile, across server nodes it is a bulk host-staged transfer
+    (the §5.7 behaviour). *)
+
+type config = {
+  iterations : int;
+  fpgas : int;
+  grid_dim : int;  (** 4096 in the paper *)
+  inter_node_at : int option;  (** FPGA boundary crossing server nodes (§5.7) *)
+}
+
+val make_config : ?grid_dim:int -> ?inter_node_at:int option -> iterations:int -> fpgas:int -> unit -> config
+
+val generate : config -> App.t
+
+val iterations_tested : int list
+(** 64, 128, 256, 512. *)
+
+val cells : config -> float
+val total_ops : config -> float
+(** 26 ops per cell per iteration (13 multiplies + 13 adds). *)
+
+val ops_per_byte : config -> float
+(** Compute intensity assuming optimal data reuse (Table 4). *)
+
+val transfer_volume_bytes : config -> float
+(** Per-hop inter-FPGA volume (Table 4 / §5.7): [iters * 2.2535 MB]. *)
+
+val pes_per_fpga : config -> int
+val port_width_bits : config -> int

@@ -1,0 +1,1 @@
+lib/core/autoscale.ml: Board Cluster Constants Float Format List Resource Tapa_cs_device

@@ -1,0 +1,1 @@
+lib/core/autoscale.mli: Cluster Format Resource Tapa_cs_device

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Board Cluster Compiler Design_sim Stdlib Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Tapa_cs_sim Taskgraph

@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Fifo Format Hashtbl List Option Printf String Tapa_cs_device Tapa_cs_graph Task Taskgraph

@@ -1,0 +1,1 @@
+lib/core/frontend.mli: Fifo Format Tapa_cs_device Tapa_cs_graph Task Taskgraph

@@ -1,0 +1,102 @@
+open Tapa_cs_device
+
+type kernel = {
+  name : string;
+  elems : float;
+  ops_per_elem : float;
+  bytes_per_elem : float;
+  pe_resources : Resource.t;
+  pe_lanes : int;
+  exchange_bytes : float;
+}
+
+type bound = Compute | Memory | Network
+
+type plan = {
+  fpgas : int;
+  pes_per_fpga : int;
+  port_width_bits : int;
+  predicted_bound : bound;
+  predicted_latency_s : float;
+  per_fpga_elem_rate : float;
+  pe_cap_by_resources : int;
+}
+
+let bound_name = function Compute -> "compute" | Memory -> "memory" | Network -> "network"
+
+(* Largest PE count whose aggregate resources stay within the thresholded
+   budget for every resource type. *)
+let resource_ceiling ~threshold (board : Board.t) pe =
+  let cap = Resource.scale threshold board.Board.total in
+  let per (used : int) (avail : int) = if used <= 0 then max_int else avail / used in
+  List.fold_left min max_int
+    [
+      per pe.Resource.lut cap.Resource.lut;
+      per pe.Resource.ff cap.Resource.ff;
+      per pe.Resource.bram cap.Resource.bram;
+      per pe.Resource.dsp cap.Resource.dsp;
+      per pe.Resource.uram cap.Resource.uram;
+    ]
+
+let next_pow2_width bits =
+  let rec go w = if w >= bits || w >= 512 then w else go (2 * w) in
+  go 32
+
+let plan ?(threshold = Constants.utilization_threshold) ~cluster kernel =
+  let k = Cluster.size cluster in
+  let board = Cluster.board cluster 0 in
+  let freq_hz = board.Board.max_freq_mhz *. 1e6 in
+  let pe_cap = resource_ceiling ~threshold board kernel.pe_resources in
+  if pe_cap <= 0 then invalid_arg "Autoscale.plan: one PE exceeds the device budget";
+  (* Memory wall: elements/second the HBM can feed. *)
+  let mem_rate =
+    if kernel.bytes_per_elem <= 0.0 then infinity
+    else board.Board.hbm_bandwidth_gbps *. 1e9 /. kernel.bytes_per_elem
+  in
+  let pe_rate = float_of_int kernel.pe_lanes *. freq_hz in
+  (* Replicate until memory-bound; more PEs would idle on starved ports (§3). *)
+  let pes_for_memory =
+    if mem_rate = infinity then pe_cap else int_of_float (ceil (mem_rate /. pe_rate))
+  in
+  let pes = max 1 (min pe_cap pes_for_memory) in
+  let compute_rate = float_of_int pes *. pe_rate in
+  let per_fpga_elem_rate = Float.min compute_rate mem_rate in
+  (* Port width: narrowest power of two sustaining the per-PE byte rate. *)
+  let bytes_per_cycle = kernel.bytes_per_elem *. float_of_int kernel.pe_lanes in
+  let port_width_bits = next_pow2_width (int_of_float (ceil (bytes_per_cycle *. 8.0))) in
+  (* Split the elements evenly; boundaries move [exchange_bytes] each. *)
+  let elems_per_fpga = kernel.elems /. float_of_int k in
+  let work_time = elems_per_fpga /. per_fpga_elem_rate in
+  let net_time =
+    if k <= 1 then 0.0
+    else begin
+      let bw = Cluster.link_bandwidth_gbytes cluster 0 1 *. 1e9 in
+      kernel.exchange_bytes /. bw
+    end
+  in
+  let predicted_bound =
+    if net_time > work_time then Network
+    else if mem_rate < compute_rate then Memory
+    else Compute
+  in
+  {
+    fpgas = k;
+    pes_per_fpga = pes;
+    port_width_bits;
+    predicted_bound;
+    predicted_latency_s = Float.max work_time net_time;
+    per_fpga_elem_rate;
+    pe_cap_by_resources = pe_cap;
+  }
+
+let sweep ?threshold ~cluster kernel =
+  List.init (Cluster.size cluster) (fun i ->
+      let k = i + 1 in
+      let sub = Cluster.make ~topology:cluster.Cluster.topology ~board:(fun () -> Cluster.board cluster 0) k in
+      (k, plan ?threshold ~cluster:sub kernel))
+
+let pp_plan fmt p =
+  Format.fprintf fmt
+    "%d FPGA(s): %d PEs/device (ceiling %d), %d-bit ports, %s-bound, %.3f ms predicted" p.fpgas
+    p.pes_per_fpga p.pe_cap_by_resources p.port_width_bits (bound_name p.predicted_bound)
+    (1e3 *. p.predicted_latency_s)

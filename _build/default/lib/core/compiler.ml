@@ -1,0 +1,162 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_floorplan
+open Tapa_cs_pipeline
+open Tapa_cs_freq
+
+type t = {
+  graph : Taskgraph.t;
+  cluster : Cluster.t;
+  synthesis : Synthesis.report;
+  inter : Inter_fpga.t;
+  intra : Intra_fpga.t array;
+  hbm : Hbm_binding.t array;
+  pipeline : Pipelining.t array;
+  freq : Freq_model.estimate array;
+  freq_mhz : float;
+  l1_runtime_s : float;
+  l2_runtime_s : float;
+}
+
+type options = {
+  strategy : Partition.strategy;
+  threshold : float;
+  seed : int;
+  explore_hbm : bool;
+  pipeline_interconnect : bool;
+}
+
+let default_options =
+  {
+    strategy = Partition.Auto;
+    threshold = Constants.utilization_threshold;
+    seed = 1;
+    explore_hbm = true;
+    pipeline_interconnect = true;
+  }
+
+let ( let* ) = Result.bind
+
+let compile ?(options = default_options) ~cluster graph =
+  (* Step 2: parallel synthesis against the first board model (clusters
+     are homogeneous in the paper's testbed). *)
+  let board0 = Cluster.board cluster 0 in
+  let synthesis = Synthesis.run ~board:board0 graph in
+  (* Step 3: inter-FPGA floorplanning. *)
+  let* inter =
+    Inter_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed:options.seed
+      ~cluster ~synthesis graph
+  in
+  (* Step 4: communication logic is charged as capacity inside Inter_fpga;
+     the cut FIFOs recorded there become AlveoLink streams in the
+     simulator. *)
+  let k = Cluster.size cluster in
+  (* Step 5: intra-FPGA floorplanning per device, cut FIFOs pulling their
+     endpoints toward the QSFP slots. *)
+  let cut_width = Array.make (Taskgraph.num_tasks graph) 0.0 in
+  List.iter
+    (fun (f : Fifo.t) ->
+      cut_width.(f.src) <- cut_width.(f.src) +. float_of_int f.width_bits;
+      cut_width.(f.dst) <- cut_width.(f.dst) +. float_of_int f.width_bits)
+    inter.Inter_fpga.cut_fifos;
+  let rec build_intra fpga acc =
+    if fpga >= k then Ok (List.rev acc)
+    else begin
+      let tasks =
+        List.filter
+          (fun tid -> inter.Inter_fpga.assignment.(tid) = fpga)
+          (List.init (Taskgraph.num_tasks graph) Fun.id)
+      in
+      let* placement =
+        Intra_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed:options.seed
+          ~board:(Cluster.board cluster fpga) ~synthesis ~graph ~tasks
+          ~io_pull:(fun tid -> cut_width.(tid))
+          ()
+      in
+      build_intra (fpga + 1) (placement :: acc)
+    end
+  in
+  let* intra_list = build_intra 0 [] in
+  let intra = Array.of_list intra_list in
+  (* HBM binding exploration per device. *)
+  let hbm =
+    Array.mapi
+      (fun fpga placement ->
+        Hbm_binding.run ~explore:options.explore_hbm ~board:(Cluster.board cluster fpga) ~graph
+          ~slot_of:placement.Intra_fpga.slot_of ())
+      intra
+  in
+  (* Step 6: interconnect pipelining (per device; crossings are local). *)
+  let pipeline =
+    Array.map
+      (fun placement ->
+        if options.pipeline_interconnect then
+          Pipelining.run ~graph ~crossings:placement.Intra_fpga.crossings
+        else Pipelining.run ~graph ~crossings:[]
+      )
+      intra
+  in
+  (* Step 7: frequency of each device given its final placement. *)
+  let freq =
+    Array.mapi
+      (fun fpga placement ->
+        Freq_model.of_placement ~board:(Cluster.board cluster fpga) ~synthesis ~graph
+          ~slot_of:placement.Intra_fpga.slot_of ~pipelined:options.pipeline_interconnect ())
+      intra
+  in
+  let unrouted = Array.exists (fun (e : Freq_model.estimate) -> not e.routed) freq in
+  if unrouted then Error "a device placement exceeds physical slot capacity (routing failure)"
+  else begin
+    let freq_mhz = Array.fold_left (fun acc (e : Freq_model.estimate) -> Float.min acc e.freq_mhz) infinity freq in
+    let l2_runtime_s = Array.fold_left (fun acc p -> acc +. Intra_fpga.runtime_s p) 0.0 intra in
+    Ok
+      {
+        graph;
+        cluster;
+        synthesis;
+        inter;
+        intra;
+        hbm;
+        pipeline;
+        freq;
+        freq_mhz;
+        l1_runtime_s = inter.Inter_fpga.stats.runtime_s;
+        l2_runtime_s;
+      }
+  end
+
+let fpga_of t tid = t.inter.Inter_fpga.assignment.(tid)
+
+let slot_of t tid =
+  let fpga = fpga_of t tid in
+  t.intra.(fpga).Intra_fpga.slot_of.(tid)
+
+let port_bandwidth_gbps t tid port_index =
+  let fpga = fpga_of t tid in
+  let board = Cluster.board t.cluster fpga in
+  let bound =
+    Hbm_binding.effective_port_bandwidth_gbps board t.hbm.(fpga) ~task_id:tid ~port_index
+  in
+  let task = Taskgraph.task t.graph tid in
+  match List.nth_opt task.Task.mem_ports port_index with
+  | None -> 0.0
+  | Some p ->
+    let wire = float_of_int p.Task.width_bits /. 8.0 *. t.freq_mhz *. 1e6 /. 1e9 in
+    Float.min bound wire
+
+let extra_stage_cycles t fid =
+  Array.fold_left (fun acc p -> acc + Pipelining.stages_of p fid) 0 t.pipeline
+
+let pp_summary fmt t =
+  let k = Cluster.size t.cluster in
+  Format.fprintf fmt "TAPA-CS design on %d FPGA(s): %.0f MHz, %d cut FIFO(s), %s inter-FPGA traffic@."
+    k t.freq_mhz
+    (List.length t.inter.Inter_fpga.cut_fifos)
+    (Tapa_cs_util.Table.fmt_bytes t.inter.Inter_fpga.traffic_bytes);
+  Array.iteri
+    (fun i u ->
+      Format.fprintf fmt "  FPGA %d: %s utilization, %.0f MHz@." i
+        (Tapa_cs_util.Table.fmt_pct u)
+        t.freq.(i).Freq_model.freq_mhz)
+    t.inter.Inter_fpga.per_fpga_util

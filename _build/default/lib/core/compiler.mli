@@ -1,0 +1,57 @@
+(** The TAPA-CS compiler: the seven steps of §4.2.
+
+    1. task-graph construction (done by the caller / {!Frontend});
+    2. task extraction and parallel synthesis;
+    3. inter-FPGA floorplanning (ILP, Eqs. 1–3);
+    4. inter-FPGA communication logic insertion (AlveoLink);
+    5. intra-FPGA floorplanning (recursive bisection, Eq. 4) plus HBM
+       channel binding exploration;
+    6. interconnect pipelining with cut-set balancing;
+    7. "bitstream generation" — here, the frequency estimate and the final
+       design report handed to the simulator. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_floorplan
+open Tapa_cs_pipeline
+open Tapa_cs_freq
+
+type t = {
+  graph : Taskgraph.t;
+  cluster : Cluster.t;
+  synthesis : Synthesis.report;
+  inter : Inter_fpga.t;
+  intra : Intra_fpga.t array;  (** one per FPGA *)
+  hbm : Hbm_binding.t array;
+  pipeline : Pipelining.t array;
+  freq : Freq_model.estimate array;
+  freq_mhz : float;  (** design clock: the minimum across devices *)
+  l1_runtime_s : float;  (** inter-FPGA floorplanner time (§5.6) *)
+  l2_runtime_s : float;  (** intra-FPGA floorplanner time (§5.6) *)
+}
+
+type options = {
+  strategy : Partition.strategy;
+  threshold : float;
+  seed : int;
+  explore_hbm : bool;  (** HBM binding exploration (§4.5); ablation knob *)
+  pipeline_interconnect : bool;  (** §4.6; ablation knob *)
+}
+
+val default_options : options
+
+val compile : ?options:options -> cluster:Cluster.t -> Taskgraph.t -> (t, string) Stdlib.result
+
+val slot_of : t -> int -> int option
+(** Final slot of a task on its FPGA. *)
+
+val fpga_of : t -> int -> int
+val port_bandwidth_gbps : t -> int -> int -> float
+(** Effective HBM bandwidth of a task's memory port after binding,
+    additionally capped by [port_width x clock]. *)
+
+val extra_stage_cycles : t -> int -> int
+(** Pipeline stages added to a FIFO (insertion + balancing). *)
+
+val pp_summary : Format.formatter -> t -> unit

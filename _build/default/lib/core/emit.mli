@@ -1,0 +1,27 @@
+(** Step 7 of the flow (§4.2): emit the floorplan and binding decisions in
+    the formats the vendor CAD stack consumes.
+
+    Real TAPA-CS hands its results back to Vitis as (a) pblock placement
+    constraints in Tcl, (b) a v++ linker configuration binding each AXI
+    port to its HBM pseudo-channel, and (c) a machine-readable design
+    report.  These emitters produce the same artifacts from a compiled
+    design, one set per FPGA. *)
+
+val floorplan_tcl : Compiler.t -> fpga:int -> string
+(** Vivado Tcl: one pblock per occupied slot (named by its SLR and
+    column), `add_cells_to_pblock` lines for every task placed there, and
+    properties marking the HBM and QSFP regions. *)
+
+val connectivity_cfg : Compiler.t -> fpga:int -> string
+(** v++ `--config` format: an `[connectivity]` section with one
+    `sp=<task>.m_axi_<n>:HBM[<channel>]` line per bound memory port, and
+    `stream_connect` lines for the inter-FPGA AlveoLink streams. *)
+
+val design_report_json : Compiler.t -> string
+(** The whole-design report: per-FPGA clock, utilization, placement, cut
+    FIFOs and floorplanner statistics, as a single JSON document (no
+    external JSON library — emitted directly). *)
+
+val write_all : Compiler.t -> dir:string -> unit
+(** Write `floorplan_f<i>.tcl`, `connectivity_f<i>.cfg` for every FPGA
+    plus `design_report.json` into [dir] (created if missing). *)

@@ -1,0 +1,113 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_floorplan
+open Tapa_cs_freq
+open Tapa_cs_sim
+
+type design = {
+  label : string;
+  graph : Taskgraph.t;
+  cluster : Cluster.t;
+  synthesis : Synthesis.report;
+  assignment : int array;
+  freq_mhz : float;
+  port_bandwidth_gbps : int -> int -> float;
+  extra_stage_cycles : int -> int;
+  max_slot_util : float;
+  compiled : Compiler.t option;
+}
+
+let port_bw_of_binding ~board ~graph ~binding ~freq_mhz tid port_index =
+  let bound = Hbm_binding.effective_port_bandwidth_gbps board binding ~task_id:tid ~port_index in
+  let task = Taskgraph.task graph tid in
+  match List.nth_opt task.Task.mem_ports port_index with
+  | None -> 0.0
+  | Some p ->
+    let wire = float_of_int p.Task.width_bits /. 8.0 *. freq_mhz *. 1e6 /. 1e9 in
+    Float.min bound wire
+
+let vitis ?(board = Board.u55c) graph =
+  let board = board () in
+  let cluster = Cluster.make ~board:(fun () -> board) 1 in
+  let synthesis = Synthesis.run ~board graph in
+  let slot_of = Freq_model.naive_placement ~board ~synthesis graph in
+  let est = Freq_model.of_placement ~board ~synthesis ~graph ~slot_of ~pipelined:false () in
+  if not est.Freq_model.routed then
+    Error "Vitis flow: placement over physical capacity (routing failure)"
+  else begin
+    let binding = Hbm_binding.run ~explore:false ~board ~graph ~slot_of () in
+    Ok
+      {
+        label = "F1-V";
+        graph;
+        cluster;
+        synthesis;
+        assignment = Array.make (Taskgraph.num_tasks graph) 0;
+        freq_mhz = est.Freq_model.freq_mhz;
+        port_bandwidth_gbps =
+          port_bw_of_binding ~board ~graph ~binding ~freq_mhz:est.Freq_model.freq_mhz;
+        extra_stage_cycles = (fun _ -> 0);
+        max_slot_util = est.Freq_model.max_slot_util;
+        compiled = None;
+      }
+  end
+
+let tapa ?(board = Board.u55c) ?(options = Compiler.default_options) graph =
+  let board = board () in
+  let cluster = Cluster.make ~board:(fun () -> board) 1 in
+  match Compiler.compile ~options ~cluster graph with
+  | Error e -> Error ("TAPA flow: " ^ e)
+  | Ok c ->
+    Ok
+      {
+        label = "F1-T";
+        graph;
+        cluster;
+        synthesis = c.Compiler.synthesis;
+        assignment = Array.make (Taskgraph.num_tasks graph) 0;
+        freq_mhz = c.Compiler.freq_mhz;
+        port_bandwidth_gbps = Compiler.port_bandwidth_gbps c;
+        extra_stage_cycles = Compiler.extra_stage_cycles c;
+        max_slot_util =
+          Array.fold_left
+            (fun acc (e : Freq_model.estimate) -> Float.max acc e.max_slot_util)
+            0.0 c.Compiler.freq;
+        compiled = Some c;
+      }
+
+let tapa_cs ?(options = Compiler.default_options) ~cluster graph =
+  match Compiler.compile ~options ~cluster graph with
+  | Error e -> Error ("TAPA-CS flow: " ^ e)
+  | Ok c ->
+    Ok
+      {
+        label = Printf.sprintf "F%d" (Cluster.size cluster);
+        graph;
+        cluster;
+        synthesis = c.Compiler.synthesis;
+        assignment = c.Compiler.inter.Inter_fpga.assignment;
+        freq_mhz = c.Compiler.freq_mhz;
+        port_bandwidth_gbps = Compiler.port_bandwidth_gbps c;
+        extra_stage_cycles = Compiler.extra_stage_cycles c;
+        max_slot_util =
+          Array.fold_left
+            (fun acc (e : Freq_model.estimate) -> Float.max acc e.max_slot_util)
+            0.0 c.Compiler.freq;
+        compiled = Some c;
+      }
+
+let simulate ?chunks d =
+  let k = Cluster.size d.cluster in
+  let config =
+    Design_sim.make_config ?chunks ~graph:d.graph ~assignment:d.assignment
+      ~freq_mhz:(Array.make k d.freq_mhz) ~cluster:d.cluster ~synthesis:d.synthesis ()
+  in
+  Design_sim.run
+    {
+      config with
+      Design_sim.port_bandwidth_gbps = d.port_bandwidth_gbps;
+      extra_stage_cycles = d.extra_stage_cycles;
+    }
+
+let latency_s ?chunks d = (simulate ?chunks d).Design_sim.latency_s

@@ -1,0 +1,40 @@
+(** The three compilation flows compared throughout §5:
+
+    - [vitis] (F1-V): single FPGA, no floorplanning, no interconnect
+      pipelining, naive HBM binding — the commercial-HLS baseline;
+    - [tapa] (F1-T): single FPGA with AutoBridge-style floorplanning and
+      pipelining [35];
+    - [tapa_cs] (F2/F3/F4/…): the full multi-FPGA flow of this paper.
+
+    Each flow yields a [design] the simulator can execute; flows fail with
+    [Error] when the design cannot be placed/routed, exactly where the
+    paper reports routing failures. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_sim
+
+type design = {
+  label : string;
+  graph : Taskgraph.t;
+  cluster : Cluster.t;
+  synthesis : Synthesis.report;
+  assignment : int array;  (** task -> FPGA *)
+  freq_mhz : float;
+  port_bandwidth_gbps : int -> int -> float;
+  extra_stage_cycles : int -> int;
+  max_slot_util : float;
+  compiled : Compiler.t option;  (** present for the TAPA-CS flow *)
+}
+
+val vitis : ?board:(unit -> Board.t) -> Taskgraph.t -> (design, string) Stdlib.result
+val tapa : ?board:(unit -> Board.t) -> ?options:Compiler.options -> Taskgraph.t -> (design, string) Stdlib.result
+
+val tapa_cs :
+  ?options:Compiler.options -> cluster:Cluster.t -> Taskgraph.t -> (design, string) Stdlib.result
+
+val simulate : ?chunks:int -> design -> Design_sim.result
+
+val latency_s : ?chunks:int -> design -> float
+(** Compile-free convenience: simulate and return end-to-end latency. *)

@@ -1,0 +1,133 @@
+open Tapa_cs_graph
+
+type stream_decl = {
+  sname : string;
+  width_bits : int;
+  depth : int;
+  elems : float;
+  mode : Fifo.mode;
+  mutable producer : string option;
+  mutable consumer : string option;
+}
+
+type stream = stream_decl
+
+type hbm_ref = Task.mem_port
+
+type task_decl = {
+  tname : string;
+  tkind : string;
+  compute : Task.compute;
+  reads : stream_decl list;
+  writes : stream_decl list;
+  mem_ports : Task.mem_port list;
+  resources : Tapa_cs_device.Resource.t option;
+}
+
+type t = { mutable streams : stream_decl list; mutable tasks : task_decl list }
+
+let program () = { streams = []; tasks = [] }
+
+let stream p ~name ?(width_bits = 32) ?(depth = 2) ?(elems = 0.0) ?(mode = Fifo.Stream) () =
+  let s = { sname = name; width_bits; depth; elems; mode; producer = None; consumer = None } in
+  p.streams <- s :: p.streams;
+  s
+
+let hbm ?channel ?(dir = Task.Read) ~width_bits ~bytes () =
+  Task.mem_port ?channel ~dir ~width_bits ~bytes ()
+
+let task p ~name ?kind ?(compute = Task.default_compute) ?(reads = []) ?(writes = [])
+    ?(reads_hbm = []) ?(writes_hbm = []) ?resources () =
+  List.iter
+    (fun s ->
+      match s.consumer with
+      | Some other ->
+        invalid_arg
+          (Printf.sprintf "Frontend.task: stream %S already consumed by %S" s.sname other)
+      | None -> s.consumer <- Some name)
+    reads;
+  List.iter
+    (fun s ->
+      match s.producer with
+      | Some other ->
+        invalid_arg
+          (Printf.sprintf "Frontend.task: stream %S already produced by %S" s.sname other)
+      | None -> s.producer <- Some name)
+    writes;
+  let mem_ports =
+    List.map (fun (pt : Task.mem_port) -> { pt with Task.dir = Task.Read }) reads_hbm
+    @ List.map (fun (pt : Task.mem_port) -> { pt with Task.dir = Task.Write }) writes_hbm
+  in
+  p.tasks <-
+    {
+      tname = name;
+      tkind = Option.value kind ~default:name;
+      compute;
+      reads;
+      writes;
+      mem_ports;
+      resources;
+    }
+    :: p.tasks
+
+let replicate p ~count ~name ~make ?kind ?compute ?resources () =
+  for i = 0 to count - 1 do
+    let reads, writes = make i in
+    task p
+      ~name:(Printf.sprintf "%s_%02d" name i)
+      ~kind:(Option.value kind ~default:name)
+      ?compute ~reads ~writes ?resources ()
+  done
+
+type error =
+  | Unconnected_stream of string
+  | Multiple_producers of string
+  | Multiple_consumers of string
+  | Empty_program
+
+let pp_error fmt = function
+  | Unconnected_stream s -> Format.fprintf fmt "stream %S lacks a producer or consumer" s
+  | Multiple_producers s -> Format.fprintf fmt "stream %S has multiple producers" s
+  | Multiple_consumers s -> Format.fprintf fmt "stream %S has multiple consumers" s
+  | Empty_program -> Format.fprintf fmt "program declares no tasks"
+
+let validate p =
+  let errors = ref [] in
+  if p.tasks = [] then errors := Empty_program :: !errors;
+  (* Multiple producers/consumers raise eagerly in [task]; what remains to
+     check here is connectivity. *)
+  List.iter
+    (fun s ->
+      if s.producer = None || s.consumer = None then
+        errors := Unconnected_stream s.sname :: !errors)
+    p.streams;
+  List.rev !errors
+
+let build p =
+  (match validate p with
+  | [] -> ()
+  | errors ->
+    let msgs = List.map (fun e -> Format.asprintf "%a" pp_error e) errors in
+    invalid_arg ("Frontend.build: " ^ String.concat "; " msgs));
+  let b = Taskgraph.Builder.create () in
+  let task_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (t : task_decl) ->
+      let id =
+        Taskgraph.Builder.add_task b ~name:t.tname ~kind:t.tkind ~compute:t.compute
+          ~mem_ports:t.mem_ports ?resources:t.resources ()
+      in
+      Hashtbl.replace task_ids t.tname id)
+    (List.rev p.tasks);
+  List.iter
+    (fun s ->
+      match (s.producer, s.consumer) with
+      | Some src, Some dst ->
+        ignore
+          (Taskgraph.Builder.add_fifo b
+             ~src:(Hashtbl.find task_ids src)
+             ~dst:(Hashtbl.find task_ids dst)
+             ~width_bits:s.width_bits ~depth:s.depth ~elems:s.elems ~mode:s.mode ())
+      | _ -> assert false (* validated above *))
+    (List.rev p.streams);
+  Taskgraph.Builder.build b

@@ -1,0 +1,89 @@
+(** A TAPA-style embedded DSL for authoring dataflow designs.
+
+    The paper's input format is C++ in the TAPA style [25]: each function
+    is a task, tasks communicate over typed streams, and an upper task
+    [invoke]s children.  This module is the OCaml analogue: declare
+    streams, declare tasks over them, and [build] lowers the program to
+    the {!Tapa_cs_graph.Taskgraph} IR that the compiler consumes.
+
+    {[
+      let p = Frontend.program () in
+      let data  = Frontend.stream p ~name:"data"  ~width_bits:512 ~elems:1e6 () in
+      let ranks = Frontend.stream p ~name:"ranks" ~width_bits:64  ~elems:1e4 () in
+      Frontend.task p ~name:"load" ~writes:[ data ]
+        ~reads_hbm:[ Frontend.hbm ~width_bits:512 ~bytes:64e6 () ]
+        ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ()) ();
+      Frontend.task p ~name:"score" ~reads:[ data ] ~writes:[ ranks ]
+        ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ~ops_per_elem:4.0 ()) ();
+      Frontend.task p ~name:"sink" ~reads:[ ranks ] ();
+      let graph = Frontend.build p
+    ]}
+
+    Design rules are enforced at [build] time: every stream must have
+    exactly one producer and one consumer (TAPA streams are point-to-point
+    FIFOs), and no stream may dangle. *)
+
+open Tapa_cs_graph
+
+type t
+(** A program under construction. *)
+
+type stream
+(** A typed FIFO endpoint handle. *)
+
+type hbm_ref
+
+val program : unit -> t
+
+val stream :
+  t -> name:string -> ?width_bits:int -> ?depth:int -> ?elems:float -> ?mode:Fifo.mode -> unit -> stream
+(** Declare a FIFO stream.  Width defaults to 32 bits, depth to 2. *)
+
+val hbm : ?channel:int -> ?dir:Task.mem_dir -> width_bits:int -> bytes:float -> unit -> hbm_ref
+(** Declare an HBM access port ([dir] defaults to [Read]). *)
+
+val task :
+  t ->
+  name:string ->
+  ?kind:string ->
+  ?compute:Task.compute ->
+  ?reads:stream list ->
+  ?writes:stream list ->
+  ?reads_hbm:hbm_ref list ->
+  ?writes_hbm:hbm_ref list ->
+  ?resources:Tapa_cs_device.Resource.t ->
+  unit ->
+  unit
+(** Declare a task consuming [reads], producing [writes] and touching the
+    given memory ports.
+    @raise Invalid_argument when a stream gains a second producer or
+    consumer. *)
+
+val replicate :
+  t ->
+  count:int ->
+  name:string ->
+  make:(int -> stream list * stream list) ->
+  ?kind:string ->
+  ?compute:Task.compute ->
+  ?resources:Tapa_cs_device.Resource.t ->
+  unit ->
+  unit
+(** [replicate p ~count ~name ~make ()] declares [count] identical tasks
+    (sharing one synthesis run); [make i] returns the (reads, writes) of
+    replica [i]. *)
+
+type error =
+  | Unconnected_stream of string  (** missing a producer or a consumer *)
+  | Multiple_producers of string
+  | Multiple_consumers of string
+  | Empty_program
+
+val validate : t -> error list
+(** All design-rule violations, empty when the program is well-formed. *)
+
+val build : t -> Taskgraph.t
+(** Lower to the compiler IR.
+    @raise Invalid_argument listing the design-rule violations, if any. *)
+
+val pp_error : Format.formatter -> error -> unit

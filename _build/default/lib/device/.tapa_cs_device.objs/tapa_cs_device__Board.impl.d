@@ -1,0 +1,1 @@
+lib/device/board.ml: Array Format Fun List Resource

@@ -1,0 +1,1 @@
+lib/device/board.mli: Format Resource

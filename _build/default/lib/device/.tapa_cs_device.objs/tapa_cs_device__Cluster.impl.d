@@ -1,0 +1,1 @@
+lib/device/cluster.ml: Array Board Constants Format Resource Topology

@@ -1,0 +1,1 @@
+lib/device/cluster.mli: Board Format Resource Topology

@@ -1,0 +1,1 @@
+lib/device/constants.ml: Resource

@@ -1,0 +1,1 @@
+lib/device/resource.ml: Float Format List

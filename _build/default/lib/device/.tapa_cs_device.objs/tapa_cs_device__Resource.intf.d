@@ -1,0 +1,1 @@
+lib/device/resource.mli: Format

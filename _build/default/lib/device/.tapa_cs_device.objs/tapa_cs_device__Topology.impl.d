@@ -1,0 +1,1 @@
+lib/device/topology.ml: Format Fun List Printf

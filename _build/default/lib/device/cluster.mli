@@ -1,0 +1,44 @@
+(** A cluster of network-connected FPGAs (paper Fig. 1): a set of boards,
+    the topology wiring their QSFP ports together, the link medium, and an
+    optional grouping of boards into server nodes bridged by a slower
+    host-side network (§5.7). *)
+
+type link_kind = Ethernet_100g | Pcie_gen3x16
+
+type t = {
+  boards : Board.t array;
+  topology : Topology.t;
+  link : link_kind;
+  node_of : int -> int;  (** server node hosting each FPGA *)
+  num_nodes : int;
+}
+
+val make : ?link:link_kind -> ?topology:Topology.t -> board:(unit -> Board.t) -> int -> t
+(** [make ~board n] builds a single-node cluster of [n] identical boards,
+    ring-connected over 100 Gbps Ethernet by default (the paper's
+    testbed). *)
+
+val two_node_testbed : unit -> t
+(** The paper's §5.7 setup: two server nodes, each a 4-FPGA U55C ring,
+    bridged by a 10 Gbps host link. *)
+
+val size : t -> int
+val board : t -> int -> Board.t
+
+val dist : t -> int -> int -> int
+(** Topology hop count between two FPGAs. *)
+
+val same_node : t -> int -> int -> bool
+
+val lambda : t -> float
+(** Communication-cost scaling factor λ of Eq. 2: 1 for 100 Gbps Ethernet,
+    12.5 for PCIe Gen3x16. *)
+
+val link_bandwidth_gbytes : t -> int -> int -> float
+(** Effective link bandwidth in GB/s between two FPGAs: the FPGA-to-FPGA
+    medium within a node, the 10 Gbps host path across nodes. *)
+
+val link_rtt_us : t -> int -> int -> float
+
+val total_resources : t -> Resource.t
+val pp : Format.formatter -> t -> unit

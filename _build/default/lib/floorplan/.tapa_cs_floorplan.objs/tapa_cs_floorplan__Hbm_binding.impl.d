@@ -1,0 +1,1 @@
+lib/floorplan/hbm_binding.ml: Array Board Float Hashtbl List Stdlib Tapa_cs_device Tapa_cs_graph Task Taskgraph

@@ -1,0 +1,1 @@
+lib/floorplan/hbm_binding.mli: Board Tapa_cs_device Tapa_cs_graph Taskgraph

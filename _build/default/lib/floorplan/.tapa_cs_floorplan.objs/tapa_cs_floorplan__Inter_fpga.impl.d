@@ -1,0 +1,1 @@
+lib/floorplan/inter_fpga.ml: Array Board Cluster Constants Fifo List Partition Printf Resource Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Tapa_cs_network Taskgraph

@@ -1,0 +1,1 @@
+lib/floorplan/inter_fpga.mli: Cluster Fifo Partition Resource Stdlib Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Taskgraph

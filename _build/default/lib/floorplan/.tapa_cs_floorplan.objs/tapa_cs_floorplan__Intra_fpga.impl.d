@@ -1,0 +1,1 @@
+lib/floorplan/intra_fpga.ml: Array Board Constants Fifo Float Fun Hashtbl List Partition Printf Queue Resource Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Task Taskgraph

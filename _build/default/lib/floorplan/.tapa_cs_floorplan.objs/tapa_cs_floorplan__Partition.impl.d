@@ -1,0 +1,1 @@
+lib/floorplan/partition.ml: Array Float Fun Hashtbl List Option Printf Prng Queue Rat Resource Stdlib Sys Tapa_cs_device Tapa_cs_ilp Tapa_cs_util

@@ -1,0 +1,1 @@
+lib/floorplan/partition.mli: Prng Resource Tapa_cs_device Tapa_cs_util

@@ -1,0 +1,101 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+module Network = Tapa_cs_network
+
+type t = {
+  assignment : int array;
+  cut_fifos : Fifo.t list;
+  traffic_bytes : float;
+  per_fpga_usage : Resource.t array;
+  per_fpga_util : float array;
+  cost : float;
+  stats : Partition.stats;
+}
+
+let capacities ~threshold cluster =
+  let k = Cluster.size cluster in
+  Array.init k (fun i ->
+      let board = Cluster.board cluster i in
+      let cap = Resource.scale threshold board.Board.total in
+      if k > 1 then begin
+        (* Both QSFP ports carry the networking IPs once the design spans
+           devices. *)
+        let per_port = Network.Protocol.alveolink_port_overhead board in
+        Resource.sub cap (Resource.scale_int board.Board.num_qsfp per_port)
+      end
+      else cap)
+
+let run ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_threshold) ?(seed = 1)
+    ~cluster ~synthesis g =
+  let k = Cluster.size cluster in
+  let areas = Array.map (fun (p : Synthesis.profile) -> p.resources) synthesis.Synthesis.profiles in
+  let lambda = Cluster.lambda cluster in
+  let edges =
+    Array.to_list (Taskgraph.fifos g)
+    |> List.map (fun (f : Fifo.t) -> (f.src, f.dst, float_of_int f.width_bits *. lambda))
+  in
+  (* Topology-aware distance: hops within a node, strongly penalized when
+     the pair straddles server nodes, where the 10 Gb/s host path is ~10x
+     slower (§5.7) — the λ media-scaling of Eq. 2. *)
+  let node_penalty = 10 in
+  let dist i j =
+    let d = Cluster.dist cluster i j in
+    if d = 0 || Cluster.same_node cluster i j then d else d * node_penalty
+  in
+  let problem =
+    {
+      Partition.areas;
+      edges;
+      pulls = [];
+      k;
+      capacities = capacities ~threshold cluster;
+      dist;
+      fixed = [];
+    }
+  in
+  match Partition.solve ~strategy ~seed problem with
+  | None ->
+    Error
+      (Printf.sprintf
+         "design does not fit %d FPGA(s) under the %.0f%% utilization threshold (placement failure)"
+         k (100.0 *. threshold))
+  | Some r when not r.feasible ->
+    Error "partitioner returned an over-capacity mapping (placement failure)"
+  | Some r ->
+    let assignment = r.assignment in
+    let cut_fifos =
+      Array.to_list (Taskgraph.fifos g)
+      |> List.filter (fun (f : Fifo.t) -> assignment.(f.src) <> assignment.(f.dst))
+    in
+    let traffic_bytes =
+      List.fold_left
+        (fun acc (f : Fifo.t) ->
+          let hops = Cluster.dist cluster assignment.(f.src) assignment.(f.dst) in
+          acc +. (Fifo.traffic_bytes f *. float_of_int hops))
+        0.0 cut_fifos
+    in
+    let per_fpga_usage = Array.make k Resource.zero in
+    Array.iteri
+      (fun tid fpga -> per_fpga_usage.(fpga) <- Resource.add per_fpga_usage.(fpga) areas.(tid))
+      assignment;
+    let per_fpga_util =
+      Array.mapi
+        (fun i u -> Resource.utilization u ~total:(Cluster.board cluster i).Board.total)
+        per_fpga_usage
+    in
+    Ok
+      {
+        assignment;
+        cut_fifos;
+        traffic_bytes;
+        per_fpga_usage;
+        per_fpga_util;
+        cost = r.cost;
+        stats = r.stats;
+      }
+
+let fifos_between g t ~src_fpga ~dst_fpga =
+  Array.to_list (Taskgraph.fifos g)
+  |> List.filter (fun (f : Fifo.t) ->
+         t.assignment.(f.src) = src_fpga && t.assignment.(f.dst) = dst_fpga)

@@ -1,0 +1,33 @@
+(** Level-1 floorplanning (§4.3): map every task to an FPGA of the
+    cluster, minimizing width-weighted topology distance (Eq. 2) under the
+    per-device utilization threshold (Eq. 1).
+
+    Capacities are reduced by the AlveoLink networking IP overhead on
+    every board that participates in inter-FPGA links (§5.6). *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+
+type t = {
+  assignment : int array;  (** task id -> FPGA index *)
+  cut_fifos : Fifo.t list;  (** FIFOs crossing devices *)
+  traffic_bytes : float;  (** inter-FPGA volume, hop-weighted *)
+  per_fpga_usage : Resource.t array;
+  per_fpga_util : float array;  (** max component utilization per device *)
+  cost : float;  (** Eq. 2 objective of the chosen mapping *)
+  stats : Partition.stats;
+}
+
+val run :
+  ?strategy:Partition.strategy ->
+  ?threshold:float ->
+  ?seed:int ->
+  cluster:Cluster.t ->
+  synthesis:Synthesis.report ->
+  Taskgraph.t ->
+  (t, string) Stdlib.result
+(** [Error] carries a human-readable reason (e.g. the design does not fit
+    the cluster under the threshold — the analogue of a routing failure). *)
+
+val fifos_between : Taskgraph.t -> t -> src_fpga:int -> dst_fpga:int -> Fifo.t list

@@ -1,0 +1,701 @@
+open Tapa_cs_util
+open Tapa_cs_device
+module Ilp = Tapa_cs_ilp
+
+type problem = {
+  areas : Resource.t array;
+  edges : (int * int * float) list;
+  pulls : (int * int * float) list;
+  k : int;
+  capacities : Resource.t array;
+  dist : int -> int -> int;
+  fixed : (int * int) list;
+}
+
+type strategy = Exact | Heuristic | Auto
+
+type stats = {
+  backend : [ `Exact | `Heuristic ];
+  runtime_s : float;
+  lp_pivots : int;
+  bb_nodes : int;
+  refinement_moves : int;
+  proven_optimal : bool;
+}
+
+type result = { assignment : int array; cost : float; feasible : bool; stats : stats }
+
+let num_items p = Array.length p.areas
+
+let prng_for_tests seed = Prng.create seed
+
+let validate p =
+  if p.k <= 0 then invalid_arg "Partition: k must be positive";
+  if Array.length p.capacities <> p.k then invalid_arg "Partition: one capacity per part";
+  List.iter
+    (fun (a, b, w) ->
+      if a < 0 || a >= num_items p || b < 0 || b >= num_items p then
+        invalid_arg "Partition: edge endpoint out of range";
+      if w < 0.0 then invalid_arg "Partition: negative edge weight")
+    p.edges;
+  List.iter
+    (fun (i, part) ->
+      if i < 0 || i >= num_items p || part < 0 || part >= p.k then
+        invalid_arg "Partition: bad fixed placement")
+    p.fixed;
+  List.iter
+    (fun (i, part, _) ->
+      if i < 0 || i >= num_items p || part < 0 || part >= p.k then
+        invalid_arg "Partition: bad pull")
+    p.pulls
+
+let cost_of p assignment =
+  let edge_cost =
+    List.fold_left
+      (fun acc (a, b, w) -> acc +. (w *. float_of_int (p.dist assignment.(a) assignment.(b))))
+      0.0 p.edges
+  in
+  List.fold_left
+    (fun acc (i, part, w) -> acc +. (w *. float_of_int (p.dist assignment.(i) part)))
+    edge_cost p.pulls
+
+let usage_of p assignment =
+  let usage = Array.make p.k Resource.zero in
+  Array.iteri (fun i part -> usage.(part) <- Resource.add usage.(part) p.areas.(i)) assignment;
+  usage
+
+let feasible_assignment p assignment =
+  Array.length assignment = num_items p
+  && Array.for_all (fun part -> part >= 0 && part < p.k) assignment
+  && List.for_all (fun (i, part) -> assignment.(i) = part) p.fixed
+  && (let usage = usage_of p assignment in
+      let ok = ref true in
+      Array.iteri (fun part u -> if not (Resource.fits u ~within:p.capacities.(part)) then ok := false) usage;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic backend: connectivity-ordered first fit + move refinement. *)
+(* ------------------------------------------------------------------ *)
+
+(* Normalized overflow of a part: how far past capacity each resource
+   goes, as a fraction; drives infeasible starts back to feasibility. *)
+let overflow cap (u : Resource.t) =
+  let f used total = if used <= total then 0.0 else float_of_int (used - total) /. float_of_int (Stdlib.max 1 total) in
+  f u.Resource.lut cap.Resource.lut +. f u.ff cap.ff +. f u.bram cap.bram +. f u.dsp cap.dsp
+  +. f u.uram cap.uram
+
+let total_overflow p usage =
+  let acc = ref 0.0 in
+  Array.iteri (fun part u -> acc := !acc +. overflow p.capacities.(part) u) usage;
+  !acc
+
+(* BFS order from a peripheral (lowest-degree) item: on chains and grids
+   this yields an order whose prefixes are contiguous regions, which is
+   what both first-fit and the prefix sweep need to find minimum cuts. *)
+let placement_order ?(perturb = true) p rng =
+  let n = num_items p in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, _) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    p.edges;
+  let degree = Array.map List.length adj in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let starts = Array.init n Fun.id in
+  Array.sort (fun a b -> compare (degree.(a), a) (degree.(b), b)) starts;
+  Array.iter
+    (fun s ->
+      if not visited.(s) then begin
+        Queue.add s queue;
+        visited.(s) <- true;
+        while not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          order := v :: !order;
+          List.iter
+            (fun w ->
+              if not visited.(w) then begin
+                visited.(w) <- true;
+                Queue.add w queue
+              end)
+            adj.(v)
+        done
+      end)
+    starts;
+  let order = Array.of_list (List.rev !order) in
+  (* Small random perturbation between multi-starts: swap a few entries.
+     The first start keeps the clean BFS order, which on chain- and
+     grid-shaped designs yields contiguous (and thus min-cut) prefixes. *)
+  if perturb then
+    for _ = 1 to Array.length order / 4 do
+      let i = Prng.int rng (Array.length order) and j = Prng.int rng (Array.length order) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+  order
+
+let heuristic_once ?(perturb = true) p rng =
+  let n = num_items p in
+  let fixed_part = Array.make n (-1) in
+  List.iter (fun (i, part) -> fixed_part.(i) <- part) p.fixed;
+  let assignment = Array.make n (-1) in
+  let usage = Array.make p.k Resource.zero in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, w) ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    p.edges;
+  let pulls_of = Array.make n [] in
+  List.iter (fun (i, part, w) -> pulls_of.(i) <- (part, w) :: pulls_of.(i)) p.pulls;
+  (* Incremental cost of placing item [i] on [part] given current placement. *)
+  let place_cost i part =
+    let c = ref 0.0 in
+    List.iter
+      (fun (j, w) -> if assignment.(j) >= 0 then c := !c +. (w *. float_of_int (p.dist part assignment.(j))))
+      adj.(i);
+    List.iter (fun (tp, w) -> c := !c +. (w *. float_of_int (p.dist part tp))) pulls_of.(i);
+    !c
+  in
+  let place i part =
+    assignment.(i) <- part;
+    usage.(part) <- Resource.add usage.(part) p.areas.(i)
+  in
+  let order = placement_order ~perturb p rng in
+  Array.iter
+    (fun i ->
+      if fixed_part.(i) >= 0 then place i fixed_part.(i)
+      else begin
+        let best = ref (-1) and best_key = ref (infinity, infinity) in
+        for part = 0 to p.k - 1 do
+          let after = Resource.add usage.(part) p.areas.(i) in
+          let fits = Resource.fits after ~within:p.capacities.(part) in
+          let util = Resource.utilization after ~total:p.capacities.(part) in
+          let key = (place_cost i part +. (if fits then 0.0 else 1e9 *. (1.0 +. overflow p.capacities.(part) after)), util) in
+          if key < !best_key then begin
+            best_key := key;
+            best := part
+          end
+        done;
+        place i !best
+      end)
+    order;
+  (* Move refinement: relocate single items while it strictly helps.  The
+     working objective adds a large overflow penalty so infeasible starts
+     can be repaired. *)
+  let penalty = 1e7 in
+  let objective () = cost_of p assignment +. (penalty *. total_overflow p usage) in
+  let moves = ref 0 in
+  let improved = ref true in
+  let passes = ref 0 in
+  let items = Array.init n Fun.id in
+  while !improved && !passes < 40 do
+    improved := false;
+    incr passes;
+    Prng.shuffle rng items;
+    Array.iter
+      (fun i ->
+        if fixed_part.(i) < 0 then begin
+          let cur = assignment.(i) in
+          let cur_obj = ref (objective ()) in
+          for part = 0 to p.k - 1 do
+            if part <> assignment.(i) then begin
+              let old = assignment.(i) in
+              usage.(old) <- Resource.sub usage.(old) p.areas.(i);
+              usage.(part) <- Resource.add usage.(part) p.areas.(i);
+              assignment.(i) <- part;
+              let obj = objective () in
+              if obj < !cur_obj -. 1e-9 then begin
+                cur_obj := obj;
+                incr moves;
+                improved := true
+              end
+              else begin
+                (* revert *)
+                usage.(part) <- Resource.sub usage.(part) p.areas.(i);
+                usage.(old) <- Resource.add usage.(old) p.areas.(i);
+                assignment.(i) <- old
+              end
+            end
+          done;
+          ignore cur
+        end)
+      items
+  done;
+  (assignment, !moves)
+
+(* For two-way instances, sweep every contiguous BFS-prefix cut.  On
+   chain- and grid-shaped dataflow designs (stencil chains, systolic
+   arrays) the optimal bisection is a contiguous prefix, which single-move
+   refinement cannot always reach across zero-gain plateaus. *)
+let sweep_two_way p =
+  if p.k <> 2 then None
+  else begin
+    let n = num_items p in
+    let order = placement_order ~perturb:false p (Prng.create 0) in
+    let fixed_part = Array.make n (-1) in
+    List.iter (fun (i, part) -> fixed_part.(i) <- part) p.fixed;
+    let best = ref None in
+    let assignment = Array.make n 1 in
+    (* Start with everything on part 1, move the prefix to part 0 one item
+       at a time, re-evaluating cost and feasibility at each cut.  Equal
+       costs (every cut of a uniform chain) break toward the balanced cut
+       so recursive sub-levels stay solvable. *)
+    for cut = 1 to n - 1 do
+      assignment.(order.(cut - 1)) <- 0;
+      let ok = Array.for_all (fun i -> fixed_part.(i) < 0 || assignment.(i) = fixed_part.(i)) (Array.init n Fun.id) in
+      if ok && feasible_assignment p assignment then begin
+        let c = cost_of p assignment in
+        let usage = usage_of p assignment in
+        let balance =
+          Float.max
+            (Resource.utilization usage.(0) ~total:p.capacities.(0))
+            (Resource.utilization usage.(1) ~total:p.capacities.(1))
+        in
+        match !best with
+        | Some (bc, bb, _) when bc < c -. 1e-12 || (Float.abs (bc -. c) <= 1e-12 && bb <= balance) -> ()
+        | _ -> best := Some (c, balance, Array.copy assignment)
+      end
+    done;
+    Option.map (fun (c, _, a) -> (a, c)) !best
+  end
+
+let heuristic ?(starts = 4) ~seed p =
+  let rng = Prng.create seed in
+  let best = ref None in
+  let total_moves = ref 0 in
+  let consider assignment moves =
+    total_moves := !total_moves + moves;
+    let feasible = feasible_assignment p assignment in
+    let cost = cost_of p assignment in
+    let better =
+      match !best with
+      | None -> true
+      | Some (bf, bc, _) -> (feasible && not bf) || (feasible = bf && cost < bc -. 1e-12)
+    in
+    if better then best := Some (feasible, cost, Array.copy assignment)
+  in
+  for start = 1 to starts do
+    let assignment, moves = heuristic_once ~perturb:(start > 1) p (Prng.split rng) in
+    consider assignment moves
+  done;
+  (match sweep_two_way p with Some (a, _) -> consider a 0 | None -> ());
+  match !best with
+  | None -> None
+  | Some (feasible, cost, assignment) -> Some (assignment, cost, feasible, !total_moves)
+
+(* ------------------------------------------------------------------ *)
+(* Exact backend: 0-1 ILP with pairwise distance linearization.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Edge weights are floats (bit widths scaled by λ); the ILP needs exact
+   rationals.  Weights come from integer bit widths and small rational λ,
+   so a bounded-denominator conversion is exact in practice. *)
+let rat_of_weight w = Rat.of_float_approx ~max_den:10_000 w
+
+let exact ~incumbent p =
+  let n = num_items p in
+  let m = Ilp.Model.create () in
+  let r_area (r : Resource.t) = [ r.lut; r.ff; r.bram; r.dsp; r.uram ] in
+  if p.k = 2 then begin
+    (* One binary per item: its part index. *)
+    let y = Array.init n (fun i -> Ilp.Model.add_var m ~name:(Printf.sprintf "y%d" i) Ilp.Model.Binary) in
+    List.iter
+      (fun (i, part) -> Ilp.Model.add_constraint m (Ilp.Linear.var y.(i)) Ilp.Model.Eq (Rat.of_int part))
+      p.fixed;
+    (* Capacity of part 1: sum area*y <= cap1.  Part 0: total - sum area*y <= cap0. *)
+    List.iteri
+      (fun ridx _ ->
+        let pick r = List.nth (r_area r) ridx in
+        let expr = Ilp.Linear.of_terms (List.init n (fun i -> (y.(i), Rat.of_int (pick p.areas.(i))))) in
+        Ilp.Model.add_constraint m expr Ilp.Model.Le (Rat.of_int (pick p.capacities.(1)));
+        let total = Array.fold_left (fun acc a -> acc + pick a) 0 p.areas in
+        Ilp.Model.add_constraint m expr Ilp.Model.Ge (Rat.of_int (total - pick p.capacities.(0))))
+      (r_area Resource.zero);
+    let d01 = p.dist 0 1 in
+    let obj = ref Ilp.Linear.zero in
+    let cut_vars =
+      List.map
+        (fun (a, b, w) ->
+          let e = Ilp.Model.add_var m Ilp.Model.Continuous ~ub:Rat.one in
+          let open Ilp.Linear in
+          Ilp.Model.add_constraint m (sub (var e) (sub (var y.(a)) (var y.(b)))) Ilp.Model.Ge Rat.zero;
+          Ilp.Model.add_constraint m (sub (var e) (sub (var y.(b)) (var y.(a)))) Ilp.Model.Ge Rat.zero;
+          obj := add !obj (var e ~coeff:(Rat.mul (rat_of_weight w) (Rat.of_int d01)));
+          (e, a, b))
+        p.edges
+    in
+    List.iter
+      (fun (i, part, w) ->
+        (* w * dist(y_i, part) = w*d(0,part) + w*(d(1,part)-d(0,part))*y_i *)
+        let d0 = p.dist 0 part and d1 = p.dist 1 part in
+        let wr = rat_of_weight w in
+        let open Ilp.Linear in
+        obj := add !obj (constant (Rat.mul wr (Rat.of_int d0)));
+        obj := add !obj (var y.(i) ~coeff:(Rat.mul wr (Rat.of_int (d1 - d0)))))
+      p.pulls;
+    Ilp.Model.set_objective m Ilp.Model.Minimize !obj;
+    let incumbent_values =
+      Option.map
+        (fun assign ->
+          let values = Array.make (Ilp.Model.num_vars m) Rat.zero in
+          Array.iteri (fun i part -> values.(y.(i)) <- Rat.of_int part) assign;
+          List.iter
+            (fun (e, a, b) -> values.(e) <- Rat.of_int (abs (assign.(a) - assign.(b))))
+            cut_vars;
+          values)
+        incumbent
+    in
+    match Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?incumbent:incumbent_values m with
+    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol) as result ->
+      let assignment = Array.init n (fun i -> if Rat.is_zero sol.values.(y.(i)) then 0 else 1) in
+      let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
+      Some (assignment, sol.nodes, sol.lp_pivots, proven)
+    | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
+  end
+  else begin
+    (* x.(i).(part) assignment binaries. *)
+    let x =
+      Array.init n (fun i ->
+          Array.init p.k (fun part ->
+              Ilp.Model.add_var m ~name:(Printf.sprintf "x%d_%d" i part) Ilp.Model.Binary))
+    in
+    for i = 0 to n - 1 do
+      let expr = Ilp.Linear.of_terms (List.init p.k (fun part -> (x.(i).(part), Rat.one))) in
+      Ilp.Model.add_constraint m expr Ilp.Model.Eq Rat.one
+    done;
+    List.iter
+      (fun (i, part) ->
+        Ilp.Model.add_constraint m (Ilp.Linear.var x.(i).(part)) Ilp.Model.Eq Rat.one)
+      p.fixed;
+    for part = 0 to p.k - 1 do
+      List.iteri
+        (fun ridx _ ->
+          let pick r = List.nth (r_area r) ridx in
+          let expr =
+            Ilp.Linear.of_terms (List.init n (fun i -> (x.(i).(part), Rat.of_int (pick p.areas.(i)))))
+          in
+          Ilp.Model.add_constraint m expr Ilp.Model.Le (Rat.of_int (pick p.capacities.(part))))
+        (r_area Resource.zero)
+    done;
+    let obj = ref Ilp.Linear.zero in
+    let zvars = ref [] in
+    List.iter
+      (fun (a, b, w) ->
+        for pa = 0 to p.k - 1 do
+          for pb = 0 to p.k - 1 do
+            let d = p.dist pa pb in
+            if d > 0 then begin
+              let z = Ilp.Model.add_var m Ilp.Model.Continuous ~ub:Rat.one in
+              let open Ilp.Linear in
+              (* z >= x_a,pa + x_b,pb - 1 *)
+              Ilp.Model.add_constraint m
+                (sub (var z) (add (var x.(a).(pa)) (var x.(b).(pb))))
+                Ilp.Model.Ge Rat.minus_one;
+              obj := add !obj (var z ~coeff:(Rat.mul (rat_of_weight w) (Rat.of_int d)));
+              zvars := (z, a, pa, b, pb) :: !zvars
+            end
+          done
+        done)
+      p.edges;
+    List.iter
+      (fun (i, part, w) ->
+        let wr = rat_of_weight w in
+        for pa = 0 to p.k - 1 do
+          let d = p.dist pa part in
+          if d > 0 then
+            obj := Ilp.Linear.add !obj (Ilp.Linear.var x.(i).(pa) ~coeff:(Rat.mul wr (Rat.of_int d)))
+        done)
+      p.pulls;
+    Ilp.Model.set_objective m Ilp.Model.Minimize !obj;
+    let incumbent_values =
+      Option.map
+        (fun assign ->
+          let values = Array.make (Ilp.Model.num_vars m) Rat.zero in
+          Array.iteri (fun i part -> values.(x.(i).(part)) <- Rat.one) assign;
+          List.iter
+            (fun (z, a, pa, b, pb) ->
+              if assign.(a) = pa && assign.(b) = pb then values.(z) <- Rat.one)
+            !zvars;
+          values)
+        incumbent
+    in
+    match Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?incumbent:incumbent_values m with
+    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol) as result ->
+      let assignment =
+        Array.init n (fun i ->
+            let part = ref 0 in
+            for pa = 0 to p.k - 1 do
+              if Rat.equal sol.values.(x.(i).(pa)) Rat.one then part := pa
+            done;
+            !part)
+      in
+      let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
+      Some (assignment, sol.nodes, sol.lp_pivots, proven)
+    | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical backend for k > 2: recursive two-way bisection over
+   contiguous part ranges (exact at each level when small enough), then a
+   global move-refinement polish.  Mirrors the paper's own "two-way
+   ILP-based partitioning scheme" (§4.5) applied at the cluster level.    *)
+(* ------------------------------------------------------------------ *)
+
+let avg_dist p parts target =
+  let s = List.fold_left (fun acc q -> acc + p.dist q target) 0 parts in
+  float_of_int s /. float_of_int (List.length parts)
+
+let refine_global p assignment =
+  let n = num_items p in
+  let usage = usage_of p assignment in
+  let fixed_part = Array.make n (-1) in
+  List.iter (fun (i, part) -> fixed_part.(i) <- part) p.fixed;
+  let penalty = 1e7 in
+  let objective () = cost_of p assignment +. (penalty *. total_overflow p usage) in
+  let moves = ref 0 in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 20 do
+    improved := false;
+    incr passes;
+    for i = 0 to n - 1 do
+      if fixed_part.(i) < 0 then begin
+        let cur_obj = ref (objective ()) in
+        for part = 0 to p.k - 1 do
+          if part <> assignment.(i) then begin
+            let old = assignment.(i) in
+            usage.(old) <- Resource.sub usage.(old) p.areas.(i);
+            usage.(part) <- Resource.add usage.(part) p.areas.(i);
+            assignment.(i) <- part;
+            let obj = objective () in
+            if obj < !cur_obj -. 1e-9 then begin
+              cur_obj := obj;
+              incr moves;
+              improved := true
+            end
+            else begin
+              usage.(part) <- Resource.sub usage.(part) p.areas.(i);
+              usage.(old) <- Resource.add usage.(old) p.areas.(i);
+              assignment.(i) <- old
+            end
+          end
+        done
+      end
+    done
+  done;
+  !moves
+
+let solve_two_way ~strategy ~seed ~exact_var_limit sub =
+  let h = heuristic ~seed sub in
+  let incumbent = match h with Some (a, _, true, _) -> Some a | _ -> None in
+  let try_exact () =
+    if num_items sub <= exact_var_limit then exact ~incumbent sub else None
+  in
+  match strategy with
+  | Heuristic -> (
+    match h with Some (a, _, true, m) -> Some (a, 0, 0, m, false) | _ -> None)
+  | Exact -> (
+    match exact ~incumbent:None sub with
+    | Some (a, nodes, pivots, proven) -> Some (a, nodes, pivots, 0, proven)
+    | None -> None)
+  | Auto -> (
+    match h with
+    (* A feasible zero-cost split is optimal by definition (costs are
+       nonnegative): skip the ILP entirely. *)
+    | Some (a, cost, true, m) when cost <= 1e-12 -> Some (a, 0, 0, m, true)
+    | _ -> (
+      match try_exact () with
+      | Some (a, nodes, pivots, proven) -> Some (a, nodes, pivots, 0, proven)
+      | None -> (
+        match h with Some (a, _, true, m) -> Some (a, 0, 0, m, false) | _ -> None)))
+
+let hierarchical ~strategy ~seed ~exact_var_limit p =
+  let n = num_items p in
+  let assignment = Array.make n (-1) in
+  let fixed_part = Array.make n (-1) in
+  List.iter (fun (i, part) -> fixed_part.(i) <- part) p.fixed;
+  let nodes = ref 0 and pivots = ref 0 and moves = ref 0 in
+  let failed = ref false in
+  (* BFS over (part range, member items); sibling ranges are known, so
+     edges leaving the current range become pulls toward whichever half
+     sits closer to the partner's (eventual) range. *)
+  let range_of = Array.make n (0, p.k) in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, w) ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    p.edges;
+  let pulls_of = Array.make n [] in
+  List.iter (fun (i, part, w) -> pulls_of.(i) <- (part, w) :: pulls_of.(i)) p.pulls;
+  let queue = Queue.create () in
+  Queue.add ((0, p.k), List.init n Fun.id) queue;
+  while (not (Queue.is_empty queue)) && not !failed do
+    let (lo, hi), members = Queue.pop queue in
+    if hi - lo = 1 then List.iter (fun i -> assignment.(i) <- lo) members
+    else begin
+      let mid = (lo + hi) / 2 in
+      let ga = List.init (mid - lo) (fun i -> lo + i) in
+      let gb = List.init (hi - mid) (fun i -> mid + i) in
+      let cap parts = Resource.sum (List.map (fun q -> p.capacities.(q)) parts) in
+      let member_arr = Array.of_list members in
+      let index_of = Hashtbl.create 16 in
+      Array.iteri (fun i tid -> Hashtbl.replace index_of tid i) member_arr;
+      let sub_edges = ref [] and sub_pulls = ref [] and sub_fixed = ref [] in
+      let add_pull i target w =
+        let da = avg_dist p ga target and db = avg_dist p gb target in
+        if Float.abs (da -. db) > 1e-9 && w > 0.0 then
+          sub_pulls := (i, (if da < db then 0 else 1), w *. Float.abs (da -. db)) :: !sub_pulls
+      in
+      Array.iteri
+        (fun i tid ->
+          List.iter
+            (fun (other, w) ->
+              match Hashtbl.find_opt index_of other with
+              | Some j -> if i < j then sub_edges := (i, j, w) :: !sub_edges
+              | None ->
+                if assignment.(other) >= 0 then add_pull i assignment.(other) w
+                else begin
+                  (* partner is in a sibling range; use its range midpoint *)
+                  let rlo, rhi = range_of.(other) in
+                  add_pull i ((rlo + rhi - 1) / 2) w
+                end)
+            adj.(tid);
+          List.iter (fun (part, w) -> add_pull i part w) pulls_of.(tid);
+          if fixed_part.(tid) >= 0 then
+            sub_fixed := (i, if fixed_part.(tid) < mid then 0 else 1) :: !sub_fixed)
+        member_arr;
+      let sub =
+        {
+          areas = Array.map (fun tid -> p.areas.(tid)) member_arr;
+          edges = !sub_edges;
+          pulls = !sub_pulls;
+          k = 2;
+          capacities = [| cap ga; cap gb |];
+          dist = (fun a b -> abs (a - b));
+          fixed = !sub_fixed;
+        }
+      in
+      match solve_two_way ~strategy ~seed ~exact_var_limit sub with
+      | None -> failed := true
+      | Some (a, nd, pv, mv, _) ->
+        nodes := !nodes + nd;
+        pivots := !pivots + pv;
+        moves := !moves + mv;
+        let ma = ref [] and mb = ref [] in
+        Array.iteri
+          (fun i tid ->
+            if a.(i) = 0 then begin
+              range_of.(tid) <- (lo, mid);
+              ma := tid :: !ma
+            end
+            else begin
+              range_of.(tid) <- (mid, hi);
+              mb := tid :: !mb
+            end)
+          member_arr;
+        Queue.add ((lo, mid), List.rev !ma) queue;
+        Queue.add ((mid, hi), List.rev !mb) queue
+    end
+  done;
+  if !failed then None
+  else begin
+    moves := !moves + refine_global p assignment;
+    Some (assignment, !nodes, !pivots, !moves)
+  end
+
+let binary_var_count p = if p.k = 2 then num_items p else num_items p * p.k
+
+let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) p =
+  validate p;
+  let t0 = Sys.time () in
+  let finish backend ?(moves = 0) ?(nodes = 0) ?(pivots = 0) ~proven assignment =
+    let cost = cost_of p assignment in
+    let feasible = feasible_assignment p assignment in
+    Some
+      {
+        assignment;
+        cost;
+        feasible;
+        stats =
+          {
+            backend;
+            runtime_s = Sys.time () -. t0;
+            lp_pivots = pivots;
+            bb_nodes = nodes;
+            refinement_moves = moves;
+            proven_optimal = proven;
+          };
+      }
+  in
+  if p.k = 1 then begin
+    let assignment = Array.make (num_items p) 0 in
+    if feasible_assignment p assignment then finish `Heuristic ~proven:true assignment else None
+  end
+  else begin
+    let run_heuristic () = heuristic ~seed p in
+    let run_exact incumbent = exact ~incumbent p in
+    match strategy with
+    | Heuristic -> (
+      match run_heuristic () with
+      | Some (assignment, _, feasible, moves) when feasible -> finish `Heuristic ~moves ~proven:false assignment
+      | Some _ | None -> None)
+    | Exact -> (
+      match run_exact None with
+      | Some (assignment, nodes, pivots, proven) -> finish `Exact ~nodes ~pivots ~proven assignment
+      | None -> None)
+    | Auto -> (
+      let h = run_heuristic () in
+      let incumbent =
+        match h with Some (assignment, _, true, _) -> Some assignment | _ -> None
+      in
+      match h with
+      (* A feasible zero-cost assignment is optimal outright. *)
+      | Some (assignment, cost, true, moves) when cost <= 1e-12 ->
+        finish `Heuristic ~moves ~proven:true assignment
+      | _ ->
+      (* Joint k-way ILPs carry k*(k-1) linearization variables per edge,
+         so they earn a much smaller size budget than two-way instances. *)
+      let joint_limit = if p.k = 2 then exact_var_limit else exact_var_limit / 2 in
+      if binary_var_count p <= joint_limit then begin
+        match run_exact incumbent with
+        | Some (assignment, nodes, pivots, true) ->
+          finish `Exact ~nodes ~pivots ~proven:true assignment
+        | Some (assignment, nodes, pivots, false) -> (
+          (* Search budget exhausted: the recursive-bisection backend often
+             beats a stalled joint search on k > 2 instances. *)
+          let hier =
+            if p.k > 2 then hierarchical ~strategy:Auto ~seed ~exact_var_limit p else None
+          in
+          match hier with
+          | Some (ha, hn, hp, hm)
+            when feasible_assignment p ha && cost_of p ha < cost_of p assignment -. 1e-9 ->
+            finish `Heuristic ~moves:hm ~nodes:hn ~pivots:hp ~proven:false ha
+          | _ -> finish `Exact ~nodes ~pivots ~proven:false assignment)
+        | None -> None (* exact proof of infeasibility *)
+      end
+      else begin
+        (* Too large for one joint ILP: recursive two-way bisection (exact
+           at each level), falling back to the flat heuristic.  Keep the
+           better of the two. *)
+        let hier =
+          if p.k > 2 then hierarchical ~strategy:Auto ~seed ~exact_var_limit p else None
+        in
+        let flat = match h with Some (a, c, true, m) -> Some (a, c, m) | _ -> None in
+        match (hier, flat) with
+        | Some (a, nodes, pivots, moves), Some (fa, fc, _)
+          when feasible_assignment p a && cost_of p a <= fc +. 1e-9 ->
+          ignore fa;
+          finish `Heuristic ~moves ~nodes ~pivots ~proven:false a
+        | Some (a, nodes, pivots, moves), None when feasible_assignment p a ->
+          finish `Heuristic ~moves ~nodes ~pivots ~proven:false a
+        | _, Some (fa, _, fm) -> finish `Heuristic ~moves:fm ~proven:false fa
+        | Some (a, nodes, pivots, moves), _ when feasible_assignment p a ->
+          finish `Heuristic ~moves ~nodes ~pivots ~proven:false a
+        | _ -> None
+      end)
+  end

@@ -1,0 +1,56 @@
+(** Capacity-constrained K-way graph partitioning — the optimization
+    engine behind both floorplanning levels (Eqs. 1–4).
+
+    An instance places [n] items (tasks), each with a resource vector,
+    into [k] parts (FPGAs at level 1, slot regions at level 2) so that no
+    part exceeds its capacity and the distance-weighted edge cost is
+    minimal.  Edges to entities outside the instance (already-placed
+    tasks, I/O pins, HBM columns) enter as linear "pull" terms.
+
+    Two backends: an exact 0-1 ILP (what the paper solves with Gurobi /
+    python-MIP) and a first-fit + move-refinement heuristic for instances
+    too large for exact search.  [Auto] picks per instance and seeds the
+    exact solver with the heuristic incumbent. *)
+
+open Tapa_cs_util
+open Tapa_cs_device
+
+type problem = {
+  areas : Resource.t array;  (** per-item resource profile (v_area of Eq. 1) *)
+  edges : (int * int * float) list;  (** (a, b, weight); weight = width x λ of Eq. 2 *)
+  pulls : (int * int * float) list;  (** (item, part, weight): cost [weight * dist(part_of item, part)] *)
+  k : int;
+  capacities : Resource.t array;  (** per-part budget, threshold already applied *)
+  dist : int -> int -> int;  (** inter-part distance metric (Eqs. 3–4) *)
+  fixed : (int * int) list;  (** pre-assigned items *)
+}
+
+type strategy = Exact | Heuristic | Auto
+
+type stats = {
+  backend : [ `Exact | `Heuristic ];
+  runtime_s : float;
+  lp_pivots : int;  (** 0 for the heuristic backend *)
+  bb_nodes : int;
+  refinement_moves : int;  (** 0 for the exact backend *)
+  proven_optimal : bool;
+}
+
+type result = { assignment : int array; cost : float; feasible : bool; stats : stats }
+
+val cost_of : problem -> int array -> float
+(** Objective value of an assignment (Eq. 2 plus pulls). *)
+
+val feasible_assignment : problem -> int array -> bool
+(** Capacity (Eq. 1) and fixed-placement compliance. *)
+
+val solve : ?strategy:strategy -> ?seed:int -> ?exact_var_limit:int -> problem -> result option
+(** [None] when no feasible assignment was found (exact proof of
+    infeasibility for the exact backend; search failure for the
+    heuristic).  [exact_var_limit] caps the binary-variable count at which
+    [Auto] still tries the exact backend (default 96). *)
+
+val num_items : problem -> int
+
+val prng_for_tests : int -> Prng.t
+(** Exposed so property tests can reproduce heuristic randomness. *)

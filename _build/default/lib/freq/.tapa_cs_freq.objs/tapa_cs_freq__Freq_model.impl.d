@@ -1,0 +1,1 @@
+lib/freq/freq_model.ml: Array Board Fifo Float Fun List Resource Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Task Taskgraph

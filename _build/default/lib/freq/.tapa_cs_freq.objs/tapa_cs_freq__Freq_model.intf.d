@@ -1,0 +1,1 @@
+lib/freq/freq_model.mli: Board Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Taskgraph

@@ -1,0 +1,192 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+
+type params = {
+  congestion_knee : float;
+  congestion_slope : float;
+  wire_ns_per_slot : float;
+  hbm_crowding : float;
+  route_ceiling : float;
+      (** board-level utilization (any resource) beyond which routing fails
+          on a single device regardless of floorplanning — calibrated
+          between the paper's passing CNN 13x8 (49.7 % DSP) and failing
+          13x12 (74.2 % DSP) configurations *)
+  dsp_ceiling_unplanned : float;
+      (** without floorplanning, dense DSP designs congest the fixed DSP
+          columns much earlier — calibrated between the paper's 13x4
+          (25.2 % DSP, routes on Vitis) and 13x8 (49.7 %, fails on Vitis
+          but routes on TAPA) *)
+}
+
+let default_params =
+  {
+    congestion_knee = 0.75;
+    congestion_slope = 1.85;
+    wire_ns_per_slot = 0.17;
+    hbm_crowding = 1.15;
+    route_ceiling = 0.72;
+    dsp_ceiling_unplanned = 0.40;
+  }
+
+type estimate = {
+  freq_mhz : float;
+  routed : bool;
+  max_slot_util : float;
+  critical_wire_ns : float;
+  binding_resource : string;
+}
+
+(* A flow with no floorplan view places like a wirelength-driven placer:
+   each task lands on the slot minimizing its connection cost to
+   already-placed neighbors and to the HBM controllers — with no concern
+   for balance, so connected memory-heavy designs pile into the bottom
+   die (the §3 congestion story).  Only physical capacity forces a
+   spill. *)
+let naive_placement ~board ~synthesis g =
+  let n = Taskgraph.num_tasks g in
+  let slot_of = Array.make n None in
+  let nslots = Board.num_slots board in
+  let load = Array.make nslots Resource.zero in
+  let hbm = Board.hbm_slots board in
+  let all = List.init nslots Fun.id in
+  let hbm_dist s =
+    List.fold_left (fun acc h -> min acc (Board.manhattan board s h)) max_int
+      (if hbm = [] then [ s ] else hbm)
+  in
+  let wire_cost (t : Task.t) s =
+    let neighbor_cost =
+      List.fold_left
+        (fun acc (f : Fifo.t) ->
+          let other = if f.src = t.id then f.dst else f.src in
+          match slot_of.(other) with
+          | Some os -> acc +. (float_of_int (f.width_bits * Board.manhattan board s os))
+          | None -> acc)
+        0.0
+        (Taskgraph.out_fifos g t.id @ Taskgraph.in_fifos g t.id)
+    in
+    let mem_cost =
+      List.fold_left
+        (fun acc (p : Task.mem_port) -> acc +. float_of_int (p.width_bits * hbm_dist s))
+        0.0 t.mem_ports
+    in
+    neighbor_cost +. mem_cost
+  in
+  Array.iter
+    (fun (t : Task.t) ->
+      let area = (Synthesis.profile_of synthesis t.id).resources in
+      let best = ref (-1) and best_key = ref (infinity, infinity) in
+      List.iter
+        (fun s ->
+          let after = Resource.add load.(s) area in
+          let u = Resource.utilization after ~total:(board.Board.slots.(s)).Board.capacity in
+          (* capacity-blind except for the hard physical limit *)
+          let key = ((if u > 1.0 then 1e12 +. u else wire_cost t s), u) in
+          if key < !best_key then begin
+            best_key := key;
+            best := s
+          end)
+        all;
+      load.(!best) <- Resource.add load.(!best) area;
+      slot_of.(t.id) <- Some !best)
+    (Taskgraph.tasks g);
+  slot_of
+
+let width_octaves width_bits =
+  (* Wide buses are what fail timing across slot boundaries; a 32-bit
+     stream is essentially free to route. *)
+  Float.max 0.0 (Float.log ((float_of_int width_bits +. 1.0) /. 32.0) /. Float.log 2.0)
+
+let of_placement ?(params = default_params) ~board ~synthesis ~graph ~slot_of ~pipelined () =
+  let nslots = Board.num_slots board in
+  let load = Array.make nslots Resource.zero in
+  Array.iteri
+    (fun tid slot ->
+      match slot with
+      | Some s ->
+        load.(s) <- Resource.add load.(s) (Synthesis.profile_of synthesis tid).resources
+      | None -> ())
+    slot_of;
+  let hbm = Board.hbm_slots board in
+  let max_slot_util = ref 0.0 and binding = ref "LUT" in
+  Array.iteri
+    (fun s u ->
+      let cap = (board.Board.slots.(s)).Board.capacity in
+      let crowding = if List.mem s hbm then params.hbm_crowding else 1.0 in
+      let util = crowding *. Resource.utilization u ~total:cap in
+      if util > !max_slot_util then begin
+        max_slot_util := util;
+        binding := Resource.max_component_name u ~total:cap
+      end)
+    load;
+  let critical_wire_ns =
+    if pipelined then 0.0
+    else begin
+      let fifo_wires =
+        Array.fold_left
+          (fun acc (f : Fifo.t) ->
+            match (slot_of.(f.src), slot_of.(f.dst)) with
+            | Some a, Some b ->
+              let d = Board.manhattan board a b in
+              if d = 0 then acc
+              else
+                Float.max acc
+                  (params.wire_ns_per_slot *. float_of_int d *. width_octaves f.width_bits)
+            | _ -> acc)
+          0.0 (Taskgraph.fifos graph)
+      in
+      (* Unpipelined AXI runs from a task to its HBM controller are wires
+         too; floorplanned flows register-slice them away. *)
+      let hbm_dist s =
+        List.fold_left (fun acc h -> min acc (Board.manhattan board s h)) max_int
+          (if hbm = [] then [ s ] else hbm)
+      in
+      Array.fold_left
+        (fun acc (t : Task.t) ->
+          match slot_of.(t.id) with
+          | Some s when t.mem_ports <> [] ->
+            let d = hbm_dist s in
+            List.fold_left
+              (fun acc (p : Task.mem_port) ->
+                Float.max acc
+                  (params.wire_ns_per_slot *. float_of_int d *. width_octaves p.width_bits))
+              acc t.mem_ports
+          | _ -> acc)
+        fifo_wires (Taskgraph.tasks graph)
+    end
+  in
+  let t0 = 1000.0 /. board.Board.max_freq_mhz in
+  let congestion = Float.max 0.0 (!max_slot_util -. params.congestion_knee) in
+  let delay = (t0 *. (1.0 +. (params.congestion_slope *. congestion))) +. critical_wire_ns in
+  let freq = Float.min board.Board.max_freq_mhz (1000.0 /. delay) in
+  (* A slot past its physical capacity (utilization > 1 before crowding)
+     cannot be routed at all; neither can a device whose aggregate
+     utilization exceeds the routability ceiling — the §5.5 failures of
+     the 13x12+ systolic grids. *)
+  let board_util =
+    Resource.utilization (Resource.sum (Array.to_list load)) ~total:board.Board.total
+  in
+  let board_dsp_util =
+    let total = Resource.sum (Array.to_list load) in
+    if board.Board.total.Resource.dsp = 0 then 0.0
+    else float_of_int total.Resource.dsp /. float_of_int board.Board.total.Resource.dsp
+  in
+  let routed =
+    board_util <= params.route_ceiling
+    && (pipelined || board_dsp_util <= params.dsp_ceiling_unplanned)
+    && Array.for_all
+         (fun s ->
+           Resource.utilization load.(s) ~total:(board.Board.slots.(s)).Board.capacity <= 1.0)
+         (Array.init nslots Fun.id)
+  in
+  {
+    freq_mhz = Float.round freq;
+    routed;
+    max_slot_util = !max_slot_util;
+    critical_wire_ns;
+    binding_resource = !binding;
+  }
+
+let vitis_like ?params ~board ~synthesis g =
+  let slot_of = naive_placement ~board ~synthesis g in
+  of_placement ?params ~board ~synthesis ~graph:g ~slot_of ~pipelined:false ()

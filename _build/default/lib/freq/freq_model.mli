@@ -1,0 +1,59 @@
+(** Post-route frequency model.
+
+    Substitutes for actual place-and-route (DESIGN.md §2): the achievable
+    clock is the board's maximum degraded by (a) routing congestion in the
+    most utilized slot and (b) the longest unpipelined wide-bus wire.
+    Floorplanned + pipelined flows eliminate (b); balanced floorplans
+    reduce (a) — this mechanism is what reproduces the paper's
+    165→250→300 MHz style progressions (§5.2–5.5).
+
+    A design whose naive placement over-fills a slot beyond 100 %
+    does not route at all, mirroring the Vitis routing failures the paper
+    reports for large configurations (§3, §5.5). *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+
+type params = {
+  congestion_knee : float;  (** utilization where congestion starts to bite *)
+  congestion_slope : float;  (** delay inflation per unit utilization above the knee *)
+  wire_ns_per_slot : float;  (** unpipelined crossing delay per slot per width octave *)
+  hbm_crowding : float;  (** extra congestion weight for memory-row slots *)
+  route_ceiling : float;
+      (** board-level utilization (any resource) beyond which routing
+          fails on a single device — calibrated between the paper's
+          passing 13x8 (49.7 % DSP) and failing 13x12 (74.2 % DSP) CNN
+          configurations (§5.5) *)
+  dsp_ceiling_unplanned : float;
+      (** without floorplanning, dense DSP designs congest the fixed DSP
+          columns earlier: 13x4 routes on Vitis at 25.2 % DSP, 13x8 fails
+          on Vitis (yet routes on TAPA) at 49.7 % (§5.5) *)
+}
+
+val default_params : params
+
+type estimate = {
+  freq_mhz : float;
+  routed : bool;  (** false: placement over capacity, no bitstream *)
+  max_slot_util : float;
+  critical_wire_ns : float;
+  binding_resource : string;  (** name of the most-utilized resource *)
+}
+
+val naive_placement : board:Board.t -> synthesis:Synthesis.report -> Taskgraph.t -> int option array
+(** What a floorplan-oblivious flow does: memory-connected tasks crowd the
+    HBM row, everything else fills slots in id order. *)
+
+val of_placement :
+  ?params:params ->
+  board:Board.t ->
+  synthesis:Synthesis.report ->
+  graph:Taskgraph.t ->
+  slot_of:int option array ->
+  pipelined:bool ->
+  unit ->
+  estimate
+
+val vitis_like : ?params:params -> board:Board.t -> synthesis:Synthesis.report -> Taskgraph.t -> estimate
+(** Naive placement, no interconnect pipelining — the F1-V baseline. *)

@@ -1,0 +1,1 @@
+lib/graph/fifo.ml: Format

@@ -1,0 +1,1 @@
+lib/graph/mincut.ml: Array Fun Hashtbl List

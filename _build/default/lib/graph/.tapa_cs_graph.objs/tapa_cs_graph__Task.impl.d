@@ -1,0 +1,1 @@
+lib/graph/task.ml: Format List Resource Tapa_cs_device

@@ -1,0 +1,1 @@
+lib/graph/task.mli: Format Resource Tapa_cs_device

@@ -1,0 +1,1 @@
+lib/graph/taskgraph.ml: Array Buffer Fifo Format Hashtbl List Option Printf Resource Tapa_cs_device Tapa_cs_util Task Union_find

@@ -1,0 +1,1 @@
+lib/graph/taskgraph.mli: Fifo Format Resource Tapa_cs_device Task

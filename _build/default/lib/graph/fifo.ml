@@ -1,0 +1,18 @@
+type mode = Stream | Bulk
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  width_bits : int;
+  depth : int;
+  elems : float;
+  mode : mode;
+}
+
+let traffic_bytes t = t.elems *. (float_of_int t.width_bits /. 8.0)
+
+let pp fmt t =
+  Format.fprintf fmt "fifo %d: %d -> %d, %d bits x %.0f elems (depth %d, %s)" t.id t.src t.dst
+    t.width_bits t.elems t.depth
+    (match t.mode with Stream -> "stream" | Bulk -> "bulk")

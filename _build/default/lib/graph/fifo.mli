@@ -1,0 +1,25 @@
+(** A FIFO stream (edge of the dataflow graph).
+
+    Latency-insensitive channels are what let TAPA-CS cut the design at any
+    edge: the partitioner only needs the bit width (Eq. 2 cost) and the
+    simulator the traffic volume and depth. *)
+
+type mode =
+  | Stream  (** consumer makes progress element by element *)
+  | Bulk
+      (** consumer needs the full payload before starting — e.g. the
+          stencil's temporal-tiling handoff, which serializes the FPGAs
+          in §5.2 *)
+
+type t = {
+  id : int;
+  src : int;  (** producer task id *)
+  dst : int;  (** consumer task id *)
+  width_bits : int;
+  depth : int;  (** FIFO capacity in elements *)
+  elems : float;  (** total elements transferred over the run *)
+  mode : mode;
+}
+
+val traffic_bytes : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* Stoer-Wagner minimum cut over an adjacency matrix of accumulated
+   weights, with vertex merging by index lists. *)
+
+type t = { n : int; w : float array array }
+
+let create n =
+  if n <= 0 then invalid_arg "Mincut.create: need at least one vertex";
+  { n; w = Array.make_matrix n n 0.0 }
+
+let add_edge t a b weight =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then invalid_arg "Mincut.add_edge: vertex out of range";
+  if weight < 0.0 then invalid_arg "Mincut.add_edge: negative weight";
+  if a <> b then begin
+    t.w.(a).(b) <- t.w.(a).(b) +. weight;
+    t.w.(b).(a) <- t.w.(b).(a) +. weight
+  end
+
+let cut_weight t side =
+  if Array.length side <> t.n then invalid_arg "Mincut.cut_weight: wrong side length";
+  let acc = ref 0.0 in
+  for a = 0 to t.n - 1 do
+    for b = a + 1 to t.n - 1 do
+      if side.(a) <> side.(b) then acc := !acc +. t.w.(a).(b)
+    done
+  done;
+  !acc
+
+let min_cut t =
+  if t.n < 2 then invalid_arg "Mincut.min_cut: need at least two vertices";
+  let w = Array.map Array.copy t.w in
+  (* members.(v): original vertices merged into supernode v. *)
+  let members = Array.init t.n (fun v -> [ v ]) in
+  let active = ref (List.init t.n Fun.id) in
+  let best_weight = ref infinity in
+  let best_side = ref (Array.make t.n false) in
+  while List.length !active > 1 do
+    (* Maximum-adjacency order over the active supernodes. *)
+    let in_a = Hashtbl.create 16 in
+    let key = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace key v 0.0) !active;
+    let order = ref [] in
+    for _ = 1 to List.length !active do
+      let pick =
+        List.fold_left
+          (fun acc v ->
+            if Hashtbl.mem in_a v then acc
+            else begin
+              match acc with
+              | Some (_, bk) when bk >= Hashtbl.find key v -> acc
+              | _ -> Some (v, Hashtbl.find key v)
+            end)
+          None !active
+      in
+      match pick with
+      | None -> ()
+      | Some (v, _) ->
+        Hashtbl.replace in_a v ();
+        order := v :: !order;
+        List.iter
+          (fun u ->
+            if not (Hashtbl.mem in_a u) then
+              Hashtbl.replace key u (Hashtbl.find key u +. w.(v).(u)))
+          !active
+    done;
+    (match !order with
+    | last :: prev :: _ ->
+      (* cut-of-the-phase: [last] alone against the rest. *)
+      let phase_weight = List.fold_left (fun acc u -> if u = last then acc else acc +. w.(last).(u)) 0.0 !active in
+      if phase_weight < !best_weight then begin
+        best_weight := phase_weight;
+        let side = Array.make t.n false in
+        List.iter (fun v -> side.(v) <- true) members.(last);
+        best_side := side
+      end;
+      (* merge last into prev *)
+      List.iter
+        (fun u ->
+          if u <> last && u <> prev then begin
+            w.(prev).(u) <- w.(prev).(u) +. w.(last).(u);
+            w.(u).(prev) <- w.(prev).(u)
+          end)
+        !active;
+      members.(prev) <- members.(last) @ members.(prev);
+      active := List.filter (fun v -> v <> last) !active
+    | _ -> active := []);
+  done;
+  ((if !best_weight = infinity then 0.0 else !best_weight), !best_side)

@@ -1,0 +1,202 @@
+open Tapa_cs_util
+open Tapa_cs_device
+
+type t = {
+  tasks : Task.t array;
+  fifos : Fifo.t array;
+  out_adj : int list array; (* fifo ids leaving each task *)
+  in_adj : int list array; (* fifo ids entering each task *)
+  by_name : (string, int) Hashtbl.t;
+}
+
+module Builder = struct
+  type t = {
+    mutable rev_tasks : Task.t list;
+    mutable ntasks : int;
+    mutable rev_fifos : Fifo.t list;
+    mutable nfifos : int;
+  }
+
+  let create () = { rev_tasks = []; ntasks = 0; rev_fifos = []; nfifos = 0 }
+
+  let add_task b ~name ?kind ?(compute = Task.default_compute) ?(mem_ports = []) ?resources () =
+    let id = b.ntasks in
+    let kind = Option.value kind ~default:name in
+    b.rev_tasks <- { Task.id; name; kind; compute; mem_ports; resources } :: b.rev_tasks;
+    b.ntasks <- id + 1;
+    id
+
+  let add_fifo b ~src ~dst ?(width_bits = 32) ?(depth = 2) ?(elems = 0.0) ?(mode = Fifo.Stream) () =
+    if src < 0 || src >= b.ntasks || dst < 0 || dst >= b.ntasks then
+      invalid_arg "Builder.add_fifo: unknown endpoint";
+    if src = dst then invalid_arg "Builder.add_fifo: self-loop FIFOs are not latency-insensitive cut points";
+    if width_bits <= 0 then invalid_arg "Builder.add_fifo: width must be positive";
+    if depth <= 0 then invalid_arg "Builder.add_fifo: depth must be positive";
+    if elems < 0.0 then invalid_arg "Builder.add_fifo: negative traffic";
+    let id = b.nfifos in
+    b.rev_fifos <- { Fifo.id; src; dst; width_bits; depth; elems; mode } :: b.rev_fifos;
+    b.nfifos <- id + 1;
+    id
+
+  let build b =
+    if b.ntasks = 0 then invalid_arg "Builder.build: empty graph";
+    let tasks = Array.of_list (List.rev b.rev_tasks) in
+    let fifos = Array.of_list (List.rev b.rev_fifos) in
+    let out_adj = Array.make b.ntasks [] and in_adj = Array.make b.ntasks [] in
+    Array.iter
+      (fun (f : Fifo.t) ->
+        out_adj.(f.src) <- f.id :: out_adj.(f.src);
+        in_adj.(f.dst) <- f.id :: in_adj.(f.dst))
+      fifos;
+    Array.iteri (fun i l -> out_adj.(i) <- List.rev l) out_adj;
+    Array.iteri (fun i l -> in_adj.(i) <- List.rev l) in_adj;
+    let by_name = Hashtbl.create b.ntasks in
+    Array.iter (fun (t : Task.t) -> Hashtbl.replace by_name t.name t.id) tasks;
+    { tasks; fifos; out_adj; in_adj; by_name }
+end
+
+let num_tasks g = Array.length g.tasks
+let num_fifos g = Array.length g.fifos
+let task g i = g.tasks.(i)
+let fifo g i = g.fifos.(i)
+let tasks g = g.tasks
+let fifos g = g.fifos
+let out_fifos g i = List.map (fun fid -> g.fifos.(fid)) g.out_adj.(i)
+let in_fifos g i = List.map (fun fid -> g.fifos.(fid)) g.in_adj.(i)
+
+let neighbors g i =
+  let seen = Hashtbl.create 8 in
+  let add acc j = if Hashtbl.mem seen j then acc else (Hashtbl.add seen j (); j :: acc) in
+  let acc = List.fold_left (fun acc (f : Fifo.t) -> add acc f.dst) [] (out_fifos g i) in
+  let acc = List.fold_left (fun acc (f : Fifo.t) -> add acc f.src) acc (in_fifos g i) in
+  List.rev acc
+
+let find_task g name =
+  Option.map (fun id -> g.tasks.(id)) (Hashtbl.find_opt g.by_name name)
+
+let total_fifo_traffic_bytes g =
+  Array.fold_left (fun acc f -> acc +. Fifo.traffic_bytes f) 0.0 g.fifos
+
+let is_connected g =
+  let n = num_tasks g in
+  let uf = Union_find.create n in
+  Array.iter (fun (f : Fifo.t) -> Union_find.union uf f.src f.dst) g.fifos;
+  Union_find.count uf = 1
+
+(* Tarjan's strongly connected components, iterative to handle deep
+   systolic-array chains without stack overflow. *)
+let sccs g =
+  let n = num_tasks g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let succ v = List.map (fun (f : Fifo.t) -> f.dst) (out_fifos g v) in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      (* Explicit call stack: (vertex, remaining successors). *)
+      let call_stack = ref [ (root, succ root) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call_stack <> [] do
+        match !call_stack with
+        | [] -> ()
+        | (v, remaining) :: rest -> (
+          match remaining with
+          | w :: remaining' ->
+            call_stack := (v, remaining') :: rest;
+            if index.(w) < 0 then begin
+              index.(w) <- !next_index;
+              lowlink.(w) <- !next_index;
+              incr next_index;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              call_stack := (w, succ w) :: !call_stack
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+            call_stack := rest;
+            (match rest with
+            | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              let rec popc acc =
+                match !stack with
+                | [] -> acc
+                | w :: tl ->
+                  stack := tl;
+                  on_stack.(w) <- false;
+                  if w = v then w :: acc else popc (w :: acc)
+              in
+              components := popc [] :: !components
+            end)
+      done
+    end
+  done;
+  List.rev !components
+
+let topological_levels g =
+  let n = num_tasks g in
+  let comps = sccs g in
+  let comp_of = Array.make n (-1) in
+  List.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comps;
+  let ncomp = List.length comps in
+  (* Tarjan emits components in reverse topological order of the
+     condensation, so processing them in *forward* order after reversal
+     visits predecessors first. *)
+  let level = Array.make ncomp 0 in
+  let comp_edges = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Fifo.t) ->
+      let a = comp_of.(f.src) and b = comp_of.(f.dst) in
+      if a <> b then Hashtbl.replace comp_edges (a, b) ())
+    g.fifos;
+  (* Longest-path levels over the DAG of components: iterate until fixed
+     point (at most ncomp sweeps; the condensation is acyclic). *)
+  let changed = ref true in
+  let sweeps = ref 0 in
+  while !changed && !sweeps <= ncomp do
+    changed := false;
+    incr sweeps;
+    Hashtbl.iter
+      (fun (a, b) () ->
+        if level.(b) < level.(a) + 1 then begin
+          level.(b) <- level.(a) + 1;
+          changed := true
+        end)
+      comp_edges
+  done;
+  Array.init n (fun v -> level.(comp_of.(v)))
+
+let is_acyclic g = List.for_all (fun c -> List.length c = 1) (sccs g)
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph taskgraph {\n  rankdir=LR;\n";
+  Array.iter
+    (fun (t : Task.t) ->
+      let mem = t.mem_ports <> [] in
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"%s\" shape=%s];\n" t.id t.name
+           (if mem then "hexagon" else "circle")))
+    g.tasks;
+  Array.iter
+    (fun (f : Fifo.t) ->
+      Buffer.add_string buf (Printf.sprintf "  t%d -> t%d [label=\"%db\"];\n" f.src f.dst f.width_bits))
+    g.fifos;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_summary fmt g =
+  let mem_tasks = Array.fold_left (fun acc (t : Task.t) -> if t.Task.mem_ports <> [] then acc + 1 else acc) 0 g.tasks in
+  Format.fprintf fmt "%d tasks (%d memory-connected), %d FIFOs, %s" (num_tasks g) mem_tasks
+    (num_fifos g)
+    (if is_acyclic g then "acyclic" else "cyclic")
+
+(* Resource is re-exported through the interface types. *)
+let _ = Resource.zero

@@ -1,0 +1,86 @@
+(** The dataflow task graph G(V,E) of §4.1: vertices are compute tasks,
+    edges are the FIFOs connecting them.  Built through an imperative
+    builder (the TAPA-style front-end in [tapa_cs.Frontend] wraps it) and
+    then frozen into an immutable graph. *)
+
+open Tapa_cs_device
+
+type t
+
+(** {1 Building} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_task :
+    t ->
+    name:string ->
+    ?kind:string ->
+    ?compute:Task.compute ->
+    ?mem_ports:Task.mem_port list ->
+    ?resources:Resource.t ->
+    unit ->
+    int
+  (** Returns the task id.  [kind] defaults to [name]. *)
+
+  val add_fifo :
+    t ->
+    src:int ->
+    dst:int ->
+    ?width_bits:int ->
+    ?depth:int ->
+    ?elems:float ->
+    ?mode:Fifo.mode ->
+    unit ->
+    int
+  (** Returns the FIFO id; width defaults to 32 bits, depth to 2, mode to
+      [Stream].
+      @raise Invalid_argument on unknown endpoints or self-loops. *)
+
+  val build : t -> graph
+  (** Freezes the builder.
+      @raise Invalid_argument when the graph is empty. *)
+end
+
+(** {1 Observation} *)
+
+val num_tasks : t -> int
+val num_fifos : t -> int
+val task : t -> int -> Task.t
+val fifo : t -> int -> Fifo.t
+val tasks : t -> Task.t array
+val fifos : t -> Fifo.t array
+val out_fifos : t -> int -> Fifo.t list
+val in_fifos : t -> int -> Fifo.t list
+val neighbors : t -> int -> int list
+(** Tasks adjacent through any FIFO, without duplicates. *)
+
+val find_task : t -> string -> Task.t option
+(** Lookup by name. *)
+
+val total_fifo_traffic_bytes : t -> float
+
+(** {1 Analysis} *)
+
+val is_connected : t -> bool
+(** Weak connectivity over the undirected skeleton. *)
+
+val sccs : t -> int list list
+(** Strongly connected components (Tarjan), in reverse topological order
+    of the condensation. *)
+
+val topological_levels : t -> int array
+(** Level of each task in the SCC condensation: sources are level 0 and
+    every edge goes to an equal-or-higher level (equal only inside an
+    SCC).  Drives the sequential-vs-parallel launch analysis of §5. *)
+
+val is_acyclic : t -> bool
+
+val to_dot : t -> string
+(** Graphviz rendering with tasks as circles and memory-touching tasks
+    annotated, mirroring Fig. 9's convention. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hls/estimator.ml: Board Float List Resource Stdlib Tapa_cs_device Tapa_cs_graph Task

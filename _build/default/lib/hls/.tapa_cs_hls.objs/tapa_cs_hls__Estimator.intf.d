@@ -1,0 +1,1 @@
+lib/hls/estimator.mli: Board Resource Tapa_cs_device Tapa_cs_graph Task

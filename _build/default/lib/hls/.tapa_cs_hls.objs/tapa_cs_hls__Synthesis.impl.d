@@ -1,0 +1,1 @@
+lib/hls/synthesis.ml: Array Estimator Format Hashtbl Resource Tapa_cs_device Tapa_cs_graph Task Taskgraph

@@ -1,0 +1,1 @@
+lib/hls/synthesis.mli: Board Format Resource Tapa_cs_device Tapa_cs_graph Taskgraph

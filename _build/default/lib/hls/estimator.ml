@@ -1,0 +1,62 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+let fsm_base = Resource.make ~lut:450 ~ff:620 ()
+
+(* 18Kb BRAM block = 2.25 KiB; URAM block = 288Kb = 36 KiB. *)
+let bram_bytes = 2304
+let uram_bytes = 36_864
+
+(* Buffers at or above this size map to URAM when the board has URAM. *)
+let uram_threshold_bytes = 64 * 1024
+
+let ceil_div a b = (a + b - 1) / b
+
+let datapath t =
+  let c = t.Task.compute in
+  let lanes = float_of_int c.lanes in
+  let bits = float_of_int c.elem_bits in
+  let lut = lanes *. ((1.2 *. bits) +. (28.0 *. c.ops_per_elem)) in
+  let ff = lanes *. ((1.6 *. bits) +. (40.0 *. c.ops_per_elem)) in
+  let dsp = if c.ops_per_elem > 0.0 then c.lanes * int_of_float (ceil (2.5 *. c.ops_per_elem)) else 0 in
+  (int_of_float (ceil lut), int_of_float (ceil ff), dsp)
+
+let mem_interface t =
+  List.fold_left
+    (fun (lut, ff, bram) (p : Task.mem_port) ->
+      (* An AXI read/write engine: bursting logic plus a width-proportional
+         alignment datapath and a small reorder buffer. *)
+      ( lut + 300 + (p.width_bits * 3 / 5),
+        ff + 420 + (p.width_bits * 11 / 10),
+        bram + Stdlib.max 1 (p.width_bits / 72) ))
+    (0, 0, 0) t.Task.mem_ports
+
+let buffers ?board t =
+  let bytes = t.Task.compute.buffer_bytes in
+  if bytes = 0 then (0, 0)
+  else begin
+    let board_has_uram = match board with Some b -> b.Board.total.Resource.uram > 0 | None -> true in
+    if board_has_uram && bytes >= uram_threshold_bytes then (0, ceil_div bytes uram_bytes)
+    else (ceil_div bytes bram_bytes, 0)
+  end
+
+let estimate ?board (t : Task.t) =
+  match t.resources with
+  | Some r -> r
+  | None ->
+    let dlut, dff, dsp = datapath t in
+    let mlut, mff, mbram = mem_interface t in
+    let bbram, buram = buffers ?board t in
+    Resource.add fsm_base
+      (Resource.make ~lut:(dlut + mlut) ~ff:(dff + mff) ~bram:(mbram + bbram) ~dsp ~uram:buram ())
+
+let startup_cycles (t : Task.t) =
+  let c = t.Task.compute in
+  (* Pipeline fill: datapath depth grows with operation count and lane tree. *)
+  10.0 +. (2.0 *. c.ops_per_elem) +. Float.of_int (max 0 (c.lanes - 1))
+
+let steady_cycles (t : Task.t) =
+  let c = t.Task.compute in
+  c.elems *. c.ii /. float_of_int c.lanes
+
+let task_cycles t = startup_cycles t +. steady_cycles t

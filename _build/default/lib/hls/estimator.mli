@@ -1,0 +1,27 @@
+(** Analytical HLS resource estimator.
+
+    Substitutes for Vitis HLS synthesis (DESIGN.md §2): converts a task's
+    abstract compute model into the LUT/FF/BRAM/DSP/URAM vector the
+    floorplanner consumes.  Cost tables follow standard Xilinx HLS
+    rules of thumb; benchmark generators that need to match the paper's
+    published utilization numbers exactly pass explicit overrides. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+
+val estimate : ?board:Board.t -> Task.t -> Resource.t
+(** Resource profile of one task.  Uses the task's [resources] override
+    when present.  [board] decides whether large buffers map to URAM
+    (boards without URAM fall back to BRAM). *)
+
+val fsm_base : Resource.t
+(** Control-FSM cost every TAPA task pays regardless of its datapath. *)
+
+val startup_cycles : Task.t -> float
+(** Pipeline fill latency before the first output element. *)
+
+val steady_cycles : Task.t -> float
+(** Cycles to stream all elements at steady state: [elems * ii / lanes]. *)
+
+val task_cycles : Task.t -> float
+(** [startup_cycles + steady_cycles]. *)

@@ -1,0 +1,64 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type profile = {
+  task_id : int;
+  resources : Resource.t;
+  startup_cycles : float;
+  steady_cycles : float;
+}
+
+type report = {
+  profiles : profile array;
+  distinct_kinds : int;
+  cache_hits : int;
+  sequential_runs : int;
+  total_resources : Resource.t;
+}
+
+(* Tasks of the same kind with the same compute shape share one synthesis
+   run; tasks with explicit resource overrides are keyed on the override
+   too so heterogeneous calibrations stay distinct. *)
+let cache_key (t : Task.t) = (t.kind, t.compute, t.resources, t.mem_ports)
+
+let run ?board g =
+  let cache = Hashtbl.create 64 in
+  let hits = ref 0 in
+  let profiles =
+    Array.map
+      (fun (t : Task.t) ->
+        let key = cache_key t in
+        let resources =
+          match Hashtbl.find_opt cache key with
+          | Some r ->
+            incr hits;
+            r
+          | None ->
+            let r = Estimator.estimate ?board t in
+            Hashtbl.add cache key r;
+            r
+        in
+        {
+          task_id = t.id;
+          resources;
+          startup_cycles = Estimator.startup_cycles t;
+          steady_cycles = Estimator.steady_cycles t;
+        })
+      (Taskgraph.tasks g)
+  in
+  let total_resources =
+    Array.fold_left (fun acc p -> Resource.add acc p.resources) Resource.zero profiles
+  in
+  {
+    profiles;
+    distinct_kinds = Hashtbl.length cache;
+    cache_hits = !hits;
+    sequential_runs = Taskgraph.num_tasks g;
+    total_resources;
+  }
+
+let profile_of r id = r.profiles.(id)
+
+let pp_report fmt r =
+  Format.fprintf fmt "synthesized %d tasks (%d distinct kinds, %d cache hits), total %a"
+    r.sequential_runs r.distinct_kinds r.cache_hits Resource.pp r.total_resources

@@ -1,0 +1,29 @@
+(** Step 2 of TAPA-CS (Fig. 5B): task extraction and parallel synthesis.
+
+    Every task of the graph is "synthesized" to get an accurate resource
+    utilization profile before floorplanning.  Like TAPA, identical task
+    kinds share one synthesis run — the report records the cache hit rate
+    and the emulated wall-clock benefit of synthesizing in parallel. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type profile = {
+  task_id : int;
+  resources : Resource.t;
+  startup_cycles : float;
+  steady_cycles : float;
+}
+
+type report = {
+  profiles : profile array;  (** indexed by task id *)
+  distinct_kinds : int;
+  cache_hits : int;
+  sequential_runs : int;  (** synthesis jobs a naive flow would run *)
+  total_resources : Resource.t;
+}
+
+val run : ?board:Board.t -> Taskgraph.t -> report
+
+val profile_of : report -> int -> profile
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Heap Linear List Model Rat Simplex Stdlib Tapa_cs_util

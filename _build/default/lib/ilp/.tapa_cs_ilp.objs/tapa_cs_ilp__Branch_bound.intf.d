@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.mli: Model Rat Tapa_cs_util

@@ -1,0 +1,1 @@
+lib/ilp/linear.ml: Format Int List Map Option Printf Rat Tapa_cs_util

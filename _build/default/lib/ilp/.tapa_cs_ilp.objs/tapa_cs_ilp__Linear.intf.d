@@ -1,0 +1,1 @@
+lib/ilp/linear.mli: Format Rat Tapa_cs_util

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Format Linear List Option Printf Rat Stdlib Tapa_cs_util

@@ -1,0 +1,1 @@
+lib/ilp/simplex.ml: Array Linear List Model Rat Tapa_cs_util

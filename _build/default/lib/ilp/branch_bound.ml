@@ -1,0 +1,153 @@
+open Tapa_cs_util
+
+type solution = { objective : Rat.t; values : Rat.t array; nodes : int; lp_pivots : int }
+type result = Optimal of solution | Feasible of solution | Infeasible | Unbounded
+
+let is_feasible model values =
+  let nv = Model.num_vars model in
+  Array.length values = nv
+  && (let ok = ref true in
+      for j = 0 to nv - 1 do
+        let v = values.(j) in
+        if Rat.compare v (Model.var_lb model j) < 0 then ok := false;
+        (match Model.var_ub model j with
+        | Some u when Rat.compare v u > 0 -> ok := false
+        | _ -> ());
+        if Model.var_kind model j = Model.Binary && not (Rat.is_integer v) then ok := false
+      done;
+      !ok)
+  && List.for_all
+       (fun (e, rel, rhs) ->
+         let lhs = Linear.eval e (fun v -> values.(v)) in
+         match rel with
+         | Model.Le -> Rat.compare lhs rhs <= 0
+         | Model.Ge -> Rat.compare lhs rhs >= 0
+         | Model.Eq -> Rat.equal lhs rhs)
+       (Model.constraints model)
+
+type node = { bound : Rat.t; depth : int; lbs : Rat.t array; ubs : Rat.t option array }
+
+let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?incumbent model =
+  let nv = Model.num_vars model in
+  let sense, obj_expr = Model.objective model in
+  (* Internally minimize: flip the comparison for maximization. *)
+  let better a b =
+    match sense with Model.Minimize -> Rat.compare a b < 0 | Model.Maximize -> Rat.compare a b > 0
+  in
+  let node_cmp a b =
+    match sense with Model.Minimize -> Rat.compare a.bound b.bound | Model.Maximize -> Rat.compare b.bound a.bound
+  in
+  let binaries =
+    List.filter (fun j -> Model.var_kind model j = Model.Binary) (List.init nv (fun j -> j))
+  in
+  let best : solution option ref =
+    ref
+      (match incumbent with
+      | Some values when is_feasible model values ->
+        Some { objective = Linear.eval obj_expr (fun v -> values.(v)); values; nodes = 0; lp_pivots = 0 }
+      | _ -> None)
+  in
+  let nodes = ref 0 and pivots = ref 0 in
+  let last_improvement = ref 0 in
+  let pivots_left () = Stdlib.max 1 (max_pivots - !pivots) in
+  let frontier = Heap.create ~cmp:node_cmp in
+  let root_lbs = Array.init nv (Model.var_lb model) in
+  let root_ubs = Array.init nv (Model.var_ub model) in
+  let limit_hit = ref false in
+  let record_candidate sol =
+    match !best with
+    | Some b when not (better sol.objective b.objective) -> ()
+    | _ ->
+      best := Some sol;
+      last_improvement := !nodes
+  in
+  let prune_by_incumbent bound =
+    match !best with Some b -> not (better bound b.objective) | None -> false
+  in
+  let solve_lp lbs ubs =
+    match Simplex.solve ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) model with
+    | exception Simplex.Pivot_limit ->
+      limit_hit := true;
+      None
+    | Simplex.Infeasible -> None
+    | Simplex.Unbounded -> raise Exit (* surfaced as Unbounded below *)
+    | Simplex.Optimal sol ->
+      pivots := !pivots + sol.pivots;
+      Some sol
+  in
+  let pick_branch_var values =
+    (* Most fractional binary: fractional part closest to 1/2. *)
+    let best_v = ref (-1) and best_score = ref Rat.one in
+    List.iter
+      (fun j ->
+        let f = Rat.fractional values.(j) in
+        if not (Rat.is_zero f) then begin
+          let score = Rat.abs (Rat.sub f (Rat.of_ints 1 2)) in
+          if !best_v < 0 || Rat.compare score !best_score < 0 then begin
+            best_v := j;
+            best_score := score
+          end
+        end)
+      binaries;
+    !best_v
+  in
+  let expand node =
+    if prune_by_incumbent node.bound || !limit_hit then ()
+    else begin
+      match solve_lp node.lbs node.ubs with
+      | None -> ()
+      | Some lp ->
+        if prune_by_incumbent lp.objective then ()
+        else begin
+          let v = pick_branch_var lp.values in
+          if v < 0 then
+            record_candidate { objective = lp.objective; values = lp.values; nodes = !nodes; lp_pivots = !pivots }
+          else begin
+            let child fix =
+              let lbs = Array.copy node.lbs and ubs = Array.copy node.ubs in
+              if fix = 0 then ubs.(v) <- Some Rat.zero else lbs.(v) <- Rat.one;
+              { bound = lp.objective; depth = node.depth + 1; lbs; ubs }
+            in
+            (* Explore the branch suggested by the LP value first. *)
+            let primary = if Rat.compare (Rat.fractional lp.values.(v)) (Rat.of_ints 1 2) >= 0 then 1 else 0 in
+            Heap.push frontier (child primary);
+            Heap.push frontier (child (1 - primary))
+          end
+        end
+    end
+  in
+  match
+    (let root = { bound = Rat.zero; depth = 0; lbs = root_lbs; ubs = root_ubs } in
+     (* Seed the frontier with the root; its [bound] is a placeholder that
+        never prunes because the incumbent check re-solves the LP. *)
+     (match solve_lp root.lbs root.ubs with
+     | None -> if not !limit_hit then raise Not_found (* root infeasible *)
+     | Some lp ->
+       let v = pick_branch_var lp.values in
+       if v < 0 then record_candidate { objective = lp.objective; values = lp.values; nodes = 0; lp_pivots = !pivots }
+       else begin
+         let child fix =
+           let lbs = Array.copy root.lbs and ubs = Array.copy root.ubs in
+           if fix = 0 then ubs.(v) <- Some Rat.zero else lbs.(v) <- Rat.one;
+           { bound = lp.objective; depth = 1; lbs; ubs }
+         in
+         Heap.push frontier (child 0);
+         Heap.push frontier (child 1)
+       end);
+     let stalled () = !best <> None && !nodes - !last_improvement > stall_nodes in
+     while (not (Heap.is_empty frontier)) && (not !limit_hit) && !nodes < max_nodes
+           && not (stalled ()) do
+       incr nodes;
+       expand (Heap.pop_exn frontier)
+     done;
+     if (not (Heap.is_empty frontier)) && (!nodes >= max_nodes || stalled ()) then
+       limit_hit := true)
+  with
+  | exception Exit -> Unbounded
+  | exception Not_found -> Infeasible
+  | () -> (
+    match !best with
+    | Some sol ->
+      let sol = { sol with nodes = !nodes; lp_pivots = !pivots } in
+      if !limit_hit then Feasible sol else Optimal sol
+    | None -> if !limit_hit then Infeasible else Infeasible)

@@ -1,0 +1,36 @@
+(** Exact 0-1 branch-and-bound built on {!Simplex}.
+
+    Best-first search on the LP-relaxation bound, branching on the most
+    fractional binary variable.  With exact rational LP bounds the search
+    returns provably optimal integer solutions — the same answers the
+    paper obtains from Gurobi / python-MIP. *)
+
+open Tapa_cs_util
+
+type solution = {
+  objective : Rat.t;
+  values : Rat.t array;
+  nodes : int;  (** branch-and-bound nodes explored *)
+  lp_pivots : int;  (** total simplex pivots across all LP solves *)
+}
+
+type result =
+  | Optimal of solution
+  | Feasible of solution  (** best incumbent when a search limit was hit *)
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?max_nodes:int ->
+  ?max_pivots:int ->
+  ?stall_nodes:int ->
+  ?incumbent:Rat.t array ->
+  Model.t ->
+  result
+(** [incumbent] seeds the search with a known feasible assignment (e.g.
+    from a heuristic) so the solver can prune from the first node.  An
+    infeasible seed is rejected silently. *)
+
+val is_feasible : Model.t -> Rat.t array -> bool
+(** Exact feasibility check of an assignment against all constraints,
+    bounds and integrality requirements. *)

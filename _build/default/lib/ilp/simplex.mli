@@ -1,0 +1,29 @@
+(** Exact primal simplex over rationals.
+
+    Two-phase dense-tableau implementation with Bland's anti-cycling rule.
+    All arithmetic is exact ({!Tapa_cs_util.Rat}), so "optimal" means
+    provably optimal — this is what lets branch-and-bound certify the same
+    partitions a commercial ILP solver would return. *)
+
+open Tapa_cs_util
+
+type solution = {
+  objective : Rat.t;  (** value of the model's objective at the optimum *)
+  values : Rat.t array;  (** one value per model variable *)
+  pivots : int;  (** total pivot count across both phases *)
+}
+
+type result = Optimal of solution | Infeasible | Unbounded
+
+exception Pivot_limit
+
+val solve :
+  ?bounds:Rat.t array * Rat.t option array ->
+  ?max_pivots:int ->
+  Model.t ->
+  result
+(** Solves the continuous relaxation of [model] (binary variables are
+    relaxed to their [0,1] interval).  [bounds] overrides the per-variable
+    lower/upper bounds — branch-and-bound uses this to explore subproblems
+    without copying the model.
+    @raise Pivot_limit when [max_pivots] is exhausted. *)

@@ -1,0 +1,1 @@
+lib/network/link.mli: Format

@@ -1,0 +1,1 @@
+lib/network/protocol.ml: Board Constants Format Printf Tapa_cs_device

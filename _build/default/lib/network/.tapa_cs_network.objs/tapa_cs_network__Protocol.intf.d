@@ -1,0 +1,1 @@
+lib/network/protocol.mli: Board Format Resource Tapa_cs_device

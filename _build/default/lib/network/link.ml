@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  bandwidth_gbytes : float;
+  one_way_latency_us : float;
+  per_packet_overhead_ns : float;
+  default_packet_bytes : int;
+  derate : float;
+}
+
+let alveolink =
+  {
+    name = "AlveoLink (RoCE v2 / QSFP28)";
+    bandwidth_gbytes = 12.5;
+    one_way_latency_us = 0.5;
+    (* Fitted to §7: 64 MB at 64 B packets takes 6.53 ms; wire time is
+       5.12 ms, leaving ~1.4 ns of IP processing per packet. *)
+    per_packet_overhead_ns = 1.41;
+    default_packet_bytes = 4096;
+    derate = 0.93; (* Fig. 8 saturates near 90+ Gbps, not the 100 Gbps line rate *)
+  }
+
+let pcie_p2p =
+  {
+    name = "PCIe Gen3x16 P2P DMA";
+    bandwidth_gbytes = 1.0;
+    one_way_latency_us = 0.625;
+    per_packet_overhead_ns = 10.0;
+    default_packet_bytes = 512;
+    derate = 0.95;
+  }
+
+let host_mpi_10g =
+  {
+    name = "Host MPI over 10 GbE";
+    bandwidth_gbytes = 1.25;
+    (* Device-to-host DMA, host wakeup, NIC traversal on both ends. *)
+    one_way_latency_us = 50.0;
+    per_packet_overhead_ns = 500.0;
+    default_packet_bytes = 9000;
+    derate = 0.9;
+  }
+
+let transfer_time_s ?packet_bytes link bytes =
+  let packet = float_of_int (Option.value packet_bytes ~default:link.default_packet_bytes) in
+  let setup = link.one_way_latency_us *. 1e-6 in
+  if bytes <= 0.0 then setup
+  else begin
+    let packets = Float.max 1.0 (ceil (bytes /. packet)) in
+    let wire = bytes /. (link.bandwidth_gbytes *. link.derate *. 1e9) in
+    setup +. (packets *. link.per_packet_overhead_ns *. 1e-9) +. wire
+  end
+
+let effective_throughput_gbps ?packet_bytes link bytes =
+  if bytes <= 0.0 then 0.0
+  else bytes *. 8.0 /. transfer_time_s ?packet_bytes link bytes /. 1e9
+
+let pp fmt l =
+  Format.fprintf fmt "%s: %.1f GB/s line, %.2f us one-way" l.name l.bandwidth_gbytes
+    l.one_way_latency_us

@@ -1,0 +1,34 @@
+(** Point-to-point link models.
+
+    A link is characterized by its line rate, its one-way latency, and a
+    per-packet processing overhead; transfer time is
+    [setup + packets * overhead + bytes / rate].  This is the model behind
+    Fig. 8's throughput-vs-size curve and the §7 packet-size study. *)
+
+type t = {
+  name : string;
+  bandwidth_gbytes : float;  (** line rate in GB/s *)
+  one_way_latency_us : float;
+  per_packet_overhead_ns : float;
+  default_packet_bytes : int;
+  derate : float;  (** measured-vs-theoretical efficiency, [0,1] *)
+}
+
+val alveolink : t
+(** AlveoLink over one QSFP28 port: 100 Gb/s line rate, 1 µs RTT (§4.4). *)
+
+val pcie_p2p : t
+(** PCIe Gen3x16 peer-to-peer DMA: 12.5x slower than AlveoLink (§4.4),
+    1250 ns RTT (§6.2). *)
+
+val host_mpi_10g : t
+(** The §5.7 inter-node path: device→host→10 GbE→host→device. *)
+
+val transfer_time_s : ?packet_bytes:int -> t -> float -> float
+(** [transfer_time_s link bytes] for one message.  Zero-byte transfers
+    cost one setup. *)
+
+val effective_throughput_gbps : ?packet_bytes:int -> t -> float -> float
+(** Achieved Gb/s for a transfer of the given size (Fig. 8 series). *)
+
+val pp : Format.formatter -> t -> unit

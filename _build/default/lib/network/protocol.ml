@@ -1,0 +1,28 @@
+open Tapa_cs_device
+
+type orchestration = Host | Device
+
+type t = {
+  name : string;
+  orchestration : orchestration;
+  resource_overhead_pct : float option;
+  performance_gbps : float;
+}
+
+let tmd_mpi = { name = "TMD-MPI"; orchestration = Host; resource_overhead_pct = Some 26.0; performance_gbps = 10.0 }
+let galapagos = { name = "Galapagos"; orchestration = Device; resource_overhead_pct = Some 11.5; performance_gbps = 10.0 }
+let smi = { name = "SMI"; orchestration = Device; resource_overhead_pct = Some 2.0; performance_gbps = 40.0 }
+let easynet = { name = "EasyNet"; orchestration = Device; resource_overhead_pct = Some 10.0; performance_gbps = 90.0 }
+let zrlmpi = { name = "ZRLMPI"; orchestration = Host; resource_overhead_pct = None; performance_gbps = 10.0 }
+let accl = { name = "ACCL"; orchestration = Host; resource_overhead_pct = Some 16.0; performance_gbps = 80.0 }
+let alveolink = { name = "AlveoLink"; orchestration = Device; resource_overhead_pct = Some 5.0; performance_gbps = 90.0 }
+
+let all = [ tmd_mpi; galapagos; smi; easynet; zrlmpi; accl; alveolink ]
+
+let alveolink_port_overhead (board : Board.t) = Constants.alveolink_overhead_frac board.total
+
+let pp fmt p =
+  Format.fprintf fmt "%s (%s-orchestrated): %.0f Gbps, %s overhead" p.name
+    (match p.orchestration with Host -> "host" | Device -> "device")
+    p.performance_gbps
+    (match p.resource_overhead_pct with Some f -> Printf.sprintf "%.1f%%" f | None -> "unreported")

@@ -1,0 +1,31 @@
+(** The library of inter-FPGA communication protocols compared in
+    Table 10, plus the per-port resource overhead AlveoLink charges to
+    each board (§5.6). *)
+
+open Tapa_cs_device
+
+type orchestration = Host | Device
+
+type t = {
+  name : string;
+  orchestration : orchestration;
+  resource_overhead_pct : float option;  (** board fraction per deployment; [None] = unreported *)
+  performance_gbps : float;  (** peak data transfer throughput *)
+}
+
+val tmd_mpi : t
+val galapagos : t
+val smi : t
+val easynet : t
+val zrlmpi : t
+val accl : t
+val alveolink : t
+
+val all : t list
+(** Table 10 rows in paper order. *)
+
+val alveolink_port_overhead : Board.t -> Resource.t
+(** Resources consumed by the HiveNet + CMAC IPs per QSFP28 port (§5.6):
+    2.04 % LUT, 2.94 % FF, 2.06 % BRAM, 0 % DSP/URAM. *)
+
+val pp : Format.formatter -> t -> unit

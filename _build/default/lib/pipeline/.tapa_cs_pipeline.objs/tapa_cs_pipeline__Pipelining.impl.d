@@ -1,0 +1,1 @@
+lib/pipeline/pipelining.ml: Array Fifo Hashtbl List Option Resource Tapa_cs_device Tapa_cs_graph Taskgraph

@@ -1,0 +1,1 @@
+lib/pipeline/pipelining.mli: Hashtbl Resource Tapa_cs_device Tapa_cs_graph Taskgraph

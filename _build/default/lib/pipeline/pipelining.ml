@@ -1,0 +1,86 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type insertion = { fifo_id : int; stages : int }
+
+type t = {
+  insertions : insertion list;
+  balancing : insertion list;
+  added_latency_cycles : int;
+  balanced_extra_cycles : int;
+  area : Resource.t;
+  max_path_latency : int;
+  by_fifo : (int, int) Hashtbl.t;
+}
+
+(* One FF column per bit per stage plus a sliver of control LUTs. *)
+let register_area ~width_bits ~stages =
+  Resource.make ~ff:(width_bits * stages) ~lut:(((width_bits / 8) + 4) * stages) ()
+
+let run ~graph ~crossings =
+  let stages_tbl = Hashtbl.create 32 in
+  List.iter (fun (fid, dist) -> if dist > 0 then Hashtbl.replace stages_tbl fid dist) crossings;
+  let insertions =
+    Hashtbl.fold (fun fifo_id stages acc -> { fifo_id; stages } :: acc) stages_tbl []
+    |> List.sort (fun a b -> compare a.fifo_id b.fifo_id)
+  in
+  (* Cut-set balancing over the acyclic condensation: the latency of every
+     path between two tasks must match the longest parallel path.  Edges
+     inside a strongly connected component cannot be re-balanced (feedback)
+     and are skipped, as in AutoBridge. *)
+  let n = Taskgraph.num_tasks graph in
+  let comps = Taskgraph.sccs graph in
+  let comp_of = Array.make n (-1) in
+  List.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comps;
+  let lat f = Option.value (Hashtbl.find_opt stages_tbl f) ~default:0 in
+  let arrival = Array.make n 0 in
+  (* Longest-arrival fixed point over condensation edges (acyclic). *)
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters <= n + 1 do
+    changed := false;
+    incr iters;
+    Array.iter
+      (fun (f : Fifo.t) ->
+        if comp_of.(f.src) <> comp_of.(f.dst) then begin
+          let a = arrival.(f.src) + lat f.id in
+          if arrival.(f.dst) < a then begin
+            arrival.(f.dst) <- a;
+            changed := true
+          end
+        end)
+      (Taskgraph.fifos graph)
+  done;
+  let balancing = ref [] in
+  Array.iter
+    (fun (f : Fifo.t) ->
+      if comp_of.(f.src) <> comp_of.(f.dst) then begin
+        let slack = arrival.(f.dst) - (arrival.(f.src) + lat f.id) in
+        if slack > 0 then balancing := { fifo_id = f.id; stages = slack } :: !balancing
+      end)
+    (Taskgraph.fifos graph);
+  let balancing = List.rev !balancing in
+  let area =
+    List.fold_left
+      (fun acc ins ->
+        let f = Taskgraph.fifo graph ins.fifo_id in
+        Resource.add acc (register_area ~width_bits:f.Fifo.width_bits ~stages:ins.stages))
+      Resource.zero (insertions @ balancing)
+  in
+  let by_fifo = Hashtbl.create 32 in
+  List.iter
+    (fun ins ->
+      let cur = Option.value (Hashtbl.find_opt by_fifo ins.fifo_id) ~default:0 in
+      Hashtbl.replace by_fifo ins.fifo_id (cur + ins.stages))
+    (insertions @ balancing);
+  {
+    insertions;
+    balancing;
+    added_latency_cycles = List.fold_left (fun acc i -> acc + i.stages) 0 insertions;
+    balanced_extra_cycles = List.fold_left (fun acc i -> acc + i.stages) 0 balancing;
+    area;
+    max_path_latency = Array.fold_left max 0 arrival;
+    by_fifo;
+  }
+
+let stages_of t fid = Option.value (Hashtbl.find_opt t.by_fifo fid) ~default:0

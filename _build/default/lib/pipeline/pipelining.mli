@@ -1,0 +1,30 @@
+(** Step 6 of TAPA-CS (§4.6): interconnect pipelining.
+
+    Every slot-crossing FIFO conservatively receives one pipeline register
+    per crossing (the compute modules are FSM-controlled, so latency
+    cannot be predicted — exactly the paper's argument for conservative
+    pipelining).  Reconvergent parallel paths are then re-balanced with
+    cut-set pipelining so the added registers cannot change the design's
+    steady-state throughput. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+
+type insertion = { fifo_id : int; stages : int }
+
+type t = {
+  insertions : insertion list;  (** one per crossing FIFO *)
+  balancing : insertion list;  (** extra stages restoring path-latency balance *)
+  added_latency_cycles : int;  (** Σ stages over all insertions *)
+  balanced_extra_cycles : int;
+  area : Resource.t;  (** register cost charged to the design *)
+  max_path_latency : int;  (** pipeline latency of the longest source-sink path *)
+  by_fifo : (int, int) Hashtbl.t;  (** total stages per FIFO id *)
+}
+
+val run : graph:Taskgraph.t -> crossings:(int * int) list -> t
+(** [crossings] pairs each crossing FIFO id with its Manhattan slot
+    distance (from {!Tapa_cs_floorplan.Intra_fpga}). *)
+
+val stages_of : t -> int -> int
+(** Total stages (insertion + balancing) on a FIFO; 0 when untouched. *)

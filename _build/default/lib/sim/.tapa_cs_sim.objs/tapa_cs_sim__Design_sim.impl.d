@@ -1,0 +1,1 @@
+lib/sim/design_sim.ml: Array Cluster Constants Engine Fifo Float Fun Hashtbl List Printf Stdlib String Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Tapa_cs_network Task Taskgraph

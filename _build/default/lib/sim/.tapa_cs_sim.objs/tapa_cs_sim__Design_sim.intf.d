@@ -1,0 +1,1 @@
+lib/sim/design_sim.mli: Cluster Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Taskgraph

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Float Hashtbl Heap Int List Tapa_cs_util

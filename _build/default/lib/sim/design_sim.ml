@@ -1,0 +1,250 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+module Network = Tapa_cs_network
+
+type config = {
+  graph : Taskgraph.t;
+  assignment : int array;
+  freq_mhz : float array;
+  cluster : Cluster.t;
+  synthesis : Synthesis.report;
+  port_bandwidth_gbps : int -> int -> float;
+  extra_stage_cycles : int -> int;
+  chunks : int;
+}
+
+let default_chunks = 64
+
+type link_stat = { src_fpga : int; dst_fpga : int; bytes : float; busy_s : float }
+
+type task_stat = {
+  task_id : int;
+  fpga : int;
+  start_s : float;
+  finish_s : float;
+  busy_s : float;
+}
+
+type result = {
+  latency_s : float;
+  events : int;
+  deadlocked : string list;
+  per_fpga_busy_s : float array;
+  links : link_stat list;
+  tasks : task_stat array;
+}
+
+let fpga_idle_fraction r ~fpga =
+  let stats = Array.to_list r.tasks |> List.filter (fun t -> t.fpga = fpga) in
+  match (stats, r.latency_s) with
+  | [], _ | _, 0.0 -> 0.0
+  | _ ->
+    let busy = List.fold_left (fun acc t -> acc +. t.busy_s) 0.0 stats in
+    let avg = busy /. float_of_int (List.length stats) in
+    Float.max 0.0 (1.0 -. (avg /. r.latency_s))
+
+let make_config ?(chunks = default_chunks)
+    ?(port_bandwidth_gbps = fun _ _ -> Constants.hbm_channel_bandwidth_gbps)
+    ?(extra_stage_cycles = fun _ -> 0) ~graph ~assignment ~freq_mhz ~cluster ~synthesis () =
+  { graph; assignment; freq_mhz; cluster; synthesis; port_bandwidth_gbps; extra_stage_cycles; chunks }
+
+(* Shortest routing path length between two FPGAs; multi-hop transfers pay
+   serialization on every hop of the path. *)
+let hops cfg i j = Cluster.dist cfg.cluster i j
+
+let link_params cfg i j =
+  if not (Cluster.same_node cfg.cluster i j) then Network.Link.host_mpi_10g
+  else begin
+    match cfg.cluster.Cluster.link with
+    | Cluster.Ethernet_100g -> Network.Link.alveolink
+    | Cluster.Pcie_gen3x16 -> Network.Link.pcie_p2p
+  end
+
+let run cfg =
+  let g = cfg.graph in
+  let n = Taskgraph.num_tasks g in
+  if Array.length cfg.assignment <> n then invalid_arg "Design_sim: assignment size mismatch";
+  let k = Cluster.size cfg.cluster in
+  if Array.length cfg.freq_mhz <> k then invalid_arg "Design_sim: one clock per FPGA required";
+  Array.iter (fun f -> if f <= 0.0 then invalid_arg "Design_sim: clock must be positive") cfg.freq_mhz;
+  Array.iter
+    (fun fpga -> if fpga < 0 || fpga >= k then invalid_arg "Design_sim: assignment out of range")
+    cfg.assignment;
+  if cfg.chunks <= 0 then invalid_arg "Design_sim: chunks must be positive";
+  let eng = Engine.create () in
+  let freq_hz fpga = cfg.freq_mhz.(fpga) *. 1e6 in
+  (* FIFOs inside a strongly connected component get one chunk of credit. *)
+  let comps = Taskgraph.sccs g in
+  let comp_of = Array.make n (-1) in
+  List.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comps;
+  let chunk_bytes (f : Fifo.t) =
+    Float.max 1.0 (Fifo.traffic_bytes f /. float_of_int cfg.chunks)
+  in
+  (* Producers, movers and consumers all agree on this rounded-up volume so
+     every pull is eventually satisfied. *)
+  let sim_volume f = float_of_int (Stdlib.max 1 cfg.chunks) *. chunk_bytes f in
+  (* Channels: one per FIFO endpoint pair.  Cross-FPGA FIFOs get a source
+     side channel, a mover process modelling the network, and a
+     destination-side channel. *)
+  let in_channel = Array.make (Taskgraph.num_fifos g) None in
+  let out_channel = Array.make (Taskgraph.num_fifos g) None in
+  let links = Hashtbl.create 16 in
+  let link_server i j =
+    match Hashtbl.find_opt links (i, j) with
+    | Some s -> s
+    | None ->
+      let p = link_params cfg i j in
+      let h = float_of_int (Stdlib.max 1 (hops cfg i j)) in
+      let s =
+        Engine.Server.create eng
+          ~name:(Printf.sprintf "link-%d->%d" i j)
+          ~rate_bytes_per_s:(p.Network.Link.bandwidth_gbytes *. p.Network.Link.derate *. 1e9 /. h)
+          ~latency_s:(p.Network.Link.one_way_latency_us *. 1e-6 *. h)
+          ~per_packet_s:(p.Network.Link.per_packet_overhead_ns *. 1e-9 *. h)
+          ~packet_bytes:(float_of_int p.Network.Link.default_packet_bytes)
+          ()
+      in
+      Hashtbl.add links (i, j) s;
+      s
+  in
+  Array.iter
+    (fun (f : Fifo.t) ->
+      let same_fpga = cfg.assignment.(f.src) = cfg.assignment.(f.dst) in
+      let base_cap =
+        match f.mode with
+        | Fifo.Bulk -> sim_volume f
+        | Fifo.Stream ->
+          (* Two chunks of headroom: double buffering, without which the
+             strict joins of 2-D grids (systolic arrays) run in lockstep at
+             half throughput. *)
+          Float.max (float_of_int (f.depth * f.width_bits / 8)) (2.0 *. chunk_bytes f)
+      in
+      let credit = if comp_of.(f.src) = comp_of.(f.dst) then chunk_bytes f else 0.0 in
+      let cap = Float.max base_cap (2.0 *. credit) in
+      let mk tag = Engine.Channel.create eng ~name:(Printf.sprintf "f%d.%s" f.id tag) ~capacity:cap in
+      if same_fpga then begin
+        let ch = mk "local" in
+        if credit > 0.0 then Engine.Channel.push ch credit;
+        (* push before run: safe, channel has room by construction *)
+        in_channel.(f.id) <- Some ch;
+        out_channel.(f.id) <- Some ch
+      end
+      else begin
+        let src_side = mk "src" and dst_side = mk "dst" in
+        if credit > 0.0 then Engine.Channel.push dst_side credit;
+        out_channel.(f.id) <- Some src_side;
+        in_channel.(f.id) <- Some dst_side;
+        let srv = link_server cfg.assignment.(f.src) cfg.assignment.(f.dst) in
+        let volume = sim_volume f in
+        let move_granularity =
+          match f.mode with Fifo.Bulk -> volume | Fifo.Stream -> chunk_bytes f
+        in
+        Engine.spawn eng ~name:(Printf.sprintf "mover-f%d" f.id) (fun () ->
+            let moved = ref 0.0 in
+            while !moved < volume -. 1e-9 do
+              let piece = Float.min move_granularity (volume -. !moved) in
+              Engine.Channel.pull src_side piece;
+              Engine.Server.transfer srv piece;
+              Engine.Channel.push dst_side piece;
+              moved := !moved +. piece
+            done)
+      end)
+    (Taskgraph.fifos g);
+  (* Task processes. *)
+  let per_fpga_busy = Array.make (Cluster.size cfg.cluster) 0.0 in
+  let task_start = Array.make n nan in
+  let task_finish = Array.make n 0.0 in
+  let task_busy = Array.make n 0.0 in
+  Array.iter
+    (fun (t : Task.t) ->
+      let fpga = cfg.assignment.(t.id) in
+      let f_hz = freq_hz fpga in
+      let profile = Synthesis.profile_of cfg.synthesis t.id in
+      let in_fifos = Taskgraph.in_fifos g t.id and out_fifos = Taskgraph.out_fifos g t.id in
+      let bulk_in, stream_in =
+        List.partition (fun (f : Fifo.t) -> f.mode = Fifo.Bulk) in_fifos
+      in
+      (* Extra pipeline-register latency on inbound wires: a pure latency
+         add, by cut-set balancing it cannot change throughput. *)
+      let stage_latency =
+        List.fold_left
+          (fun acc (f : Fifo.t) -> Stdlib.max acc (cfg.extra_stage_cycles f.id))
+          0 in_fifos
+      in
+      let nchunks = Stdlib.max 1 cfg.chunks in
+      let compute_chunk = profile.steady_cycles /. float_of_int nchunks /. f_hz in
+      let mem_chunk =
+        List.fold_left (fun acc i ->
+            let p = List.nth t.mem_ports i in
+            let bw = cfg.port_bandwidth_gbps t.id i *. 1e9 in
+            if bw <= 0.0 then acc
+            else Float.max acc (p.Task.bytes /. float_of_int nchunks /. bw))
+          0.0
+          (List.init (List.length t.mem_ports) Fun.id)
+      in
+      let chunk_time = Float.max compute_chunk mem_chunk in
+      Engine.spawn eng ~name:(Printf.sprintf "task-%s" t.name) (fun () ->
+          (* Bulk inputs must arrive in full before anything starts. *)
+          List.iter
+            (fun (f : Fifo.t) ->
+              match in_channel.(f.id) with
+              | Some ch -> Engine.Channel.pull ch (sim_volume f)
+              | None -> ())
+            bulk_in;
+          Engine.wait ((profile.startup_cycles +. float_of_int stage_latency) /. f_hz);
+          for _ = 1 to nchunks do
+            List.iter
+              (fun (f : Fifo.t) ->
+                match in_channel.(f.id) with
+                | Some ch -> Engine.Channel.pull ch (chunk_bytes f)
+                | None -> ())
+              stream_in;
+            if Float.is_nan task_start.(t.id) then task_start.(t.id) <- Engine.time ();
+            Engine.wait chunk_time;
+            per_fpga_busy.(fpga) <- per_fpga_busy.(fpga) +. chunk_time;
+            task_busy.(t.id) <- task_busy.(t.id) +. chunk_time;
+            task_finish.(t.id) <- Engine.time ();
+            List.iter
+              (fun (f : Fifo.t) ->
+                match out_channel.(f.id) with
+                | Some ch -> Engine.Channel.push ch (chunk_bytes f)
+                | None -> ())
+              out_fifos
+          done))
+    (Taskgraph.tasks g);
+  let r = Engine.run eng in
+  if r.deadlocked <> [] then
+    failwith
+      (Printf.sprintf "Design_sim: deadlock involving %s" (String.concat ", " r.deadlocked));
+  let link_stats =
+    Hashtbl.fold
+      (fun (i, j) srv acc ->
+        {
+          src_fpga = i;
+          dst_fpga = j;
+          bytes = Engine.Server.bytes_moved srv;
+          busy_s = Engine.Server.busy_time srv;
+        }
+        :: acc)
+      links []
+    |> List.sort compare
+  in
+  let tasks =
+    Array.init n (fun tid ->
+        {
+          task_id = tid;
+          fpga = cfg.assignment.(tid);
+          start_s = (if Float.is_nan task_start.(tid) then 0.0 else task_start.(tid));
+          finish_s = task_finish.(tid);
+          busy_s = task_busy.(tid);
+        })
+  in
+  {
+    latency_s = r.end_time;
+    events = r.events;
+    deadlocked = r.deadlocked;
+    per_fpga_busy_s = per_fpga_busy;
+    links = link_stats;
+    tasks;
+  }

@@ -1,0 +1,70 @@
+(** End-to-end timed simulation of a compiled multi-FPGA design.
+
+    Builds one simulator process per task, one channel per FIFO, and one
+    serially-shared {!Engine.Server} per directed FPGA pair (the AlveoLink
+    port — this is where the CNN's many-writers contention of §5.5 shows
+    up).  Tasks stream data in chunks, so downstream FPGAs overlap with
+    upstream ones exactly when the dataflow allows it; [Bulk] FIFOs force
+    the §5.2 sequential-stencil behaviour.
+
+    FIFOs that close a dependency cycle (PageRank's PE/controller loop)
+    receive one chunk of initial credit, the standard synchronous-dataflow
+    treatment of feedback edges. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+
+type config = {
+  graph : Taskgraph.t;
+  assignment : int array;  (** task id -> FPGA index *)
+  freq_mhz : float array;  (** per FPGA *)
+  cluster : Cluster.t;
+  synthesis : Synthesis.report;
+  port_bandwidth_gbps : int -> int -> float;  (** task id, port index -> GB/s *)
+  extra_stage_cycles : int -> int;  (** fifo id -> pipeline stages added *)
+  chunks : int;  (** simulation granularity: chunks per task stream *)
+}
+
+val default_chunks : int
+
+type link_stat = { src_fpga : int; dst_fpga : int; bytes : float; busy_s : float }
+
+type task_stat = {
+  task_id : int;
+  fpga : int;
+  start_s : float;  (** first cycle of useful work *)
+  finish_s : float;
+  busy_s : float;  (** accumulated compute time *)
+}
+
+type result = {
+  latency_s : float;
+  events : int;
+  deadlocked : string list;
+  per_fpga_busy_s : float array;  (** summed task compute time per FPGA *)
+  links : link_stat list;
+  tasks : task_stat array;  (** indexed by task id *)
+}
+
+val fpga_idle_fraction : result -> fpga:int -> float
+(** 1 - (average task busy time on this FPGA / makespan): the §5.2/§5.5
+    idle-PE metric.  0 when the device computes the whole run. *)
+
+val run : config -> result
+(** @raise Failure when the simulation deadlocks (a modelling error, never
+    expected on valid designs). *)
+
+val make_config :
+  ?chunks:int ->
+  ?port_bandwidth_gbps:(int -> int -> float) ->
+  ?extra_stage_cycles:(int -> int) ->
+  graph:Taskgraph.t ->
+  assignment:int array ->
+  freq_mhz:float array ->
+  cluster:Cluster.t ->
+  synthesis:Synthesis.report ->
+  unit ->
+  config
+(** Convenience constructor; the port bandwidth defaults to the full
+    per-channel HBM bandwidth and no extra pipeline latency. *)

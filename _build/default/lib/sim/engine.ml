@@ -1,0 +1,246 @@
+open Tapa_cs_util
+
+type event = { etime : float; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable enow : float;
+  queue : event Heap.t;
+  mutable seq : int;
+  mutable events : int;
+  mutable current : string;
+  suspended : (int, string) Hashtbl.t;
+  mutable suspend_id : int;
+}
+
+let event_cmp a b =
+  let c = Float.compare a.etime b.etime in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    enow = 0.0;
+    queue = Heap.create ~cmp:event_cmp;
+    seq = 0;
+    events = 0;
+    current = "<main>";
+    suspended = Hashtbl.create 16;
+    suspend_id = 0;
+  }
+
+let now t = t.enow
+
+let schedule t dt fn =
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { etime = t.enow +. dt; seq = t.seq; fn }
+
+(* Effects performed by process code.  [Suspend register] hands the
+   channel/server a wake thunk; the handler wraps the continuation so the
+   wake re-enters through the event queue (keeping determinism). *)
+type _ Effect.t +=
+  | Wait : float -> unit Effect.t
+  | Time : float Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+exception Not_in_process of string
+
+let wait dt =
+  if dt < 0.0 then invalid_arg "Engine.wait: negative duration";
+  Effect.perform (Wait dt)
+
+let time () = Effect.perform Time
+
+let spawn t ?(name = "process") body =
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait dt ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let resume_name = t.current in
+                schedule t dt (fun () ->
+                    t.current <- resume_name;
+                    Effect.Deep.continue k ()))
+          | Time -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k t.enow)
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let resume_name = t.current in
+                t.suspend_id <- t.suspend_id + 1;
+                let sid = t.suspend_id in
+                Hashtbl.replace t.suspended sid resume_name;
+                register (fun () ->
+                    schedule t 0.0 (fun () ->
+                        Hashtbl.remove t.suspended sid;
+                        t.current <- resume_name;
+                        Effect.Deep.continue k ())))
+          | _ -> None);
+    }
+  in
+  schedule t 0.0 (fun () ->
+      t.current <- name;
+      Effect.Deep.match_with body () handler)
+
+type run_result = { end_time : float; events : int; deadlocked : string list }
+
+let run ?until t =
+  let continue_run () =
+    match Heap.peek t.queue with
+    | None -> false
+    | Some ev -> ( match until with None -> true | Some u -> ev.etime <= u)
+  in
+  while continue_run () do
+    let ev = Heap.pop_exn t.queue in
+    t.enow <- Float.max t.enow ev.etime;
+    t.events <- t.events + 1;
+    ev.fn ()
+  done;
+  let deadlocked = Hashtbl.fold (fun _ name acc -> name :: acc) t.suspended [] in
+  { end_time = t.enow; events = t.events; deadlocked = List.sort_uniq compare deadlocked }
+
+let _ = Not_in_process ""
+
+module Channel = struct
+  type engine = t
+
+  type t = {
+    eng : engine;
+    cname : string;
+    capacity : float;
+    mutable clevel : float;
+    mutable pushers : (unit -> unit) list;
+    mutable pullers : (unit -> unit) list;
+    mutable pushed : float;
+    mutable pulled : float;
+  }
+
+  let create eng ~name ~capacity =
+    if capacity <= 0.0 then invalid_arg "Channel.create: capacity must be positive";
+    { eng; cname = name; capacity; clevel = 0.0; pushers = []; pullers = []; pushed = 0.0; pulled = 0.0 }
+
+  let wake_all waiters =
+    let ws = !waiters in
+    waiters := [];
+    List.iter (fun w -> w ()) (List.rev ws)
+
+  let wake_pullers ch =
+    let ws = ch.pullers in
+    ch.pullers <- [];
+    List.iter (fun w -> w ()) (List.rev ws)
+
+  let wake_pushers ch =
+    let ws = ch.pushers in
+    ch.pushers <- [];
+    List.iter (fun w -> w ()) (List.rev ws)
+
+  let _ = wake_all
+
+  (* Tolerances are relative to the magnitudes involved: channels move
+     hundreds of megabytes in repeated chunks, so absolute epsilons would
+     let rounding residue wedge a full pipeline. *)
+  let eps = 1e-12
+  let slack ch amount = (1e-9 *. (ch.capacity +. Float.abs amount)) +. 1e-9
+
+  let rec push_piece ch amount =
+    if amount > eps then begin
+      if ch.clevel +. amount <= ch.capacity +. slack ch amount then begin
+        ch.clevel <- ch.clevel +. amount;
+        ch.pushed <- ch.pushed +. amount;
+        wake_pullers ch
+      end
+      else begin
+        Effect.perform (Suspend (fun resume -> ch.pushers <- resume :: ch.pushers));
+        push_piece ch amount
+      end
+    end
+
+  let push ch amount =
+    if amount < 0.0 then invalid_arg "Channel.push: negative amount";
+    (* Stream oversized messages through in capacity-sized pieces. *)
+    let rec go remaining =
+      if remaining > eps then begin
+        let piece = Float.min remaining ch.capacity in
+        push_piece ch piece;
+        go (remaining -. piece)
+      end
+    in
+    go amount
+
+  let rec pull_piece ch amount =
+    if amount > eps then begin
+      if ch.clevel +. slack ch amount >= amount then begin
+        ch.clevel <- Float.max 0.0 (ch.clevel -. amount);
+        ch.pulled <- ch.pulled +. amount;
+        wake_pushers ch
+      end
+      else begin
+        Effect.perform (Suspend (fun resume -> ch.pullers <- resume :: ch.pullers));
+        pull_piece ch amount
+      end
+    end
+
+  let pull ch amount =
+    if amount < 0.0 then invalid_arg "Channel.pull: negative amount";
+    let rec go remaining =
+      if remaining > eps then begin
+        let piece = Float.min remaining ch.capacity in
+        pull_piece ch piece;
+        go (remaining -. piece)
+      end
+    in
+    go amount
+
+  let level ch = ch.clevel
+  let total_pushed ch = ch.pushed
+  let total_pulled ch = ch.pulled
+  let name ch = ch.cname
+end
+
+module Server = struct
+  type engine = t
+
+  type t = {
+    eng : engine;
+    sname : string;
+    rate : float;
+    latency : float;
+    per_packet : float;
+    packet : float;
+    mutable busy_until : float;
+    mutable busy : float;
+    mutable bytes : float;
+  }
+
+  let create eng ~name ~rate_bytes_per_s ?(latency_s = 0.0) ?(per_packet_s = 0.0)
+      ?(packet_bytes = 4096.0) () =
+    if rate_bytes_per_s <= 0.0 then invalid_arg "Server.create: rate must be positive";
+    {
+      eng;
+      sname = name;
+      rate = rate_bytes_per_s;
+      latency = latency_s;
+      per_packet = per_packet_s;
+      packet = packet_bytes;
+      busy_until = 0.0;
+      busy = 0.0;
+      bytes = 0.0;
+    }
+
+  let transfer srv amount =
+    if amount < 0.0 then invalid_arg "Server.transfer: negative amount";
+    let tnow = srv.eng.enow in
+    let packets = if amount <= 0.0 then 0.0 else ceil (amount /. srv.packet) in
+    let ser = (amount /. srv.rate) +. (packets *. srv.per_packet) in
+    let start = Float.max tnow srv.busy_until in
+    srv.busy_until <- start +. ser;
+    srv.busy <- srv.busy +. ser;
+    srv.bytes <- srv.bytes +. amount;
+    wait (srv.busy_until -. tnow +. srv.latency)
+
+  let busy_time srv = srv.busy
+  let bytes_moved srv = srv.bytes
+  let name srv = srv.sname
+end

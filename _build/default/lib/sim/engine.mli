@@ -1,0 +1,82 @@
+(** Discrete-event simulation engine.
+
+    Processes are ordinary OCaml functions running on top of effect
+    handlers (OCaml 5): inside a process, {!wait}, {!Channel.push},
+    {!Channel.pull} and {!Server.transfer} suspend the fiber and the
+    engine resumes it when simulated time or resources allow.  Determinism
+    comes from a (time, sequence-number) total order on events. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Register a process; it starts at the current simulated time when
+    {!run} (or the ongoing run) reaches it. *)
+
+type run_result = {
+  end_time : float;
+  events : int;
+  deadlocked : string list;  (** names of processes still blocked at the end *)
+}
+
+val run : ?until:float -> t -> run_result
+(** Executes events until the queue drains or [until] is passed.  A
+    non-empty [deadlocked] list means some channel dependency cycle never
+    resolved — surfaced, never silently dropped. *)
+
+(** {1 Operations usable inside a process} *)
+
+val wait : float -> unit
+(** Advance this process by a simulated duration (seconds, >= 0). *)
+
+val time : unit -> float
+(** Current simulated time as seen by this process. *)
+
+(** Bounded byte-counting FIFO channels. *)
+module Channel : sig
+  type engine := t
+  type t
+
+  val create : engine -> name:string -> capacity:float -> t
+  (** [capacity] in bytes; must be positive. *)
+
+  val push : t -> float -> unit
+  (** Blocks while the channel lacks space.  Amounts larger than the
+      capacity are streamed through in capacity-sized pieces. *)
+
+  val pull : t -> float -> unit
+  (** Blocks until the requested bytes are available. *)
+
+  val level : t -> float
+  val total_pushed : t -> float
+  val total_pulled : t -> float
+  val name : t -> string
+end
+
+(** A serially shared resource with rate, per-packet overhead and
+    propagation latency — the model of one AlveoLink port or a host NIC. *)
+module Server : sig
+  type engine := t
+  type t
+
+  val create :
+    engine ->
+    name:string ->
+    rate_bytes_per_s:float ->
+    ?latency_s:float ->
+    ?per_packet_s:float ->
+    ?packet_bytes:float ->
+    unit ->
+    t
+
+  val transfer : t -> float -> unit
+  (** Queue behind earlier transfers, hold the server for the
+      serialization time, then wait the propagation latency. *)
+
+  val busy_time : t -> float
+  val bytes_moved : t -> float
+  val name : t -> string
+end

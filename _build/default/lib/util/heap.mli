@@ -1,0 +1,21 @@
+(** Imperative binary min-heap, used as the event queue of the
+    discrete-event simulator and as the frontier of best-first
+    branch-and-bound search. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Not_found when empty. *)
+
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list
+(** Unsorted snapshot of the heap contents. *)

@@ -1,0 +1,78 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?title ~header ?aligns rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.make ncols Left
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let measure row = List.iteri (fun i cell -> if i < ncols then widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (String.make w '-');
+      Buffer.add_string buf "  ")
+    widths;
+  (* Trim the trailing separator spacing. *)
+  let sep_line = Buffer.contents buf in
+  Buffer.clear buf;
+  Buffer.add_string buf (String.sub sep_line 0 (String.length sep_line - 2));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title ~header ?aligns rows = print_string (render ?title ~header ?aligns rows)
+
+let fmt_float ?(decimals = 2) f =
+  let s = Printf.sprintf "%.*f" decimals f in
+  if String.contains s '.' then begin
+    let rec trim i = if i > 0 && s.[i] = '0' then trim (i - 1) else i in
+    let last = trim (String.length s - 1) in
+    let last = if s.[last] = '.' then last - 1 else last in
+    String.sub s 0 (last + 1)
+  end
+  else s
+
+let fmt_speedup f = fmt_float ~decimals:2 f ^ "x"
+
+let fmt_pct f = fmt_float ~decimals:1 (f *. 100.0) ^ "%"
+
+let fmt_bytes b =
+  let kb = 1024.0 in
+  let mb = kb *. kb in
+  let gb = mb *. kb in
+  if b >= gb then fmt_float (b /. gb) ^ "GB"
+  else if b >= mb then fmt_float (b /. mb) ^ "MB"
+  else if b >= kb then fmt_float (b /. kb) ^ "KB"
+  else fmt_float b ^ "B"

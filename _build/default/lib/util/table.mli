@@ -1,0 +1,26 @@
+(** Plain-text tabular reports.
+
+    The benchmark harness prints every paper table / figure series through
+    this module so all experiment output shares one format. *)
+
+type align = Left | Right
+
+val render : ?title:string -> header:string list -> ?aligns:align list -> string list list -> string
+(** [render ~header rows] lays out an ASCII table with a separator line
+    under the header.  Rows shorter than the header are padded with
+    empty cells. *)
+
+val print : ?title:string -> header:string list -> ?aligns:align list -> string list list -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting with trailing-zero trimming, e.g.
+    [fmt_float 2.50 = "2.5"]. *)
+
+val fmt_speedup : float -> string
+(** Formats a ratio as the paper does: ["2.64x"]. *)
+
+val fmt_pct : float -> string
+(** Formats a [0,1] fraction as a percentage: ["42.3%"]. *)
+
+val fmt_bytes : float -> string
+(** Human-readable byte volume, e.g. ["144.22MB"]. *)

@@ -1,0 +1,13 @@
+(** Disjoint-set forest with path compression and union by rank.
+    Used for connectivity checks over task graphs and floorplans. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of distinct components. *)

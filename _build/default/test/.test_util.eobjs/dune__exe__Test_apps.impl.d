@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App Array Cnn Dataset Fifo Knn List Pagerank Printf Stencil String Tapa_cs_apps Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Task Taskgraph

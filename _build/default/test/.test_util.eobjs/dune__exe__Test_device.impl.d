@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Board Cluster Constants List QCheck QCheck_alcotest Resource Tapa_cs_device Topology

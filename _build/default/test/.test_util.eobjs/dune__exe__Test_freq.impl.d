@@ -1,0 +1,1 @@
+test/test_freq.ml: Alcotest Array Board List Printf Resource Synthesis Tapa_cs_device Tapa_cs_freq Tapa_cs_graph Tapa_cs_hls Task Taskgraph

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fifo Float List Mincut Printf QCheck QCheck_alcotest Random String Tapa_cs_graph Tapa_cs_util Task Taskgraph

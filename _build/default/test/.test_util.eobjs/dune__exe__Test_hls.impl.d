@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Board Estimator Printf Resource Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Task Taskgraph

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Branch_bound Format Linear List Model Prng QCheck QCheck_alcotest Rat Simplex Tapa_cs_ilp Tapa_cs_util

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Board Float Link List Protocol Resource Tapa_cs_device Tapa_cs_network

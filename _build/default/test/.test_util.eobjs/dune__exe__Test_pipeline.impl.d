@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest List Resource Tapa_cs_device Tapa_cs_graph Tapa_cs_pipeline Taskgraph

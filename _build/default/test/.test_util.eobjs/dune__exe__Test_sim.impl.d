@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Board Cluster Design_sim Engine Fifo List Printf QCheck QCheck_alcotest Synthesis Tapa_cs_device Tapa_cs_graph Tapa_cs_hls Tapa_cs_sim Tapa_cs_util Task Taskgraph

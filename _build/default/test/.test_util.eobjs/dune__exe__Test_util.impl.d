@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bigint Fun Heap Int64 List Printf Prng QCheck QCheck_alcotest Rat String Table Tapa_cs_util Union_find

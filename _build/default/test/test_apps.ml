@@ -1,0 +1,354 @@
+(* Tests for the benchmark generators: topology, scaling rules, and the
+   paper-table parameterizations they must reproduce. *)
+
+open Tapa_cs_graph
+open Tapa_cs_apps
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let fl eps = Alcotest.float eps
+
+let mb = 1024.0 *. 1024.0
+
+(* ------------------------------------------------------------------ *)
+(* Dataset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dataset_specs_match_table5 () =
+  check int "web-BerkStan nodes" 685_230 Dataset.web_berkstan.Dataset.nodes;
+  check int "web-BerkStan edges" 7_600_595 Dataset.web_berkstan.Dataset.edges;
+  check int "cit-Patents nodes" 3_774_768 Dataset.cit_patents.Dataset.nodes;
+  check int "cit-Patents edges" 16_518_948 Dataset.cit_patents.Dataset.edges;
+  check int "five datasets" 5 (List.length Dataset.all);
+  check bool "find" true (Dataset.find "web-Google" = Some Dataset.web_google);
+  check bool "find missing" true (Dataset.find "nope" = None)
+
+let test_dataset_generation_exact_counts () =
+  let spec = { Dataset.name = "tiny"; nodes = 500; edges = 3000 } in
+  let g = Dataset.generate spec in
+  check int "offsets length" 501 (Array.length g.Dataset.offsets);
+  check int "edge count exact" 3000 g.Dataset.offsets.(500);
+  check int "targets length" 3000 (Array.length g.Dataset.targets);
+  Array.iter (fun t -> check bool "target in range" true (t >= 0 && t < 500)) g.Dataset.targets
+
+let test_dataset_deterministic () =
+  let spec = { Dataset.name = "tiny"; nodes = 200; edges = 1000 } in
+  let a = Dataset.generate ~seed:5 spec and b = Dataset.generate ~seed:5 spec in
+  check bool "same seed same graph" true (a.Dataset.targets = b.Dataset.targets);
+  let c = Dataset.generate ~seed:6 spec in
+  check bool "different seed differs" true (a.Dataset.targets <> c.Dataset.targets)
+
+let test_dataset_skewed () =
+  let spec = { Dataset.name = "tiny"; nodes = 1000; edges = 20_000 } in
+  let g = Dataset.generate spec in
+  (* preferential attachment: hubs well above the mean degree of 20 *)
+  check bool "heavy tail" true (Dataset.max_out_degree g > 60)
+
+let test_dataset_scaled () =
+  let g = Dataset.generate_scaled ~max_edges:10_000 Dataset.cit_patents in
+  check int "capped edges" 10_000 g.Dataset.spec.Dataset.edges;
+  check bool "nodes scaled down" true (g.Dataset.spec.Dataset.nodes < 10_000)
+
+(* ------------------------------------------------------------------ *)
+(* Stencil                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_stencil_table4 () =
+  (* Table 4 rows: iters -> (ops/byte, MB transferred). *)
+  List.iter
+    (fun (iters, ops_byte, volume_mb) ->
+      let c = Stencil.make_config ~iterations:iters ~fpgas:2 () in
+      check (fl 1.0) (Printf.sprintf "ops/byte @%d" iters) ops_byte (Stencil.ops_per_byte c);
+      check (fl 1.0)
+        (Printf.sprintf "volume @%d" iters)
+        volume_mb
+        (Stencil.transfer_volume_bytes c /. mb))
+    [ (64, 208.0, 144.22); (128, 416.0, 288.43); (256, 832.0, 576.86); (512, 1664.0, 1153.73) ]
+
+let test_stencil_scaling_rules () =
+  (* §5.2: memory-bound -> widths grow; compute-bound -> PEs grow. *)
+  let mem1 = Stencil.make_config ~iterations:64 ~fpgas:1 () in
+  let mem4 = Stencil.make_config ~iterations:64 ~fpgas:4 () in
+  check int "single width 128" 128 (Stencil.port_width_bits mem1);
+  check int "multi width 512" 512 (Stencil.port_width_bits mem4);
+  check int "15 PEs each (memory-bound)" 15 (Stencil.pes_per_fpga mem4);
+  let cb1 = Stencil.make_config ~iterations:512 ~fpgas:1 () in
+  let cb4 = Stencil.make_config ~iterations:512 ~fpgas:4 () in
+  check int "compute-bound width stays 128" 128 (Stencil.port_width_bits cb4);
+  check int "15 PEs on 1 FPGA" 15 (Stencil.pes_per_fpga cb1);
+  check bool "90 total PEs on 4 FPGAs" true (4 * Stencil.pes_per_fpga cb4 >= 90)
+
+let test_stencil_graph_shape () =
+  let c = Stencil.make_config ~iterations:64 ~fpgas:2 () in
+  let app = Stencil.generate c in
+  let g = app.App.graph in
+  (* 2 segments x (reader + 15 PEs + writer) *)
+  check int "task count" (2 * 17) (Taskgraph.num_tasks g);
+  check bool "connected" true (Taskgraph.is_connected g);
+  check bool "acyclic" true (Taskgraph.is_acyclic g);
+  check int "handoff fifos" 1
+    (Array.to_list (Taskgraph.fifos g)
+    |> List.filter (fun (f : Fifo.t) -> f.width_bits = 64)
+    |> List.length)
+
+let test_stencil_inter_node_bulk () =
+  let c = Stencil.make_config ~iterations:512 ~fpgas:8 ~inter_node_at:(Some 4) () in
+  let app = Stencil.generate c in
+  let bulk =
+    Array.to_list (Taskgraph.fifos app.App.graph)
+    |> List.filter (fun (f : Fifo.t) -> f.mode = Fifo.Bulk)
+  in
+  check int "exactly one host-staged hop" 1 (List.length bulk)
+
+(* ------------------------------------------------------------------ *)
+(* PageRank                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pagerank_pe_scaling () =
+  List.iter
+    (fun (fpgas, pes) ->
+      let c = Pagerank.make_config ~dataset:Dataset.soc_slashdot0811 ~fpgas () in
+      check int (Printf.sprintf "PEs on %d FPGAs" fpgas) pes (Pagerank.total_pes c))
+    [ (1, 4); (2, 8); (3, 12); (4, 16); (8, 32) ]
+
+let test_pagerank_transfer_constant_in_pes () =
+  (* §5.3: transfer volume depends on the dataset, not the PE count. *)
+  let v k =
+    Pagerank.transfer_volume_bytes (Pagerank.make_config ~dataset:Dataset.web_google ~fpgas:k ())
+  in
+  check (fl 1e-6) "2 vs 4 FPGAs same volume" (v 2) (v 4);
+  let small = Pagerank.transfer_volume_bytes (Pagerank.make_config ~dataset:Dataset.soc_slashdot0811 ~fpgas:2 ()) in
+  check bool "bigger dataset, bigger volume" true (v 2 > small)
+
+let test_pagerank_graph_cyclic () =
+  let app = Pagerank.generate (Pagerank.make_config ~dataset:Dataset.soc_slashdot0811 ~fpgas:1 ()) in
+  let g = app.App.graph in
+  check int "4 PEs + router + controller" 6 (Taskgraph.num_tasks g);
+  check bool "has the dependency cycle (§5.1 Fig. 9)" true (not (Taskgraph.is_acyclic g));
+  check bool "router exists" true (Taskgraph.find_task g "vertex_router" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* KNN                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_knn_parameter_space () =
+  check (Alcotest.list int) "N values (Table 6)"
+    [ 1_000_000; 2_000_000; 3_000_000; 4_000_000; 8_000_000 ]
+    Knn.n_tested;
+  check (Alcotest.list int) "D values (Table 6)" [ 2; 4; 8; 16; 32; 64; 128 ] Knn.d_tested;
+  (* search space spans 8 MB .. 4 GB *)
+  let small = Knn.search_space_bytes (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:1 ()) in
+  let big = Knn.search_space_bytes (Knn.make_config ~n_points:8_000_000 ~dims:128 ~fpgas:1 ()) in
+  check (fl 1.0) "8MB" 8e6 small;
+  check (fl 1.0) "4GB" 4.096e9 big
+
+let test_knn_scaling_rules () =
+  List.iter
+    (fun (fpgas, blues) ->
+      check int
+        (Printf.sprintf "blue modules @%d" fpgas)
+        blues
+        (Knn.blue_modules (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas ())))
+    [ (1, 16); (2, 36); (3, 54); (4, 72) ];
+  let c1 = Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:1 () in
+  let c2 = Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:2 () in
+  check int "single: 256-bit / 32KB (§3)" 256 (Knn.port_width_bits c1);
+  check int "single buffer" (32 * 1024) (Knn.buffer_bytes c1);
+  check int "multi: 512-bit / 128KB (§3)" 512 (Knn.port_width_bits c2);
+  check int "multi buffer" (128 * 1024) (Knn.buffer_bytes c2)
+
+let test_knn_transfer_independent_of_n_d () =
+  (* §5.4: inter-FPGA volume depends only on K. *)
+  let v n d = Knn.transfer_volume_bytes (Knn.make_config ~n_points:n ~dims:d ~fpgas:2 ()) in
+  check (fl 1e-9) "N sweep constant" (v 1_000_000 2) (v 8_000_000 2);
+  check (fl 1e-9) "D sweep constant" (v 4_000_000 2) (v 4_000_000 128)
+
+let test_knn_graph_shape () =
+  let app = Knn.generate (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:1 ()) in
+  let g = app.App.graph in
+  (* 16 blue + 10 yellow + 1 green = 27 modules (§5.4) *)
+  check int "27 modules" 27 (Taskgraph.num_tasks g);
+  check bool "merge node present" true (Taskgraph.find_task g "merge_topk" <> None);
+  check bool "acyclic" true (Taskgraph.is_acyclic g);
+  (* every blue feeds exactly one yellow *)
+  let blues =
+    Array.to_list (Taskgraph.tasks g) |> List.filter (fun (t : Task.t) -> t.kind = "knn_blue")
+  in
+  List.iter
+    (fun (t : Task.t) -> check int "one consumer" 1 (List.length (Taskgraph.out_fifos g t.id)))
+    blues
+
+(* ------------------------------------------------------------------ *)
+(* CNN                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cnn_table7 () =
+  List.iter
+    (fun (cols, volume_mb) ->
+      let c = Cnn.make_config ~batch:1 ~cols ~fpgas:2 () in
+      check (fl 0.02)
+        (Printf.sprintf "volume 13x%d" cols)
+        volume_mb
+        (Cnn.transfer_volume_bytes c /. mb))
+    [ (4, 2.14); (8, 4.28); (12, 6.42); (16, 8.57); (20, 10.71) ]
+
+let test_cnn_table8_calibration () =
+  (* The per-module budgets must reproduce Table 8's published LUT/DSP
+     percentages within rounding. *)
+  let board = Tapa_cs_device.Board.u55c () in
+  List.iter
+    (fun (cols, lut_pct, dsp_pct) ->
+      let app = Cnn.generate (Cnn.make_config ~cols ~fpgas:1 ()) in
+      let syn = Tapa_cs_hls.Synthesis.run ~board app.App.graph in
+      let total = syn.Tapa_cs_hls.Synthesis.total_resources in
+      let lut = 100.0 *. float_of_int total.Tapa_cs_device.Resource.lut /. 1_146_240.0 in
+      let dsp = 100.0 *. float_of_int total.Tapa_cs_device.Resource.dsp /. 8376.0 in
+      check (fl 1.5) (Printf.sprintf "LUT%% 13x%d" cols) lut_pct lut;
+      (* The published DSP column is irregular (different unroll factors
+         per configuration); our linear calibration matches the endpoints,
+         so intermediate grids get a looser tolerance. *)
+      check (fl 7.0) (Printf.sprintf "DSP%% 13x%d" cols) dsp_pct dsp)
+    [ (4, 20.4, 25.2); (8, 38.3, 49.0); (12, 56.1, 80.1); (16, 74.0, 97.6); (20, 91.9, 123.7) ]
+
+let test_cnn_grid_structure () =
+  let c = Cnn.make_config ~cols:4 ~fpgas:1 () in
+  let app = Cnn.generate c in
+  let g = app.App.graph in
+  check int "module count" (Cnn.module_count c) (Taskgraph.num_tasks g);
+  check bool "acyclic" true (Taskgraph.is_acyclic g);
+  check bool "connected" true (Taskgraph.is_connected g);
+  (* interior PE has 2 inputs and 2 outputs *)
+  match Taskgraph.find_task g "pe_05_01" with
+  | Some t ->
+    check int "pe in-degree" 2 (List.length (Taskgraph.in_fifos g t.id));
+    check int "pe out-degree" 2 (List.length (Taskgraph.out_fifos g t.id))
+  | None -> Alcotest.fail "missing grid PE"
+
+let test_cnn_macs () =
+  check (fl 1.0) "54.5M MACs (§5.5)" 54.5e6 Cnn.macs_per_input;
+  check (Alcotest.list int) "grid sizes tested" [ 4; 8; 12; 16; 20 ] Cnn.cols_tested
+
+(* ------------------------------------------------------------------ *)
+
+let test_stencil_total_pe_rule () =
+  (* §5.2: compute-bound totals 15 / 30 / 60 / 90 over 1-4 FPGAs. *)
+  List.iter
+    (fun (fpgas, total) ->
+      let c = Stencil.make_config ~iterations:512 ~fpgas () in
+      check bool
+        (Printf.sprintf "%d FPGAs >= %d PEs total" fpgas total)
+        true
+        (fpgas * Stencil.pes_per_fpga c >= total))
+    [ (1, 15); (2, 30); (3, 60); (4, 90); (8, 120) ]
+
+let test_stencil_ops_accounting () =
+  let c = Stencil.make_config ~iterations:64 ~fpgas:1 () in
+  (* 26 ops x 4096^2 cells x 64 iters *)
+  check (fl 1e6) "total ops" (26.0 *. 4096.0 *. 4096.0 *. 64.0) (Stencil.total_ops c);
+  check (fl 1.0) "cells" (4096.0 *. 4096.0) (Stencil.cells c)
+
+let test_knn_yellow_feeds_green () =
+  let app = Knn.generate (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:2 ()) in
+  let g = app.App.graph in
+  match Taskgraph.find_task g "merge_topk" with
+  | Some green ->
+    (* every sorter reaches the merger directly *)
+    check int "green in-degree = sorter count" 22 (List.length (Taskgraph.in_fifos g green.Task.id))
+  | None -> Alcotest.fail "missing merger"
+
+let test_cnn_vertical_volume_consistency () =
+  (* The collector drains exactly what the column feeders inject. *)
+  let app = Cnn.generate (Cnn.make_config ~cols:8 ~fpgas:1 ()) in
+  let g = app.App.graph in
+  let vol_into name =
+    match Taskgraph.find_task g name with
+    | Some t ->
+      List.fold_left (fun acc f -> acc +. Fifo.traffic_bytes f) 0.0 (Taskgraph.in_fifos g t.Task.id)
+    | None -> Alcotest.failf "missing %s" name
+  in
+  let feeders =
+    Array.to_list (Taskgraph.tasks g)
+    |> List.filter (fun (t : Task.t) -> t.kind = "cnn_b_feeder")
+    |> List.fold_left
+         (fun acc (t : Task.t) ->
+           acc
+           +. List.fold_left (fun a f -> a +. Fifo.traffic_bytes f) 0.0 (Taskgraph.out_fifos g t.id))
+         0.0
+  in
+  check (fl 1.0) "B volume conserved" feeders (vol_into "collector")
+
+let test_dataset_no_self_loops () =
+  let spec = { Dataset.name = "tiny"; nodes = 300; edges = 2000 } in
+  let g = Dataset.generate spec in
+  let ok = ref true in
+  for v = 0 to 299 do
+    for e = g.Dataset.offsets.(v) to g.Dataset.offsets.(v + 1) - 1 do
+      if g.Dataset.targets.(e) = v then ok := false
+    done
+  done;
+  check bool "no self loops" true !ok
+
+let test_all_apps_have_descriptions () =
+  let apps =
+    [
+      Stencil.generate (Stencil.make_config ~iterations:64 ~fpgas:1 ());
+      Pagerank.generate (Pagerank.make_config ~dataset:Dataset.web_notredame ~fpgas:1 ());
+      Knn.generate (Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:1 ());
+      Cnn.generate (Cnn.make_config ~cols:4 ~fpgas:1 ());
+    ]
+  in
+  List.iter
+    (fun (a : App.t) ->
+      check bool (a.name ^ " described") true (String.length a.description > 10);
+      check bool (a.name ^ " graph connected") true (Taskgraph.is_connected a.graph))
+    apps
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "Table 5 specs" `Quick test_dataset_specs_match_table5;
+          Alcotest.test_case "exact counts" `Quick test_dataset_generation_exact_counts;
+          Alcotest.test_case "deterministic" `Quick test_dataset_deterministic;
+          Alcotest.test_case "degree skew" `Quick test_dataset_skewed;
+          Alcotest.test_case "scaled generation" `Quick test_dataset_scaled;
+        ] );
+      ( "stencil",
+        [
+          Alcotest.test_case "Table 4 reproduction" `Quick test_stencil_table4;
+          Alcotest.test_case "scaling rules (§5.2)" `Quick test_stencil_scaling_rules;
+          Alcotest.test_case "graph shape" `Quick test_stencil_graph_shape;
+          Alcotest.test_case "inter-node bulk hop (§5.7)" `Quick test_stencil_inter_node_bulk;
+        ] );
+      ( "pagerank",
+        [
+          Alcotest.test_case "PE scaling" `Quick test_pagerank_pe_scaling;
+          Alcotest.test_case "volume constant in PEs (§5.3)" `Quick test_pagerank_transfer_constant_in_pes;
+          Alcotest.test_case "cyclic topology (Fig. 9)" `Quick test_pagerank_graph_cyclic;
+        ] );
+      ( "knn",
+        [
+          Alcotest.test_case "Table 6 parameters" `Quick test_knn_parameter_space;
+          Alcotest.test_case "scaling rules (§5.4)" `Quick test_knn_scaling_rules;
+          Alcotest.test_case "volume independent of N,D" `Quick test_knn_transfer_independent_of_n_d;
+          Alcotest.test_case "27-module topology" `Quick test_knn_graph_shape;
+        ] );
+      ( "cnn",
+        [
+          Alcotest.test_case "Table 7 reproduction" `Quick test_cnn_table7;
+          Alcotest.test_case "Table 8 calibration" `Quick test_cnn_table8_calibration;
+          Alcotest.test_case "grid structure" `Quick test_cnn_grid_structure;
+          Alcotest.test_case "constants" `Quick test_cnn_macs;
+        ] );
+      ( "general",
+        [
+          Alcotest.test_case "descriptions" `Quick test_all_apps_have_descriptions;
+          Alcotest.test_case "stencil PE totals" `Quick test_stencil_total_pe_rule;
+          Alcotest.test_case "stencil ops accounting" `Quick test_stencil_ops_accounting;
+          Alcotest.test_case "knn sorter fan-in" `Quick test_knn_yellow_feeds_green;
+          Alcotest.test_case "cnn volume conservation" `Quick test_cnn_vertical_volume_consistency;
+          Alcotest.test_case "dataset self-loop free" `Quick test_dataset_no_self_loops;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Integration tests: the full seven-step compiler and the three flows on
+   small-but-real designs, with golden-shape checks against the paper's
+   qualitative results. *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_floorplan
+open Tapa_cs_apps
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* Small configurations keep the ILP instances tiny so this suite stays
+   fast; the full-scale paper configurations run in bench/main.exe. *)
+let fast_options = { Compiler.default_options with strategy = Partition.Heuristic }
+
+let small_chain ~tasks ~lut =
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init tasks (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "s%d" i)
+          ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
+          ~resources:(Resource.make ~lut ~ff:lut ()) ())
+  in
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~width_bits:64 ~elems:1e5 ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  Taskgraph.Builder.build b
+
+let test_compile_seven_steps () =
+  let g = small_chain ~tasks:6 ~lut:50_000 in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Compiler.compile ~options:fast_options ~cluster g with
+  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Ok c ->
+    check int "one placement per FPGA" 2 (Array.length c.Compiler.intra);
+    check int "one binding per FPGA" 2 (Array.length c.Compiler.hbm);
+    check int "one pipeline report per FPGA" 2 (Array.length c.Compiler.pipeline);
+    check bool "clock positive" true (c.Compiler.freq_mhz > 0.0);
+    check bool "clock below board max" true (c.Compiler.freq_mhz <= 300.0);
+    check bool "L1 timer ran" true (c.Compiler.l1_runtime_s >= 0.0);
+    (* every task has an FPGA and a slot *)
+    for tid = 0 to Taskgraph.num_tasks g - 1 do
+      let fpga = Compiler.fpga_of c tid in
+      check bool "fpga in range" true (fpga >= 0 && fpga < 2);
+      check bool "slot assigned" true (Compiler.slot_of c tid <> None)
+    done
+
+let test_flows_on_small_design () =
+  let g = small_chain ~tasks:4 ~lut:20_000 in
+  (match Flow.vitis g with
+  | Ok d ->
+    check bool "vitis label" true (d.Flow.label = "F1-V");
+    check bool "vitis runs" true (Flow.latency_s d > 0.0)
+  | Error e -> Alcotest.failf "vitis: %s" e);
+  (match Flow.tapa ~options:fast_options g with
+  | Ok d ->
+    check bool "tapa label" true (d.Flow.label = "F1-T");
+    check bool "compiled attached" true (d.Flow.compiled <> None)
+  | Error e -> Alcotest.failf "tapa: %s" e);
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Flow.tapa_cs ~options:fast_options ~cluster g with
+  | Ok d ->
+    check bool "F2 label" true (d.Flow.label = "F2");
+    check bool "simulates" true (Flow.latency_s d > 0.0)
+  | Error e -> Alcotest.failf "tapa_cs: %s" e
+
+let test_tapa_frequency_beats_vitis () =
+  (* The floorplanned flow must never clock lower than the naive one on a
+     congested memory-heavy design — the core §5 frequency claim. *)
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init 8 (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "m%d" i)
+          ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
+          ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:512 ~bytes:1e8 () ]
+          ~resources:(Resource.make ~lut:90_000 ~ff:110_000 ~bram:120 ()) ())
+  in
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~width_bits:512 ~elems:1e5 ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  let g = Taskgraph.Builder.build b in
+  match (Flow.vitis g, Flow.tapa ~options:fast_options g) with
+  | Ok v, Ok t -> check bool "F1-T >= F1-V frequency" true (t.Flow.freq_mhz >= v.Flow.freq_mhz)
+  | Error e, _ -> Alcotest.failf "vitis: %s" e
+  | _, Error e -> Alcotest.failf "tapa: %s" e
+
+let test_oversized_design_needs_multi_fpga () =
+  (* Each task fits a slot (< 191k LUT) but the whole design exceeds one
+     U55C's budget — exactly the §5.5 CNN situation. *)
+  let g = small_chain ~tasks:8 ~lut:150_000 in
+  check bool "single-FPGA flows fail" true (Result.is_error (Flow.tapa ~options:fast_options g));
+  let cluster = Cluster.make ~board:Board.u55c 4 in
+  check bool "TAPA-CS routes it" true (Result.is_ok (Flow.tapa_cs ~options:fast_options ~cluster g))
+
+let test_multi_fpga_speedup_on_parallel_design () =
+  (* Independent branches (KNN-like) must speed up with more devices. *)
+  let app1 = Knn.generate (Knn.make_config ~n_points:1_000_000 ~dims:8 ~fpgas:1 ()) in
+  let app2 = Knn.generate (Knn.make_config ~n_points:1_000_000 ~dims:8 ~fpgas:2 ()) in
+  match
+    ( Flow.tapa ~options:fast_options app1.App.graph,
+      Flow.tapa_cs ~options:fast_options ~cluster:(Cluster.make ~board:Board.u55c 2) app2.App.graph )
+  with
+  | Ok single, Ok dual ->
+    let l1 = Flow.latency_s single and l2 = Flow.latency_s dual in
+    check bool "2 FPGAs faster" true (l2 < l1)
+  | Error e, _ -> Alcotest.failf "single: %s" e
+  | _, Error e -> Alcotest.failf "dual: %s" e
+
+let test_pagerank_superlinear_shape () =
+  (* §5.3's shape: constant transfer volume + parallel launch means the
+     per-FPGA latency keeps dropping through F4. *)
+  let lat k =
+    let app = Pagerank.generate (Pagerank.make_config ~dataset:Dataset.web_notredame ~fpgas:k ()) in
+    if k = 1 then
+      match Flow.tapa ~options:fast_options app.App.graph with
+      | Ok d -> Flow.latency_s d
+      | Error e -> Alcotest.failf "F1: %s" e
+    else begin
+      match
+        Flow.tapa_cs ~options:fast_options ~cluster:(Cluster.make ~board:Board.u55c k) app.App.graph
+      with
+      | Ok d -> Flow.latency_s d
+      | Error e -> Alcotest.failf "F%d: %s" k e
+    end
+  in
+  let l1 = lat 1 and l2 = lat 2 and l4 = lat 4 in
+  check bool "F2 < F1" true (l2 < l1);
+  check bool "F4 < F2" true (l4 < l2)
+
+let test_stencil_8fpga_internode_slowdown () =
+  (* §5.7: the 512-iteration stencil over two nodes is slower than one
+     FPGA because of host-staged transfers and sequential execution. *)
+  let single = Stencil.generate (Stencil.make_config ~iterations:512 ~fpgas:1 ()) in
+  let eight =
+    Stencil.generate
+      (Stencil.make_config ~iterations:512 ~fpgas:8 ~inter_node_at:(Some 4) ())
+  in
+  match
+    ( Flow.vitis single.App.graph,
+      (* Auto strategy: the hierarchical bisection is what routes the bulk
+         handoff through the host link, as the real tool's ILP would. *)
+      Flow.tapa_cs ~cluster:(Cluster.two_node_testbed ()) eight.App.graph )
+  with
+  | Ok f1, Ok f8 ->
+    let l1 = Flow.latency_s f1 and l8 = Flow.latency_s f8 in
+    check bool "8-FPGA stencil slower than single (§5.7)" true (l8 > l1 *. 0.8)
+  | Error e, _ -> Alcotest.failf "single: %s" e
+  | _, Error e -> Alcotest.failf "eight: %s" e
+
+let test_cnn_routability_matches_paper () =
+  (* §5.5: 13x4 routes via Vitis, 13x8 via TAPA; 13x12 and larger fail on
+     one device and need TAPA-CS. *)
+  let single cols flow =
+    let app = Cnn.generate (Cnn.make_config ~cols ~fpgas:1 ()) in
+    match flow with
+    | `V -> Result.is_ok (Flow.vitis app.App.graph)
+    | `T -> Result.is_ok (Flow.tapa ~options:fast_options app.App.graph)
+  in
+  check bool "13x4 routes on Vitis" true (single 4 `V);
+  check bool "13x8 routes on TAPA" true (single 8 `T);
+  check bool "13x12 fails on Vitis" false (single 12 `V);
+  check bool "13x12 fails on TAPA" false (single 12 `T);
+  check bool "13x20 fails on Vitis" false (single 20 `V);
+  let app = Cnn.generate (Cnn.make_config ~cols:12 ~fpgas:2 ()) in
+  check bool "13x12 routes on 2 FPGAs" true
+    (Result.is_ok (Flow.tapa_cs ~options:fast_options ~cluster:(Cluster.make ~board:Board.u55c 2) app.App.graph))
+
+let test_compiler_options_ablations () =
+  let g = small_chain ~tasks:6 ~lut:80_000 in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let with_pipe =
+    Compiler.compile ~options:{ fast_options with pipeline_interconnect = true } ~cluster g
+  in
+  let without_pipe =
+    Compiler.compile ~options:{ fast_options with pipeline_interconnect = false } ~cluster g
+  in
+  match (with_pipe, without_pipe) with
+  | Ok a, Ok b -> check bool "pipelining never lowers clock" true (a.Compiler.freq_mhz >= b.Compiler.freq_mhz)
+  | Error e, _ | _, Error e -> Alcotest.failf "ablation compile: %s" e
+
+let test_board_generality () =
+  (* The flow is board-agnostic: the same design compiles on the U250
+     (DDR, 8 slots) and the Stratix-10 model (no URAM, single die). *)
+  let g = small_chain ~tasks:6 ~lut:50_000 in
+  List.iter
+    (fun board ->
+      let cluster = Cluster.make ~board 2 in
+      match Flow.tapa_cs ~options:fast_options ~cluster g with
+      | Ok d ->
+        check bool "positive clock" true (d.Flow.freq_mhz > 0.0);
+        check bool "simulates" true (Flow.latency_s d > 0.0)
+      | Error e -> Alcotest.failf "board flow failed: %s" e)
+    [ Board.u250; Board.stratix10 ]
+
+let test_port_bandwidth_capped_by_wire () =
+  (* port bandwidth <= width * clock *)
+  let b = Taskgraph.Builder.create () in
+  ignore
+    (Taskgraph.Builder.add_task b ~name:"rd"
+       ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
+       ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:64 ~bytes:1e8 () ]
+       ~resources:(Resource.make ~lut:5_000 ()) ());
+  let g = Taskgraph.Builder.build b in
+  let cluster = Cluster.make ~board:Board.u55c 1 in
+  match Compiler.compile ~options:fast_options ~cluster g with
+  | Ok c ->
+    let bw = Compiler.port_bandwidth_gbps c 0 0 in
+    let wire = 64.0 /. 8.0 *. c.Compiler.freq_mhz *. 1e6 /. 1e9 in
+    check bool "wire cap respected" true (bw <= wire +. 1e-9)
+  | Error e -> Alcotest.failf "compile: %s" e
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "compiler",
+        [
+          Alcotest.test_case "seven steps" `Quick test_compile_seven_steps;
+          Alcotest.test_case "ablation knobs" `Quick test_compiler_options_ablations;
+          Alcotest.test_case "port bandwidth wire cap" `Quick test_port_bandwidth_capped_by_wire;
+          Alcotest.test_case "board generality (U250, Stratix-10)" `Quick test_board_generality;
+        ] );
+      ( "flows",
+        [
+          Alcotest.test_case "all three flows run" `Quick test_flows_on_small_design;
+          Alcotest.test_case "TAPA clock >= Vitis clock" `Quick test_tapa_frequency_beats_vitis;
+          Alcotest.test_case "multi-FPGA unlocks big designs" `Quick test_oversized_design_needs_multi_fpga;
+          Alcotest.test_case "CNN routability (§5.5)" `Slow test_cnn_routability_matches_paper;
+        ] );
+      ( "golden shapes",
+        [
+          Alcotest.test_case "parallel design scales" `Slow test_multi_fpga_speedup_on_parallel_design;
+          Alcotest.test_case "pagerank keeps scaling" `Slow test_pagerank_superlinear_shape;
+          Alcotest.test_case "8-FPGA stencil slowdown (§5.7)" `Slow test_stencil_8fpga_internode_slowdown;
+        ] );
+    ]

@@ -1,0 +1,440 @@
+(* Tests for the partitioner and both floorplanning levels. *)
+
+open Tapa_cs_util
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_floorplan
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let res lut = Resource.make ~lut ()
+let caps k lut = Array.make k (res lut)
+
+let simple_problem ?(k = 2) ?(cap = 100) ?(edges = []) ?(pulls = []) ?(fixed = []) areas =
+  {
+    Partition.areas = Array.of_list (List.map res areas);
+    edges;
+    pulls;
+    k;
+    capacities = caps k cap;
+    dist = (fun a b -> abs (a - b));
+    fixed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_respects_capacity () =
+  (* 4 items of 40: at most two share a part of 100, so a 2-2 split. *)
+  let p = simple_problem ~cap:100 [ 40; 40; 40; 40 ] in
+  match Partition.solve p with
+  | Some r ->
+    check bool "feasible" true r.Partition.feasible;
+    let on0 = Array.fold_left (fun acc x -> if x = 0 then acc + 1 else acc) 0 r.assignment in
+    check int "balanced 2-2" 2 on0
+  | None -> Alcotest.fail "expected a solution"
+
+let test_partition_infeasible () =
+  let p = simple_problem ~cap:50 [ 60 ] in
+  check bool "oversized item rejected" true (Partition.solve p = None)
+
+let test_partition_min_cut () =
+  (* chain a-b-c-d with a heavy middle edge: optimal cut avoids it. *)
+  let edges = [ (0, 1, 1.0); (1, 2, 100.0); (2, 3, 1.0) ] in
+  let p = simple_problem ~cap:110 ~edges [ 50; 50; 50; 50 ] in
+  match Partition.solve ~strategy:Partition.Exact p with
+  | Some r ->
+    check bool "1 and 2 colocated" true (r.assignment.(1) = r.assignment.(2));
+    check (Alcotest.float 1e-9) "cost avoids heavy edge" 2.0 r.cost;
+    check bool "proven optimal" true r.stats.proven_optimal
+  | None -> Alcotest.fail "expected a solution"
+
+let test_partition_fixed_respected () =
+  let p = simple_problem ~cap:200 ~fixed:[ (0, 1); (3, 0) ] [ 10; 10; 10; 10 ] in
+  match Partition.solve p with
+  | Some r ->
+    check int "item 0 pinned" 1 r.assignment.(0);
+    check int "item 3 pinned" 0 r.assignment.(3)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_partition_pulls_attract () =
+  (* A single item pulled toward part 1 must land there. *)
+  let p = simple_problem ~cap:100 ~pulls:[ (0, 1, 5.0) ] [ 10 ] in
+  match Partition.solve p with
+  | Some r -> check int "pull honored" 1 r.assignment.(0)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_partition_k1 () =
+  let p = simple_problem ~k:1 ~cap:100 [ 40; 40 ] in
+  (match Partition.solve p with
+  | Some r -> check bool "all on part 0" true (Array.for_all (( = ) 0) r.assignment)
+  | None -> Alcotest.fail "k=1 should fit");
+  let p = simple_problem ~k:1 ~cap:50 [ 40; 40 ] in
+  check bool "k=1 over capacity" true (Partition.solve p = None)
+
+let test_partition_k4_chain () =
+  (* 8-item chain over 4 parts: contiguous split, cost = 3 cut edges. *)
+  let edges = List.init 7 (fun i -> (i, i + 1, 1.0)) in
+  let p = simple_problem ~k:4 ~cap:25 ~edges [ 10; 10; 10; 10; 10; 10; 10; 10 ] in
+  match Partition.solve p with
+  | Some r ->
+    check bool "feasible" true r.feasible;
+    check bool "cost is 3 (contiguous pairs)" true (r.cost <= 3.0 +. 1e-9)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_exact_matches_brute_force () =
+  (* Random small instances: exact must equal exhaustive search. *)
+  let rng = Partition.prng_for_tests 99 in
+  for _ = 1 to 25 do
+    let n = 2 + Prng.int rng 5 in
+    let areas = List.init n (fun _ -> 10 + Prng.int rng 30) in
+    let nedges = Prng.int rng 6 in
+    let edges =
+      List.init nedges (fun _ ->
+          let a = Prng.int rng n and b = Prng.int rng n in
+          if a = b then None else Some (min a b, max a b, float_of_int (1 + Prng.int rng 9)))
+      |> List.filter_map Fun.id
+    in
+    let cap = 60 + Prng.int rng 60 in
+    let p = simple_problem ~cap ~edges areas in
+    let brute =
+      let best = ref None in
+      for mask = 0 to (1 lsl n) - 1 do
+        let assignment = Array.init n (fun i -> (mask lsr i) land 1) in
+        if Partition.feasible_assignment p assignment then begin
+          let c = Partition.cost_of p assignment in
+          match !best with Some b when b <= c -> () | _ -> best := Some c
+        end
+      done;
+      !best
+    in
+    match (Partition.solve ~strategy:Partition.Exact p, brute) with
+    | Some r, Some b ->
+      if not (Float.abs (r.cost -. b) < 1e-6) then
+        Alcotest.failf "exact %f <> brute %f" r.cost b
+    | None, None -> ()
+    | Some _, None -> Alcotest.fail "solver found a solution brute force missed"
+    | None, Some _ -> Alcotest.fail "solver missed a feasible solution"
+  done
+
+let test_heuristic_always_feasible_when_returned =
+ fun () ->
+  let rng = Partition.prng_for_tests 7 in
+  for _ = 1 to 30 do
+    let n = 2 + Prng.int rng 20 in
+    let k = 2 + Prng.int rng 3 in
+    let areas = List.init n (fun _ -> 5 + Prng.int rng 20) in
+    let edges =
+      List.init (Prng.int rng 30) (fun _ ->
+          let a = Prng.int rng n and b = Prng.int rng n in
+          if a = b then None else Some (a, b, float_of_int (1 + Prng.int rng 5)))
+      |> List.filter_map Fun.id
+    in
+    let total = List.fold_left ( + ) 0 areas in
+    let cap = (total / k) + 30 in
+    let p = simple_problem ~k ~cap ~edges areas in
+    match Partition.solve ~strategy:Partition.Heuristic p with
+    | Some r -> check bool "returned solutions are feasible" true r.feasible
+    | None -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Inter-FPGA floorplanning                                            *)
+(* ------------------------------------------------------------------ *)
+
+let big_task_graph ~tasks ~lut =
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init tasks (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "t%d" i)
+          ~resources:(Resource.make ~lut ()) ())
+  in
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~width_bits:64 ~elems:1e6 ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  Taskgraph.Builder.build b
+
+let test_inter_fpga_spreads_when_needed () =
+  (* 8 tasks x 300k LUT = 2.4M > one U55C: needs 4 FPGAs at T=0.7. *)
+  let g = big_task_graph ~tasks:8 ~lut:300_000 in
+  let synthesis = Synthesis.run g in
+  let cluster = Cluster.make ~board:Board.u55c 4 in
+  match Inter_fpga.run ~cluster ~synthesis g with
+  | Ok r ->
+    let used = Array.to_list r.Inter_fpga.assignment |> List.sort_uniq compare in
+    check bool "uses several FPGAs" true (List.length used >= 3);
+    check bool "chain cut minimal" true (List.length r.Inter_fpga.cut_fifos <= 3);
+    check bool "under threshold everywhere" true
+      (Array.for_all (fun u -> u <= 0.71) r.Inter_fpga.per_fpga_util)
+  | Error e -> Alcotest.failf "unexpected failure: %s" e
+
+let test_inter_fpga_single_fpga_failure () =
+  let g = big_task_graph ~tasks:8 ~lut:300_000 in
+  let synthesis = Synthesis.run g in
+  let cluster = Cluster.make ~board:Board.u55c 1 in
+  match Inter_fpga.run ~cluster ~synthesis g with
+  | Ok _ -> Alcotest.fail "2.4M LUTs cannot fit one U55C"
+  | Error _ -> ()
+
+let test_inter_fpga_networking_overhead_charged () =
+  (* A single 780k-LUT task fits the bare 70 % budget (802k) but not the
+     budget after two AlveoLink ports are charged (755k): adding devices
+     must make this design *fail*, proving the overhead is accounted. *)
+  let g = big_task_graph ~tasks:1 ~lut:780_000 in
+  let synthesis = Synthesis.run g in
+  let one = Cluster.make ~board:Board.u55c 1 in
+  (match Inter_fpga.run ~cluster:one ~synthesis g with
+  | Ok r -> check int "single fpga ok" 0 r.Inter_fpga.assignment.(0)
+  | Error e -> Alcotest.failf "single: %s" e);
+  let two = Cluster.make ~board:Board.u55c 2 in
+  match Inter_fpga.run ~cluster:two ~synthesis g with
+  | Ok _ -> Alcotest.fail "802k budget minus 2 ports cannot host 780k"
+  | Error _ -> ()
+
+let test_inter_fpga_traffic_weighted_by_hops () =
+  let g = big_task_graph ~tasks:4 ~lut:10_000 in
+  let synthesis = Synthesis.run g in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Inter_fpga.run ~cluster ~synthesis g with
+  | Ok r ->
+    let manual =
+      List.fold_left (fun acc f -> acc +. Fifo.traffic_bytes f) 0.0 r.Inter_fpga.cut_fifos
+    in
+    (* ring of 2: every hop distance is 1 *)
+    check (Alcotest.float 1.0) "traffic accounting" manual r.Inter_fpga.traffic_bytes
+  | Error e -> Alcotest.failf "unexpected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Intra-FPGA floorplanning                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_intra_fpga_places_all () =
+  let g = big_task_graph ~tasks:12 ~lut:40_000 in
+  let board = Board.u55c () in
+  let synthesis = Synthesis.run ~board g in
+  let tasks = List.init 12 Fun.id in
+  match Intra_fpga.run ~board ~synthesis ~graph:g ~tasks () with
+  | Ok p ->
+    List.iter (fun tid -> check bool "placed" true (p.Intra_fpga.slot_of.(tid) <> None)) tasks;
+    check bool "cost accounted" true (p.Intra_fpga.cost >= 0.0);
+    check bool "levels recorded" true (List.length p.Intra_fpga.levels >= 1);
+    (* slot usage equals the sum of placed task areas *)
+    let total_used = Resource.sum (Array.to_list p.Intra_fpga.slot_usage) in
+    check bool "usage conserved" true
+      (Resource.equal total_used (Resource.make ~lut:(12 * 40_000) ()))
+  | Error e -> Alcotest.failf "unexpected: %s" e
+
+let test_intra_fpga_mem_tasks_near_hbm () =
+  let b = Taskgraph.Builder.create () in
+  let mem =
+    Taskgraph.Builder.add_task b ~name:"rd"
+      ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:512 ~bytes:1e9 () ]
+      ~resources:(Resource.make ~lut:10_000 ()) ()
+  in
+  let compute =
+    Taskgraph.Builder.add_task b ~name:"pe" ~resources:(Resource.make ~lut:10_000 ()) ()
+  in
+  ignore (Taskgraph.Builder.add_fifo b ~src:mem ~dst:compute ~width_bits:512 ~elems:1e6 ());
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let synthesis = Synthesis.run ~board g in
+  match Intra_fpga.run ~board ~synthesis ~graph:g ~tasks:[ mem; compute ] () with
+  | Ok p -> (
+    match p.Intra_fpga.slot_of.(mem) with
+    | Some s -> check int "memory task in the HBM row" 0 (board.Board.slots.(s)).Board.row
+    | None -> Alcotest.fail "unplaced")
+  | Error e -> Alcotest.failf "unexpected: %s" e
+
+let test_intra_fpga_overflow_fails () =
+  let g = big_task_graph ~tasks:4 ~lut:400_000 in
+  let board = Board.u55c () in
+  let synthesis = Synthesis.run ~board g in
+  match Intra_fpga.run ~board ~synthesis ~graph:g ~tasks:[ 0; 1; 2; 3 ] () with
+  | Ok _ -> Alcotest.fail "1.6M LUT cannot place on one board"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* HBM binding                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binding_fixture n_ports =
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init n_ports (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "rd%d" i)
+          ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:256 ~bytes:1e8 () ]
+          ())
+  in
+  (* keep the graph connected *)
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let slot_of = Array.make n_ports (Some 0) in
+  (g, board, slot_of)
+
+let test_hbm_binding_balances () =
+  let g, board, slot_of = binding_fixture 16 in
+  let t = Hbm_binding.run ~board ~graph:g ~slot_of () in
+  check int "16 ports bound" 16 (List.length t.Hbm_binding.assignments);
+  (* Balanced: no channel should carry more than one of these equal ports. *)
+  check (Alcotest.float 0.001) "max load = one port" 1e8 t.Hbm_binding.max_load_bytes;
+  List.iter
+    (fun (a : Hbm_binding.assignment) ->
+      check bool "channel in range" true (a.channel >= 0 && a.channel < 32))
+    t.Hbm_binding.assignments
+
+let test_hbm_binding_explore_beats_naive () =
+  let g, board, slot_of = binding_fixture 48 in
+  let explored = Hbm_binding.run ~explore:true ~board ~graph:g ~slot_of () in
+  let naive = Hbm_binding.run ~explore:false ~board ~graph:g ~slot_of () in
+  check bool "exploration no worse on max load" true
+    (explored.Hbm_binding.max_load_bytes <= naive.Hbm_binding.max_load_bytes +. 1.0)
+
+let test_hbm_port_bandwidth_sharing () =
+  let g, board, slot_of = binding_fixture 64 in
+  (* 64 equal ports on 32 channels: two per channel, each gets half. *)
+  let t = Hbm_binding.run ~board ~graph:g ~slot_of () in
+  let bw = Hbm_binding.effective_port_bandwidth_gbps board t ~task_id:0 ~port_index:0 in
+  check bool "half a channel" true (bw > 6.0 && bw < 8.0)
+
+let test_hbm_binding_honors_user_channel () =
+  let b = Taskgraph.Builder.create () in
+  let t0 =
+    Taskgraph.Builder.add_task b ~name:"rd"
+      ~mem_ports:[ Task.mem_port ~channel:17 ~dir:Task.Read ~width_bits:256 ~bytes:1e6 () ]
+      ()
+  in
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let t = Hbm_binding.run ~board ~graph:g ~slot_of:[| Some 0 |] () in
+  let a = List.find (fun (a : Hbm_binding.assignment) -> a.task_id = t0) t.Hbm_binding.assignments in
+  check int "user binding kept" 17 a.Hbm_binding.channel
+
+let test_partition_cost_bounded_by_global_mincut () =
+  (* Independent oracle: any bipartition of a connected instance costs at
+     least the Stoer-Wagner global min cut; with loose capacities the
+     exact solver must achieve a cut-compatible cost. *)
+  let rng = Partition.prng_for_tests 31 in
+  for _ = 1 to 15 do
+    let n = 3 + Prng.int rng 5 in
+    (* connected: a random tree plus extra edges *)
+    let edges = ref [] in
+    for v = 1 to n - 1 do
+      edges := (Prng.int rng v, v, float_of_int (1 + Prng.int rng 9)) :: !edges
+    done;
+    for _ = 1 to Prng.int rng 6 do
+      let a = Prng.int rng n and b = Prng.int rng n in
+      if a <> b then edges := (min a b, max a b, float_of_int (1 + Prng.int rng 9)) :: !edges
+    done;
+    let edges = !edges in
+    (* capacities force a nontrivial split of uniform items *)
+    let cap = 10 * (n - 1) in
+    let p = simple_problem ~cap ~edges (List.init n (fun _ -> 10)) in
+    let mc = Mincut.create n in
+    List.iter (fun (a, b, w) -> Mincut.add_edge mc a b w) edges;
+    let lower, _ = Mincut.min_cut mc in
+    match Partition.solve ~strategy:Partition.Exact p with
+    | Some r ->
+      check bool "partition cost >= global min cut" true (r.Partition.cost >= lower -. 1e-9)
+    | None -> Alcotest.fail "loose capacities must be satisfiable"
+  done
+
+let test_partition_deterministic () =
+  (* Same seed, same problem -> identical assignment (reproducibility). *)
+  let edges = List.init 19 (fun i -> (i, i + 1, float_of_int (1 + (i mod 3)))) in
+  let p = simple_problem ~k:4 ~cap:80 ~edges (List.init 20 (fun i -> 10 + (i mod 3))) in
+  match (Partition.solve ~seed:9 p, Partition.solve ~seed:9 p) with
+  | Some a, Some b -> check bool "deterministic" true (a.Partition.assignment = b.Partition.assignment)
+  | _ -> Alcotest.fail "expected solutions"
+
+let test_partition_distance_metric_matters () =
+  (* The same heavy edge costs more when its endpoints land farther apart:
+     a star topology's hub detour must push the solver to colocate. *)
+  let edges = [ (0, 1, 10.0) ] in
+  let p_chain = simple_problem ~k:3 ~cap:100 ~edges [ 40; 40; 10 ] in
+  let star_dist a b = if a = b then 0 else if a = 0 || b = 0 then 1 else 2 in
+  let p_star = { p_chain with Partition.dist = star_dist } in
+  (match (Partition.solve p_chain, Partition.solve p_star) with
+  | Some c, Some s ->
+    check bool "chain keeps pair adjacent or together" true (c.Partition.cost <= 10.0);
+    check bool "star solution colocates or uses hub" true (s.Partition.cost <= 10.0)
+  | _ -> Alcotest.fail "expected solutions")
+
+let test_intra_runtime_positive () =
+  let g = big_task_graph ~tasks:10 ~lut:30_000 in
+  let board = Board.u55c () in
+  let synthesis = Synthesis.run ~board g in
+  match Intra_fpga.run ~board ~synthesis ~graph:g ~tasks:(List.init 10 Fun.id) () with
+  | Ok p -> check bool "L2 runtime accounted" true (Intra_fpga.runtime_s p >= 0.0)
+  | Error e -> Alcotest.failf "unexpected: %s" e
+
+let test_intra_crossings_consistent_with_cost () =
+  let g = big_task_graph ~tasks:10 ~lut:60_000 in
+  let board = Board.u55c () in
+  let synthesis = Synthesis.run ~board g in
+  match Intra_fpga.run ~board ~synthesis ~graph:g ~tasks:(List.init 10 Fun.id) () with
+  | Ok p ->
+    let manual =
+      List.fold_left
+        (fun acc (fid, d) ->
+          acc +. (float_of_int (Taskgraph.fifo g fid).Fifo.width_bits *. float_of_int d))
+        0.0 p.Intra_fpga.crossings
+    in
+    check (Alcotest.float 1e-6) "Eq. 4 cost equals crossing sum" manual p.Intra_fpga.cost
+  | Error e -> Alcotest.failf "unexpected: %s" e
+
+let () =
+  Alcotest.run "floorplan"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "capacity (Eq. 1)" `Quick test_partition_respects_capacity;
+          Alcotest.test_case "infeasible detected" `Quick test_partition_infeasible;
+          Alcotest.test_case "min cut (Eq. 2)" `Quick test_partition_min_cut;
+          Alcotest.test_case "fixed placements" `Quick test_partition_fixed_respected;
+          Alcotest.test_case "pulls" `Quick test_partition_pulls_attract;
+          Alcotest.test_case "k = 1" `Quick test_partition_k1;
+          Alcotest.test_case "k = 4 chain" `Quick test_partition_k4_chain;
+          Alcotest.test_case "exact = brute force" `Slow test_exact_matches_brute_force;
+          Alcotest.test_case "heuristic feasibility" `Quick test_heuristic_always_feasible_when_returned;
+          Alcotest.test_case "determinism" `Quick test_partition_deterministic;
+          Alcotest.test_case "min-cut lower bound (oracle)" `Quick test_partition_cost_bounded_by_global_mincut;
+          Alcotest.test_case "distance metrics" `Quick test_partition_distance_metric_matters;
+        ] );
+      ( "inter_fpga",
+        [
+          Alcotest.test_case "spreads big designs" `Quick test_inter_fpga_spreads_when_needed;
+          Alcotest.test_case "single-FPGA failure" `Quick test_inter_fpga_single_fpga_failure;
+          Alcotest.test_case "networking IP overhead (§5.6)" `Quick test_inter_fpga_networking_overhead_charged;
+          Alcotest.test_case "hop-weighted traffic" `Quick test_inter_fpga_traffic_weighted_by_hops;
+        ] );
+      ( "intra_fpga",
+        [
+          Alcotest.test_case "places all tasks" `Quick test_intra_fpga_places_all;
+          Alcotest.test_case "HBM pull (§4.5)" `Quick test_intra_fpga_mem_tasks_near_hbm;
+          Alcotest.test_case "overflow fails" `Quick test_intra_fpga_overflow_fails;
+          Alcotest.test_case "L2 runtime" `Quick test_intra_runtime_positive;
+          Alcotest.test_case "cost = crossing sum (Eq. 4)" `Quick test_intra_crossings_consistent_with_cost;
+        ] );
+      ( "hbm_binding",
+        [
+          Alcotest.test_case "balances channels" `Quick test_hbm_binding_balances;
+          Alcotest.test_case "exploration helps" `Quick test_hbm_binding_explore_beats_naive;
+          Alcotest.test_case "bandwidth sharing" `Quick test_hbm_port_bandwidth_sharing;
+          Alcotest.test_case "user channel honored" `Quick test_hbm_binding_honors_user_channel;
+        ] );
+    ]

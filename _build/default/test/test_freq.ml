@@ -1,0 +1,103 @@
+(* Tests for the post-route frequency model. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_freq.Freq_model
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let graph_with ~tasks ~lut ~mem =
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init tasks (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "t%d" i)
+          ~mem_ports:
+            (if mem then [ Task.mem_port ~dir:Task.Read ~width_bits:512 ~bytes:1e8 () ] else [])
+          ~resources:(Resource.make ~lut ~ff:lut ()) ())
+  in
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~width_bits:512 ~elems:1e6 ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  Taskgraph.Builder.build b
+
+let fixture ~tasks ~lut ~mem =
+  let g = graph_with ~tasks ~lut ~mem in
+  let board = Board.u55c () in
+  let synthesis = Synthesis.run ~board g in
+  (g, board, synthesis)
+
+let test_small_design_full_speed () =
+  let g, board, synthesis = fixture ~tasks:4 ~lut:5_000 ~mem:false in
+  let est = vitis_like ~board ~synthesis g in
+  check bool "routed" true est.routed;
+  check bool "near board max" true (est.freq_mhz >= 250.0)
+
+let test_congestion_degrades_frequency () =
+  let light, board, syn_light = fixture ~tasks:6 ~lut:20_000 ~mem:true in
+  let heavy, _, syn_heavy = fixture ~tasks:6 ~lut:150_000 ~mem:true in
+  let f_light = vitis_like ~board ~synthesis:syn_light light in
+  let f_heavy = vitis_like ~board ~synthesis:syn_heavy heavy in
+  check bool "heavier design slower" true (f_heavy.freq_mhz < f_light.freq_mhz);
+  check bool "utilization reported" true (f_heavy.max_slot_util > f_light.max_slot_util)
+
+let test_pipelining_improves_over_naive () =
+  (* The Vitis-like flow pays wire delay that the pipelined flow does not. *)
+  let g, board, synthesis = fixture ~tasks:8 ~lut:80_000 ~mem:true in
+  let naive = vitis_like ~board ~synthesis g in
+  let slot_of = naive_placement ~board ~synthesis g in
+  let pipelined = of_placement ~board ~synthesis ~graph:g ~slot_of ~pipelined:true () in
+  check bool "pipelining never hurts" true (pipelined.freq_mhz >= naive.freq_mhz);
+  check (Alcotest.float 1e-9) "pipelined designs have no critical wire" 0.0
+    pipelined.critical_wire_ns
+
+let test_overcapacity_fails_routing () =
+  let g, board, synthesis = fixture ~tasks:8 ~lut:400_000 ~mem:false in
+  (* force everything into one slot *)
+  let slot_of = Array.make 8 (Some 0) in
+  let est = of_placement ~board ~synthesis ~graph:g ~slot_of ~pipelined:true () in
+  check bool "unrouted" false est.routed
+
+let test_naive_placement_clusters_mem_tasks () =
+  let g, board, synthesis = fixture ~tasks:4 ~lut:10_000 ~mem:true in
+  let slot_of = naive_placement ~board ~synthesis g in
+  Array.iter
+    (fun s ->
+      match s with
+      | Some s -> check Alcotest.int "memory tasks in HBM row" 0 (board.Board.slots.(s)).Board.row
+      | None -> Alcotest.fail "unplaced")
+    slot_of
+
+let test_binding_resource_named () =
+  let g, board, synthesis = fixture ~tasks:6 ~lut:100_000 ~mem:false in
+  let est = vitis_like ~board ~synthesis g in
+  check bool "binding resource is a known name" true
+    (List.mem est.binding_resource [ "LUT"; "FF"; "BRAM"; "DSP"; "URAM" ])
+
+let test_freq_never_exceeds_board_max () =
+  List.iter
+    (fun tasks ->
+      let g, board, synthesis = fixture ~tasks ~lut:8_000 ~mem:false in
+      let est = vitis_like ~board ~synthesis g in
+      check bool "capped at board max" true (est.freq_mhz <= board.Board.max_freq_mhz))
+    [ 1; 3; 9; 15 ]
+
+let () =
+  Alcotest.run "freq"
+    [
+      ( "freq_model",
+        [
+          Alcotest.test_case "small design at full speed" `Quick test_small_design_full_speed;
+          Alcotest.test_case "congestion degrades" `Quick test_congestion_degrades_frequency;
+          Alcotest.test_case "pipelining helps" `Quick test_pipelining_improves_over_naive;
+          Alcotest.test_case "routing failure" `Quick test_overcapacity_fails_routing;
+          Alcotest.test_case "naive placement crowds HBM" `Quick test_naive_placement_clusters_mem_tasks;
+          Alcotest.test_case "binding resource" `Quick test_binding_resource_named;
+          Alcotest.test_case "never exceeds board max" `Quick test_freq_never_exceeds_board_max;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the TAPA-style frontend eDSL, the constraint emitters, the
+   autoscaler and the RoCE packet accounting. *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_network
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Frontend                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simple_program () =
+  let p = Frontend.program () in
+  let data = Frontend.stream p ~name:"data" ~width_bits:512 ~elems:1e5 () in
+  let out = Frontend.stream p ~name:"out" ~width_bits:64 ~elems:1e3 () in
+  Frontend.task p ~name:"load" ~writes:[ data ]
+    ~reads_hbm:[ Frontend.hbm ~width_bits:512 ~bytes:6.4e6 () ]
+    ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
+    ();
+  Frontend.task p ~name:"score" ~reads:[ data ] ~writes:[ out ]
+    ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ~ops_per_elem:4.0 ())
+    ();
+  Frontend.task p ~name:"sink" ~reads:[ out ]
+    ~compute:(Task.make_compute ~elems:1e3 ~ii:1.0 ())
+    ();
+  p
+
+let test_frontend_lowers () =
+  let g = Frontend.build (simple_program ()) in
+  check int "3 tasks" 3 (Taskgraph.num_tasks g);
+  check int "2 fifos" 2 (Taskgraph.num_fifos g);
+  check bool "connected" true (Taskgraph.is_connected g);
+  (match Taskgraph.find_task g "load" with
+  | Some t -> check int "hbm port lowered" 1 (List.length t.Task.mem_ports)
+  | None -> Alcotest.fail "missing task");
+  let f = Taskgraph.fifo g 0 in
+  check int "stream width preserved" 512 f.Fifo.width_bits
+
+let test_frontend_detects_dangling () =
+  let p = Frontend.program () in
+  let s = Frontend.stream p ~name:"lonely" () in
+  Frontend.task p ~name:"t" ~writes:[ s ] ();
+  (match Frontend.validate p with
+  | [ Frontend.Unconnected_stream "lonely" ] -> ()
+  | errs ->
+    Alcotest.failf "expected dangling-stream error, got %d error(s)" (List.length errs));
+  Alcotest.check_raises "build raises"
+    (Invalid_argument "Frontend.build: stream \"lonely\" lacks a producer or consumer")
+    (fun () -> ignore (Frontend.build p))
+
+let test_frontend_rejects_double_endpoints () =
+  let p = Frontend.program () in
+  let s = Frontend.stream p ~name:"s" () in
+  Frontend.task p ~name:"a" ~writes:[ s ] ();
+  Alcotest.check_raises "double producer"
+    (Invalid_argument "Frontend.task: stream \"s\" already produced by \"a\"")
+    (fun () -> Frontend.task p ~name:"b" ~writes:[ s ] ())
+
+let test_frontend_empty_program () =
+  let p = Frontend.program () in
+  check bool "empty flagged" true (List.mem Frontend.Empty_program (Frontend.validate p))
+
+let test_frontend_replicate () =
+  let p = Frontend.program () in
+  let ins = List.init 4 (fun i -> Frontend.stream p ~name:(Printf.sprintf "in%d" i) ~elems:100.0 ()) in
+  let outs = List.init 4 (fun i -> Frontend.stream p ~name:(Printf.sprintf "out%d" i) ~elems:100.0 ()) in
+  Frontend.task p ~name:"src" ~writes:ins ();
+  Frontend.replicate p ~count:4 ~name:"worker"
+    ~make:(fun i -> ([ List.nth ins i ], [ List.nth outs i ]))
+    ~compute:(Task.make_compute ~elems:100.0 ~ii:1.0 ())
+    ();
+  Frontend.task p ~name:"dst" ~reads:outs ();
+  let g = Frontend.build p in
+  check int "6 tasks" 6 (Taskgraph.num_tasks g);
+  (* replicas share one kind, so synthesis caches them *)
+  let syn = Tapa_cs_hls.Synthesis.run g in
+  check int "replica cache hits" 3 syn.Tapa_cs_hls.Synthesis.cache_hits
+
+let test_frontend_compiles_end_to_end () =
+  let g = Frontend.build (simple_program ()) in
+  match Flow.tapa g with
+  | Ok d -> check bool "compiles and simulates" true (Flow.latency_s d > 0.0)
+  | Error e -> Alcotest.failf "flow failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Emit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let compiled_fixture () =
+  let g = Frontend.build (simple_program ()) in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Compiler.compile ~cluster g with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "fixture compile failed: %s" e
+
+let test_emit_tcl () =
+  let c = compiled_fixture () in
+  let tcl = Emit.floorplan_tcl c ~fpga:0 in
+  check bool "has pblocks" true (contains "create_pblock" tcl);
+  check bool "references tasks" true (contains "add_cells_to_pblock" tcl);
+  check bool "mentions the clock" true (contains "MHz" tcl)
+
+let test_emit_connectivity () =
+  let c = compiled_fixture () in
+  let cfg = Emit.connectivity_cfg c ~fpga:0 in
+  check bool "connectivity section" true (contains "[connectivity]" cfg);
+  check bool "HBM binding lines" true (contains "sp=load.m_axi_0:HBM[" cfg)
+
+let test_emit_json () =
+  let c = compiled_fixture () in
+  let json = Emit.design_report_json c in
+  check bool "fpgas field" true (contains "\"fpgas\": 2" json);
+  check bool "devices array" true (contains "\"devices\"" json);
+  check bool "task names quoted" true (contains "\"load\"" json)
+
+let test_emit_write_all () =
+  let c = compiled_fixture () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "tapa_cs_emit_test" in
+  Emit.write_all c ~dir;
+  check bool "tcl written" true (Sys.file_exists (Filename.concat dir "floorplan_f0.tcl"));
+  check bool "cfg written" true (Sys.file_exists (Filename.concat dir "connectivity_f1.cfg"));
+  check bool "report written" true (Sys.file_exists (Filename.concat dir "design_report.json"))
+
+(* ------------------------------------------------------------------ *)
+(* Autoscale                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kernel ?(bytes_per_elem = 8.0) ?(ops = 16.0) () =
+  {
+    Autoscale.name = "k";
+    elems = 1e9;
+    ops_per_elem = ops;
+    bytes_per_elem;
+    pe_resources = Resource.make ~lut:30_000 ~ff:40_000 ~bram:40 ~dsp:64 ();
+    pe_lanes = 4;
+    exchange_bytes = 1e6;
+  }
+
+let test_autoscale_respects_resources () =
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let p = Autoscale.plan ~cluster (kernel ()) in
+  check bool "PEs within ceiling" true (p.Autoscale.pes_per_fpga <= p.Autoscale.pe_cap_by_resources);
+  check bool "at least one PE" true (p.Autoscale.pes_per_fpga >= 1)
+
+let test_autoscale_memory_bound_kernel () =
+  (* Very heavy traffic per element: the advisor must stop replicating at
+     the HBM wall and call the design memory-bound. *)
+  let cluster = Cluster.make ~board:Board.u55c 1 in
+  let p = Autoscale.plan ~cluster (kernel ~bytes_per_elem:256.0 ()) in
+  check bool "memory bound" true (p.Autoscale.predicted_bound = Autoscale.Memory);
+  check bool "did not max out PEs" true (p.Autoscale.pes_per_fpga < p.Autoscale.pe_cap_by_resources)
+
+let test_autoscale_compute_bound_kernel () =
+  let cluster = Cluster.make ~board:Board.u55c 1 in
+  let p = Autoscale.plan ~cluster (kernel ~bytes_per_elem:0.1 ()) in
+  check bool "compute bound" true (p.Autoscale.predicted_bound = Autoscale.Compute);
+  check int "replication maxed" p.Autoscale.pe_cap_by_resources p.Autoscale.pes_per_fpga
+
+let test_autoscale_sweep_monotone () =
+  let cluster = Cluster.make ~board:Board.u55c 4 in
+  let sweep = Autoscale.sweep ~cluster (kernel ()) in
+  check int "4 points" 4 (List.length sweep);
+  let lat k = (List.assoc k sweep).Autoscale.predicted_latency_s in
+  check bool "more devices, never slower" true (lat 4 <= lat 2 && lat 2 <= lat 1)
+
+let test_autoscale_port_width () =
+  let cluster = Cluster.make ~board:Board.u55c 1 in
+  (* 8 B/elem x 4 lanes = 32 B/cycle = 256 bits *)
+  let p = Autoscale.plan ~cluster (kernel ~bytes_per_elem:8.0 ()) in
+  check int "port width" 256 p.Autoscale.port_width_bits
+
+let test_autoscale_oversized_pe () =
+  let cluster = Cluster.make ~board:Board.u55c 1 in
+  let k = { (kernel ()) with Autoscale.pe_resources = Resource.make ~lut:2_000_000 () } in
+  Alcotest.check_raises "oversized PE"
+    (Invalid_argument "Autoscale.plan: one PE exceeds the device budget") (fun () ->
+      ignore (Autoscale.plan ~cluster k))
+
+(* ------------------------------------------------------------------ *)
+(* Packet                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_packet_framing () =
+  check int "RoCE v2 framing is 82 B" 82 Packet.header_bytes;
+  check int "wire bytes" (64 + 82) (Packet.wire_bytes ~payload:64);
+  check bool "efficiency in (0,1)" true
+    (let e = Packet.efficiency ~payload:64 in
+     e > 0.0 && e < 1.0)
+
+let test_packet_efficiency_monotone () =
+  let effs = List.map (fun p -> Packet.efficiency ~payload:p) [ 64; 128; 256; 1024; 4096 ] in
+  let rec mono = function a :: (b :: _ as r) -> a < b && mono r | _ -> true in
+  check bool "bigger payloads, better efficiency" true (mono effs);
+  check bool "4KB near line rate" true (Packet.effective_gbps ~payload:4096 () > 97.0)
+
+let test_packet_counts () =
+  check (Alcotest.float 1e-9) "packet count" 1000.0 (Packet.packets_for ~payload:64 ~bytes:64_000.0);
+  check (Alcotest.float 1e-9) "rounds up" 2.0 (Packet.packets_for ~payload:64 ~bytes:65.0)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator task traces                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_task_traces () =
+  let g = Frontend.build (simple_program ()) in
+  match Flow.tapa g with
+  | Error e -> Alcotest.failf "flow: %s" e
+  | Ok d ->
+    let r = Flow.simulate d in
+    let stats = r.Tapa_cs_sim.Design_sim.tasks in
+    check int "one stat per task" (Taskgraph.num_tasks g) (Array.length stats);
+    Array.iter
+      (fun (s : Tapa_cs_sim.Design_sim.task_stat) ->
+        check bool "busy time positive" true (s.busy_s > 0.0);
+        check bool "finish after start" true (s.finish_s >= s.start_s);
+        check bool "finish within makespan" true (s.finish_s <= r.Tapa_cs_sim.Design_sim.latency_s +. 1e-12))
+      stats;
+    let idle = Tapa_cs_sim.Design_sim.fpga_idle_fraction r ~fpga:0 in
+    check bool "idle fraction in [0,1]" true (idle >= 0.0 && idle <= 1.0)
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "edsl",
+        [
+          Alcotest.test_case "lowers to the IR" `Quick test_frontend_lowers;
+          Alcotest.test_case "dangling streams" `Quick test_frontend_detects_dangling;
+          Alcotest.test_case "double endpoints" `Quick test_frontend_rejects_double_endpoints;
+          Alcotest.test_case "empty program" `Quick test_frontend_empty_program;
+          Alcotest.test_case "replicate" `Quick test_frontend_replicate;
+          Alcotest.test_case "end to end" `Quick test_frontend_compiles_end_to_end;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "floorplan tcl" `Quick test_emit_tcl;
+          Alcotest.test_case "connectivity cfg" `Quick test_emit_connectivity;
+          Alcotest.test_case "design report json" `Quick test_emit_json;
+          Alcotest.test_case "write_all" `Quick test_emit_write_all;
+        ] );
+      ( "autoscale",
+        [
+          Alcotest.test_case "resource ceiling" `Quick test_autoscale_respects_resources;
+          Alcotest.test_case "memory-bound kernel" `Quick test_autoscale_memory_bound_kernel;
+          Alcotest.test_case "compute-bound kernel" `Quick test_autoscale_compute_bound_kernel;
+          Alcotest.test_case "sweep monotone" `Quick test_autoscale_sweep_monotone;
+          Alcotest.test_case "port width" `Quick test_autoscale_port_width;
+          Alcotest.test_case "oversized PE" `Quick test_autoscale_oversized_pe;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "framing" `Quick test_packet_framing;
+          Alcotest.test_case "efficiency monotone" `Quick test_packet_efficiency_monotone;
+          Alcotest.test_case "packet counts" `Quick test_packet_counts;
+        ] );
+      ("traces", [ Alcotest.test_case "task stats" `Quick test_task_traces ]);
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the dataflow task-graph IR: builder validation, adjacency,
+   SCCs, topological levels, DOT export. *)
+
+open Tapa_cs_graph
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let chain n =
+  let b = Taskgraph.Builder.create () in
+  let ids = List.init n (fun i -> Taskgraph.Builder.add_task b ~name:(Printf.sprintf "t%d" i) ()) in
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~elems:100.0 ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  Taskgraph.Builder.build b
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let b = Taskgraph.Builder.create () in
+  let t () = Taskgraph.Builder.add_task b ~name:(Printf.sprintf "n%d" (Random.int 100000)) () in
+  let n0 = t () and n1 = t () and n2 = t () and n3 = t () in
+  List.iter
+    (fun (s, d) -> ignore (Taskgraph.Builder.add_fifo b ~src:s ~dst:d ()))
+    [ (n0, n1); (n0, n2); (n1, n3); (n2, n3) ];
+  Taskgraph.Builder.build b
+
+let cyclic () =
+  (* 0 -> 1 -> 2 -> 0, plus 2 -> 3 *)
+  let b = Taskgraph.Builder.create () in
+  let ids = List.init 4 (fun i -> Taskgraph.Builder.add_task b ~name:(Printf.sprintf "c%d" i) ()) in
+  let a = List.nth ids in
+  List.iter
+    (fun (s, d) -> ignore (Taskgraph.Builder.add_fifo b ~src:s ~dst:d ()))
+    [ (a 0, a 1); (a 1, a 2); (a 2, a 0); (a 2, a 3) ];
+  Taskgraph.Builder.build b
+
+let test_builder_basics () =
+  let g = chain 5 in
+  check int "tasks" 5 (Taskgraph.num_tasks g);
+  check int "fifos" 4 (Taskgraph.num_fifos g);
+  check bool "connected" true (Taskgraph.is_connected g);
+  check bool "acyclic" true (Taskgraph.is_acyclic g);
+  check int "out degree of head" 1 (List.length (Taskgraph.out_fifos g 0));
+  check int "in degree of head" 0 (List.length (Taskgraph.in_fifos g 0));
+  check bool "find by name" true (Taskgraph.find_task g "t3" <> None);
+  check bool "missing name" true (Taskgraph.find_task g "zzz" = None)
+
+let test_builder_validation () =
+  let b = Taskgraph.Builder.create () in
+  let t0 = Taskgraph.Builder.add_task b ~name:"a" () in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Builder.add_fifo: self-loop FIFOs are not latency-insensitive cut points")
+    (fun () -> ignore (Taskgraph.Builder.add_fifo b ~src:t0 ~dst:t0 ()));
+  Alcotest.check_raises "unknown endpoint" (Invalid_argument "Builder.add_fifo: unknown endpoint")
+    (fun () -> ignore (Taskgraph.Builder.add_fifo b ~src:t0 ~dst:99 ()));
+  Alcotest.check_raises "empty graph" (Invalid_argument "Builder.build: empty graph") (fun () ->
+      ignore (Taskgraph.Builder.build (Taskgraph.Builder.create ())))
+
+let test_neighbors_dedup () =
+  let b = Taskgraph.Builder.create () in
+  let a = Taskgraph.Builder.add_task b ~name:"a" () in
+  let c = Taskgraph.Builder.add_task b ~name:"b" () in
+  ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:c ~dst:a ());
+  let g = Taskgraph.Builder.build b in
+  check (Alcotest.list int) "neighbors deduplicated" [ c ] (Taskgraph.neighbors g a)
+
+let test_scc_chain () =
+  let g = chain 4 in
+  check int "4 singleton SCCs" 4 (List.length (Taskgraph.sccs g))
+
+let test_scc_cycle () =
+  let g = cyclic () in
+  let comps = Taskgraph.sccs g in
+  check int "2 components" 2 (List.length comps);
+  let sizes = List.sort compare (List.map List.length comps) in
+  check (Alcotest.list int) "sizes" [ 1; 3 ] sizes;
+  check bool "cyclic" true (not (Taskgraph.is_acyclic g))
+
+let test_levels_chain () =
+  let g = chain 4 in
+  check (Alcotest.array int) "levels increase along chain" [| 0; 1; 2; 3 |]
+    (Taskgraph.topological_levels g)
+
+let test_levels_diamond () =
+  let g = diamond () in
+  let l = Taskgraph.topological_levels g in
+  check int "source level" 0 l.(0);
+  check int "sink level" 2 l.(3);
+  check bool "middles at level 1" true (l.(1) = 1 && l.(2) = 1)
+
+let test_levels_cycle_same_level () =
+  let g = cyclic () in
+  let l = Taskgraph.topological_levels g in
+  check bool "SCC members share a level" true (l.(0) = l.(1) && l.(1) = l.(2));
+  check bool "downstream strictly above" true (l.(3) > l.(2))
+
+let test_traffic_accounting () =
+  let g = chain 3 in
+  (* two fifos x 100 elems x 32 bits = 800 bytes *)
+  check (Alcotest.float 1e-9) "traffic" 800.0 (Taskgraph.total_fifo_traffic_bytes g);
+  let f = Taskgraph.fifo g 0 in
+  check (Alcotest.float 1e-9) "per fifo" 400.0 (Fifo.traffic_bytes f)
+
+let test_dot_export () =
+  let b = Taskgraph.Builder.create () in
+  let a = Taskgraph.Builder.add_task b ~name:"compute" () in
+  let m =
+    Taskgraph.Builder.add_task b ~name:"mem"
+      ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:256 ~bytes:1e6 () ]
+      ()
+  in
+  ignore (Taskgraph.Builder.add_fifo b ~src:m ~dst:a ~width_bits:256 ());
+  let g = Taskgraph.Builder.build b in
+  let dot = Taskgraph.to_dot g in
+  check bool "has digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* memory tasks render as hexagons, like Fig. 9 *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "hexagon for mem task" true (contains "hexagon" dot);
+  check bool "circle for compute task" true (contains "circle" dot);
+  check bool "edge labelled with width" true (contains "256b" dot)
+
+let test_disconnected_graph () =
+  let b = Taskgraph.Builder.create () in
+  ignore (Taskgraph.Builder.add_task b ~name:"x" ());
+  ignore (Taskgraph.Builder.add_task b ~name:"y" ());
+  let g = Taskgraph.Builder.build b in
+  check bool "disconnected" false (Taskgraph.is_connected g)
+
+(* Property: levels are monotone along every inter-SCC edge of random DAGs. *)
+let prop_levels_monotone =
+  QCheck.Test.make ~name:"topological levels monotone on random graphs" ~count:100
+    (QCheck.int_range 0 10000)
+    (fun seed ->
+      let rng = Tapa_cs_util.Prng.create seed in
+      let n = Tapa_cs_util.Prng.int_in rng 2 30 in
+      let b = Taskgraph.Builder.create () in
+      let ids = Array.init n (fun i -> Taskgraph.Builder.add_task b ~name:(Printf.sprintf "v%d" i) ()) in
+      let ne = Tapa_cs_util.Prng.int_in rng 1 60 in
+      for _ = 1 to ne do
+        let s = Tapa_cs_util.Prng.int rng n and d = Tapa_cs_util.Prng.int rng n in
+        if s <> d then ignore (Taskgraph.Builder.add_fifo b ~src:ids.(s) ~dst:ids.(d) ())
+      done;
+      let g = Taskgraph.Builder.build b in
+      let levels = Taskgraph.topological_levels g in
+      let comps = Taskgraph.sccs g in
+      let comp_of = Array.make n (-1) in
+      List.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comps;
+      Array.for_all
+        (fun (f : Fifo.t) ->
+          if comp_of.(f.src) = comp_of.(f.dst) then levels.(f.src) = levels.(f.dst)
+          else levels.(f.src) < levels.(f.dst))
+        (Taskgraph.fifos g))
+
+(* ------------------------------------------------------------------ *)
+(* Mincut (Stoer-Wagner)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mincut_path () =
+  (* path a-b-c with weights 5, 2: global min cut = 2 *)
+  let g = Mincut.create 3 in
+  Mincut.add_edge g 0 1 5.0;
+  Mincut.add_edge g 1 2 2.0;
+  let w, side = Mincut.min_cut g in
+  check (Alcotest.float 1e-9) "cut weight" 2.0 w;
+  check (Alcotest.float 1e-9) "side is consistent" 2.0 (Mincut.cut_weight g side)
+
+let test_mincut_classic () =
+  (* The canonical Stoer-Wagner example graph (8 vertices, min cut 4). *)
+  let g = Mincut.create 8 in
+  List.iter
+    (fun (a, b, w) -> Mincut.add_edge g a b w)
+    [ (0, 1, 2.); (0, 4, 3.); (1, 2, 3.); (1, 4, 2.); (1, 5, 2.); (2, 3, 4.); (2, 6, 2.);
+      (3, 6, 2.); (3, 7, 2.); (4, 5, 3.); (5, 6, 1.); (6, 7, 3.) ]; 
+  let w, _ = Mincut.min_cut g in
+  check (Alcotest.float 1e-9) "classic min cut" 4.0 w
+
+let test_mincut_disconnected () =
+  let g = Mincut.create 4 in
+  Mincut.add_edge g 0 1 7.0;
+  Mincut.add_edge g 2 3 9.0;
+  let w, _ = Mincut.min_cut g in
+  check (Alcotest.float 1e-9) "disconnected cut is 0" 0.0 w
+
+let test_mincut_parallel_edges_accumulate () =
+  let g = Mincut.create 2 in
+  Mincut.add_edge g 0 1 1.0;
+  Mincut.add_edge g 1 0 2.5;
+  let w, _ = Mincut.min_cut g in
+  check (Alcotest.float 1e-9) "accumulated" 3.5 w
+
+(* Property: on random graphs the Stoer-Wagner result matches brute-force
+   enumeration of all bipartitions. *)
+let prop_mincut_matches_brute =
+  QCheck.Test.make ~name:"stoer-wagner equals brute force" ~count:80 (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let rng = Tapa_cs_util.Prng.create seed in
+      let n = Tapa_cs_util.Prng.int_in rng 2 8 in
+      let g = Mincut.create n in
+      let nedges = Tapa_cs_util.Prng.int_in rng 1 16 in
+      for _ = 1 to nedges do
+        let a = Tapa_cs_util.Prng.int rng n and b = Tapa_cs_util.Prng.int rng n in
+        if a <> b then Mincut.add_edge g a b (float_of_int (1 + Tapa_cs_util.Prng.int rng 9))
+      done;
+      let w, side = Mincut.min_cut g in
+      let brute = ref infinity in
+      for mask = 1 to (1 lsl n) - 2 do
+        let s = Array.init n (fun v -> (mask lsr v) land 1 = 1) in
+        brute := Float.min !brute (Mincut.cut_weight g s)
+      done;
+      Float.abs (w -. !brute) < 1e-9 && Float.abs (Mincut.cut_weight g side -. w) < 1e-9)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_levels_monotone; prop_mincut_matches_brute ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basics" `Quick test_builder_basics;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "neighbors dedup" `Quick test_neighbors_dedup;
+          Alcotest.test_case "disconnected detection" `Quick test_disconnected_graph;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "scc of chain" `Quick test_scc_chain;
+          Alcotest.test_case "scc of cycle" `Quick test_scc_cycle;
+          Alcotest.test_case "levels of chain" `Quick test_levels_chain;
+          Alcotest.test_case "levels of diamond" `Quick test_levels_diamond;
+          Alcotest.test_case "levels inside cycles" `Quick test_levels_cycle_same_level;
+          Alcotest.test_case "traffic accounting" `Quick test_traffic_accounting;
+        ] );
+      ("export", [ Alcotest.test_case "dot" `Quick test_dot_export ]);
+      ( "mincut",
+        [
+          Alcotest.test_case "path" `Quick test_mincut_path;
+          Alcotest.test_case "classic example" `Quick test_mincut_classic;
+          Alcotest.test_case "disconnected" `Quick test_mincut_disconnected;
+          Alcotest.test_case "parallel edges" `Quick test_mincut_parallel_edges_accumulate;
+        ] );
+      ("properties", qsuite);
+    ]

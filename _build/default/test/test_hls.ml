@@ -1,0 +1,119 @@
+(* Tests for the HLS synthesis estimator and the parallel-synthesis step. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mk_task ?(id = 0) ?(name = "t") ?(kind = "k") ?(compute = Task.default_compute)
+    ?(mem_ports = []) ?resources () =
+  { Task.id; name; kind; compute; mem_ports; resources }
+
+let test_override_wins () =
+  let r = Resource.make ~lut:123 ~ff:456 () in
+  let t = mk_task ~resources:r () in
+  check bool "explicit resources returned verbatim" true (Resource.equal r (Estimator.estimate t))
+
+let test_base_cost_positive () =
+  let t = mk_task () in
+  let r = Estimator.estimate t in
+  check bool "every task pays FSM cost" true (r.Resource.lut >= Estimator.fsm_base.Resource.lut)
+
+let test_ops_add_dsp () =
+  let no_ops = Estimator.estimate (mk_task ~compute:(Task.make_compute ~elems:10.0 ()) ()) in
+  let with_ops =
+    Estimator.estimate (mk_task ~compute:(Task.make_compute ~elems:10.0 ~ops_per_elem:8.0 ()) ())
+  in
+  check int "no ops, no DSP" 0 no_ops.Resource.dsp;
+  check bool "ops consume DSPs" true (with_ops.Resource.dsp > 0);
+  check bool "ops consume LUTs too" true (with_ops.Resource.lut > no_ops.Resource.lut)
+
+let test_lanes_scale_datapath () =
+  let one = Estimator.estimate (mk_task ~compute:(Task.make_compute ~ops_per_elem:4.0 ~lanes:1 ()) ()) in
+  let four = Estimator.estimate (mk_task ~compute:(Task.make_compute ~ops_per_elem:4.0 ~lanes:4 ()) ()) in
+  check bool "lanes multiply dsp" true (four.Resource.dsp = 4 * one.Resource.dsp)
+
+let test_buffers_map_to_uram_or_bram () =
+  let small = Estimator.estimate (mk_task ~compute:(Task.make_compute ~buffer_bytes:8192 ()) ()) in
+  check bool "small buffer -> BRAM" true (small.Resource.bram > 0 && small.Resource.uram = 0);
+  let big = Estimator.estimate (mk_task ~compute:(Task.make_compute ~buffer_bytes:(256 * 1024) ()) ()) in
+  check bool "large buffer -> URAM" true (big.Resource.uram > 0);
+  (* A board without URAM keeps everything in BRAM. *)
+  let no_uram_board = Board.stratix10 () in
+  let big' =
+    Estimator.estimate ~board:no_uram_board
+      (mk_task ~compute:(Task.make_compute ~buffer_bytes:(256 * 1024) ()) ())
+  in
+  check int "no URAM on Stratix-10 model" 0 big'.Resource.uram;
+  check bool "falls back to BRAM" true (big'.Resource.bram > small.Resource.bram)
+
+let test_mem_ports_cost () =
+  let none = Estimator.estimate (mk_task ()) in
+  let one_port =
+    Estimator.estimate
+      (mk_task ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:512 ~bytes:1e6 () ] ())
+  in
+  check bool "AXI engine costs LUT/FF/BRAM" true
+    (one_port.Resource.lut > none.Resource.lut && one_port.Resource.bram > none.Resource.bram)
+
+let test_cycles_model () =
+  let t = mk_task ~compute:(Task.make_compute ~elems:1000.0 ~ii:2.0 ~lanes:4 ()) () in
+  check (Alcotest.float 1e-9) "steady cycles = elems*ii/lanes" 500.0 (Estimator.steady_cycles t);
+  check bool "startup positive" true (Estimator.startup_cycles t > 0.0);
+  check (Alcotest.float 1e-9) "total" (Estimator.task_cycles t)
+    (Estimator.startup_cycles t +. Estimator.steady_cycles t)
+
+let test_synthesis_caching () =
+  let b = Taskgraph.Builder.create () in
+  let c = Task.make_compute ~elems:10.0 ~ops_per_elem:2.0 () in
+  for i = 0 to 9 do
+    ignore (Taskgraph.Builder.add_task b ~name:(Printf.sprintf "pe%d" i) ~kind:"pe" ~compute:c ())
+  done;
+  ignore (Taskgraph.Builder.add_task b ~name:"other" ~kind:"io" ());
+  let g = Taskgraph.Builder.build b in
+  let r = Synthesis.run g in
+  check int "2 distinct kinds" 2 r.Synthesis.distinct_kinds;
+  check int "9 cache hits" 9 r.Synthesis.cache_hits;
+  check int "11 sequential runs" 11 r.Synthesis.sequential_runs;
+  check bool "profiles indexed by id" true
+    (Array.for_all (fun (p : Synthesis.profile) -> p.task_id = p.task_id) r.Synthesis.profiles);
+  (* identical kinds share identical resources *)
+  check bool "same kind same profile" true
+    (Resource.equal (Synthesis.profile_of r 0).resources (Synthesis.profile_of r 9).resources)
+
+let test_synthesis_distinguishes_overrides () =
+  let b = Taskgraph.Builder.create () in
+  ignore
+    (Taskgraph.Builder.add_task b ~name:"a" ~kind:"pe"
+       ~resources:(Resource.make ~lut:100 ()) ());
+  ignore
+    (Taskgraph.Builder.add_task b ~name:"b" ~kind:"pe"
+       ~resources:(Resource.make ~lut:200 ()) ());
+  let g = Taskgraph.Builder.build b in
+  let r = Synthesis.run g in
+  check int "overrides keep kinds distinct" 2 r.Synthesis.distinct_kinds;
+  check bool "totals add up" true
+    (Resource.equal r.Synthesis.total_resources (Resource.make ~lut:300 ()))
+
+let () =
+  Alcotest.run "hls"
+    [
+      ( "estimator",
+        [
+          Alcotest.test_case "override wins" `Quick test_override_wins;
+          Alcotest.test_case "FSM base cost" `Quick test_base_cost_positive;
+          Alcotest.test_case "ops cost DSP" `Quick test_ops_add_dsp;
+          Alcotest.test_case "lanes scale datapath" `Quick test_lanes_scale_datapath;
+          Alcotest.test_case "buffer URAM/BRAM policy" `Quick test_buffers_map_to_uram_or_bram;
+          Alcotest.test_case "mem port cost" `Quick test_mem_ports_cost;
+          Alcotest.test_case "cycle model" `Quick test_cycles_model;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "per-kind caching" `Quick test_synthesis_caching;
+          Alcotest.test_case "distinct overrides" `Quick test_synthesis_distinguishes_overrides;
+        ] );
+    ]

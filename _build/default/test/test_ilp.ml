@@ -1,0 +1,331 @@
+(* Tests for the exact LP/ILP solver: linear expressions, simplex against
+   known optima, branch-and-bound cross-checked with brute force. *)
+
+open Tapa_cs_util
+open Tapa_cs_ilp
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let r = Rat.of_int
+let ri = Rat.of_ints
+
+let rat = Alcotest.testable (fun fmt x -> Format.pp_print_string fmt (Rat.to_string x)) Rat.equal
+
+(* ------------------------------------------------------------------ *)
+(* Linear                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_combination () =
+  let e = Linear.of_terms ~const:(r 3) [ (0, r 2); (1, r (-1)) ] in
+  check rat "coeff 0" (r 2) (Linear.coeff e 0);
+  check rat "coeff 1" (r (-1)) (Linear.coeff e 1);
+  check rat "coeff absent" Rat.zero (Linear.coeff e 7);
+  check rat "const" (r 3) (Linear.const e);
+  let v = function 0 -> r 5 | 1 -> r 2 | _ -> Rat.zero in
+  check rat "eval" (r 11) (Linear.eval e v)
+
+let test_linear_cancellation () =
+  let e = Linear.add (Linear.var 0) (Linear.var 0 ~coeff:(r (-1))) in
+  check bool "cancelled term dropped" true (Linear.terms e = []);
+  check Alcotest.int "max_var of constant" (-1) (Linear.max_var e)
+
+let test_linear_scale_sub () =
+  let e = Linear.scale (r 3) (Linear.of_terms [ (2, ri 1 3) ]) in
+  check rat "scaled" (r 1) (Linear.coeff e 2);
+  let d = Linear.sub e e in
+  check bool "self subtraction empty" true (Linear.terms d = [] && Rat.is_zero (Linear.const d))
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_textbook () =
+  (* max 3x + 2y st x+y<=4, x+3y<=6 -> 12 at (4,0) *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous and y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Le (r 4);
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 3) ]) Model.Le (r 6);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (x, r 3); (y, r 2) ]);
+  match Simplex.solve m with
+  | Simplex.Optimal s ->
+    check rat "objective" (r 12) s.objective;
+    check rat "x" (r 4) s.values.(x);
+    check rat "y" Rat.zero s.values.(y)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality_and_ge () =
+  (* min x + y st x + y = 10, x >= 3, y >= 2 -> 10 *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous and y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Eq (r 10);
+  Model.add_constraint m (Linear.var x) Model.Ge (r 3);
+  Model.add_constraint m (Linear.var y) Model.Ge (r 2);
+  Model.set_objective m Model.Minimize (Linear.of_terms [ (x, r 1); (y, r 1) ]);
+  match Simplex.solve m with
+  | Simplex.Optimal s -> check rat "objective" (r 10) s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.var x) Model.Ge (r 5);
+  Model.add_constraint m (Linear.var x) Model.Le (r 3);
+  check bool "infeasible" true (Simplex.solve m = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous in
+  Model.set_objective m Model.Maximize (Linear.var x);
+  check bool "unbounded" true (Simplex.solve m = Simplex.Unbounded)
+
+let test_simplex_bounds_override () =
+  (* Same model, tightened bounds through the B&B hook. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous ~ub:(r 10) in
+  Model.set_objective m Model.Maximize (Linear.var x);
+  (match Simplex.solve m with
+  | Simplex.Optimal s -> check rat "default ub" (r 10) s.objective
+  | _ -> Alcotest.fail "expected optimal");
+  match Simplex.solve ~bounds:([| r 2 |], [| Some (r 5) |]) m with
+  | Simplex.Optimal s -> check rat "overridden ub" (r 5) s.objective
+  | _ -> Alcotest.fail "expected optimal with bounds"
+
+let test_simplex_fractional_optimum () =
+  (* max x + y st 2x + y <= 3, x + 2y <= 3 -> optimum at (1,1): 2 exactly *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous and y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.of_terms [ (x, r 2); (y, r 1) ]) Model.Le (r 3);
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 2) ]) Model.Le (r 3);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (x, r 1); (y, r 1) ]);
+  match Simplex.solve m with
+  | Simplex.Optimal s -> check rat "exact rational objective" (r 2) s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Random LPs: any claimed optimum must satisfy all constraints, and beat a
+   sampled grid of feasible points. *)
+let prop_simplex_sound =
+  QCheck.Test.make ~name:"simplex optimum is feasible and dominates samples" ~count:60
+    QCheck.(pair (int_range 0 10000) (int_range 1 4))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_var m Model.Continuous ~ub:(r 5)) in
+      let ncon = 1 + Prng.int rng 4 in
+      let cons =
+        List.init ncon (fun _ ->
+            let coeffs = List.map (fun v -> (v, r (Prng.int_in rng 0 4))) vars in
+            let rhs = r (Prng.int_in rng 1 20) in
+            Model.add_constraint m (Linear.of_terms coeffs) Model.Le rhs;
+            (coeffs, rhs))
+      in
+      let obj = List.map (fun v -> (v, r (Prng.int_in rng (-3) 5))) vars in
+      Model.set_objective m Model.Maximize (Linear.of_terms obj);
+      match Simplex.solve m with
+      | Simplex.Optimal s ->
+        let value v = s.values.(v) in
+        let feasible =
+          List.for_all
+            (fun (coeffs, rhs) ->
+              Rat.compare (Linear.eval (Linear.of_terms coeffs) value) rhs <= 0)
+            cons
+          && List.for_all (fun v -> Rat.sign (value v) >= 0 && Rat.compare (value v) (r 5) <= 0) vars
+        in
+        (* sample integer grid points in [0,2]^n *)
+        let dominates = ref true in
+        let rec grid assign = function
+          | [] ->
+            let value v = r (List.assoc v assign) in
+            let ok =
+              List.for_all
+                (fun (coeffs, rhs) ->
+                  Rat.compare (Linear.eval (Linear.of_terms coeffs) value) rhs <= 0)
+                cons
+            in
+            if ok then begin
+              let o = Linear.eval (Linear.of_terms obj) value in
+              if Rat.compare o s.objective > 0 then dominates := false
+            end
+          | v :: rest ->
+            for c = 0 to 2 do
+              grid ((v, c) :: assign) rest
+            done
+        in
+        grid [] vars;
+        feasible && !dominates
+      | Simplex.Unbounded -> false (* bounded by construction: ub on every var *)
+      | Simplex.Infeasible -> false (* origin is always feasible *))
+
+(* ------------------------------------------------------------------ *)
+(* Branch and bound                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_bb_knapsack () =
+  let m = Model.create () in
+  let a = Model.add_var m Model.Binary
+  and b = Model.add_var m Model.Binary
+  and c = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linear.of_terms [ (a, r 5); (b, r 4); (c, r 3) ]) Model.Le (r 10);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (a, r 10); (b, r 6); (c, r 4) ]);
+  match Branch_bound.solve m with
+  | Branch_bound.Optimal s ->
+    check rat "knapsack optimum" (r 16) s.objective;
+    check bool "solution is feasible" true (Branch_bound.is_feasible m s.values)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bb_integer_infeasible () =
+  (* 2x = 1 has a fractional LP solution but no binary solution. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linear.var x ~coeff:(r 2)) Model.Eq (r 1);
+  check bool "integer infeasible" true (Branch_bound.solve m = Branch_bound.Infeasible)
+
+let test_bb_respects_incumbent () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Binary and y = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Le (r 1);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (x, r 2); (y, r 3) ]);
+  let incumbent = [| Rat.zero; Rat.one |] in
+  match Branch_bound.solve ~incumbent m with
+  | Branch_bound.Optimal s -> check rat "optimum" (r 3) s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bb_minimization () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Binary and y = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Ge (r 1);
+  Model.set_objective m Model.Minimize (Linear.of_terms [ (x, r 5); (y, r 3) ]);
+  match Branch_bound.solve m with
+  | Branch_bound.Optimal s -> check rat "min optimum" (r 3) s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_is_feasible_rejects () =
+  let m = Model.create () in
+  let x = Model.add_var m Model.Binary in
+  Model.add_constraint m (Linear.var x) Model.Le Rat.zero;
+  check bool "violating assignment rejected" false (Branch_bound.is_feasible m [| Rat.one |]);
+  check bool "fractional rejected" false (Branch_bound.is_feasible m [| ri 1 2 |]);
+  check bool "ok accepted" true (Branch_bound.is_feasible m [| Rat.zero |])
+
+(* Exhaustive cross-check on random small ILPs. *)
+let prop_bb_matches_brute_force =
+  QCheck.Test.make ~name:"branch&bound matches brute force" ~count:120
+    (QCheck.int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 2 6 in
+      let ncon = Prng.int_in rng 1 4 in
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_var m Model.Binary) in
+      let cons =
+        List.init ncon (fun _ ->
+            let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars in
+            let rhs = r (Prng.int_in rng (-3) 8) in
+            Model.add_constraint m (Linear.of_terms coeffs) Model.Le rhs;
+            (coeffs, rhs))
+      in
+      let obj = List.map (fun v -> (v, r (Prng.int_in rng (-9) 9))) vars in
+      Model.set_objective m Model.Maximize (Linear.of_terms obj);
+      let best = ref None in
+      for mask = 0 to (1 lsl n) - 1 do
+        let value v = if (mask lsr v) land 1 = 1 then Rat.one else Rat.zero in
+        let ok =
+          List.for_all
+            (fun (coeffs, rhs) -> Rat.compare (Linear.eval (Linear.of_terms coeffs) value) rhs <= 0)
+            cons
+        in
+        if ok then begin
+          let o = Linear.eval (Linear.of_terms obj) value in
+          match !best with
+          | Some b when Rat.compare b o >= 0 -> ()
+          | _ -> best := Some o
+        end
+      done;
+      match (Branch_bound.solve m, !best) with
+      | Branch_bound.Optimal s, Some b ->
+        Rat.equal s.objective b && Branch_bound.is_feasible m s.values
+      | Branch_bound.Infeasible, None -> true
+      | _ -> false)
+
+let test_simplex_pivot_limit () =
+  (* A model that needs pivots must raise when given none. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous ~ub:(r 5) in
+  let y = Model.add_var m Model.Continuous ~ub:(r 5) in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Le (r 7);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (x, r 3); (y, r 2) ]);
+  Alcotest.check_raises "pivot limit" Simplex.Pivot_limit (fun () ->
+      ignore (Simplex.solve ~max_pivots:1 m))
+
+let test_simplex_degenerate () =
+  (* Several redundant constraints through one vertex: degeneracy must not
+     cycle (Bland fallback) and the optimum stays exact. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous and y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Le (r 4);
+  Model.add_constraint m (Linear.of_terms [ (x, r 2); (y, r 2) ]) Model.Le (r 8);
+  Model.add_constraint m (Linear.of_terms [ (x, r 3); (y, r 3) ]) Model.Le (r 12);
+  Model.add_constraint m (Linear.var x) Model.Le (r 4);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (x, r 1); (y, r 1) ]);
+  match Simplex.solve m with
+  | Simplex.Optimal s -> check rat "degenerate optimum" (r 4) s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_bb_stall_returns_incumbent () =
+  (* With a zero node budget the solver must surface the seeded incumbent
+     as Feasible rather than claiming optimality. *)
+  let m = Model.create () in
+  let vars = List.init 6 (fun _ -> Model.add_var m Model.Binary) in
+  Model.add_constraint m (Linear.of_terms (List.map (fun v -> (v, r 3)) vars)) Model.Le (r 8);
+  Model.set_objective m Model.Maximize (Linear.of_terms (List.map (fun v -> (v, r 5)) vars));
+  let incumbent = Array.of_list (List.mapi (fun i _ -> if i = 0 then Rat.one else Rat.zero) vars) in
+  match Branch_bound.solve ~max_nodes:0 ~incumbent m with
+  | Branch_bound.Feasible s -> check rat "incumbent objective" (r 5) s.objective
+  | Branch_bound.Optimal _ -> Alcotest.fail "cannot prove optimality with zero nodes"
+  | _ -> Alcotest.fail "expected the incumbent back"
+
+let test_model_validation () =
+  let m = Model.create () in
+  Alcotest.check_raises "negative lb rejected"
+    (Invalid_argument "Model.add_var: negative lower bound unsupported") (fun () ->
+      ignore (Model.add_var m Model.Continuous ~lb:(r (-1))));
+  Alcotest.check_raises "ub < lb rejected" (Invalid_argument "Model.add_var: ub < lb") (fun () ->
+      ignore (Model.add_var m Model.Continuous ~lb:(r 3) ~ub:(r 2)));
+  let _x = Model.add_var m Model.Binary in
+  Alcotest.check_raises "unknown var in constraint"
+    (Invalid_argument "Model.add_constraint: unknown variable") (fun () ->
+      Model.add_constraint m (Linear.var 5) Model.Le (r 1))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_simplex_sound; prop_bb_matches_brute_force ]
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "linear",
+        [
+          Alcotest.test_case "combination" `Quick test_linear_combination;
+          Alcotest.test_case "cancellation" `Quick test_linear_cancellation;
+          Alcotest.test_case "scale and sub" `Quick test_linear_scale_sub;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook max" `Quick test_simplex_textbook;
+          Alcotest.test_case "equality + ge" `Quick test_simplex_equality_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "bounds override" `Quick test_simplex_bounds_override;
+          Alcotest.test_case "fractional optimum exact" `Quick test_simplex_fractional_optimum;
+          Alcotest.test_case "pivot limit" `Quick test_simplex_pivot_limit;
+          Alcotest.test_case "degeneracy" `Quick test_simplex_degenerate;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
+          Alcotest.test_case "integer infeasible" `Quick test_bb_integer_infeasible;
+          Alcotest.test_case "incumbent seeding" `Quick test_bb_respects_incumbent;
+          Alcotest.test_case "minimization" `Quick test_bb_minimization;
+          Alcotest.test_case "is_feasible" `Quick test_is_feasible_rejects;
+          Alcotest.test_case "stall returns incumbent" `Quick test_bb_stall_returns_incumbent;
+          Alcotest.test_case "model validation" `Quick test_model_validation;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,106 @@
+(* Tests for the link models and the Table-10 protocol library. *)
+
+open Tapa_cs_device
+open Tapa_cs_network
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let fl = Alcotest.float 1e-9
+
+let test_alveolink_parameters () =
+  let l = Link.alveolink in
+  check fl "line rate 12.5 GB/s" 12.5 l.Link.bandwidth_gbytes;
+  check fl "one-way 0.5us (1us RTT, §4.4)" 0.5 l.Link.one_way_latency_us
+
+let test_transfer_time_components () =
+  let l = Link.alveolink in
+  let setup_only = Link.transfer_time_s l 0.0 in
+  check fl "zero bytes = setup" (0.5e-6) setup_only;
+  let t1 = Link.transfer_time_s l 1e6 and t2 = Link.transfer_time_s l 2e6 in
+  check bool "monotone in volume" true (t2 > t1);
+  check bool "roughly linear for large transfers" true
+    (let ratio = (t2 -. setup_only) /. (t1 -. setup_only) in
+     ratio > 1.9 && ratio < 2.1)
+
+let test_packet_size_effect () =
+  (* §7: halving packet size increases total time. *)
+  let l = Link.alveolink in
+  let t64 = Link.transfer_time_s ~packet_bytes:64 l 64e6 in
+  let t128 = Link.transfer_time_s ~packet_bytes:128 l 64e6 in
+  let t4096 = Link.transfer_time_s ~packet_bytes:4096 l 64e6 in
+  check bool "64B slower than 128B" true (t64 > t128);
+  check bool "128B slower than 4KB" true (t128 > t4096);
+  (* 64MB at 64B packets lands in the §7 millisecond regime *)
+  check bool "6-7ms ballpark at 64B" true (t64 > 5e-3 && t64 < 8e-3)
+
+let test_effective_throughput_curve () =
+  (* Fig. 8 shape: throughput ramps with transfer size and saturates
+     below the 100 Gb/s line rate. *)
+  let l = Link.alveolink in
+  let sizes = [ 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 ] in
+  let tps = List.map (fun s -> Link.effective_throughput_gbps l s) sizes in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  check bool "monotone ramp" true (monotone tps);
+  let peak = List.fold_left Float.max 0.0 tps in
+  check bool "saturates near 90+ Gbps" true (peak > 85.0 && peak < 100.0);
+  check bool "small transfers latency-dominated" true (List.hd tps < 20.0)
+
+let test_pcie_slower () =
+  (* §4.4: AlveoLink is 12.5x faster than PCIe Gen3x16. *)
+  check bool "PCIe rate = Ethernet/12.5" true
+    (Link.alveolink.Link.bandwidth_gbytes /. Link.pcie_p2p.Link.bandwidth_gbytes = 12.5);
+  let va = Link.transfer_time_s Link.alveolink 1e9 in
+  let vp = Link.transfer_time_s Link.pcie_p2p 1e9 in
+  check bool "large transfer ~12x slower on PCIe" true (vp /. va > 10.0 && vp /. va < 15.0)
+
+let test_host_mpi_slowest () =
+  let v10g = Link.transfer_time_s Link.host_mpi_10g 1e9 in
+  let veth = Link.transfer_time_s Link.alveolink 1e9 in
+  check bool "inter-node ~10x slower (§5.7)" true (v10g /. veth > 8.0 && v10g /. veth < 12.0)
+
+let test_table10_rows () =
+  check Alcotest.int "7 protocols" 7 (List.length Protocol.all);
+  let names = List.map (fun p -> p.Protocol.name) Protocol.all in
+  check (Alcotest.list Alcotest.string) "paper order"
+    [ "TMD-MPI"; "Galapagos"; "SMI"; "EasyNet"; "ZRLMPI"; "ACCL"; "AlveoLink" ]
+    names
+
+let test_alveolink_wins_tradeoff () =
+  (* AlveoLink: EasyNet-class throughput at roughly half the overhead. *)
+  let a = Protocol.alveolink and e = Protocol.easynet in
+  check fl "same 90 Gbps class" a.Protocol.performance_gbps e.Protocol.performance_gbps;
+  (match (a.Protocol.resource_overhead_pct, e.Protocol.resource_overhead_pct) with
+  | Some ao, Some eo -> check bool "half the overhead" true (ao = 5.0 && eo = 10.0)
+  | _ -> Alcotest.fail "overheads must be reported");
+  check bool "device orchestrated" true (a.Protocol.orchestration = Protocol.Device);
+  check bool "zrlmpi overhead unreported" true (Protocol.zrlmpi.Protocol.resource_overhead_pct = None)
+
+let test_port_overhead_resources () =
+  let b = Board.u55c () in
+  let ov = Protocol.alveolink_port_overhead b in
+  check bool "charges LUT FF BRAM only" true
+    (ov.Resource.lut > 0 && ov.Resource.ff > 0 && ov.Resource.bram > 0 && ov.Resource.dsp = 0
+   && ov.Resource.uram = 0)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "alveolink parameters" `Quick test_alveolink_parameters;
+          Alcotest.test_case "transfer time components" `Quick test_transfer_time_components;
+          Alcotest.test_case "packet size (§7)" `Quick test_packet_size_effect;
+          Alcotest.test_case "throughput curve (Fig. 8)" `Quick test_effective_throughput_curve;
+          Alcotest.test_case "pcie 12.5x slower" `Quick test_pcie_slower;
+          Alcotest.test_case "inter-node slowest" `Quick test_host_mpi_slowest;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "table 10 rows" `Quick test_table10_rows;
+          Alcotest.test_case "alveolink tradeoff" `Quick test_alveolink_wins_tradeoff;
+          Alcotest.test_case "port overhead (§5.6)" `Quick test_port_overhead_resources;
+        ] );
+    ]

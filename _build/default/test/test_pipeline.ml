@@ -1,0 +1,91 @@
+(* Tests for interconnect pipelining and cut-set balancing (§4.6). *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_pipeline.Pipelining
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let diamond ~widths =
+  (* 0 -> 1 -> 3 and 0 -> 2 -> 3 *)
+  let b = Taskgraph.Builder.create () in
+  let t name = Taskgraph.Builder.add_task b ~name () in
+  let n0 = t "src" and n1 = t "up" and n2 = t "down" and n3 = t "sink" in
+  let w i = List.nth widths i in
+  let f0 = Taskgraph.Builder.add_fifo b ~src:n0 ~dst:n1 ~width_bits:(w 0) () in
+  let f1 = Taskgraph.Builder.add_fifo b ~src:n0 ~dst:n2 ~width_bits:(w 1) () in
+  let f2 = Taskgraph.Builder.add_fifo b ~src:n1 ~dst:n3 ~width_bits:(w 2) () in
+  let f3 = Taskgraph.Builder.add_fifo b ~src:n2 ~dst:n3 ~width_bits:(w 3) () in
+  (Taskgraph.Builder.build b, (f0, f1, f2, f3))
+
+let test_insertion_one_reg_per_crossing () =
+  let g, (f0, _, _, _) = diamond ~widths:[ 32; 32; 32; 32 ] in
+  let t = run ~graph:g ~crossings:[ (f0, 3) ] in
+  check int "3 stages on the 3-slot crossing" 3 (List.length t.insertions * 0 + t.added_latency_cycles);
+  check bool "recorded per fifo" true (stages_of t f0 >= 3)
+
+let test_no_crossings_no_registers () =
+  let g, _ = diamond ~widths:[ 32; 32; 32; 32 ] in
+  let t = run ~graph:g ~crossings:[] in
+  check int "no insertions" 0 (List.length t.insertions);
+  check int "no latency" 0 t.added_latency_cycles;
+  check bool "no area" true (Resource.is_zero t.area)
+
+let test_cut_set_balancing () =
+  (* Pipeline only the upper path: the lower path must receive balancing
+     stages so both arrive at the sink in step. *)
+  let g, (f0, f1, f2, f3) = diamond ~widths:[ 32; 32; 32; 32 ] in
+  let t = run ~graph:g ~crossings:[ (f0, 2); (f2, 1) ] in
+  (* upper path latency = 3; lower path = 0 -> balancing adds 3 *)
+  check int "balanced extra" 3 t.balanced_extra_cycles;
+  let lower_total = stages_of t f1 + stages_of t f3 in
+  check int "lower path padded to 3" 3 lower_total;
+  check int "max path latency" 3 t.max_path_latency
+
+let test_balancing_preserves_path_equality () =
+  let g, (f0, f1, f2, f3) = diamond ~widths:[ 64; 128; 256; 512 ] in
+  let t = run ~graph:g ~crossings:[ (f0, 2); (f1, 1); (f2, 2); (f3, 3) ] in
+  let upper = stages_of t f0 + stages_of t f2 in
+  let lower = stages_of t f1 + stages_of t f3 in
+  check int "paths equalized" upper lower
+
+let test_area_scales_with_width () =
+  let g, (f0, _, _, _) = diamond ~widths:[ 512; 32; 32; 32 ] in
+  let narrow_g, (nf0, _, _, _) = diamond ~widths:[ 32; 32; 32; 32 ] in
+  let wide = run ~graph:g ~crossings:[ (f0, 1) ] in
+  let narrow = run ~graph:narrow_g ~crossings:[ (nf0, 1) ] in
+  check bool "wider buses cost more FFs" true (wide.area.Resource.ff > narrow.area.Resource.ff)
+
+let test_cycles_skip_balancing () =
+  (* Feedback edges (same SCC) cannot be re-balanced. *)
+  let b = Taskgraph.Builder.create () in
+  let x = Taskgraph.Builder.add_task b ~name:"x" () in
+  let y = Taskgraph.Builder.add_task b ~name:"y" () in
+  let f0 = Taskgraph.Builder.add_fifo b ~src:x ~dst:y () in
+  let f1 = Taskgraph.Builder.add_fifo b ~src:y ~dst:x () in
+  let g = Taskgraph.Builder.build b in
+  let t = run ~graph:g ~crossings:[ (f0, 2); (f1, 1) ] in
+  check bool "registers still inserted" true (t.added_latency_cycles = 3);
+  check int "no balancing inside an SCC" 0 t.balanced_extra_cycles
+
+let test_zero_distance_ignored () =
+  let g, (f0, _, _, _) = diamond ~widths:[ 32; 32; 32; 32 ] in
+  let t = run ~graph:g ~crossings:[ (f0, 0) ] in
+  check int "same-slot fifo untouched" 0 (List.length t.insertions)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "pipelining",
+        [
+          Alcotest.test_case "one register per crossing" `Quick test_insertion_one_reg_per_crossing;
+          Alcotest.test_case "no crossings, no cost" `Quick test_no_crossings_no_registers;
+          Alcotest.test_case "cut-set balancing" `Quick test_cut_set_balancing;
+          Alcotest.test_case "path equality invariant" `Quick test_balancing_preserves_path_equality;
+          Alcotest.test_case "area scales with width" `Quick test_area_scales_with_width;
+          Alcotest.test_case "feedback edges skipped" `Quick test_cycles_skip_balancing;
+          Alcotest.test_case "zero-distance ignored" `Quick test_zero_distance_ignored;
+        ] );
+    ]

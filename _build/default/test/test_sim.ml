@@ -1,0 +1,383 @@
+(* Tests for the discrete-event engine and the design simulator:
+   channel semantics, determinism, deadlock detection, server contention,
+   and dataflow conservation laws. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_sim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let fl = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_wait_orders_events () =
+  let e = Engine.create () in
+  let order = ref [] in
+  Engine.spawn e ~name:"a" (fun () ->
+      Engine.wait 2.0;
+      order := "a" :: !order);
+  Engine.spawn e ~name:"b" (fun () ->
+      Engine.wait 1.0;
+      order := "b" :: !order);
+  let r = Engine.run e in
+  check (Alcotest.list Alcotest.string) "order by time" [ "b"; "a" ] (List.rev !order);
+  check fl "end time" 2.0 r.end_time;
+  check bool "no deadlock" true (r.deadlocked = [])
+
+let test_same_time_fifo_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e ~name:(string_of_int i) (fun () -> order := i :: !order)
+  done;
+  ignore (Engine.run e);
+  check (Alcotest.list int) "spawn order preserved at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_negative_wait_rejected () =
+  let e = Engine.create () in
+  let raised = ref false in
+  Engine.spawn e (fun () -> try Engine.wait (-1.0) with Invalid_argument _ -> raised := true);
+  ignore (Engine.run e);
+  check bool "negative wait rejected" true !raised
+
+let test_channel_backpressure () =
+  let e = Engine.create () in
+  let ch = Engine.Channel.create e ~name:"c" ~capacity:10.0 in
+  let produced_at = ref [] in
+  Engine.spawn e ~name:"producer" (fun () ->
+      for _ = 1 to 3 do
+        Engine.Channel.push ch 10.0;
+        produced_at := Engine.time () :: !produced_at
+      done);
+  Engine.spawn e ~name:"consumer" (fun () ->
+      for _ = 1 to 3 do
+        Engine.wait 5.0;
+        Engine.Channel.pull ch 10.0
+      done);
+  let r = Engine.run e in
+  check bool "no deadlock" true (r.deadlocked = []);
+  (* First push is immediate; the rest wait for pulls at t=5,10. *)
+  check (Alcotest.list fl) "pushes gated by pulls" [ 0.0; 5.0; 10.0 ] (List.rev !produced_at);
+  check fl "conservation" (Engine.Channel.total_pushed ch) (Engine.Channel.total_pulled ch +. Engine.Channel.level ch)
+
+let test_channel_oversized_message_streams () =
+  let e = Engine.create () in
+  let ch = Engine.Channel.create e ~name:"c" ~capacity:4.0 in
+  Engine.spawn e ~name:"p" (fun () -> Engine.Channel.push ch 20.0);
+  Engine.spawn e ~name:"c" (fun () -> Engine.Channel.pull ch 20.0);
+  let r = Engine.run e in
+  check bool "oversized transfer completes" true (r.deadlocked = []);
+  check fl "all bytes moved" 20.0 (Engine.Channel.total_pulled ch)
+
+let test_channel_no_float_wedge () =
+  (* Regression: repeated large chunk cycles must not wedge on rounding. *)
+  let e = Engine.create () in
+  let chunk = 18.03e6 +. 0.125 in
+  let ch = Engine.Channel.create e ~name:"c" ~capacity:chunk in
+  Engine.spawn e ~name:"p" (fun () ->
+      for _ = 1 to 64 do
+        Engine.Channel.push ch chunk
+      done);
+  Engine.spawn e ~name:"q" (fun () ->
+      for _ = 1 to 64 do
+        Engine.Channel.pull ch chunk
+      done);
+  let r = Engine.run e in
+  check bool "no rounding deadlock" true (r.deadlocked = [])
+
+let test_deadlock_detection () =
+  let e = Engine.create () in
+  let a = Engine.Channel.create e ~name:"a" ~capacity:1.0 in
+  let b = Engine.Channel.create e ~name:"b" ~capacity:1.0 in
+  Engine.spawn e ~name:"p1" (fun () ->
+      Engine.Channel.pull a 1.0;
+      Engine.Channel.push b 1.0);
+  Engine.spawn e ~name:"p2" (fun () ->
+      Engine.Channel.pull b 1.0;
+      Engine.Channel.push a 1.0);
+  let r = Engine.run e in
+  check int "both reported" 2 (List.length r.deadlocked)
+
+let test_server_serializes () =
+  let e = Engine.create () in
+  let srv = Engine.Server.create e ~name:"link" ~rate_bytes_per_s:100.0 ~latency_s:0.25 () in
+  let ends = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn e ~name:(string_of_int i) (fun () ->
+        Engine.Server.transfer srv 100.0;
+        ends := Engine.time () :: !ends)
+  done;
+  ignore (Engine.run e);
+  check (Alcotest.list fl) "queueing + latency" [ 1.25; 2.25; 3.25 ] (List.sort compare !ends);
+  check fl "busy time" 3.0 (Engine.Server.busy_time srv);
+  check fl "bytes" 300.0 (Engine.Server.bytes_moved srv)
+
+let test_server_per_packet_overhead () =
+  let e = Engine.create () in
+  let srv =
+    Engine.Server.create e ~name:"l" ~rate_bytes_per_s:1000.0 ~per_packet_s:0.1 ~packet_bytes:10.0 ()
+  in
+  Engine.spawn e (fun () -> Engine.Server.transfer srv 30.0);
+  let r = Engine.run e in
+  (* 3 packets x 0.1 + 30/1000 *)
+  check fl "packetized time" 0.33 r.end_time
+
+let test_determinism () =
+  let run () =
+    let e = Engine.create () in
+    let ch = Engine.Channel.create e ~name:"c" ~capacity:7.0 in
+    let trace = ref [] in
+    for i = 0 to 4 do
+      Engine.spawn e ~name:(Printf.sprintf "p%d" i) (fun () ->
+          Engine.wait (0.1 *. float_of_int i);
+          Engine.Channel.push ch 3.0;
+          trace := (i, Engine.time ()) :: !trace)
+    done;
+    Engine.spawn e ~name:"drain" (fun () ->
+        for _ = 1 to 5 do
+          Engine.Channel.pull ch 3.0;
+          Engine.wait 0.05
+        done);
+    ignore (Engine.run e);
+    !trace
+  in
+  check bool "identical traces" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Design simulator                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let simple_design ?(cross = false) () =
+  (* producer -> consumer, optionally split across 2 FPGAs. *)
+  let b = Taskgraph.Builder.create () in
+  let p =
+    Taskgraph.Builder.add_task b ~name:"producer"
+      ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ())
+      ()
+  in
+  let c =
+    Taskgraph.Builder.add_task b ~name:"consumer"
+      ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ())
+      ()
+  in
+  ignore (Taskgraph.Builder.add_fifo b ~src:p ~dst:c ~width_bits:32 ~elems:1e6 ());
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) (if cross then 2 else 1) in
+  let synthesis = Synthesis.run ~board g in
+  let assignment = if cross then [| 0; 1 |] else [| 0; 0 |] in
+  Design_sim.make_config ~graph:g ~assignment
+    ~freq_mhz:(Array.make (Cluster.size cluster) 300.0)
+    ~cluster ~synthesis ()
+
+let test_design_sim_local () =
+  let r = Design_sim.run (simple_design ()) in
+  check bool "completes" true (r.deadlocked = []);
+  (* 1e6 elems at 1 elem/cycle at 300 MHz ~ 3.33 ms, pipelined overlap. *)
+  check bool "latency near compute bound" true (r.latency_s > 0.003 && r.latency_s < 0.005);
+  check bool "no links used" true (r.links = [])
+
+let test_design_sim_cross_fpga () =
+  let local = Design_sim.run (simple_design ()) in
+  let crossed = Design_sim.run (simple_design ~cross:true ()) in
+  check bool "link appears" true (List.length crossed.links = 1);
+  let link = List.hd crossed.links in
+  check bool "link carried the stream" true (link.Design_sim.bytes >= 4e6);
+  check bool "crossing is never faster" true (crossed.latency_s >= local.latency_s -. 1e-6)
+
+let test_design_sim_bulk_serializes () =
+  let make mode =
+    let b = Taskgraph.Builder.create () in
+    let p = Taskgraph.Builder.add_task b ~name:"p" ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ()) () in
+    let c = Taskgraph.Builder.add_task b ~name:"c" ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ()) () in
+    ignore (Taskgraph.Builder.add_fifo b ~src:p ~dst:c ~width_bits:32 ~elems:1e6 ~mode ());
+    let g = Taskgraph.Builder.build b in
+    let board = Board.u55c () in
+    let cluster = Cluster.make ~board:(fun () -> board) 2 in
+    let synthesis = Synthesis.run ~board g in
+    Design_sim.run
+      (Design_sim.make_config ~graph:g ~assignment:[| 0; 1 |] ~freq_mhz:[| 300.0; 300.0 |]
+         ~cluster ~synthesis ())
+  in
+  let stream = make Fifo.Stream and bulk = make Fifo.Bulk in
+  check bool "bulk strictly slower than stream (no overlap)" true
+    (bulk.latency_s > stream.latency_s *. 1.5)
+
+let test_design_sim_cycle_credits () =
+  (* a <-> b feedback loop must not deadlock. *)
+  let b = Taskgraph.Builder.create () in
+  let x = Taskgraph.Builder.add_task b ~name:"x" ~compute:(Task.make_compute ~elems:1000.0 ~ii:1.0 ()) () in
+  let y = Taskgraph.Builder.add_task b ~name:"y" ~compute:(Task.make_compute ~elems:1000.0 ~ii:1.0 ()) () in
+  ignore (Taskgraph.Builder.add_fifo b ~src:x ~dst:y ~elems:1000.0 ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:y ~dst:x ~elems:1000.0 ());
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) 1 in
+  let synthesis = Synthesis.run ~board g in
+  let r =
+    Design_sim.run
+      (Design_sim.make_config ~graph:g ~assignment:[| 0; 0 |] ~freq_mhz:[| 300.0 |] ~cluster
+         ~synthesis ())
+  in
+  check bool "cycle completes via credits" true (r.deadlocked = [])
+
+let test_design_sim_memory_bound () =
+  (* A reader whose port is narrow must be slower than compute alone. *)
+  let make bw =
+    let b = Taskgraph.Builder.create () in
+    let p =
+      Taskgraph.Builder.add_task b ~name:"rd"
+        ~compute:(Task.make_compute ~elems:1e6 ~ii:1.0 ())
+        ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:256 ~bytes:1e9 () ]
+        ()
+    in
+    ignore p;
+    let g = Taskgraph.Builder.build b in
+    let board = Board.u55c () in
+    let cluster = Cluster.make ~board:(fun () -> board) 1 in
+    let synthesis = Synthesis.run ~board g in
+    Design_sim.run
+      (Design_sim.make_config
+         ~port_bandwidth_gbps:(fun _ _ -> bw)
+         ~graph:g ~assignment:[| 0 |] ~freq_mhz:[| 300.0 |] ~cluster ~synthesis ())
+  in
+  let fast = make 14.4 and slow = make 1.0 in
+  check bool "bandwidth starvation slows the task" true (slow.latency_s > fast.latency_s *. 5.0)
+
+let test_design_sim_link_contention () =
+  (* Many parallel streams over one FPGA pair share one port. *)
+  let make n =
+    let b = Taskgraph.Builder.create () in
+    let srcs = List.init n (fun i -> Taskgraph.Builder.add_task b ~name:(Printf.sprintf "s%d" i) ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ()) ()) in
+    let dsts = List.init n (fun i -> Taskgraph.Builder.add_task b ~name:(Printf.sprintf "d%d" i) ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ()) ()) in
+    List.iter2
+      (fun s d -> ignore (Taskgraph.Builder.add_fifo b ~src:s ~dst:d ~width_bits:512 ~elems:1e7 ()))
+      srcs dsts;
+    let g = Taskgraph.Builder.build b in
+    let board = Board.u55c () in
+    let cluster = Cluster.make ~board:(fun () -> board) 2 in
+    let synthesis = Synthesis.run ~board g in
+    let assignment = Array.init (2 * n) (fun i -> if i < n then 0 else 1) in
+    Design_sim.run
+      (Design_sim.make_config ~graph:g ~assignment ~freq_mhz:[| 300.0; 300.0 |] ~cluster ~synthesis ())
+  in
+  let one = make 1 and four = make 4 in
+  check bool "4 streams contend on the shared port" true (four.latency_s > one.latency_s *. 2.0)
+
+let test_design_sim_validation () =
+  let cfg = simple_design () in
+  Alcotest.check_raises "bad clock" (Invalid_argument "Design_sim: clock must be positive")
+    (fun () -> ignore (Design_sim.run { cfg with Design_sim.freq_mhz = [| 0.0 |] }));
+  Alcotest.check_raises "clock count" (Invalid_argument "Design_sim: one clock per FPGA required")
+    (fun () -> ignore (Design_sim.run { cfg with Design_sim.freq_mhz = [| 300.0; 300.0 |] }));
+  Alcotest.check_raises "assignment range" (Invalid_argument "Design_sim: assignment out of range")
+    (fun () -> ignore (Design_sim.run { cfg with Design_sim.assignment = [| 0; 5 |] }));
+  Alcotest.check_raises "chunks" (Invalid_argument "Design_sim: chunks must be positive")
+    (fun () -> ignore (Design_sim.run { cfg with Design_sim.chunks = 0 }))
+
+let test_engine_exception_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> failwith "boom");
+  Alcotest.check_raises "process exception surfaces" (Failure "boom") (fun () ->
+      ignore (Engine.run e))
+
+(* Property: random fan-out/fan-in pipelines conserve bytes on every
+   channel and never deadlock. *)
+let prop_random_pipelines_conserve =
+  QCheck.Test.make ~name:"random pipelines complete and conserve" ~count:40
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let rng = Tapa_cs_util.Prng.create seed in
+      let b = Taskgraph.Builder.create () in
+      let stages = 2 + Tapa_cs_util.Prng.int rng 4 in
+      let widths = [| 1; 2; 4 |] in
+      (* layered DAG: every node in layer i feeds >= 1 node in layer i+1 *)
+      let layers =
+        Array.init stages (fun li ->
+            Array.init
+              (1 + Tapa_cs_util.Prng.int rng widths.(li mod 3))
+              (fun ni ->
+                Taskgraph.Builder.add_task b
+                  ~name:(Printf.sprintf "l%dn%d" li ni)
+                  ~compute:(Task.make_compute ~elems:(float_of_int (100 + Tapa_cs_util.Prng.int rng 1000)) ~ii:1.0 ())
+                  ()))
+      in
+      for li = 0 to stages - 2 do
+        Array.iter
+          (fun src ->
+            let dst = layers.(li + 1).(Tapa_cs_util.Prng.int rng (Array.length layers.(li + 1))) in
+            ignore
+              (Taskgraph.Builder.add_fifo b ~src ~dst
+                 ~elems:(float_of_int (50 + Tapa_cs_util.Prng.int rng 500))
+                 ()))
+          layers.(li)
+      done;
+      (* make sure every layer-i+1 node has an input: connect from node 0 *)
+      for li = 0 to stages - 2 do
+        Array.iter
+          (fun dst ->
+            ignore
+              (Taskgraph.Builder.add_fifo b ~src:layers.(li).(0) ~dst ~elems:100.0 ()))
+          layers.(li + 1)
+      done;
+      let g = Taskgraph.Builder.build b in
+      let board = Board.u55c () in
+      let cluster = Cluster.make ~board:(fun () -> board) 2 in
+      let synthesis = Synthesis.run ~board g in
+      let assignment =
+        Array.init (Taskgraph.num_tasks g) (fun _ -> Tapa_cs_util.Prng.int rng 2)
+      in
+      let r =
+        Design_sim.run
+          (Design_sim.make_config ~chunks:8 ~graph:g ~assignment ~freq_mhz:[| 300.0; 250.0 |]
+             ~cluster ~synthesis ())
+      in
+      r.deadlocked = [] && r.latency_s > 0.0
+      && Array.for_all
+           (fun (t : Design_sim.task_stat) -> t.finish_s <= r.latency_s +. 1e-9)
+           r.tasks)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_pipelines_conserve ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event ordering" `Quick test_wait_orders_events;
+          Alcotest.test_case "FIFO order at equal time" `Quick test_same_time_fifo_order;
+          Alcotest.test_case "negative wait" `Quick test_negative_wait_rejected;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "backpressure" `Quick test_channel_backpressure;
+          Alcotest.test_case "oversized messages" `Quick test_channel_oversized_message_streams;
+          Alcotest.test_case "float rounding regression" `Quick test_channel_no_float_wedge;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serialization + latency" `Quick test_server_serializes;
+          Alcotest.test_case "per-packet overhead" `Quick test_server_per_packet_overhead;
+        ] );
+      ( "design_sim",
+        [
+          Alcotest.test_case "local pipeline" `Quick test_design_sim_local;
+          Alcotest.test_case "cross-FPGA stream" `Quick test_design_sim_cross_fpga;
+          Alcotest.test_case "bulk serializes" `Quick test_design_sim_bulk_serializes;
+          Alcotest.test_case "feedback cycles" `Quick test_design_sim_cycle_credits;
+          Alcotest.test_case "memory-bound tasks" `Quick test_design_sim_memory_bound;
+          Alcotest.test_case "link contention" `Quick test_design_sim_link_contention;
+          Alcotest.test_case "config validation" `Quick test_design_sim_validation;
+          Alcotest.test_case "exception propagation" `Quick test_engine_exception_propagates;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,333 @@
+(* Unit and property tests for the tapa_cs_util substrate. *)
+
+open Tapa_cs_util
+module B = Bigint
+module R = Rat
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Bigint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basics () =
+  check string "zero" "0" (B.to_string B.zero);
+  check string "of_int" "42" (B.to_string (B.of_int 42));
+  check string "negative" "-17" (B.to_string (B.of_int (-17)));
+  check bool "zero is zero" true (B.is_zero B.zero);
+  check int "sign pos" 1 (B.sign (B.of_int 5));
+  check int "sign neg" (-1) (B.sign (B.of_int (-5)));
+  check int "sign zero" 0 (B.sign B.zero)
+
+let test_bigint_min_int () =
+  let m = B.of_int min_int in
+  check bool "min_int round trip text" true (B.to_string m = string_of_int min_int);
+  check bool "abs min_int positive" true (B.sign (B.abs m) = 1);
+  check bool "max_int round trip" true (B.to_int_opt (B.of_int max_int) = Some max_int)
+
+let test_bigint_string_round_trip () =
+  let cases =
+    [ "0"; "1"; "-1"; "999999999"; "1000000000"; "123456789012345678901234567890";
+      "-98765432109876543210987654321" ]
+  in
+  List.iter (fun s -> check string s s (B.to_string (B.of_string s))) cases
+
+let test_bigint_big_mul () =
+  let a = B.of_string "123456789012345678901234567890" in
+  let b = B.of_string "98765432109876543210" in
+  check string "product"
+    "12193263113702179522496570642237463801111263526900"
+    (B.to_string (B.mul a b))
+
+let test_bigint_divmod_sign_convention () =
+  (* Truncated division: r has the sign of a. *)
+  let t a b q r =
+    let qq, rr = B.divmod (B.of_int a) (B.of_int b) in
+    check int (Printf.sprintf "%d/%d q" a b) q (B.to_int_exn qq);
+    check int (Printf.sprintf "%d/%d r" a b) r (B.to_int_exn rr)
+  in
+  t 7 2 3 1;
+  t (-7) 2 (-3) (-1);
+  t 7 (-2) (-3) 1;
+  t (-7) (-2) 3 (-1)
+
+let test_bigint_div_by_zero () =
+  Alcotest.check_raises "divmod by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_bigint_pow () =
+  check string "2^100" "1267650600228229401496703205376" (B.to_string (B.pow (B.of_int 2) 100));
+  check string "x^0" "1" (B.to_string (B.pow (B.of_int 12345) 0))
+
+let test_bigint_gcd () =
+  check string "gcd" "6" (B.to_string (B.gcd (B.of_int 54) (B.of_int (-24))));
+  check string "gcd with zero" "7" (B.to_string (B.gcd B.zero (B.of_int 7)))
+
+let test_bigint_mixed_sign_chain () =
+  (* A long alternating-sign accumulation exercised against int64. *)
+  let acc = ref B.zero and reference = ref 0L in
+  for i = 1 to 500 do
+    let v = if i mod 2 = 0 then i * 1013 else -(i * 977) in
+    acc := B.add !acc (B.of_int v);
+    reference := Int64.add !reference (Int64.of_int v)
+  done;
+  check string "chain sum" (Int64.to_string !reference) (B.to_string !acc)
+
+let test_bigint_min_max () =
+  let a = B.of_int (-5) and b = B.of_int 3 in
+  check string "min" "-5" (B.to_string (B.min a b));
+  check string "max" "3" (B.to_string (B.max a b));
+  check string "mul_int" "-15" (B.to_string (B.mul_int a 3));
+  check string "add_int" "-2" (B.to_string (B.add_int a 3))
+
+let test_bigint_of_string_invalid () =
+  Alcotest.check_raises "empty" (Failure "Bigint.of_string: empty string") (fun () ->
+      ignore (B.of_string ""));
+  Alcotest.check_raises "bad digit" (Failure "Bigint.of_string: invalid digit") (fun () ->
+      ignore (B.of_string "12x4"));
+  Alcotest.check_raises "lone sign" (Failure "Bigint.of_string: no digits") (fun () ->
+      ignore (B.of_string "-"))
+
+let test_bigint_to_float () =
+  check (Alcotest.float 1.0) "to_float small" 12345.0 (B.to_float (B.of_int 12345));
+  check bool "to_float large magnitude" true
+    (let f = B.to_float (B.of_string "1000000000000000000000") in
+     f > 0.99e21 && f < 1.01e21)
+
+(* Property tests against native int semantics. *)
+let arb_small = QCheck.int_range (-1_000_000_000) 1_000_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add matches int" ~count:500 (QCheck.pair arb_small arb_small)
+    (fun (a, b) -> B.to_int_exn (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul matches int" ~count:500
+    (QCheck.pair (QCheck.int_range (-2_000_000) 2_000_000) (QCheck.int_range (-2_000_000) 2_000_000))
+    (fun (a, b) -> B.to_int_exn (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"bigint divmod identity on large operands" ~count:300
+    (QCheck.pair (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 40) QCheck.Gen.numeral)
+       (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 20) QCheck.Gen.numeral))
+    (fun (sa, sb) ->
+      let a = B.of_string ("1" ^ sa) and b = B.of_string ("1" ^ sb) in
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r) && B.compare (B.abs r) (B.abs b) < 0)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"bigint compare matches int compare" ~count:500
+    (QCheck.pair arb_small arb_small)
+    (fun (a, b) -> B.compare (B.of_int a) (B.of_int b) = compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Rat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rat_normalization () =
+  check bool "2/4 = 1/2" true (R.equal (R.of_ints 2 4) (R.of_ints 1 2));
+  check bool "neg den normalizes" true (R.equal (R.of_ints 1 (-2)) (R.of_ints (-1) 2));
+  check string "print" "-1/2" (R.to_string (R.of_ints 1 (-2)))
+
+let test_rat_arith () =
+  check bool "1/3 + 1/6 = 1/2" true (R.equal (R.add (R.of_ints 1 3) (R.of_ints 1 6)) (R.of_ints 1 2));
+  check bool "div" true (R.equal (R.div (R.of_ints 1 3) (R.of_ints 1 6)) (R.of_int 2));
+  check bool "inv" true (R.equal (R.inv (R.of_ints (-2) 3)) (R.of_ints (-3) 2))
+
+let test_rat_floor_ceil () =
+  check string "floor -7/2" "-4" (B.to_string (R.floor (R.of_ints (-7) 2)));
+  check string "ceil -7/2" "-3" (B.to_string (R.ceil (R.of_ints (-7) 2)));
+  check string "floor 7/2" "3" (B.to_string (R.floor (R.of_ints 7 2)));
+  check bool "fractional in [0,1)" true
+    (let f = R.fractional (R.of_ints (-7) 2) in
+     R.compare f R.zero >= 0 && R.compare f R.one < 0)
+
+let test_rat_of_float_approx () =
+  check bool "0.5" true (R.equal (R.of_float_approx 0.5) (R.of_ints 1 2));
+  check bool "integral" true (R.equal (R.of_float_approx 3.0) (R.of_int 3));
+  check bool "-0.25" true (R.equal (R.of_float_approx (-0.25)) (R.of_ints (-1) 4));
+  check bool "1/3" true (R.equal (R.of_float_approx (1.0 /. 3.0)) (R.of_ints 1 3));
+  check bool "12.5" true (R.equal (R.of_float_approx 12.5) (R.of_ints 25 2))
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> R.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range 1 10000))
+
+let prop_rat_field_laws =
+  QCheck.Test.make ~name:"rat field laws" ~count:300 (QCheck.triple arb_rat arb_rat arb_rat)
+    (fun (a, b, c) ->
+      R.equal (R.add a b) (R.add b a)
+      && R.equal (R.mul a b) (R.mul b a)
+      && R.equal (R.add (R.add a b) c) (R.add a (R.add b c))
+      && R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c))
+      && R.equal (R.sub a a) R.zero
+      && (R.is_zero a || R.equal (R.mul a (R.inv a)) R.one))
+
+let prop_rat_floor_bound =
+  QCheck.Test.make ~name:"floor(x) <= x < floor(x)+1" ~count:300 arb_rat (fun x ->
+      let f = R.of_bigint (R.floor x) in
+      R.compare f x <= 0 && R.compare x (R.add f R.one) < 0)
+
+let prop_rat_compare_antisym =
+  QCheck.Test.make ~name:"rat compare antisymmetric" ~count:300 (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) -> R.compare a b = -R.compare b a)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check bool "same stream" true (Prng.next_int64 a = Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check bool "in range" true (v >= 0 && v < 17);
+    let w = Prng.int_in rng (-5) 5 in
+    check bool "int_in range" true (w >= -5 && w <= 5);
+    let f = Prng.float rng 2.0 in
+    check bool "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool "is permutation" true (sorted = Array.init 50 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  let rng = Prng.create 5 in
+  let input = List.init 200 (fun _ -> Prng.int rng 1000) in
+  List.iter (Heap.push h) input;
+  check int "length" 200 (Heap.length h);
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  let out = drain [] in
+  check bool "sorted ascending" true (out = List.sort compare input);
+  check bool "empty after drain" true (Heap.is_empty h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:compare in
+  check bool "pop empty" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn empty" Not_found (fun () -> ignore (Heap.pop_exn h : int))
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 5;
+  Heap.push h 2;
+  Heap.push h 9;
+  check bool "peek is min" true (Heap.peek h = Some 2);
+  check int "peek does not remove" 3 (Heap.length h)
+
+let prop_heap_is_sorted =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 200) QCheck.small_int)
+    (fun input ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) input;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare input)
+
+(* ------------------------------------------------------------------ *)
+(* Union_find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  check int "initial components" 6 (Union_find.count uf);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  check int "after two unions" 4 (Union_find.count uf);
+  check bool "same 0 1" true (Union_find.same uf 0 1);
+  check bool "not same 0 2" false (Union_find.same uf 0 2);
+  Union_find.union uf 1 2;
+  check bool "transitively same" true (Union_find.same uf 0 3);
+  Union_find.union uf 0 3;
+  check int "idempotent union" 3 (Union_find.count uf)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "10"; "20" ] ] in
+  check bool "contains header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  check bool "has 4+ lines" true (List.length lines >= 4)
+
+let test_table_formatting () =
+  check string "fmt_float trims zeros" "2.5" (Table.fmt_float 2.50);
+  check string "fmt_float integral" "3" (Table.fmt_float 3.0);
+  check string "speedup" "2.64x" (Table.fmt_speedup 2.64);
+  check string "pct" "42.3%" (Table.fmt_pct 0.423);
+  check string "MB" "144.22MB" (Table.fmt_bytes (144.22 *. 1024. *. 1024.));
+  check string "GB" "1.13GB" (Table.fmt_bytes (1.13 *. 1024. *. 1024. *. 1024.))
+
+let test_table_pads_short_rows () =
+  let s = Table.render ~header:[ "x"; "y"; "z" ] [ [ "only" ] ] in
+  check bool "renders without exception" true (String.length s > 0)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_identity; prop_compare_total_order;
+    prop_rat_field_laws; prop_rat_compare_antisym; prop_rat_floor_bound; prop_heap_is_sorted ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "basics" `Quick test_bigint_basics;
+          Alcotest.test_case "min_int" `Quick test_bigint_min_int;
+          Alcotest.test_case "string round trip" `Quick test_bigint_string_round_trip;
+          Alcotest.test_case "big multiplication" `Quick test_bigint_big_mul;
+          Alcotest.test_case "divmod sign convention" `Quick test_bigint_divmod_sign_convention;
+          Alcotest.test_case "division by zero" `Quick test_bigint_div_by_zero;
+          Alcotest.test_case "pow" `Quick test_bigint_pow;
+          Alcotest.test_case "gcd" `Quick test_bigint_gcd;
+          Alcotest.test_case "mixed-sign chain" `Quick test_bigint_mixed_sign_chain;
+          Alcotest.test_case "min/max helpers" `Quick test_bigint_min_max;
+          Alcotest.test_case "of_string validation" `Quick test_bigint_of_string_invalid;
+          Alcotest.test_case "to_float" `Quick test_bigint_to_float;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+          Alcotest.test_case "of_float_approx" `Quick test_rat_of_float_approx;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "heapsort" `Quick test_heap_sorts;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+        ] );
+      ("union_find", [ Alcotest.test_case "components" `Quick test_union_find ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formatting" `Quick test_table_formatting;
+          Alcotest.test_case "short rows" `Quick test_table_pads_short_rows;
+        ] );
+      ("properties", qsuite);
+    ]
