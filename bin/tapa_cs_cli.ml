@@ -221,6 +221,61 @@ let autoscale_cmd =
        ~doc:"Roofline-driven scale-up advice for a data-parallel kernel (the section-7 extension).")
     term
 
+let lint_cmd =
+  let lint_names = app_names @ [ "broken" ] in
+  let lint_app_arg =
+    let doc =
+      "Design to lint: " ^ String.concat ", " lint_names
+      ^ ". Omitted: lint every shipped benchmark."
+    in
+    Arg.(value
+         & opt (some (enum (List.map (fun a -> (a, a)) lint_names))) None
+         & info [ "app" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON-lines instead of the pretty report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run app fpgas iters dataset n d cols topology threshold json =
+    let make = function
+      | "broken" -> Ok (Broken.generate ())
+      | name -> make_app name ~fpgas ~iters ~dataset ~n ~d ~cols
+    in
+    let targets = match app with Some a -> [ a ] | None -> app_names in
+    let cluster = Cluster.make ~topology ~board:Board.u55c fpgas in
+    let lint_one status name =
+      match make name with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok a ->
+        let ds = Tapa_cs_analysis.Lint.run_all ~threshold ~cluster a.App.graph in
+        let nerr = List.length (Tapa_cs_analysis.Diagnostic.errors ds) in
+        if json then begin
+          if ds <> [] then
+            print_endline (Tapa_cs_analysis.Diagnostic.render ~json:true ds)
+        end
+        else begin
+          Format.printf "== %s (%s) on %d x %s ==@." a.App.name a.App.variant fpgas
+            (Cluster.board cluster 0).Board.name;
+          print_string (Tapa_cs_analysis.Diagnostic.render ds)
+        end;
+        if nerr > 0 then 1 else status
+    in
+    List.fold_left lint_one 0 targets
+  in
+  let term =
+    Term.(const run $ lint_app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg
+          $ cols_arg $ topology_arg $ threshold_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static design linter (step 0 of the compile): graph shape, deadlock, \
+          rate/width and capacity checks.  Exits non-zero when any error-severity diagnostic \
+          is raised.")
+    term
+
 let info_cmd =
   let run () =
     let b = Board.u55c () in
@@ -241,6 +296,6 @@ let () =
   let doc = "TAPA-CS reproduction: multi-FPGA dataflow compiler and simulator" in
   let main =
     Cmd.group (Cmd.info "tapa_cs_cli" ~doc)
-      [ compile_cmd; simulate_cmd; dot_cmd; emit_cmd; autoscale_cmd; info_cmd ]
+      [ compile_cmd; simulate_cmd; dot_cmd; emit_cmd; autoscale_cmd; lint_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

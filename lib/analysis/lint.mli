@@ -1,0 +1,49 @@
+(** Static analysis passes over the dataflow IR ({!Tapa_cs_graph.Taskgraph})
+    and the cluster model, run before the expensive compiler steps.
+
+    The task/stream abstraction makes these checks purely structural: no
+    floorplanning, simulation or LP solve is needed to spot a dead task, a
+    bulk-mode feedback loop, a rate mismatch or an over-subscribed
+    cluster.  Each pass returns {!Diagnostic.t} values carrying stable
+    [TCS] codes (see {!Diagnostic.registry} for the full table):
+
+    - {!graph_shape} — TCS001..TCS005: connectivity, dead/unreachable
+      tasks, missing sources and sinks;
+    - {!deadlock} — TCS101..TCS103: cycles that cannot make progress
+      under the SDF credit treatment of [Design_sim], and reconvergent
+      paths whose FIFO depths cannot absorb the imbalance (reusing the
+      cut-set balancing math of {!Tapa_cs_pipeline.Pipelining});
+    - {!rates} — TCS201..TCS202: producer/consumer throughput imbalance
+      and FIFO/element width conflicts;
+    - {!capacity} — TCS301..TCS304: post-synthesis demand vs. cluster
+      capacity and memory ports vs. HBM channels, per resource class,
+      before the inter-FPGA ILP ever runs;
+    - {!ilp_model} — TCS401..TCS402: {!Tapa_cs_ilp.Validate} verdicts as
+      diagnostics. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+
+val graph_shape : Taskgraph.t -> Diagnostic.t list
+val deadlock : Taskgraph.t -> Diagnostic.t list
+val rates : Taskgraph.t -> Diagnostic.t list
+
+val capacity :
+  ?threshold:float -> cluster:Cluster.t -> synthesis:Synthesis.report -> Taskgraph.t ->
+  Diagnostic.t list
+(** [threshold] defaults to [Constants.utilization_threshold]; capacities
+    are the same post-network-overhead budgets the inter-FPGA
+    floorplanner enforces ({!Tapa_cs_floorplan.Inter_fpga.capacities}). *)
+
+val ilp_model : Tapa_cs_ilp.Model.t -> Diagnostic.t list
+
+val run_all : ?threshold:float -> cluster:Cluster.t -> Taskgraph.t -> Diagnostic.t list
+(** Every pass (synthesizes the graph itself for the capacity check),
+    sorted errors-first. *)
+
+val precheck :
+  ?threshold:float -> cluster:Cluster.t -> synthesis:Synthesis.report -> Taskgraph.t ->
+  Diagnostic.t list
+(** The error-severity gate [Compiler.compile] runs as step 0: only
+    [Error] diagnostics, reusing the compiler's own synthesis report. *)

@@ -1,0 +1,79 @@
+open Tapa_cs_device
+open Tapa_cs_graph
+
+(* Heavy enough that four of them overflow one U55C (1.146M LUTs) at the
+   default 70% utilization threshold. *)
+let pe_resources = Resource.make ~lut:300_000 ~ff:400_000 ~bram:200 ~dsp:500 ()
+let io_resources = Resource.make ~lut:8_000 ~ff:12_000 ~bram:32 ()
+
+let generate () =
+  let b = Taskgraph.Builder.create () in
+  let elems = 65_536.0 in
+  let reader =
+    Taskgraph.Builder.add_task b ~name:"read" ~kind:"broken_reader"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:32 ())
+      ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:32 ~bytes:(elems *. 4.0) () ]
+      ~resources:io_resources ()
+  in
+  (* Feedback pair: acc depends on upd and upd on acc, with the forward
+     edge in bulk mode — the consumer wants the whole transfer before
+     producing anything, which its own output transitively feeds (TCS101). *)
+  let acc =
+    Taskgraph.Builder.add_task b ~name:"acc" ~kind:"broken_pe"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:32 ())
+      ~resources:pe_resources ()
+  in
+  let upd =
+    Taskgraph.Builder.add_task b ~name:"upd" ~kind:"broken_pe"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:32 ())
+      ~resources:pe_resources ()
+  in
+  (* A 64x slower drain than its producer (TCS201), writing through a
+     channel id no board exposes (TCS302). *)
+  let slow =
+    Taskgraph.Builder.add_task b ~name:"drain" ~kind:"broken_drain"
+      ~compute:(Task.make_compute ~elems:(64.0 *. elems) ~ii:1.0 ~elem_bits:32 ())
+      ~mem_ports:
+        [ Task.mem_port ~channel:99 ~dir:Task.Write ~width_bits:32 ~bytes:(elems *. 4.0) () ]
+      ~resources:pe_resources ()
+  in
+  let writer =
+    Taskgraph.Builder.add_task b ~name:"write" ~kind:"broken_writer"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:32 ())
+      ~mem_ports:[ Task.mem_port ~dir:Task.Write ~width_bits:32 ~bytes:(elems *. 4.0) () ]
+      ~resources:pe_resources ()
+  in
+  (* Dead logic: no compute, no streams, no memory (TCS002). *)
+  let _idle =
+    Taskgraph.Builder.add_task b ~name:"idle" ~kind:"broken_idle" ~resources:io_resources ()
+  in
+  (* An isolated spinner pair: its own component (TCS001), a pure cycle
+     with no source feeding it (TCS005 on both tasks, TCS102). *)
+  let spin_a =
+    Taskgraph.Builder.add_task b ~name:"spin_a" ~kind:"broken_spin"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:32 ())
+      ~resources:io_resources ()
+  in
+  let spin_b =
+    Taskgraph.Builder.add_task b ~name:"spin_b" ~kind:"broken_spin"
+      ~compute:(Task.make_compute ~elems ~ii:1.0 ~elem_bits:32 ())
+      ~resources:io_resources ()
+  in
+  ignore (Taskgraph.Builder.add_fifo b ~src:spin_a ~dst:spin_b ~width_bits:32 ~depth:4 ~elems ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:spin_b ~dst:spin_a ~width_bits:32 ~depth:4 ~elems ());
+  (* Main chain, with a 48-bit link between 32-bit endpoints (TCS202). *)
+  ignore (Taskgraph.Builder.add_fifo b ~src:reader ~dst:acc ~width_bits:48 ~depth:16 ~elems ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:acc ~dst:upd ~width_bits:32 ~depth:16 ~elems ~mode:Fifo.Bulk ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:upd ~dst:acc ~width_bits:32 ~depth:16 ~elems ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:upd ~dst:slow ~width_bits:32 ~depth:16 ~elems ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:slow ~dst:writer ~width_bits:32 ~depth:16 ~elems ());
+  {
+    App.name = "broken";
+    variant = "seeded-defects";
+    fpgas = 1;
+    graph = Taskgraph.Builder.build b;
+    description = "deliberately defective design: every TCS lint family seeded once";
+  }
+
+let expected_codes =
+  [ "TCS001"; "TCS002"; "TCS005"; "TCS101"; "TCS102"; "TCS201"; "TCS202"; "TCS301"; "TCS302" ]

@@ -1,0 +1,23 @@
+(** A deliberately defective design exercising the static linter.
+
+    Every defect is seeded on purpose and maps to a diagnostic code
+    (see [Tapa_cs_analysis.Diagnostic.registry]):
+
+    - a dead task with no compute, FIFOs or memory ports (TCS002);
+    - a bulk-mode FIFO on a feedback cycle (TCS101);
+    - an isolated two-task cycle, disconnected from the main dataflow
+      and unreachable from any source (TCS001, TCS005, TCS102);
+    - a 48-bit FIFO between 32-bit tasks — neither width divides the
+      other (TCS202);
+    - a >60x producer/consumer rate mismatch (TCS201);
+    - a memory port bound to HBM channel 99 (TCS302);
+    - enough per-task area that a single U55C cannot host the design
+      under the utilization threshold (TCS301 when linted against a
+      one-FPGA cluster). *)
+
+val generate : unit -> App.t
+(** The defective design, scaled for (and failing on) one FPGA. *)
+
+val expected_codes : string list
+(** The distinct diagnostic codes the linter must raise on {!generate},
+    sorted — pinned by the test suite. *)

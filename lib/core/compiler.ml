@@ -25,6 +25,7 @@ type options = {
   seed : int;
   explore_hbm : bool;
   pipeline_interconnect : bool;
+  lint : bool;
 }
 
 let default_options =
@@ -34,6 +35,7 @@ let default_options =
     seed = 1;
     explore_hbm = true;
     pipeline_interconnect = true;
+    lint = true;
   }
 
 let ( let* ) = Result.bind
@@ -43,6 +45,19 @@ let compile ?(options = default_options) ~cluster graph =
      are homogeneous in the paper's testbed). *)
   let board0 = Cluster.board cluster 0 in
   let synthesis = Synthesis.run ~board:board0 graph in
+  (* Step 0 (run once synthesis areas exist): static design lint.  The
+     error-severity diagnostics are exactly the defects the later steps
+     would fail on anyway — but with a code and a fix hint instead of an
+     ILP timeout or a simulator deadlock. *)
+  let* () =
+    if not options.lint then Ok ()
+    else
+      match
+        Tapa_cs_analysis.Lint.precheck ~threshold:options.threshold ~cluster ~synthesis graph
+      with
+      | [] -> Ok ()
+      | errors -> Error (Tapa_cs_analysis.Diagnostic.render errors)
+  in
   (* Step 3: inter-FPGA floorplanning. *)
   let* inter =
     Inter_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed:options.seed

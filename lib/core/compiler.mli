@@ -1,5 +1,9 @@
 (** The TAPA-CS compiler: the seven steps of §4.2.
 
+    0. static design lint ({!Tapa_cs_analysis.Lint.precheck}): any
+       error-severity diagnostic — dead task, bulk feedback cycle,
+       cluster over-subscription, invalid channel binding — aborts the
+       compile with rendered [TCS] diagnostics before the ILP runs;
     1. task-graph construction (done by the caller / {!Frontend});
     2. task extraction and parallel synthesis;
     3. inter-FPGA floorplanning (ILP, Eqs. 1–3);
@@ -37,11 +41,14 @@ type options = {
   seed : int;
   explore_hbm : bool;  (** HBM binding exploration (§4.5); ablation knob *)
   pipeline_interconnect : bool;  (** §4.6; ablation knob *)
+  lint : bool;  (** run the step-0 static lint gate (default [true]) *)
 }
 
 val default_options : options
 
 val compile : ?options:options -> cluster:Cluster.t -> Taskgraph.t -> (t, string) Stdlib.result
+(** [Error] carries either the rendered step-0 diagnostics (each line
+    tagged with its [TCS] code) or a placement/routing failure reason. *)
 
 val slot_of : t -> int -> int option
 (** Final slot of a task on its FPGA. *)

@@ -19,6 +19,12 @@ type t = {
   stats : Partition.stats;
 }
 
+val capacities : threshold:float -> Cluster.t -> Resource.t array
+(** Per-FPGA resource budgets the partitioner enforces: [threshold] x the
+    board totals, minus the AlveoLink networking overhead on every QSFP
+    port whenever the cluster spans more than one device.  Exposed so the
+    linter's capacity pre-check is consistent with the floorplanner. *)
+
 val run :
   ?strategy:Partition.strategy ->
   ?threshold:float ->

@@ -300,20 +300,29 @@ let exact ~incumbent p =
   let n = num_items p in
   let m = Ilp.Model.create () in
   let r_area (r : Resource.t) = [ r.lut; r.ff; r.bram; r.dsp; r.uram ] in
+  let r_names = [ "LUT"; "FF"; "BRAM"; "DSP"; "URAM" ] in
+  let r_name ridx = List.nth r_names ridx in
   if p.k = 2 then begin
     (* One binary per item: its part index. *)
     let y = Array.init n (fun i -> Ilp.Model.add_var m ~name:(Printf.sprintf "y%d" i) Ilp.Model.Binary) in
     List.iter
-      (fun (i, part) -> Ilp.Model.add_constraint m (Ilp.Linear.var y.(i)) Ilp.Model.Eq (Rat.of_int part))
+      (fun (i, part) ->
+        Ilp.Model.add_constraint m
+          ~name:(Printf.sprintf "fix[%d]" i)
+          (Ilp.Linear.var y.(i)) Ilp.Model.Eq (Rat.of_int part))
       p.fixed;
     (* Capacity of part 1: sum area*y <= cap1.  Part 0: total - sum area*y <= cap0. *)
     List.iteri
       (fun ridx _ ->
         let pick r = List.nth (r_area r) ridx in
         let expr = Ilp.Linear.of_terms (List.init n (fun i -> (y.(i), Rat.of_int (pick p.areas.(i))))) in
-        Ilp.Model.add_constraint m expr Ilp.Model.Le (Rat.of_int (pick p.capacities.(1)));
+        Ilp.Model.add_constraint m
+          ~name:(Printf.sprintf "cap[p1].%s" (r_name ridx))
+          expr Ilp.Model.Le (Rat.of_int (pick p.capacities.(1)));
         let total = Array.fold_left (fun acc a -> acc + pick a) 0 p.areas in
-        Ilp.Model.add_constraint m expr Ilp.Model.Ge (Rat.of_int (total - pick p.capacities.(0))))
+        Ilp.Model.add_constraint m
+          ~name:(Printf.sprintf "cap[p0].%s" (r_name ridx))
+          expr Ilp.Model.Ge (Rat.of_int (total - pick p.capacities.(0))))
       (r_area Resource.zero);
     let d01 = p.dist 0 1 in
     let obj = ref Ilp.Linear.zero in
@@ -365,11 +374,13 @@ let exact ~incumbent p =
     in
     for i = 0 to n - 1 do
       let expr = Ilp.Linear.of_terms (List.init p.k (fun part -> (x.(i).(part), Rat.one))) in
-      Ilp.Model.add_constraint m expr Ilp.Model.Eq Rat.one
+      Ilp.Model.add_constraint m ~name:(Printf.sprintf "assign[%d]" i) expr Ilp.Model.Eq Rat.one
     done;
     List.iter
       (fun (i, part) ->
-        Ilp.Model.add_constraint m (Ilp.Linear.var x.(i).(part)) Ilp.Model.Eq Rat.one)
+        Ilp.Model.add_constraint m
+          ~name:(Printf.sprintf "fix[%d]" i)
+          (Ilp.Linear.var x.(i).(part)) Ilp.Model.Eq Rat.one)
       p.fixed;
     for part = 0 to p.k - 1 do
       List.iteri
@@ -378,7 +389,9 @@ let exact ~incumbent p =
           let expr =
             Ilp.Linear.of_terms (List.init n (fun i -> (x.(i).(part), Rat.of_int (pick p.areas.(i)))))
           in
-          Ilp.Model.add_constraint m expr Ilp.Model.Le (Rat.of_int (pick p.capacities.(part))))
+          Ilp.Model.add_constraint m
+            ~name:(Printf.sprintf "cap[p%d].%s" part (r_name ridx))
+            expr Ilp.Model.Le (Rat.of_int (pick p.capacities.(part))))
         (r_area Resource.zero)
     done;
     let obj = ref Ilp.Linear.zero in

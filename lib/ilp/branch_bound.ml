@@ -28,6 +28,10 @@ let is_feasible model values =
 type node = { bound : Rat.t; depth : int; lbs : Rat.t array; ubs : Rat.t option array }
 
 let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?incumbent model =
+  match Validate.check model with
+  | Validate.Infeasible_constraint _ :: _ -> Infeasible
+  | Validate.Unbounded_direction _ :: _ -> Unbounded
+  | [] ->
   let nv = Model.num_vars model in
   let sense, obj_expr = Model.objective model in
   (* Internally minimize: flip the comparison for maximization. *)

@@ -29,7 +29,11 @@ val solve :
   result
 (** [incumbent] seeds the search with a known feasible assignment (e.g.
     from a heuristic) so the solver can prune from the first node.  An
-    infeasible seed is rejected silently. *)
+    infeasible seed is rejected silently.
+
+    Models are screened through {!Validate.check} first: trivially
+    infeasible or unbounded instances return [Infeasible] / [Unbounded]
+    immediately, without spending the node or pivot budget. *)
 
 val is_feasible : Model.t -> Rat.t array -> bool
 (** Exact feasibility check of an assignment against all constraints,

@@ -9,7 +9,7 @@ type var_info = { name : string; kind : kind; lb : Rat.t; ub : Rat.t option }
 type t = {
   mutable vars : var_info array;
   mutable nvars : int;
-  mutable constrs : (Linear.t * relation * Rat.t) list; (* reversed *)
+  mutable constrs : (string option * Linear.t * relation * Rat.t) list; (* reversed *)
   mutable nconstrs : int;
   mutable obj : sense * Linear.t;
 }
@@ -42,12 +42,12 @@ let add_var t ?name ?lb ?ub kind =
   t.nvars <- t.nvars + 1;
   idx
 
-let add_constraint t ?name:_ expr rel rhs =
+let add_constraint t ?name expr rel rhs =
   if Linear.max_var expr >= t.nvars then invalid_arg "Model.add_constraint: unknown variable";
   (* Fold the expression's constant into the right-hand side. *)
   let rhs = Rat.sub rhs (Linear.const expr) in
   let expr = Linear.sub expr (Linear.constant (Linear.const expr)) in
-  t.constrs <- (expr, rel, rhs) :: t.constrs;
+  t.constrs <- (name, expr, rel, rhs) :: t.constrs;
   t.nconstrs <- t.nconstrs + 1
 
 let set_objective t sense expr =
@@ -65,7 +65,20 @@ let var_name t v = (var_info t v).name
 let var_kind t v = (var_info t v).kind
 let var_lb t v = (var_info t v).lb
 let var_ub t v = (var_info t v).ub
-let constraints t = List.rev t.constrs
+let constraints t = List.rev_map (fun (_, e, rel, rhs) -> (e, rel, rhs)) t.constrs
+
+let named_constraints t =
+  let n = t.nconstrs in
+  List.rev
+    (List.mapi
+       (fun rev_i (name, e, rel, rhs) ->
+         (* constrs is reversed, so the i-th added constraint sits at
+            rev position nconstrs-1-i. *)
+         let i = n - 1 - rev_i in
+         let name = match name with Some s -> s | None -> Printf.sprintf "c%d" i in
+         (name, e, rel, rhs))
+       t.constrs)
+
 let objective t = t.obj
 
 let pp fmt t =
@@ -76,11 +89,11 @@ let pp fmt t =
     (Linear.pp ~names) obj;
   Format.fprintf fmt "subject to@.";
   List.iter
-    (fun (e, rel, rhs) ->
-      Format.fprintf fmt "  %a %s %s@." (Linear.pp ~names) e
+    (fun (cname, e, rel, rhs) ->
+      Format.fprintf fmt "  %s: %a %s %s@." cname (Linear.pp ~names) e
         (match rel with Le -> "<=" | Ge -> ">=" | Eq -> "=")
         (Rat.to_string rhs))
-    (constraints t);
+    (named_constraints t);
   Format.fprintf fmt "vars:@.";
   for v = 0 to t.nvars - 1 do
     let i = t.vars.(v) in

@@ -22,6 +22,9 @@ val add_var : t -> ?name:string -> ?lb:Rat.t -> ?ub:Rat.t -> kind -> int
     nonnegative orthant, which is all the floorplanner formulations need. *)
 
 val add_constraint : t -> ?name:string -> Linear.t -> relation -> Rat.t -> unit
+(** [name] labels the constraint for diagnostics ({!Validate}, {!pp});
+    unnamed constraints render as [c<index>]. *)
+
 val set_objective : t -> sense -> Linear.t -> unit
 
 val num_vars : t -> int
@@ -31,6 +34,10 @@ val var_kind : t -> int -> kind
 val var_lb : t -> int -> Rat.t
 val var_ub : t -> int -> Rat.t option
 val constraints : t -> (Linear.t * relation * Rat.t) list
+
+val named_constraints : t -> (string * Linear.t * relation * Rat.t) list
+(** Constraints with their diagnostic names, in insertion order. *)
+
 val objective : t -> sense * Linear.t
 
 val pp : Format.formatter -> t -> unit

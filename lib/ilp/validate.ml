@@ -1,0 +1,113 @@
+open Tapa_cs_util
+
+type issue =
+  | Infeasible_constraint of { name : string; detail : string }
+  | Unbounded_direction of { var : string; detail : string }
+
+(* Extremes of a linear expression over the bounds box.  [None] means the
+   extreme is infinite (a variable with no finite upper bound and a
+   coefficient pointing that way). *)
+let lhs_min model expr =
+  List.fold_left
+    (fun acc (v, c) ->
+      match acc with
+      | None -> None
+      | Some m -> (
+        if Rat.sign c >= 0 then Some (Rat.add m (Rat.mul c (Model.var_lb model v)))
+        else
+          match Model.var_ub model v with
+          | Some u -> Some (Rat.add m (Rat.mul c u))
+          | None -> None))
+    (Some Rat.zero) (Linear.terms expr)
+
+let lhs_max model expr =
+  List.fold_left
+    (fun acc (v, c) ->
+      match acc with
+      | None -> None
+      | Some m -> (
+        if Rat.sign c <= 0 then Some (Rat.add m (Rat.mul c (Model.var_lb model v)))
+        else
+          match Model.var_ub model v with
+          | Some u -> Some (Rat.add m (Rat.mul c u))
+          | None -> None))
+    (Some Rat.zero) (Linear.terms expr)
+
+let check_constraint model (name, expr, rel, rhs) =
+  let detail lo_hi bound =
+    Printf.sprintf "%s achievable LHS is %s but the constraint needs %s %s" lo_hi
+      (Rat.to_string bound)
+      (match rel with Model.Le -> "<=" | Model.Ge -> ">=" | Model.Eq -> "=")
+      (Rat.to_string rhs)
+  in
+  match rel with
+  | Model.Le -> (
+    match lhs_min model expr with
+    | Some lo when Rat.compare lo rhs > 0 ->
+      Some (Infeasible_constraint { name; detail = detail "minimum" lo })
+    | _ -> None)
+  | Model.Ge -> (
+    match lhs_max model expr with
+    | Some hi when Rat.compare hi rhs < 0 ->
+      Some (Infeasible_constraint { name; detail = detail "maximum" hi })
+    | _ -> None)
+  | Model.Eq -> (
+    match lhs_min model expr with
+    | Some lo when Rat.compare lo rhs > 0 ->
+      Some (Infeasible_constraint { name; detail = detail "minimum" lo })
+    | _ -> (
+      match lhs_max model expr with
+      | Some hi when Rat.compare hi rhs < 0 ->
+        Some (Infeasible_constraint { name; detail = detail "maximum" hi })
+      | _ -> None))
+
+(* A constraint bounds variable [v] from above when raising [v] (all else
+   fixed) eventually violates it. *)
+let bounds_above rel coeff =
+  match rel with
+  | Model.Le -> Rat.sign coeff > 0
+  | Model.Ge -> Rat.sign coeff < 0
+  | Model.Eq -> Rat.sign coeff <> 0
+
+let check_unbounded model =
+  let sense, obj = Model.objective model in
+  let constrs = Model.named_constraints model in
+  List.filter_map
+    (fun (v, c) ->
+      let improving =
+        match sense with Model.Minimize -> Rat.sign c < 0 | Model.Maximize -> Rat.sign c > 0
+      in
+      if (not improving) || Model.var_ub model v <> None then None
+      else if
+        List.exists (fun (_, e, rel, _) -> bounds_above rel (Linear.coeff e v)) constrs
+      then None
+      else
+        Some
+          (Unbounded_direction
+             {
+               var = Model.var_name model v;
+               detail =
+                 Printf.sprintf
+                   "objective improves without limit along %s: no upper bound and no \
+                    constraint caps it"
+                   (Model.var_name model v);
+             }))
+    (Linear.terms obj)
+
+let check model =
+  let infeasible =
+    List.filter_map (check_constraint model) (Model.named_constraints model)
+  in
+  (* Unbounded directions are only meaningful on a box that is not already
+     empty; report infeasibility first when both are present. *)
+  if infeasible <> [] then infeasible else check_unbounded model
+
+let issue_name = function
+  | Infeasible_constraint { name; _ } -> name
+  | Unbounded_direction { var; _ } -> var
+
+let pp_issue fmt = function
+  | Infeasible_constraint { name; detail } ->
+    Format.fprintf fmt "trivially infeasible constraint %s: %s" name detail
+  | Unbounded_direction { var; detail } ->
+    Format.fprintf fmt "trivially unbounded via %s: %s" var detail

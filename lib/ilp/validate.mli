@@ -1,0 +1,33 @@
+(** Static model validation: reject trivially broken ILP models with a
+    named diagnostic before the branch-and-bound search spends its node
+    and pivot budget on them.
+
+    Two families of defects are caught exactly (no LP solve involved):
+
+    - {b trivially infeasible constraints}: a single constraint that no
+      point inside the variable bounds can satisfy — e.g. a capacity
+      row whose right-hand side is below the sum of lower-bound
+      contributions.  This is precisely the shape an under-provisioned
+      floorplanning instance takes.
+    - {b trivially unbounded directions}: an objective variable with no
+      finite upper bound that improves the objective and that no
+      constraint bounds from above, so the optimum diverges.
+
+    The check is sound but not complete: models it passes can still be
+    infeasible (jointly, across constraints) — those are left to the
+    solver, which proves it with LP certificates. *)
+
+type issue =
+  | Infeasible_constraint of { name : string; detail : string }
+      (** The named constraint excludes every point in the bounds box. *)
+  | Unbounded_direction of { var : string; detail : string }
+      (** The named variable improves the objective without limit. *)
+
+val check : Model.t -> issue list
+(** All trivial defects, in constraint/variable order.  Empty for any
+    model worth handing to {!Branch_bound.solve}. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val issue_name : issue -> string
+(** The constraint or variable name the issue is anchored to. *)

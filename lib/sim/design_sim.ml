@@ -35,6 +35,13 @@ type result = {
   tasks : task_stat array;
 }
 
+exception Deadlock of { tasks : string list; fifos : int list; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock d -> Some ("Design_sim.Deadlock: " ^ d.message)
+    | _ -> None)
+
 let fpga_idle_fraction r ~fpga =
   let stats = Array.to_list r.tasks |> List.filter (fun t -> t.fpga = fpga) in
   match (stats, r.latency_s) with
@@ -214,9 +221,55 @@ let run cfg =
           done))
     (Taskgraph.tasks g);
   let r = Engine.run eng in
-  if r.deadlocked <> [] then
-    failwith
-      (Printf.sprintf "Design_sim: deadlock involving %s" (String.concat ", " r.deadlocked));
+  if r.deadlocked <> [] then begin
+    (* Recover the design-level names from the process labels so the
+       error talks about the user's tasks and FIFOs, not simulator
+       internals. *)
+    let strip prefix s =
+      let lp = String.length prefix in
+      if String.length s > lp && String.sub s 0 lp = prefix then
+        Some (String.sub s lp (String.length s - lp))
+      else None
+    in
+    let blocked_tasks = List.filter_map (strip "task-") r.deadlocked in
+    let blocked_fifos =
+      List.filter_map
+        (fun p ->
+          match strip "mover-f" p with
+          | Some n -> int_of_string_opt n
+          | None -> None)
+        r.deadlocked
+    in
+    let fifo_desc fid =
+      let f = Taskgraph.fifo g fid in
+      Printf.sprintf "#%d (%s -> %s)" fid (Taskgraph.task g f.Fifo.src).Task.name
+        (Taskgraph.task g f.Fifo.dst).Task.name
+    in
+    let parts = [] in
+    let parts =
+      if blocked_fifos = [] then parts
+      else
+        Printf.sprintf "inter-FPGA FIFO(s) %s stuck mid-transfer"
+          (String.concat ", " (List.map fifo_desc blocked_fifos))
+        :: parts
+    in
+    let parts =
+      if blocked_tasks = [] then parts
+      else Printf.sprintf "task(s) %s blocked" (String.concat ", " blocked_tasks) :: parts
+    in
+    raise
+      (Deadlock
+         {
+           tasks = blocked_tasks;
+           fifos = blocked_fifos;
+           message =
+             Printf.sprintf
+               "simulation deadlock: %s. A feedback cycle cannot make progress — likely a \
+                bulk-mode FIFO on a cycle (TCS101) or an under-sized feedback FIFO (TCS102); \
+                run `tapa_cs_cli lint` on the design."
+               (String.concat "; " parts);
+         })
+  end;
   let link_stats =
     Hashtbl.fold
       (fun (i, j) srv acc ->

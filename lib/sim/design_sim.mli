@@ -47,13 +47,23 @@ type result = {
   tasks : task_stat array;  (** indexed by task id *)
 }
 
+exception
+  Deadlock of {
+    tasks : string list;  (** names of the blocked tasks *)
+    fifos : int list;  (** ids of inter-FPGA FIFOs stuck mid-transfer *)
+    message : string;
+        (** full report, pointing at the matching linter codes (TCS101:
+            bulk FIFO on a cycle; TCS102: under-sized feedback FIFO) *)
+  }
+
 val fpga_idle_fraction : result -> fpga:int -> float
 (** 1 - (average task busy time on this FPGA / makespan): the §5.2/§5.5
     idle-PE metric.  0 when the device computes the whole run. *)
 
 val run : config -> result
-(** @raise Failure when the simulation deadlocks (a modelling error, never
-    expected on valid designs). *)
+(** @raise Deadlock when the simulation cannot make progress, naming the
+    blocked tasks and FIFOs — the dynamic counterpart of the TCS101/TCS102
+    lints, which catch these designs statically. *)
 
 val make_config :
   ?chunks:int ->

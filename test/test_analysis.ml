@@ -1,0 +1,420 @@
+(* Tests for the static design linter: the diagnostics core, each TCS
+   code on a minimal trigger graph, the error-cleanliness of the shipped
+   benchmarks, the seeded-defect example, the ILP model validator and
+   the compiler's step-0 gate. *)
+
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_analysis
+module Ilp = Tapa_cs_ilp
+module Rat = Tapa_cs_util.Rat
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let codes_of ds = List.sort_uniq compare (List.map (fun d -> d.Diagnostic.code) ds)
+let has code ds = List.mem code (codes_of ds)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let cluster1 () = Cluster.make ~board:Board.u55c 1
+
+(* Minimal builders ------------------------------------------------- *)
+
+let compute = Task.make_compute ~elems:1000.0 ~ii:1.0 ~elem_bits:32 ()
+
+let task ?(compute = compute) ?(mem_ports = []) ?resources b name =
+  Taskgraph.Builder.add_task b ~name ?compute:(Some compute) ~mem_ports ?resources ()
+
+let fifo ?(width = 32) ?(depth = 16) ?(elems = 1000.0) ?mode b src dst =
+  ignore (Taskgraph.Builder.add_fifo b ~src ~dst ~width_bits:width ~depth ~elems ?mode ())
+
+let read_port = Task.mem_port ~dir:Task.Read ~width_bits:32 ~bytes:4000.0 ()
+let write_port = Task.mem_port ~dir:Task.Write ~width_bits:32 ~bytes:4000.0 ()
+
+(* A well-formed pipeline: read -> mid -> write. *)
+let clean_graph () =
+  let b = Taskgraph.Builder.create () in
+  let a = task b "read" ~mem_ports:[ read_port ] in
+  let m = task b "mid" in
+  let z = task b "write" ~mem_ports:[ write_port ] in
+  fifo b a m;
+  fifo b m z;
+  Taskgraph.Builder.build b
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics core                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_well_formed () =
+  let codes = List.map (fun (c, _, _, _) -> c) Diagnostic.registry in
+  check int "codes unique" (List.length codes) (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun (c, _, meaning, _) ->
+      check bool (c ^ " prefixed") true (String.length c = 6 && String.sub c 0 3 = "TCS");
+      check bool (c ^ " described") true (meaning <> "" && Diagnostic.describe c = meaning))
+    Diagnostic.registry;
+  (* Unknown codes fail safe as errors. *)
+  check bool "unknown is error" true (Diagnostic.default_severity "TCS999" = Diagnostic.Error)
+
+let test_render_pretty_and_json () =
+  let d =
+    Diagnostic.make ~code:"TCS101" ~severity:Diagnostic.Error
+      ~loc:(Diagnostic.Fifo { id = 3; src = "a"; dst = "b" })
+      ~hint:"break the \"cycle\"" "bulk FIFO on a cycle"
+  in
+  let pretty = Diagnostic.render [ d ] in
+  check bool "pretty has code" true (contains "error[TCS101]" pretty);
+  check bool "pretty has loc" true (contains "fifo #3 (a -> b)" pretty);
+  check bool "pretty has hint" true (contains "fix:" pretty);
+  check bool "pretty has tally" true (contains "1 error(s)" pretty);
+  let json = Diagnostic.render ~json:true [ d ] in
+  check bool "json one line" true (not (String.contains json '\n'));
+  check bool "json code" true (contains {|"code":"TCS101"|} json);
+  check bool "json escaping" true (contains {|\"cycle\"|} json)
+
+let test_sort_errors_first () =
+  let mk code sev = Diagnostic.make ~code ~severity:sev ~loc:Diagnostic.Design "m" in
+  let sorted =
+    Diagnostic.sort
+      [ mk "TCS201" Diagnostic.Warning; mk "TCS301" Diagnostic.Error; mk "TCS001" Diagnostic.Warning ]
+  in
+  check bool "error first" true ((List.hd sorted).Diagnostic.code = "TCS301");
+  check int "errors subset" 1 (List.length (Diagnostic.errors sorted))
+
+(* ------------------------------------------------------------------ *)
+(* Graph-shape lints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_graph_clean () =
+  let g = clean_graph () in
+  check bool "no shape findings" true (Lint.graph_shape g = []);
+  check bool "no deadlock findings" true (Lint.deadlock g = []);
+  check bool "no rate findings" true (Lint.rates g = [])
+
+let test_disconnected_and_dead () =
+  let b = Taskgraph.Builder.create () in
+  let a = task b "read" ~mem_ports:[ read_port ] in
+  let z = task b "write" ~mem_ports:[ write_port ] in
+  fifo b a z;
+  (* No compute, no streams, no ports: dead, and its own component. *)
+  ignore
+    (Taskgraph.Builder.add_task b ~name:"idle"
+       ~compute:(Task.make_compute ~elems:0.0 ())
+       ());
+  let ds = Lint.graph_shape (Taskgraph.Builder.build b) in
+  check bool "TCS001 raised" true (has "TCS001" ds);
+  check bool "TCS002 raised" true (has "TCS002" ds)
+
+let test_no_source_no_sink_unreachable () =
+  (* A pure 2-cycle: no task qualifies as source or sink. *)
+  let b = Taskgraph.Builder.create () in
+  let x = task b "x" in
+  let y = task b "y" in
+  fifo b x y;
+  fifo b y x;
+  let ds = Lint.graph_shape (Taskgraph.Builder.build b) in
+  check bool "TCS003 raised" true (has "TCS003" ds);
+  check bool "TCS004 raised" true (has "TCS004" ds);
+  (* Unreachability needs a source to be unreachable from. *)
+  let b = Taskgraph.Builder.create () in
+  let r = task b "read" ~mem_ports:[ read_port ] in
+  let w = task b "write" ~mem_ports:[ write_port ] in
+  fifo b r w;
+  let x = task b "x" in
+  let y = task b "y" in
+  fifo b x y;
+  fifo b y x;
+  let ds = Lint.graph_shape (Taskgraph.Builder.build b) in
+  check bool "TCS005 on both spinners" true
+    (List.length (List.filter (fun d -> d.Diagnostic.code = "TCS005") ds) = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock lints                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cycle_graph ~mode () =
+  let b = Taskgraph.Builder.create () in
+  let r = task b "read" ~mem_ports:[ read_port ] in
+  let x = task b "x" in
+  let y = task b "y" in
+  fifo b r x;
+  fifo b x y ?mode:(Some mode);
+  fifo b y x;
+  let w = task b "write" ~mem_ports:[ write_port ] in
+  fifo b y w;
+  Taskgraph.Builder.build b
+
+let test_bulk_cycle_is_error () =
+  let ds = Lint.deadlock (cycle_graph ~mode:Fifo.Bulk ()) in
+  check bool "TCS101 raised" true (has "TCS101" ds);
+  check bool "TCS101 is error" true (Diagnostic.errors ds <> [])
+
+let test_stream_cycle_is_warning () =
+  let ds = Lint.deadlock (cycle_graph ~mode:Fifo.Stream ()) in
+  check bool "TCS102 raised" true (has "TCS102" ds);
+  check bool "only warnings" true (Diagnostic.errors ds = [])
+
+let test_reconvergent_depth () =
+  (* Long arm src->a->b->c->join vs. a depth-2 shortcut src->join: the
+     shortcut FIFO must buffer 3 tokens while the arm catches up. *)
+  let b = Taskgraph.Builder.create () in
+  let s = task b "src" ~mem_ports:[ read_port ] in
+  let a = task b "a" in
+  let b2 = task b "b" in
+  let c = task b "c" in
+  let j = task b "join" ~mem_ports:[ write_port ] in
+  fifo b s a;
+  fifo b a b2;
+  fifo b b2 c;
+  fifo b c j;
+  fifo b s j ~depth:2;
+  let ds = Lint.deadlock (Taskgraph.Builder.build b) in
+  check bool "TCS103 raised" true (has "TCS103" ds)
+
+(* ------------------------------------------------------------------ *)
+(* Rate / width lints                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rate_mismatch () =
+  let b = Taskgraph.Builder.create () in
+  let fast = task b "fast" ~compute:(Task.make_compute ~elems:1000.0 ~ii:1.0 ()) in
+  let slow =
+    task b "slow"
+      ~compute:(Task.make_compute ~elems:1000.0 ~ii:16.0 ())
+      ~mem_ports:[ write_port ]
+  in
+  fifo b fast slow;
+  let ds = Lint.rates (Taskgraph.Builder.build b) in
+  check bool "TCS201 raised" true (has "TCS201" ds)
+
+let test_width_conflict () =
+  let b = Taskgraph.Builder.create () in
+  let a = task b "a" in
+  let z = task b "z" ~mem_ports:[ write_port ] in
+  fifo b a z ~width:48;
+  let ds = Lint.rates (Taskgraph.Builder.build b) in
+  check bool "TCS202 raised" true (has "TCS202" ds);
+  (* 2:1 serialization is legitimate, not a conflict. *)
+  let b = Taskgraph.Builder.create () in
+  let a = task b "a" in
+  let z = task b "z" ~mem_ports:[ write_port ] in
+  fifo b a z ~width:64;
+  check bool "divisor widths pass" true (Lint.rates (Taskgraph.Builder.build b) = [])
+
+(* ------------------------------------------------------------------ *)
+(* Capacity lints                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let huge = Resource.make ~lut:2_000_000 ~ff:100 ~bram:10 ~dsp:10 ()
+
+let capacity_of g = Lint.capacity ~cluster:(cluster1 ()) ~synthesis:(Tapa_cs_hls.Synthesis.run g) g
+
+let test_capacity_overflow () =
+  let b = Taskgraph.Builder.create () in
+  let a = task b "big" ~resources:huge ~mem_ports:[ read_port ] in
+  let z = task b "write" ~mem_ports:[ write_port ] in
+  fifo b a z;
+  let ds = capacity_of (Taskgraph.Builder.build b) in
+  check bool "TCS301 raised" true (has "TCS301" ds);
+  check bool "clean design passes" true (capacity_of (clean_graph ()) = [])
+
+let test_channel_binding () =
+  let b = Taskgraph.Builder.create () in
+  let bad = Task.mem_port ~channel:99 ~dir:Task.Read ~width_bits:32 ~bytes:4000.0 () in
+  let a = task b "a" ~mem_ports:[ bad ] in
+  let z = task b "z" ~mem_ports:[ write_port ] in
+  fifo b a z;
+  let ds = capacity_of (Taskgraph.Builder.build b) in
+  check bool "TCS302 raised" true (has "TCS302" ds)
+
+let test_port_counts () =
+  (* 5 tasks x 7 ports = 35 ports > 32 channels, but each task is fine. *)
+  let b = Taskgraph.Builder.create () in
+  let ports n = List.init n (fun _ -> read_port) in
+  let ts = List.init 5 (fun i -> task b (Printf.sprintf "t%d" i) ~mem_ports:(ports 7)) in
+  (match ts with
+  | t0 :: rest -> List.iter (fun t -> fifo b t0 t) rest
+  | [] -> ());
+  let ds = capacity_of (Taskgraph.Builder.build b) in
+  check bool "TCS303 raised" true (has "TCS303" ds);
+  check bool "no TCS304" true (not (has "TCS304" ds));
+  (* One task with 33 ports trips the per-board bound too. *)
+  let b = Taskgraph.Builder.create () in
+  let a = task b "mega" ~mem_ports:(ports 33) in
+  let z = task b "z" ~mem_ports:[ write_port ] in
+  fifo b a z;
+  let ds = capacity_of (Taskgraph.Builder.build b) in
+  check bool "TCS304 raised" true (has "TCS304" ds)
+
+(* ------------------------------------------------------------------ *)
+(* ILP validation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lin x = Ilp.Linear.var x
+
+let test_ilp_trivially_infeasible () =
+  let m = Ilp.Model.create () in
+  let x =
+    Ilp.Model.add_var m ~name:"x" ~lb:(Rat.of_int 2) ~ub:(Rat.of_int 5) Ilp.Model.Continuous
+  in
+  Ilp.Model.add_constraint m ~name:"cap" (lin x) Ilp.Model.Le Rat.one;
+  (match Ilp.Validate.check m with
+  | [ Ilp.Validate.Infeasible_constraint { name; _ } ] -> check bool "named" true (name = "cap")
+  | _ -> Alcotest.fail "expected one infeasible issue");
+  check bool "solver rejects fast" true (Ilp.Branch_bound.solve m = Ilp.Branch_bound.Infeasible);
+  let ds = Lint.ilp_model m in
+  check bool "TCS401 raised" true (has "TCS401" ds)
+
+let test_ilp_trivially_unbounded () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~name:"x" Ilp.Model.Continuous in
+  Ilp.Model.set_objective m Ilp.Model.Maximize (lin x);
+  (match Ilp.Validate.check m with
+  | [ Ilp.Validate.Unbounded_direction { var; _ } ] -> check bool "named" true (var = "x")
+  | _ -> Alcotest.fail "expected one unbounded issue");
+  check bool "solver rejects fast" true (Ilp.Branch_bound.solve m = Ilp.Branch_bound.Unbounded);
+  check bool "TCS402 raised" true (has "TCS402" (Lint.ilp_model m));
+  (* A capping constraint restores soundness. *)
+  Ilp.Model.add_constraint m ~name:"cap" (lin x) Ilp.Model.Le (Rat.of_int 7);
+  check bool "capped model passes" true (Ilp.Validate.check m = [])
+
+let test_named_constraints () =
+  let m = Ilp.Model.create () in
+  let x = Ilp.Model.add_var m ~name:"x" ~ub:Rat.one Ilp.Model.Continuous in
+  Ilp.Model.add_constraint m ~name:"first" (lin x) Ilp.Model.Le Rat.one;
+  Ilp.Model.add_constraint m (lin x) Ilp.Model.Ge Rat.zero;
+  match Ilp.Model.named_constraints m with
+  | [ (n0, _, _, _); (n1, _, _, _) ] ->
+    check bool "explicit name kept" true (n0 = "first");
+    check bool "fallback name indexed" true (n1 = "c1")
+  | l -> Alcotest.failf "expected 2 constraints, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Shipped apps and the seeded-defect example                          *)
+(* ------------------------------------------------------------------ *)
+
+let shipped () =
+  [
+    Tapa_cs_apps.Stencil.generate (Tapa_cs_apps.Stencil.make_config ~iterations:64 ~fpgas:1 ());
+    Tapa_cs_apps.Pagerank.generate
+      (Tapa_cs_apps.Pagerank.make_config
+         ~dataset:(List.hd Tapa_cs_apps.Dataset.all)
+         ~fpgas:1 ());
+    Tapa_cs_apps.Knn.generate (Tapa_cs_apps.Knn.make_config ~n_points:4_000_000 ~dims:2 ~fpgas:1 ());
+    Tapa_cs_apps.Cnn.generate (Tapa_cs_apps.Cnn.make_config ~cols:8 ~fpgas:1 ());
+  ]
+
+let test_shipped_apps_error_clean () =
+  List.iter
+    (fun (a : Tapa_cs_apps.App.t) ->
+      let ds = Lint.run_all ~cluster:(cluster1 ()) a.graph in
+      match Diagnostic.errors ds with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "%s has %d lint error(s): %s" a.name (List.length errs)
+          (Diagnostic.render errs))
+    (shipped ())
+
+let test_broken_app_flagged () =
+  let a = Tapa_cs_apps.Broken.generate () in
+  let ds = Lint.run_all ~cluster:(cluster1 ()) a.Tapa_cs_apps.App.graph in
+  Alcotest.(check (list string))
+    "expected codes" Tapa_cs_apps.Broken.expected_codes (codes_of ds);
+  check bool "has errors" true (Diagnostic.errors ds <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Compiler gate and simulator deadlock                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_gate_oversubscribed () =
+  let b = Taskgraph.Builder.create () in
+  let a = task b "big" ~resources:huge ~mem_ports:[ read_port ] in
+  let z = task b "write" ~mem_ports:[ write_port ] in
+  fifo b a z;
+  let g = Taskgraph.Builder.build b in
+  (match Tapa_cs.Compiler.compile ~cluster:(cluster1 ()) g with
+  | Error e -> check bool "coded diagnostic" true (contains "TCS301" e)
+  | Ok _ -> Alcotest.fail "expected the step-0 gate to reject");
+  (* The same design with the gate off fails later, without the code. *)
+  let options = { Tapa_cs.Compiler.default_options with lint = false } in
+  match Tapa_cs.Compiler.compile ~options ~cluster:(cluster1 ()) g with
+  | Error e -> check bool "uncoded failure" true (not (contains "TCS301" e))
+  | Ok _ -> Alcotest.fail "expected the floorplanner to reject"
+
+let test_compile_gate_bulk_cycle () =
+  let g = cycle_graph ~mode:Fifo.Bulk () in
+  match Tapa_cs.Compiler.compile ~cluster:(cluster1 ()) g with
+  | Error e -> check bool "coded diagnostic" true (contains "TCS101" e)
+  | Ok _ -> Alcotest.fail "expected the step-0 gate to reject"
+
+let test_sim_deadlock_named () =
+  let g = cycle_graph ~mode:Fifo.Bulk () in
+  let cluster = cluster1 () in
+  let synthesis = Tapa_cs_hls.Synthesis.run g in
+  let cfg =
+    Tapa_cs_sim.Design_sim.make_config ~graph:g
+      ~assignment:(Array.make (Taskgraph.num_tasks g) 0)
+      ~freq_mhz:[| 200.0 |] ~cluster ~synthesis ()
+  in
+  match Tapa_cs_sim.Design_sim.run cfg with
+  | exception Tapa_cs_sim.Design_sim.Deadlock d ->
+    check bool "names a blocked task" true (d.tasks <> []);
+    check bool "points at the linter" true
+      (contains "TCS101" d.message && contains "lint" d.message)
+  | _ -> Alcotest.fail "expected Design_sim.Deadlock"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "registry well-formed" `Quick test_registry_well_formed;
+          Alcotest.test_case "render pretty and json" `Quick test_render_pretty_and_json;
+          Alcotest.test_case "sort errors first" `Quick test_sort_errors_first;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "clean graph clean" `Quick test_clean_graph_clean;
+          Alcotest.test_case "disconnected and dead" `Quick test_disconnected_and_dead;
+          Alcotest.test_case "no source/sink, unreachable" `Quick test_no_source_no_sink_unreachable;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "bulk cycle is error" `Quick test_bulk_cycle_is_error;
+          Alcotest.test_case "stream cycle is warning" `Quick test_stream_cycle_is_warning;
+          Alcotest.test_case "reconvergent depth" `Quick test_reconvergent_depth;
+        ] );
+      ( "rates",
+        [
+          Alcotest.test_case "rate mismatch" `Quick test_rate_mismatch;
+          Alcotest.test_case "width conflict" `Quick test_width_conflict;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "resource overflow" `Quick test_capacity_overflow;
+          Alcotest.test_case "channel binding" `Quick test_channel_binding;
+          Alcotest.test_case "port counts" `Quick test_port_counts;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "trivially infeasible" `Quick test_ilp_trivially_infeasible;
+          Alcotest.test_case "trivially unbounded" `Quick test_ilp_trivially_unbounded;
+          Alcotest.test_case "named constraints" `Quick test_named_constraints;
+        ] );
+      ( "designs",
+        [
+          Alcotest.test_case "shipped apps error-clean" `Quick test_shipped_apps_error_clean;
+          Alcotest.test_case "broken app flagged" `Quick test_broken_app_flagged;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "compile gate: over-subscribed" `Quick test_compile_gate_oversubscribed;
+          Alcotest.test_case "compile gate: bulk cycle" `Quick test_compile_gate_bulk_cycle;
+          Alcotest.test_case "simulator deadlock named" `Quick test_sim_deadlock_named;
+        ] );
+    ]

@@ -59,7 +59,11 @@ let test_frontend_rejects_double_endpoints () =
   Frontend.task p ~name:"a" ~writes:[ s ] ();
   Alcotest.check_raises "double producer"
     (Invalid_argument "Frontend.task: stream \"s\" already produced by \"a\"")
-    (fun () -> Frontend.task p ~name:"b" ~writes:[ s ] ())
+    (fun () -> Frontend.task p ~name:"b" ~writes:[ s ] ());
+  Frontend.task p ~name:"c" ~reads:[ s ] ();
+  Alcotest.check_raises "double consumer"
+    (Invalid_argument "Frontend.task: stream \"s\" already consumed by \"c\"")
+    (fun () -> Frontend.task p ~name:"d" ~reads:[ s ] ())
 
 let test_frontend_empty_program () =
   let p = Frontend.program () in
