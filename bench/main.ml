@@ -6,7 +6,10 @@
 
      dune exec bench/main.exe -- table3 fig10
      dune exec bench/main.exe -- micro
-*)
+
+   The "micro" experiment additionally writes BENCH_micro.json (name ->
+   ns/run) to the working directory — run it from the repo root so the
+   perf trajectory file lands next to this PR's committed baseline. *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [

@@ -54,6 +54,65 @@ let bb_ilp =
   in
   Test.make ~name:"branch&bound 10-var knapsack" (Staged.stage (fun () -> ignore (Ilp.Branch_bound.solve model)))
 
+(* Warm vs cold branch-and-bound on a floorplanning-shaped instance: many
+   binaries, few constraints — the regime where the prepared
+   bounded-variable tableau pays (no per-node rebuild, one row per
+   constraint instead of one per constraint + one per binary, bound flips
+   instead of pivots).  Both benches solve the identical model; the cold
+   one re-lowers it at every node via the reference solver, which is
+   exactly what the seed implementation did. *)
+let bb_floorplan_model =
+  let m = Ilp.Model.create () in
+  let rng = Prng.create 11 in
+  let n = 24 in
+  let vars = List.init n (fun _ -> Ilp.Model.add_var m Ilp.Model.Binary) in
+  for _ = 1 to 2 do
+    let coeffs = List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 9))) vars in
+    Ilp.Model.add_constraint m (Ilp.Linear.of_terms coeffs) Ilp.Model.Le
+      (Rat.of_int (Prng.int_in rng 30 55))
+  done;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linear.of_terms (List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 20))) vars));
+  m
+
+let bb_warm =
+  Test.make ~name:"B&B 24-var floorplan ILP, warm-started"
+    (Staged.stage (fun () ->
+         ignore (Ilp.Branch_bound.solve ~warm_start:true bb_floorplan_model)))
+
+let bb_cold =
+  Test.make ~name:"B&B 24-var floorplan ILP, cold rebuild"
+    (Staged.stage (fun () ->
+         ignore (Ilp.Branch_bound.solve ~warm_start:false bb_floorplan_model)))
+
+(* End-to-end multi-FPGA compile wall-clock, sequential vs pooled.  On a
+   single-core host both run the sequential fallback and measure the same
+   thing; on a multicore host the jobs=N variant shows the domain-pool
+   speedup. *)
+let compile_graph = (Tapa_cs_apps.Stencil.generate (Tapa_cs_apps.Stencil.make_config ~iterations:8 ~fpgas:4 ())).Tapa_cs_apps.App.graph
+let compile_cluster = Cluster.make ~board:Board.u55c 4
+
+let compile_with_jobs jobs =
+  let options = { Tapa_cs.Compiler.default_options with jobs } in
+  match Tapa_cs.Compiler.compile ~options ~cluster:compile_cluster compile_graph with
+  | Ok _ -> ()
+  | Error e -> failwith e
+
+let compile_seq =
+  Test.make ~name:"compile stencil 4-FPGA, jobs=1" (Staged.stage (fun () -> compile_with_jobs 1))
+
+(* Only meaningful with >= 2 cores: on a single-core host extra domains
+   just time-slice (and pay cross-domain GC synchronization), so the
+   variant is skipped rather than recording a misleading slowdown. *)
+let compile_par =
+  let jobs = Pool.default_jobs () in
+  if jobs < 2 then None
+  else
+    Some
+      (Test.make
+         ~name:(Printf.sprintf "compile stencil 4-FPGA, jobs=%d" jobs)
+         (Staged.stage (fun () -> compile_with_jobs jobs)))
+
 let partition_heuristic =
   let problem =
     let rng = Prng.create 23 in
@@ -111,7 +170,27 @@ let small_sim =
 
 let tests =
   Test.make_grouped ~name:"kernels"
-    [ bigint_mul; bigint_divmod; rat_add; simplex_lp; bb_ilp; partition_heuristic; event_queue; small_sim ]
+    ([
+       bigint_mul; bigint_divmod; rat_add; simplex_lp; bb_ilp; bb_warm; bb_cold; compile_seq;
+     ]
+    @ Option.to_list compile_par
+    @ [ partition_heuristic; event_queue; small_sim ])
+
+(* Machine-readable perf trajectory: name -> ns/run, written next to the
+   repo's other BENCH_*.json artifacts so successive PRs can be compared
+   mechanically.  [dune exec bench/main.exe -- micro] runs from the
+   project root, which is where the file lands. *)
+let json_path = "BENCH_micro.json"
+
+let write_json entries =
+  let oc = open_out json_path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" name ns (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc
 
 let run () =
   Exp_common.section "Microbenchmarks (Bechamel, monotonic clock)";
@@ -121,6 +200,7 @@ let run () =
   let raw = Benchmark.all cfg instances tests in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let results = Analyze.merge ols instances results in
+  let entries = ref [] in
   Hashtbl.iter
     (fun measure per_test ->
       if measure = Measure.label Instance.monotonic_clock then
@@ -128,6 +208,7 @@ let run () =
           (fun name ols_result ->
             match Analyze.OLS.estimates ols_result with
             | Some [ est ] ->
+              entries := (name, est) :: !entries;
               let v, unit_ =
                 if est > 1e9 then (est /. 1e9, "s")
                 else if est > 1e6 then (est /. 1e6, "ms")
@@ -137,4 +218,7 @@ let run () =
               Printf.printf "  %-42s %8.2f %s/run\n" name v unit_
             | _ -> Printf.printf "  %-42s (no estimate)\n" name)
           per_test)
-    results
+    results;
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) !entries in
+  write_json entries;
+  Printf.printf "  [ns/run table written to %s]\n" json_path

@@ -63,6 +63,17 @@ let threshold_arg =
   let doc = "Per-resource utilization threshold T of Eq. 1." in
   Arg.(value & opt float Constants.utilization_threshold & info [ "threshold" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel compile stages (synthesis estimation and the per-FPGA \
+     floorplan/HBM/pipelining/frequency tail). 0 selects the default: the TAPA_CS_JOBS \
+     environment variable, else the recommended domain count. The compile result is identical \
+     for every value; only wall-clock changes."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
+
+let effective_jobs jobs = if jobs <= 0 then Tapa_cs_util.Pool.default_jobs () else jobs
+
 let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
   match app with
   | "stencil" -> Ok (Stencil.generate (Stencil.make_config ~iterations:iters ~fpgas ()))
@@ -74,8 +85,8 @@ let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
   | "cnn" -> Ok (Cnn.generate (Cnn.make_config ~cols ~fpgas ()))
   | other -> Error (Printf.sprintf "unknown app %S" other)
 
-let compile_design app_t ~flow ~fpgas ~topology ~threshold =
-  let options = { Compiler.default_options with threshold } in
+let compile_design app_t ~flow ~fpgas ~topology ~threshold ~jobs =
+  let options = { Compiler.default_options with threshold; jobs = effective_jobs jobs } in
   match flow with
   | `Vitis -> Flow.vitis app_t.App.graph
   | `Tapa -> Flow.tapa ~options app_t.App.graph
@@ -88,14 +99,14 @@ let compile_design app_t ~flow ~fpgas ~topology ~threshold =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run app fpgas iters dataset n d cols flow topology threshold =
+  let run app fpgas iters dataset n d cols flow topology threshold jobs =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
       Format.printf "%a@." App.pp a;
-      match compile_design a ~flow ~fpgas ~topology ~threshold with
+      match compile_design a ~flow ~fpgas ~topology ~threshold ~jobs with
       | Error e ->
         Format.printf "compilation failed: %s@." e;
         1
@@ -113,18 +124,18 @@ let compile_cmd =
   in
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
-          $ flow_arg $ topology_arg $ threshold_arg)
+          $ flow_arg $ topology_arg $ threshold_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Run the seven-step TAPA-CS compile and print the floorplan.") term
 
 let simulate_cmd =
-  let run app fpgas iters dataset n d cols flow topology threshold =
+  let run app fpgas iters dataset n d cols flow topology threshold jobs =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      match compile_design a ~flow ~fpgas ~topology ~threshold with
+      match compile_design a ~flow ~fpgas ~topology ~threshold ~jobs with
       | Error e ->
         Format.printf "compilation failed: %s@." e;
         1
@@ -143,7 +154,7 @@ let simulate_cmd =
   in
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
-          $ flow_arg $ topology_arg $ threshold_arg)
+          $ flow_arg $ topology_arg $ threshold_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Compile and run the timed simulation.") term
 
@@ -167,13 +178,15 @@ let emit_cmd =
     let doc = "Output directory for the CAD artifacts." in
     Arg.(value & opt string "tapa_cs_out" & info [ "out"; "o" ] ~doc)
   in
-  let run app fpgas iters dataset n d cols topology threshold out =
+  let run app fpgas iters dataset n d cols topology threshold jobs out =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      let options = { Compiler.default_options with threshold } in
+      let options =
+        { Compiler.default_options with threshold; jobs = effective_jobs jobs }
+      in
       let cluster = Cluster.make ~topology ~board:Board.u55c fpgas in
       match Compiler.compile ~options ~cluster a.App.graph with
       | Error e ->
@@ -186,7 +199,7 @@ let emit_cmd =
   in
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
-          $ topology_arg $ threshold_arg $ out_arg)
+          $ topology_arg $ threshold_arg $ jobs_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Compile and write the Vitis-style CAD constraints (step 7 of §4.2).")

@@ -4,6 +4,7 @@ open Tapa_cs_hls
 open Tapa_cs_floorplan
 open Tapa_cs_pipeline
 open Tapa_cs_freq
+module Pool = Tapa_cs_util.Pool
 
 type t = {
   graph : Taskgraph.t;
@@ -26,6 +27,7 @@ type options = {
   explore_hbm : bool;
   pipeline_interconnect : bool;
   lint : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -36,15 +38,22 @@ let default_options =
     explore_hbm = true;
     pipeline_interconnect = true;
     lint = true;
+    jobs = Tapa_cs_util.Pool.default_jobs ();
   }
 
 let ( let* ) = Result.bind
 
 let compile ?(options = default_options) ~cluster graph =
+  (* One worker pool for every parallel stage of this compile.  [jobs = 1]
+     (or a single-core host) keeps the whole pipeline on the calling
+     domain; either way the output is bit-identical because every
+     parallel_map assembles its results in index order. *)
+  let pool = if options.jobs > 1 then Some (Pool.create ~domains:(options.jobs - 1) ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   (* Step 2: parallel synthesis against the first board model (clusters
      are homogeneous in the paper's testbed). *)
   let board0 = Cluster.board cluster 0 in
-  let synthesis = Synthesis.run ~board:board0 graph in
+  let synthesis = Synthesis.run ~board:board0 ?pool graph in
   (* Step 0 (run once synthesis areas exist): static design lint.  The
      error-severity diagnostics are exactly the defects the later steps
      would fail on anyway — but with a code and a fix hint instead of an
@@ -75,51 +84,57 @@ let compile ?(options = default_options) ~cluster graph =
       cut_width.(f.src) <- cut_width.(f.src) +. float_of_int f.width_bits;
       cut_width.(f.dst) <- cut_width.(f.dst) +. float_of_int f.width_bits)
     inter.Inter_fpga.cut_fifos;
-  let rec build_intra fpga acc =
-    if fpga >= k then Ok (List.rev acc)
-    else begin
-      let tasks =
-        List.filter
-          (fun tid -> inter.Inter_fpga.assignment.(tid) = fpga)
-          (List.init (Taskgraph.num_tasks graph) Fun.id)
-      in
-      let* placement =
-        Intra_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed:options.seed
-          ~board:(Cluster.board cluster fpga) ~synthesis ~graph ~tasks
-          ~io_pull:(fun tid -> cut_width.(tid))
-          ()
-      in
-      build_intra (fpga + 1) (placement :: acc)
-    end
+  (* Steps 5-7 fused into one per-FPGA task: intra floorplan, HBM binding
+     exploration, interconnect pipelining (crossings are local to the
+     device) and the frequency model all depend only on that device's
+     assignment, so each FPGA runs its whole tail of the pipeline on one
+     worker.  Results assemble in FPGA index order; on failure the
+     lowest-index error is reported — the same one the old sequential
+     recursion would have stopped at. *)
+  let per_fpga =
+    Pool.parallel_map ?pool
+      (fun fpga ->
+        let board = Cluster.board cluster fpga in
+        let tasks =
+          List.filter
+            (fun tid -> inter.Inter_fpga.assignment.(tid) = fpga)
+            (List.init (Taskgraph.num_tasks graph) Fun.id)
+        in
+        let* placement =
+          Intra_fpga.run ~strategy:options.strategy ~threshold:options.threshold
+            ~seed:options.seed ~board ~synthesis ~graph ~tasks
+            ~io_pull:(fun tid -> cut_width.(tid))
+            ()
+        in
+        let hbm =
+          Hbm_binding.run ~explore:options.explore_hbm ~board ~graph
+            ~slot_of:placement.Intra_fpga.slot_of ()
+        in
+        let pipeline =
+          if options.pipeline_interconnect then
+            Pipelining.run ~graph ~crossings:placement.Intra_fpga.crossings
+          else Pipelining.run ~graph ~crossings:[]
+        in
+        let freq =
+          Freq_model.of_placement ~board ~synthesis ~graph
+            ~slot_of:placement.Intra_fpga.slot_of ~pipelined:options.pipeline_interconnect ()
+        in
+        Ok (placement, hbm, pipeline, freq))
+      (Array.init k Fun.id)
   in
-  let* intra_list = build_intra 0 [] in
-  let intra = Array.of_list intra_list in
-  (* HBM binding exploration per device. *)
-  let hbm =
-    Array.mapi
-      (fun fpga placement ->
-        Hbm_binding.run ~explore:options.explore_hbm ~board:(Cluster.board cluster fpga) ~graph
-          ~slot_of:placement.Intra_fpga.slot_of ())
-      intra
+  let* staged =
+    Array.fold_right
+      (fun r acc ->
+        let* r = r in
+        let* acc = acc in
+        Ok (r :: acc))
+      per_fpga (Ok [])
   in
-  (* Step 6: interconnect pipelining (per device; crossings are local). *)
-  let pipeline =
-    Array.map
-      (fun placement ->
-        if options.pipeline_interconnect then
-          Pipelining.run ~graph ~crossings:placement.Intra_fpga.crossings
-        else Pipelining.run ~graph ~crossings:[]
-      )
-      intra
-  in
-  (* Step 7: frequency of each device given its final placement. *)
-  let freq =
-    Array.mapi
-      (fun fpga placement ->
-        Freq_model.of_placement ~board:(Cluster.board cluster fpga) ~synthesis ~graph
-          ~slot_of:placement.Intra_fpga.slot_of ~pipelined:options.pipeline_interconnect ())
-      intra
-  in
+  let staged = Array.of_list staged in
+  let intra = Array.map (fun (p, _, _, _) -> p) staged in
+  let hbm = Array.map (fun (_, h, _, _) -> h) staged in
+  let pipeline = Array.map (fun (_, _, p, _) -> p) staged in
+  let freq = Array.map (fun (_, _, _, f) -> f) staged in
   let unrouted = Array.exists (fun (e : Freq_model.estimate) -> not e.routed) freq in
   if unrouted then Error "a device placement exceeds physical slot capacity (routing failure)"
   else begin

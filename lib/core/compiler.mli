@@ -42,13 +42,22 @@ type options = {
   explore_hbm : bool;  (** HBM binding exploration (§4.5); ablation knob *)
   pipeline_interconnect : bool;  (** §4.6; ablation knob *)
   lint : bool;  (** run the step-0 static lint gate (default [true]) *)
+  jobs : int;
+      (** worker domains for the parallel stages (synthesis, per-FPGA
+          floorplan/HBM/pipelining/frequency).  Default
+          {!Tapa_cs_util.Pool.default_jobs} ([TAPA_CS_JOBS] env override,
+          else the recommended domain count); [1] = fully sequential.
+          The compile result is bit-identical for every value. *)
 }
 
 val default_options : options
 
 val compile : ?options:options -> cluster:Cluster.t -> Taskgraph.t -> (t, string) Stdlib.result
 (** [Error] carries either the rendered step-0 diagnostics (each line
-    tagged with its [TCS] code) or a placement/routing failure reason. *)
+    tagged with its [TCS] code) or a placement/routing failure reason.
+    With [options.jobs > 1] the synthesis estimates and the per-FPGA
+    stage tail run on a worker-domain pool; results are assembled in
+    index order so the output does not depend on [jobs]. *)
 
 val slot_of : t -> int -> int option
 (** Final slot of a task on its FPGA. *)

@@ -21,38 +21,47 @@ type report = {
    too so heterogeneous calibrations stay distinct. *)
 let cache_key (t : Task.t) = (t.kind, t.compute, t.resources, t.mem_ports)
 
-let run ?board g =
+let run ?board ?pool g =
+  let tasks = Taskgraph.tasks g in
+  (* Collect the distinct synthesis jobs first (one representative task per
+     cache key, in first-occurrence order), run them through the domain
+     pool, then fill the per-task profiles from the completed cache.  The
+     cache-hit accounting is exactly the sequential solver's: every task
+     beyond the first of its kind is a hit. *)
+  let seen = Hashtbl.create 64 in
+  let distinct = ref [] in
+  Array.iter
+    (fun (t : Task.t) ->
+      let key = cache_key t in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        distinct := t :: !distinct
+      end)
+    tasks;
+  let distinct = Array.of_list (List.rev !distinct) in
+  let estimates =
+    Tapa_cs_util.Pool.parallel_map ?pool (fun t -> Estimator.estimate ?board t) distinct
+  in
   let cache = Hashtbl.create 64 in
-  let hits = ref 0 in
+  Array.iteri (fun i t -> Hashtbl.add cache (cache_key t) estimates.(i)) distinct;
   let profiles =
     Array.map
       (fun (t : Task.t) ->
-        let key = cache_key t in
-        let resources =
-          match Hashtbl.find_opt cache key with
-          | Some r ->
-            incr hits;
-            r
-          | None ->
-            let r = Estimator.estimate ?board t in
-            Hashtbl.add cache key r;
-            r
-        in
         {
           task_id = t.id;
-          resources;
+          resources = Hashtbl.find cache (cache_key t);
           startup_cycles = Estimator.startup_cycles t;
           steady_cycles = Estimator.steady_cycles t;
         })
-      (Taskgraph.tasks g)
+      tasks
   in
   let total_resources =
     Array.fold_left (fun acc p -> Resource.add acc p.resources) Resource.zero profiles
   in
   {
     profiles;
-    distinct_kinds = Hashtbl.length cache;
-    cache_hits = !hits;
+    distinct_kinds = Array.length distinct;
+    cache_hits = Array.length tasks - Array.length distinct;
     sequential_runs = Taskgraph.num_tasks g;
     total_resources;
   }

@@ -23,7 +23,12 @@ type report = {
   total_resources : Resource.t;
 }
 
-val run : ?board:Board.t -> Taskgraph.t -> report
+val run : ?board:Board.t -> ?pool:Tapa_cs_util.Pool.t -> Taskgraph.t -> report
+(** Synthesizes one representative task per distinct {!cache_key} — via
+    [pool] when given, so independent kinds estimate on separate cores —
+    then fills every task's profile from the completed cache.  The report
+    (profiles, [distinct_kinds], [cache_hits]) is identical whether or
+    not a pool is supplied. *)
 
 val profile_of : report -> int -> profile
 val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,12 @@
 open Tapa_cs_util
 
-type solution = { objective : Rat.t; values : Rat.t array; nodes : int; lp_pivots : int }
+type solution = {
+  objective : Rat.t;
+  values : Rat.t array;
+  nodes : int;
+  lp_solves : int;
+  lp_pivots : int;
+}
 type result = Optimal of solution | Feasible of solution | Infeasible | Unbounded
 
 let is_feasible model values =
@@ -27,7 +33,8 @@ let is_feasible model values =
 
 type node = { bound : Rat.t; depth : int; lbs : Rat.t array; ubs : Rat.t option array }
 
-let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?incumbent model =
+let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?incumbent
+    ?(warm_start = true) model =
   match Validate.check model with
   | Validate.Infeasible_constraint _ :: _ -> Infeasible
   | Validate.Unbounded_direction _ :: _ -> Unbounded
@@ -48,10 +55,23 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
     ref
       (match incumbent with
       | Some values when is_feasible model values ->
-        Some { objective = Linear.eval obj_expr (fun v -> values.(v)); values; nodes = 0; lp_pivots = 0 }
+        Some
+          {
+            objective = Linear.eval obj_expr (fun v -> values.(v));
+            values;
+            nodes = 0;
+            lp_solves = 0;
+            lp_pivots = 0;
+          }
       | _ -> None)
   in
-  let nodes = ref 0 and pivots = ref 0 in
+  (* Warm start: lower the model to its standard-form template once at the
+     root; every node then only re-applies its branching bounds.  The cold
+     path ([warm_start = false]) re-runs the full model -> tableau lowering
+     per node via the reference solver — it exists as the baseline of the
+     bench/micro warm-vs-cold measurement. *)
+  let template = if warm_start then Some (Simplex.prepare model) else None in
+  let nodes = ref 0 and pivots = ref 0 and lp_solves = ref 0 in
   let last_improvement = ref 0 in
   let pivots_left () = Stdlib.max 1 (max_pivots - !pivots) in
   let frontier = Heap.create ~cmp:node_cmp in
@@ -69,7 +89,13 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
     match !best with Some b -> not (better bound b.objective) | None -> false
   in
   let solve_lp lbs ubs =
-    match Simplex.solve ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) model with
+    incr lp_solves;
+    let outcome =
+      match template with
+      | Some t -> Simplex.solve_prepared ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) t
+      | None -> Simplex.solve_reference ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) model
+    in
+    match outcome with
     | exception Simplex.Pivot_limit ->
       limit_hit := true;
       None
@@ -105,7 +131,14 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
         else begin
           let v = pick_branch_var lp.values in
           if v < 0 then
-            record_candidate { objective = lp.objective; values = lp.values; nodes = !nodes; lp_pivots = !pivots }
+            record_candidate
+              {
+                objective = lp.objective;
+                values = lp.values;
+                nodes = !nodes;
+                lp_solves = !lp_solves;
+                lp_pivots = !pivots;
+              }
           else begin
             let child fix =
               let lbs = Array.copy node.lbs and ubs = Array.copy node.ubs in
@@ -128,7 +161,15 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
      | None -> if not !limit_hit then raise Not_found (* root infeasible *)
      | Some lp ->
        let v = pick_branch_var lp.values in
-       if v < 0 then record_candidate { objective = lp.objective; values = lp.values; nodes = 0; lp_pivots = !pivots }
+       if v < 0 then
+         record_candidate
+           {
+             objective = lp.objective;
+             values = lp.values;
+             nodes = 0;
+             lp_solves = !lp_solves;
+             lp_pivots = !pivots;
+           }
        else begin
          let child fix =
            let lbs = Array.copy root.lbs and ubs = Array.copy root.ubs in
@@ -152,6 +193,12 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
   | () -> (
     match !best with
     | Some sol ->
-      let sol = { sol with nodes = !nodes; lp_pivots = !pivots } in
+      let sol = { sol with nodes = !nodes; lp_solves = !lp_solves; lp_pivots = !pivots } in
       if !limit_hit then Feasible sol else Optimal sol
-    | None -> if !limit_hit then Infeasible else Infeasible)
+    | None ->
+      (* Hitting a search limit with no incumbent yields no feasibility
+         certificate either way; the result type has no "unknown" arm and
+         every caller (e.g. Partition) treats [Infeasible] as "no ILP
+         answer, fall back to the heuristic", which is the right reaction
+         to both outcomes — so the limit-hit case is also [Infeasible]. *)
+      Infeasible)

@@ -11,6 +11,7 @@ type solution = {
   objective : Rat.t;
   values : Rat.t array;
   nodes : int;  (** branch-and-bound nodes explored *)
+  lp_solves : int;  (** LP relaxations solved (root + per-node) *)
   lp_pivots : int;  (** total simplex pivots across all LP solves *)
 }
 
@@ -25,11 +26,22 @@ val solve :
   ?max_pivots:int ->
   ?stall_nodes:int ->
   ?incumbent:Rat.t array ->
+  ?warm_start:bool ->
   Model.t ->
   result
 (** [incumbent] seeds the search with a known feasible assignment (e.g.
     from a heuristic) so the solver can prune from the first node.  An
     infeasible seed is rejected silently.
+
+    [warm_start] (default [true]) lowers the model to a
+    {!Simplex.prepared} template once at the root and solves every node
+    relaxation with {!Simplex.solve_prepared}, so per-node cost is the
+    bound shift plus the simplex run itself.  [~warm_start:false]
+    re-lowers the model at every node via {!Simplex.solve_reference} —
+    the cold baseline the [bench/micro] warm-vs-cold benchmark measures
+    against.  Both settings return the same result constructor and
+    objective; when an instance has several optima they may pick
+    different optimal assignments.
 
     Models are screened through {!Validate.check} first: trivially
     infeasible or unbounded instances return [Infeasible] / [Unbounded]

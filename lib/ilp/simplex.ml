@@ -5,10 +5,17 @@ type result = Optimal of solution | Infeasible | Unbounded
 
 exception Pivot_limit
 
-(* Internal representation after conversion to standard form
-     min c.y  s.t.  T.y = b,  y >= 0,  b >= 0
-   where structural variables y_j = x_j - lb_j occupy columns 0..nv-1,
-   slack/surplus variables follow, then artificials. *)
+(* ================================================================== *)
+(* Reference implementation (the original seed solver).                *)
+(*                                                                     *)
+(* Standard form  min c.y  s.t.  T.y = b, y >= 0, b >= 0  where        *)
+(* structural variables y_j = x_j - lb_j occupy columns 0..nv-1,       *)
+(* slack/surplus variables follow, then artificials.  Upper bounds     *)
+(* become explicit  y_j <= u_j  rows.  The whole tableau is rebuilt    *)
+(* from the model on every call — this is the cold path the prepared   *)
+(* solver below is benchmarked against, and the independently written  *)
+(* oracle the qcheck differential property compares against.           *)
+(* ================================================================== *)
 
 type tableau = {
   mutable rows : Rat.t array array; (* m rows of length ncols+1; last entry is rhs *)
@@ -96,7 +103,7 @@ let optimize tab ~allowed =
   in
   step ()
 
-let solve ?bounds ?(max_pivots = 2_000_000) model =
+let solve_reference ?bounds ?(max_pivots = 2_000_000) model =
   let nv = Model.num_vars model in
   let lb = Array.init nv (Model.var_lb model) in
   let ub = Array.init nv (Model.var_ub model) in
@@ -278,3 +285,449 @@ let solve ?bounds ?(max_pivots = 2_000_000) model =
         Optimal { objective; values; pivots = tab.pivots }
     end
   end
+
+(* ================================================================== *)
+(* Prepared template + bounded-variable simplex (the hot path).        *)
+(* ================================================================== *)
+
+(* One model constraint, pre-lowered to dense form.  [coeffs] and [neg]
+   are the +/- coefficient rows (both precomputed so a per-node sign
+   normalization is a blit, not nv Rat.neg allocations); [terms] is the
+   sparse view used to re-shift the rhs under new lower bounds. *)
+type prow = {
+  coeffs : Rat.t array; (* length nv *)
+  neg : Rat.t array;
+  terms : (int * Rat.t) list;
+  rel : Model.relation;
+  rhs : Rat.t;
+  slack : int; (* slack/surplus column; -1 for Eq rows *)
+  art : int; (* artificial column (used only when the node needs it) *)
+}
+
+type prepared = {
+  model : Model.t;
+  nv : int;
+  prows : prow array;
+  part_start : int; (* first artificial column *)
+  pncols : int;
+  base_lb : Rat.t array;
+  base_ub : Rat.t option array;
+}
+
+let prepare model =
+  let nv = Model.num_vars model in
+  let constrs = Array.of_list (Model.constraints model) in
+  let next_slack = ref nv in
+  let slack_cols =
+    Array.map
+      (fun (_, rel, _) ->
+        if rel <> Model.Eq then begin
+          let c = !next_slack in
+          incr next_slack;
+          c
+        end
+        else -1)
+      constrs
+  in
+  (* A [Le] row flips to [Ge] when its shifted rhs goes negative under some
+     node's bounds, so every row gets a (possibly unused) artificial
+     column: the layout must not depend on the bounds. *)
+  let part_start = !next_slack in
+  let pncols = part_start + Array.length constrs in
+  let prows =
+    Array.mapi
+      (fun i (e, rel, rhs) ->
+        let coeffs = Array.make nv Rat.zero in
+        List.iter (fun (v, c) -> coeffs.(v) <- c) (Linear.terms e);
+        {
+          coeffs;
+          neg = Array.map Rat.neg coeffs;
+          terms = Linear.terms e;
+          rel;
+          rhs;
+          slack = slack_cols.(i);
+          art = part_start + i;
+        })
+      constrs
+  in
+  {
+    model;
+    nv;
+    prows;
+    part_start;
+    pncols;
+    base_lb = Array.init nv (Model.var_lb model);
+    base_ub = Array.init nv (Model.var_ub model);
+  }
+
+(* Working tableau of the bounded-variable simplex.  Unlike the reference
+   tableau, the rhs is NOT part of the coefficient rows: [bxb] holds the
+   current values of the basic variables directly (with the contributions
+   of nonbasic-at-upper columns folded in), so pivoting touches only the
+   coefficient matrix and the step logic updates the values. *)
+type btab = {
+  mutable brows : Rat.t array array; (* m x ncols, B^-1 A *)
+  mutable bxb : Rat.t array; (* current basic values *)
+  mutable bbasis : int array;
+  bobj : Rat.t array; (* reduced costs, length ncols *)
+  bubs : Rat.t option array; (* per-column upper bound (structural only) *)
+  at_upper : bool array; (* nonbasic column currently at its upper bound *)
+  bncols : int;
+  mutable iters : int; (* pivots + bound flips *)
+  max_iters : int;
+}
+
+(* Rare corner (redundant constraints whose rows end up expressible only
+   through columns pinned at their upper bound): punt to the reference
+   solver instead of growing a basis-repair special case. *)
+exception Fallback
+
+let bpivot tab r c =
+  tab.iters <- tab.iters + 1;
+  if tab.iters > tab.max_iters then raise Pivot_limit;
+  let row = tab.brows.(r) in
+  let p = row.(c) in
+  let n = tab.bncols in
+  for j = 0 to n - 1 do
+    row.(j) <- Rat.div row.(j) p
+  done;
+  let eliminate target =
+    let f = target.(c) in
+    if not (Rat.is_zero f) then
+      for j = 0 to n - 1 do
+        target.(j) <- Rat.sub target.(j) (Rat.mul f row.(j))
+      done
+  in
+  Array.iteri (fun i other -> if i <> r then eliminate other) tab.brows;
+  eliminate tab.bobj;
+  tab.bbasis.(r) <- c
+
+(* Minimize bobj.x.  A nonbasic column is eligible when moving it off its
+   current bound improves the objective: reduced cost < 0 at lower, > 0
+   at upper.  Basic columns keep reduced cost 0, so they are never
+   selected.  The ratio test additionally considers (a) the entering
+   variable reaching its own opposite bound — a bound flip, O(m) value
+   updates and no pivot — and (b) a basic variable climbing to its upper
+   bound (it then leaves the basis AT that bound). *)
+let boptimize tab ~allowed =
+  let start = tab.iters in
+  let rec step () =
+    let m = Array.length tab.brows in
+    let bland = tab.iters - start > bland_switch in
+    let eligible j =
+      allowed j
+      &&
+      let s = Rat.sign tab.bobj.(j) in
+      if tab.at_upper.(j) then s > 0 else s < 0
+    in
+    let entering = ref (-1) in
+    if bland then begin
+      let j = ref 0 in
+      while !entering < 0 && !j < tab.bncols do
+        if eligible !j then entering := !j;
+        incr j
+      done
+    end
+    else begin
+      let best = ref Rat.zero in
+      for j = 0 to tab.bncols - 1 do
+        if eligible j then begin
+          let score = Rat.abs tab.bobj.(j) in
+          if Rat.compare score !best > 0 then begin
+            best := score;
+            entering := j
+          end
+        end
+      done
+    end;
+    if !entering < 0 then `Optimal
+    else begin
+      let e = !entering in
+      let from_upper = tab.at_upper.(e) in
+      (* The entering variable moves distance t >= 0 away from its bound;
+         the effective column of that motion is +col from lower, -col
+         from upper. *)
+      let best_row = ref (-1) in
+      let best_t = ref Rat.zero in
+      let leave_at_upper = ref false in
+      for i = 0 to m - 1 do
+        let a0 = tab.brows.(i).(e) in
+        let a = if from_upper then Rat.neg a0 else a0 in
+        let s = Rat.sign a in
+        if s > 0 then begin
+          (* basic i decreases toward 0 *)
+          let t = Rat.div tab.bxb.(i) a in
+          let better =
+            !best_row < 0
+            || Rat.compare t !best_t < 0
+            || (Rat.compare t !best_t = 0 && tab.bbasis.(i) < tab.bbasis.(!best_row))
+          in
+          if better then begin
+            best_row := i;
+            best_t := t;
+            leave_at_upper := false
+          end
+        end
+        else if s < 0 then begin
+          match tab.bubs.(tab.bbasis.(i)) with
+          | Some u ->
+            (* basic i increases toward its upper bound *)
+            let t = Rat.div (Rat.sub u tab.bxb.(i)) (Rat.neg a) in
+            let better =
+              !best_row < 0
+              || Rat.compare t !best_t < 0
+              || (Rat.compare t !best_t = 0 && tab.bbasis.(i) < tab.bbasis.(!best_row))
+            in
+            if better then begin
+              best_row := i;
+              best_t := t;
+              leave_at_upper := true
+            end
+          | None -> ()
+        end
+      done;
+      let flip =
+        match tab.bubs.(e) with
+        | Some u -> !best_row < 0 || Rat.compare u !best_t <= 0
+        | None -> false
+      in
+      if flip then begin
+        tab.iters <- tab.iters + 1;
+        if tab.iters > tab.max_iters then raise Pivot_limit;
+        let u = Option.get tab.bubs.(e) in
+        let delta = if from_upper then Rat.neg u else u in
+        for i = 0 to m - 1 do
+          let a0 = tab.brows.(i).(e) in
+          if not (Rat.is_zero a0) then tab.bxb.(i) <- Rat.sub tab.bxb.(i) (Rat.mul delta a0)
+        done;
+        tab.at_upper.(e) <- not from_upper;
+        step ()
+      end
+      else if !best_row < 0 then `Unbounded
+      else begin
+        let r = !best_row and t = !best_t in
+        let lv = tab.bbasis.(r) in
+        let delta = if from_upper then Rat.neg t else t in
+        if not (Rat.is_zero delta) then
+          for i = 0 to m - 1 do
+            if i <> r then begin
+              let a0 = tab.brows.(i).(e) in
+              if not (Rat.is_zero a0) then tab.bxb.(i) <- Rat.sub tab.bxb.(i) (Rat.mul delta a0)
+            end
+          done;
+        let enter_val = if from_upper then Rat.sub (Option.get tab.bubs.(e)) t else t in
+        bpivot tab r e;
+        tab.bxb.(r) <- enter_val;
+        tab.at_upper.(lv) <- !leave_at_upper;
+        tab.at_upper.(e) <- false;
+        step ()
+      end
+    end
+  in
+  step ()
+
+let solve_prepared_exn ?bounds ~max_pivots p =
+  let nv = p.nv in
+  let lb = Array.copy p.base_lb in
+  let ub = Array.copy p.base_ub in
+  (match bounds with
+  | Some (l, u) ->
+    Array.blit l 0 lb 0 nv;
+    Array.blit u 0 ub 0 nv
+  | None -> ());
+  let bound_conflict = ref false in
+  let shifted_ub =
+    Array.init nv (fun j ->
+        match ub.(j) with
+        | None -> None
+        | Some u ->
+          if Rat.is_zero lb.(j) then begin
+            if Rat.sign u < 0 then bound_conflict := true;
+            Some u
+          end
+          else begin
+            let d = Rat.sub u lb.(j) in
+            if Rat.sign d < 0 then bound_conflict := true;
+            Some d
+          end)
+  in
+  if !bound_conflict then Infeasible
+  else begin
+    let m0 = Array.length p.prows in
+    let ncols = p.pncols in
+    let tab =
+      {
+        brows = Array.init m0 (fun _ -> Array.make ncols Rat.zero);
+        bxb = Array.make m0 Rat.zero;
+        bbasis = Array.make m0 (-1);
+        bobj = Array.make ncols Rat.zero;
+        bubs = Array.make ncols None;
+        at_upper = Array.make ncols false;
+        bncols = ncols;
+        iters = 0;
+        max_iters = max_pivots;
+      }
+    in
+    Array.blit shifted_ub 0 tab.bubs 0 nv;
+    (* A variable fixed by its bounds (shifted ub = 0) stays glued to 0;
+       excluding its column from pricing removes it from the search
+       entirely — the incremental payoff deep in the branch-and-bound
+       tree, where most binaries are fixed. *)
+    let fixed j =
+      j < nv && match tab.bubs.(j) with Some u -> Rat.is_zero u | None -> false
+    in
+    let nart_basic = ref 0 in
+    Array.iteri
+      (fun i pr ->
+        (* Most lower bounds are zero (free or 0-fixed binaries), so guard
+           the Rat.mul: exact-rational ops dominate the per-node cost. *)
+        let shift =
+          List.fold_left
+            (fun acc (v, c) ->
+              if Rat.is_zero lb.(v) then acc else Rat.add acc (Rat.mul c lb.(v)))
+            Rat.zero pr.terms
+        in
+        let rhs = Rat.sub pr.rhs shift in
+        let negate = Rat.sign rhs < 0 in
+        let src = if negate then pr.neg else pr.coeffs in
+        let rhs = if negate then Rat.neg rhs else rhs in
+        let rel =
+          if negate then
+            match pr.rel with Model.Le -> Model.Ge | Model.Ge -> Model.Le | Model.Eq -> Model.Eq
+          else pr.rel
+        in
+        let row = tab.brows.(i) in
+        Array.blit src 0 row 0 nv;
+        (match rel with
+        | Model.Le ->
+          row.(pr.slack) <- Rat.one;
+          tab.bbasis.(i) <- pr.slack
+        | Model.Ge ->
+          row.(pr.slack) <- Rat.minus_one;
+          row.(pr.art) <- Rat.one;
+          tab.bbasis.(i) <- pr.art;
+          incr nart_basic
+        | Model.Eq ->
+          row.(pr.art) <- Rat.one;
+          tab.bbasis.(i) <- pr.art;
+          incr nart_basic);
+        tab.bxb.(i) <- rhs)
+      p.prows;
+    (* Phase 1: minimize the sum of artificials (cost 1 each, priced out
+       over the initial basis so basic artificials start at reduced cost
+       zero). *)
+    let feasible =
+      if !nart_basic = 0 then true
+      else begin
+        for j = p.part_start to ncols - 1 do
+          tab.bobj.(j) <- Rat.one
+        done;
+        Array.iteri
+          (fun i b ->
+            if b >= p.part_start then begin
+              let row = tab.brows.(i) in
+              for j = 0 to ncols - 1 do
+                tab.bobj.(j) <- Rat.sub tab.bobj.(j) row.(j)
+              done
+            end)
+          tab.bbasis;
+        (match boptimize tab ~allowed:(fun j -> not (fixed j)) with
+        | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+        | `Optimal -> ());
+        (* Artificials have no upper bound, so nonbasic ones sit at 0 and
+           the phase-1 objective is exactly the sum of basic artificial
+           values. *)
+        let infeas = ref Rat.zero in
+        Array.iteri
+          (fun i b -> if b >= p.part_start then infeas := Rat.add !infeas tab.bxb.(i))
+          tab.bbasis;
+        Rat.is_zero !infeas
+      end
+    in
+    if not feasible then Infeasible
+    else begin
+      if !nart_basic > 0 then begin
+        (* Drive any basic artificial (necessarily at value zero) out of
+           the basis through a column currently at value zero (nonbasic at
+           lower, not fixed), or drop its row when it is redundant. *)
+        let keep = ref [] in
+        Array.iteri
+          (fun i b ->
+            if b >= p.part_start then begin
+              let row = tab.brows.(i) in
+              let col = ref (-1) in
+              let redundant = ref true in
+              (let j = ref 0 in
+               while !col < 0 && !j < p.part_start do
+                 if not (Rat.is_zero row.(!j)) then begin
+                   redundant := false;
+                   if (not tab.at_upper.(!j)) && not (fixed !j) then col := !j
+                 end;
+                 incr j
+               done);
+              if !col >= 0 then begin
+                bpivot tab i !col;
+                tab.bxb.(i) <- Rat.zero;
+                keep := i :: !keep
+              end
+              else if not !redundant then raise Fallback
+              (* else: redundant row, dropped below *)
+            end
+            else keep := i :: !keep)
+          tab.bbasis;
+        let keep = List.sort compare !keep in
+        let nkeep = List.length keep in
+        if nkeep <> Array.length tab.brows then begin
+          let rows' = Array.make nkeep [||] in
+          let xb' = Array.make nkeep Rat.zero in
+          let basis' = Array.make nkeep (-1) in
+          List.iteri
+            (fun k i ->
+              rows'.(k) <- tab.brows.(i);
+              xb'.(k) <- tab.bxb.(i);
+              basis'.(k) <- tab.bbasis.(i))
+            keep;
+          tab.brows <- rows';
+          tab.bxb <- xb';
+          tab.bbasis <- basis'
+        end
+      end;
+      (* Phase 2: install the real objective (internally minimized). *)
+      let sense, obj_expr = Model.objective p.model in
+      let c = Array.make ncols Rat.zero in
+      List.iter
+        (fun (v, k) -> c.(v) <- (match sense with Model.Minimize -> k | Model.Maximize -> Rat.neg k))
+        (Linear.terms obj_expr);
+      Array.fill tab.bobj 0 ncols Rat.zero;
+      Array.blit c 0 tab.bobj 0 ncols;
+      Array.iteri
+        (fun i b ->
+          let cb = if b < nv then c.(b) else Rat.zero in
+          if not (Rat.is_zero cb) then begin
+            let row = tab.brows.(i) in
+            for j = 0 to ncols - 1 do
+              tab.bobj.(j) <- Rat.sub tab.bobj.(j) (Rat.mul cb row.(j))
+            done
+          end)
+        tab.bbasis;
+      match boptimize tab ~allowed:(fun j -> j < p.part_start && not (fixed j)) with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+        let values =
+          Array.init nv (fun j ->
+              if tab.at_upper.(j) then Rat.add lb.(j) (Option.get shifted_ub.(j)) else lb.(j))
+        in
+        Array.iteri
+          (fun i b -> if b < nv then values.(b) <- Rat.add lb.(b) tab.bxb.(i))
+          tab.bbasis;
+        let objective = Linear.eval obj_expr (fun v -> values.(v)) in
+        Optimal { objective; values; pivots = tab.iters }
+    end
+  end
+
+let solve_prepared ?bounds ?(max_pivots = 2_000_000) p =
+  match solve_prepared_exn ?bounds ~max_pivots p with
+  | r -> r
+  | exception Fallback -> solve_reference ?bounds ~max_pivots p.model
+
+let solve ?bounds ?max_pivots model = solve_prepared ?bounds ?max_pivots (prepare model)

@@ -1,29 +1,89 @@
 (** Exact primal simplex over rationals.
 
-    Two-phase dense-tableau implementation with Bland's anti-cycling rule.
+    Two implementations share one result type:
+
+    {ul
+    {- {!solve_reference} — the original two-phase dense-tableau solver.
+       Variable upper bounds are materialized as explicit [y_j <= u_j]
+       tableau rows, and the whole standard form is rebuilt from the
+       {!Model} on every call.  Kept as the independently-written oracle
+       for differential testing and as the cold-rebuild baseline of the
+       [bench/micro] warm-vs-cold measurement.}
+    {- {!prepare} / {!solve_prepared} — the incremental hot path used by
+       {!Branch_bound}.  [prepare] computes the standard-form layout
+       (row collection from the model, slack/artificial column
+       assignment, dense +/- coefficient templates) {e once per model};
+       [solve_prepared ~bounds] only re-applies the variable-bound shifts
+       before the two-phase run.  Variable bounds are handled {e
+       implicitly} (bounded-variable simplex: nonbasic variables may sit
+       at either bound, and a ratio test hitting the entering variable's
+       own bound is a cheap bound flip, not a pivot), so the working
+       tableau has one row per model constraint instead of one per
+       constraint plus one per bounded variable.  On the floorplanner's
+       binary-heavy models this shrinks the tableau several-fold and
+       turns most knapsack-style pivots into O(m) flips.}}
+
     All arithmetic is exact ({!Tapa_cs_util.Rat}), so "optimal" means
     provably optimal — this is what lets branch-and-bound certify the same
-    partitions a commercial ILP solver would return. *)
+    partitions a commercial ILP solver would return.  Both paths agree on
+    the result constructor and the objective value (enforced by a qcheck
+    property); when an LP has several optimal vertices they may return
+    different ones. *)
 
 open Tapa_cs_util
 
 type solution = {
   objective : Rat.t;  (** value of the model's objective at the optimum *)
   values : Rat.t array;  (** one value per model variable *)
-  pivots : int;  (** total pivot count across both phases *)
+  pivots : int;
+      (** simplex iterations across both phases: basis changes plus, on
+          the prepared path, bound flips (each counts toward
+          [max_pivots]) *)
 }
 
 type result = Optimal of solution | Infeasible | Unbounded
 
 exception Pivot_limit
 
+type prepared
+(** Standard-form template of one model: row layout, slack/artificial
+    column indices, dense positive/negated coefficient rows and the
+    sparse terms needed to re-shift right-hand sides under new bounds.
+    Immutable after {!prepare}; a single template may be shared by
+    concurrent solves (every {!solve_prepared} call allocates its own
+    working tableau). *)
+
+val prepare : Model.t -> prepared
+(** Builds the template in O(constraints x vars).  {!Branch_bound} calls
+    this once at the root and reuses the template at every node,
+    eliminating the per-node model -> tableau rebuild. *)
+
+val solve_prepared :
+  ?bounds:Rat.t array * Rat.t option array -> ?max_pivots:int -> prepared -> result
+(** Solves the continuous relaxation under the template's model with the
+    per-variable lower/upper bounds overridden by [bounds] (defaults: the
+    model's own bounds).  Only the bound shifts are recomputed — O(nnz)
+    per row — before the two-phase run.
+    @raise Pivot_limit when [max_pivots] (default 2_000_000) is
+    exhausted. *)
+
 val solve :
   ?bounds:Rat.t array * Rat.t option array ->
   ?max_pivots:int ->
   Model.t ->
   result
-(** Solves the continuous relaxation of [model] (binary variables are
-    relaxed to their [0,1] interval).  [bounds] overrides the per-variable
-    lower/upper bounds — branch-and-bound uses this to explore subproblems
-    without copying the model.
+(** Thin wrapper: [solve model = solve_prepared (prepare model)].  Every
+    pre-existing caller compiles unchanged and transparently gets the
+    bounded-variable path.
+    @raise Pivot_limit when [max_pivots] is exhausted. *)
+
+val solve_reference :
+  ?bounds:Rat.t array * Rat.t option array ->
+  ?max_pivots:int ->
+  Model.t ->
+  result
+(** The original (seed) implementation: full standard-form rebuild with
+    explicit upper-bound rows.  Slower; retained as the oracle for the
+    differential qcheck property and as the cold baseline of
+    [Branch_bound.solve ~warm_start:false].
     @raise Pivot_limit when [max_pivots] is exhausted. *)

@@ -41,8 +41,6 @@ type _ Effect.t +=
   | Time : float Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-exception Not_in_process of string
-
 let wait dt =
   if dt < 0.0 then invalid_arg "Engine.wait: negative duration";
   Effect.perform (Wait dt)
@@ -101,8 +99,6 @@ let run ?until t =
   let deadlocked = Hashtbl.fold (fun _ name acc -> name :: acc) t.suspended [] in
   { end_time = t.enow; events = t.events; deadlocked = List.sort_uniq compare deadlocked }
 
-let _ = Not_in_process ""
-
 module Channel = struct
   type engine = t
 
@@ -121,11 +117,6 @@ module Channel = struct
     if capacity <= 0.0 then invalid_arg "Channel.create: capacity must be positive";
     { eng; cname = name; capacity; clevel = 0.0; pushers = []; pullers = []; pushed = 0.0; pulled = 0.0 }
 
-  let wake_all waiters =
-    let ws = !waiters in
-    waiters := [];
-    List.iter (fun w -> w ()) (List.rev ws)
-
   let wake_pullers ch =
     let ws = ch.pullers in
     ch.pullers <- [];
@@ -135,8 +126,6 @@ module Channel = struct
     let ws = ch.pushers in
     ch.pushers <- [];
     List.iter (fun w -> w ()) (List.rev ws)
-
-  let _ = wake_all
 
   (* Tolerances are relative to the magnitudes involved: channels move
      hundreds of megabytes in repeated chunks, so absolute epsilons would

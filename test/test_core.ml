@@ -52,6 +52,51 @@ let test_compile_seven_steps () =
       check bool "slot assigned" true (Compiler.slot_of c tid <> None)
     done
 
+let test_jobs_determinism () =
+  (* The acceptance contract of the parallel pipeline: [jobs] may only
+     change wall-clock, never the design.  Compare every deterministic
+     output field between the sequential path and a 4-domain pool on the
+     three example apps.  (The [l1_runtime_s]/[l2_runtime_s] timers are
+     measured with [Sys.time] and so are the one legitimately
+     nondeterministic part of the result.) *)
+  let apps =
+    [
+      ("stencil", (Stencil.generate (Stencil.make_config ~iterations:8 ~fpgas:2 ())).App.graph);
+      ( "pagerank",
+        (Pagerank.generate (Pagerank.make_config ~dataset:Dataset.web_notredame ~fpgas:2 ()))
+          .App.graph );
+      ("knn", (Knn.generate (Knn.make_config ~n_points:100_000 ~dims:4 ~fpgas:2 ())).App.graph);
+    ]
+  in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  List.iter
+    (fun (name, g) ->
+      let run jobs =
+        match Compiler.compile ~options:{ fast_options with jobs } ~cluster g with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "%s (jobs=%d): %s" name jobs e
+      in
+      let seq = run 1 and par = run 4 in
+      check bool (name ^ ": synthesis profiles") true
+        (seq.Compiler.synthesis.Tapa_cs_hls.Synthesis.profiles
+        = par.Compiler.synthesis.Tapa_cs_hls.Synthesis.profiles);
+      check int (name ^ ": cache hits") seq.Compiler.synthesis.Tapa_cs_hls.Synthesis.cache_hits
+        par.Compiler.synthesis.Tapa_cs_hls.Synthesis.cache_hits;
+      check bool (name ^ ": inter assignment") true
+        (seq.Compiler.inter.Inter_fpga.assignment = par.Compiler.inter.Inter_fpga.assignment);
+      check bool (name ^ ": slot maps") true
+        (Array.for_all2
+           (fun (a : Intra_fpga.t) (b : Intra_fpga.t) -> a.Intra_fpga.slot_of = b.Intra_fpga.slot_of)
+           seq.Compiler.intra par.Compiler.intra);
+      check bool (name ^ ": freq estimates") true (seq.Compiler.freq = par.Compiler.freq);
+      check (Alcotest.float 0.0) (name ^ ": design clock") seq.Compiler.freq_mhz
+        par.Compiler.freq_mhz;
+      for tid = 0 to Taskgraph.num_tasks g - 1 do
+        check bool (name ^ ": hbm port bandwidth") true
+          (Compiler.port_bandwidth_gbps seq tid 0 = Compiler.port_bandwidth_gbps par tid 0)
+      done)
+    apps
+
 let test_flows_on_small_design () =
   let g = small_chain ~tasks:4 ~lut:20_000 in
   (match Flow.vitis g with
@@ -229,6 +274,7 @@ let () =
           Alcotest.test_case "ablation knobs" `Quick test_compiler_options_ablations;
           Alcotest.test_case "port bandwidth wire cap" `Quick test_port_bandwidth_capped_by_wire;
           Alcotest.test_case "board generality (U250, Stratix-10)" `Quick test_board_generality;
+          Alcotest.test_case "jobs=1 and jobs=4 outputs identical" `Quick test_jobs_determinism;
         ] );
       ( "flows",
         [

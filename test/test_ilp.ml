@@ -155,6 +155,58 @@ let prop_simplex_sound =
       | Simplex.Unbounded -> false (* bounded by construction: ub on every var *)
       | Simplex.Infeasible -> false (* origin is always feasible *))
 
+(* Differential check of the prepared (bounded-variable) simplex against
+   the reference solver: random mixed models, random bound restrictions —
+   same result constructor and, when optimal, the same objective (the
+   optimal vertex may legitimately differ). *)
+let prop_prepared_matches_reference =
+  QCheck.Test.make ~name:"prepared simplex matches reference solver" ~count:300
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 1 6 in
+      let m = Model.create () in
+      let vars =
+        List.init n (fun _ ->
+            if Prng.int rng 2 = 0 then Model.add_var m Model.Binary
+            else begin
+              let lb = r (Prng.int rng 3) in
+              match Prng.int rng 3 with
+              | 0 -> Model.add_var m Model.Continuous ~lb
+              | _ -> Model.add_var m Model.Continuous ~lb ~ub:(Rat.add lb (r (Prng.int rng 5)))
+            end)
+      in
+      let ncon = Prng.int_in rng 1 5 in
+      for _ = 1 to ncon do
+        let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-4) 4))) vars in
+        let rel = match Prng.int rng 3 with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq in
+        Model.add_constraint m (Linear.of_terms coeffs) rel (r (Prng.int_in rng (-5) 10))
+      done;
+      let sense = if Prng.int rng 2 = 0 then Model.Minimize else Model.Maximize in
+      Model.set_objective m sense
+        (Linear.of_terms (List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars));
+      (* Random bound restriction, as branch-and-bound would apply. *)
+      let bounds =
+        if Prng.int rng 2 = 0 then None
+        else begin
+          let lbs = Array.init n (Model.var_lb m) in
+          let ubs = Array.init n (Model.var_ub m) in
+          List.iter
+            (fun v ->
+              if Prng.int rng 3 = 0 then lbs.(v) <- Rat.add lbs.(v) (r (Prng.int rng 2));
+              if Prng.int rng 3 = 0 then ubs.(v) <- Some (r (Prng.int rng 3)))
+            vars;
+          Some (lbs, ubs)
+        end
+      in
+      let reference = Simplex.solve_reference ?bounds m in
+      let prepared = Simplex.solve_prepared ?bounds (Simplex.prepare m) in
+      match (reference, prepared) with
+      | Simplex.Optimal a, Simplex.Optimal b -> Rat.equal a.objective b.objective
+      | Simplex.Infeasible, Simplex.Infeasible -> true
+      | Simplex.Unbounded, Simplex.Unbounded -> true
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Branch and bound                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -246,6 +298,31 @@ let prop_bb_matches_brute_force =
       | Branch_bound.Infeasible, None -> true
       | _ -> false)
 
+(* Warm-started branch-and-bound (prepared template at the root) must agree
+   with the cold per-node-rebuild baseline on result and objective. *)
+let prop_bb_warm_matches_cold =
+  QCheck.Test.make ~name:"warm-started B&B matches cold baseline" ~count:80
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 2 7 in
+      let ncon = Prng.int_in rng 1 4 in
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_var m Model.Binary) in
+      for _ = 1 to ncon do
+        let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars in
+        Model.add_constraint m (Linear.of_terms coeffs) Model.Le (r (Prng.int_in rng (-3) 8))
+      done;
+      Model.set_objective m Model.Maximize
+        (Linear.of_terms (List.map (fun v -> (v, r (Prng.int_in rng (-9) 9))) vars));
+      match (Branch_bound.solve ~warm_start:true m, Branch_bound.solve ~warm_start:false m) with
+      | Branch_bound.Optimal a, Branch_bound.Optimal b ->
+        Rat.equal a.objective b.objective && a.lp_solves > 0 && b.lp_solves > 0
+      | Branch_bound.Infeasible, Branch_bound.Infeasible -> true
+      | Branch_bound.Unbounded, Branch_bound.Unbounded -> true
+      | Branch_bound.Feasible a, Branch_bound.Feasible b -> Rat.equal a.objective b.objective
+      | _ -> false)
+
 let test_simplex_pivot_limit () =
   (* A model that needs pivots must raise when given none. *)
   let m = Model.create () in
@@ -295,7 +372,14 @@ let test_model_validation () =
     (Invalid_argument "Model.add_constraint: unknown variable") (fun () ->
       Model.add_constraint m (Linear.var 5) Model.Le (r 1))
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_simplex_sound; prop_bb_matches_brute_force ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_simplex_sound;
+      prop_prepared_matches_reference;
+      prop_bb_matches_brute_force;
+      prop_bb_warm_matches_cold;
+    ]
 
 let () =
   Alcotest.run "ilp"

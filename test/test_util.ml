@@ -281,6 +281,56 @@ let test_table_pads_short_rows () =
   let s = Table.render ~header:[ "x"; "y"; "z" ] [ [ "only" ] ] in
   check bool "renders without exception" true (String.length s > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_matches_sequential () =
+  (* Real worker domains (explicit ~domains so a 1-core host still
+     exercises the concurrent path), index-ordered assembly. *)
+  let input = Array.init 100 Fun.id in
+  let expected = Array.map (fun i -> i * i) input in
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  check int "pool size" 3 (Pool.size pool);
+  let got = Pool.parallel_map ~pool (fun i -> i * i) input in
+  check bool "same as Array.map" true (got = expected);
+  (* A pool is reusable across batches. *)
+  let got2 = Pool.parallel_map ~pool (fun i -> i + 1) input in
+  check bool "second batch" true (got2 = Array.map succ input)
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match Pool.parallel_map ~pool (fun i -> if i = 17 then failwith "boom" else i) (Array.init 40 Fun.id) with
+  | _ -> Alcotest.fail "expected the worker exception to re-raise"
+  | exception Failure msg -> check string "exception payload" "boom" msg);
+  (* The pool survives a failing batch. *)
+  let ok = Pool.parallel_map ~pool Fun.id (Array.init 10 Fun.id) in
+  check bool "pool alive after failure" true (ok = Array.init 10 Fun.id)
+
+let test_pool_nested_and_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  (* Nested parallel_map inside a worker degrades to sequential instead of
+     deadlocking on the saturated pool. *)
+  let got =
+    Pool.parallel_map ~pool
+      (fun i -> Array.fold_left ( + ) 0 (Pool.parallel_map (fun j -> i + j) (Array.init 5 Fun.id)))
+      (Array.init 8 Fun.id)
+  in
+  check bool "nested map correct" true (got = Array.init 8 (fun i -> (5 * i) + 10));
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown the pool runs batches sequentially on the caller. *)
+  let seq = Pool.parallel_map ~pool (fun i -> i * 2) (Array.init 6 Fun.id) in
+  check bool "post-shutdown sequential" true (seq = Array.init 6 (fun i -> i * 2))
+
+let test_pool_small_arrays () =
+  check bool "empty" true (Pool.parallel_map Fun.id [||] = [||]);
+  check bool "singleton" true (Pool.parallel_map succ [| 41 |] = [| 42 |]);
+  check bool "no pool" true (Pool.parallel_map succ (Array.init 20 Fun.id) = Array.init 20 succ);
+  check bool "jobs floor" true (Pool.default_jobs () >= 1)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_identity; prop_compare_total_order;
     prop_rat_field_laws; prop_rat_compare_antisym; prop_rat_floor_bound; prop_heap_is_sorted ]
@@ -328,6 +378,13 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "formatting" `Quick test_table_formatting;
           Alcotest.test_case "short rows" `Quick test_table_pads_short_rows;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "matches sequential map" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "nested + shutdown" `Quick test_pool_nested_and_shutdown;
+          Alcotest.test_case "small arrays" `Quick test_pool_small_arrays;
         ] );
       ("properties", qsuite);
     ]
