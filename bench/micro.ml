@@ -132,6 +132,22 @@ let partition_heuristic =
   Test.make ~name:"heuristic partition 60 tasks / 4 parts"
     (Staged.stage (fun () -> ignore (Partition.solve ~strategy:Partition.Heuristic problem)))
 
+(* Faulty vs ideal link transfer-time: the closed-form fault model is on
+   the simulator's per-message hot path, so its overhead versus the plain
+   serialization formula is worth tracking.  64 MB at 1% loss is the
+   CI fault-injection scenario. *)
+let xfer_bytes = 64.0 *. 1024.0 *. 1024.0
+
+let link_ideal =
+  Test.make ~name:"link transfer 64MB, ideal"
+    (Staged.stage (fun () -> ignore (Tapa_cs_network.Link.transfer_time_s Tapa_cs_network.Link.alveolink xfer_bytes)))
+
+let link_faulty =
+  let fault = Tapa_cs_network.Fault.lossy 0.01 in
+  Test.make ~name:"link transfer 64MB, 1% loss (closed form)"
+    (Staged.stage (fun () ->
+         ignore (Tapa_cs_network.Fault.transfer_time_s ~fault Tapa_cs_network.Link.alveolink xfer_bytes)))
+
 let event_queue =
   Test.make ~name:"event heap push/pop x1000"
     (Staged.stage (fun () ->
@@ -174,7 +190,7 @@ let tests =
        bigint_mul; bigint_divmod; rat_add; simplex_lp; bb_ilp; bb_warm; bb_cold; compile_seq;
      ]
     @ Option.to_list compile_par
-    @ [ partition_heuristic; event_queue; small_sim ])
+    @ [ partition_heuristic; link_ideal; link_faulty; event_queue; small_sim ])
 
 (* Machine-readable perf trajectory: name -> ns/run, written next to the
    repo's other BENCH_*.json artifacts so successive PRs can be compared

@@ -23,8 +23,15 @@ let app_arg =
   Arg.(required & opt (some (enum (List.map (fun a -> (a, a)) app_names))) None & info [ "app" ] ~doc)
 
 let fpgas_arg =
-  let doc = "Number of FPGAs in the cluster." in
+  let doc = "Number of FPGAs the design is generated for." in
   Arg.(value & opt int 1 & info [ "fpgas"; "k" ] ~doc)
+
+let cluster_fpgas_arg =
+  let doc =
+    "Physical cluster size; defaults to --fpgas.  A value larger than --fpgas leaves spare \
+     devices — the headroom the --fail-fpga experiments degrade into."
+  in
+  Arg.(value & opt int 0 & info [ "cluster-fpgas" ] ~doc)
 
 let iters_arg =
   let doc = "Stencil iterations (64-512)." in
@@ -51,6 +58,17 @@ let flow_arg =
   Arg.(value & opt (enum [ ("vitis", `Vitis); ("tapa", `Tapa); ("tapa-cs", `Tapa_cs) ]) `Tapa_cs
        & info [ "flow" ] ~doc)
 
+let board_names = [ ("u55c", "u55c"); ("u250", "u250"); ("stratix10", "stratix10") ]
+
+let board_arg =
+  let doc = "FPGA board model: u55c, u250, stratix10." in
+  Arg.(value & opt (enum board_names) "u55c" & info [ "board" ] ~doc)
+
+let board_of_name = function
+  | "u250" -> Board.u250
+  | "stratix10" -> Board.stratix10
+  | _ -> Board.u55c
+
 let topology_arg =
   let doc = "Cluster topology: ring, chain, bus, star, hypercube." in
   Arg.(value
@@ -74,6 +92,31 @@ let jobs_arg =
 
 let effective_jobs jobs = if jobs <= 0 then Tapa_cs_util.Pool.default_jobs () else jobs
 
+(* Fault-injection flags (the §5 Fig-8-style experiments rerun under faults). *)
+
+let fail_fpga_arg =
+  let doc =
+    "Inject a dead FPGA by cluster index (repeatable).  The floorplanner re-solves the \
+     placement on the surviving sub-topology and reports a Degraded compile."
+  in
+  Arg.(value & opt_all int [] & info [ "fail-fpga" ] ~doc)
+
+let loss_rate_arg =
+  let doc =
+    "Per-packet loss probability on every inter-FPGA link, in [0, 1).  Links are derated by \
+     the closed-form RoCE-v2 go-back-N slowdown."
+  in
+  Arg.(value & opt float 0.0 & info [ "loss-rate" ] ~doc)
+
+let seed_arg =
+  let doc = "Root seed for the floorplanner and every injected fault (bit-reproducible)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let make_fault_plan ~seed ~loss_rate ~fail_fpgas =
+  match Tapa_cs_network.Fault.make ~seed ~loss_rate ~failed_devices:fail_fpgas () with
+  | plan -> if Tapa_cs_network.Fault.is_trivial plan then Ok None else Ok (Some plan)
+  | exception Invalid_argument m -> Error m
+
 let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
   match app with
   | "stencil" -> Ok (Stencil.generate (Stencil.make_config ~iterations:iters ~fpgas ()))
@@ -85,13 +128,18 @@ let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
   | "cnn" -> Ok (Cnn.generate (Cnn.make_config ~cols ~fpgas ()))
   | other -> Error (Printf.sprintf "unknown app %S" other)
 
-let compile_design app_t ~flow ~fpgas ~topology ~threshold ~jobs =
-  let options = { Compiler.default_options with threshold; jobs = effective_jobs jobs } in
+let compile_design app_t ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold ~jobs ~seed
+    ~fault_plan =
+  let board = board_of_name board in
+  let k = if cluster_fpgas <= 0 then fpgas else cluster_fpgas in
+  let options =
+    { Compiler.default_options with threshold; jobs = effective_jobs jobs; seed; fault_plan }
+  in
   match flow with
-  | `Vitis -> Flow.vitis app_t.App.graph
-  | `Tapa -> Flow.tapa ~options app_t.App.graph
+  | `Vitis -> Flow.vitis ~board app_t.App.graph
+  | `Tapa -> Flow.tapa ~board ~options app_t.App.graph
   | `Tapa_cs ->
-    let cluster = Cluster.make ~topology ~board:Board.u55c fpgas in
+    let cluster = Cluster.make ~topology ~board k in
     Flow.tapa_cs ~options ~cluster app_t.App.graph
 
 (* ------------------------------------------------------------------ *)
@@ -99,64 +147,107 @@ let compile_design app_t ~flow ~fpgas ~topology ~threshold ~jobs =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run app fpgas iters dataset n d cols flow topology threshold jobs =
+  let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
+      loss_rate fail_fpgas =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      Format.printf "%a@." App.pp a;
-      match compile_design a ~flow ~fpgas ~topology ~threshold ~jobs with
+      match make_fault_plan ~seed ~loss_rate ~fail_fpgas with
       | Error e ->
-        Format.printf "compilation failed: %s@." e;
+        prerr_endline ("invalid fault plan: " ^ e);
         1
-      | Ok des ->
-        Format.printf "flow %s: %.0f MHz (max slot utilization %s)@." des.Flow.label
-          des.Flow.freq_mhz
-          (Tapa_cs_util.Table.fmt_pct des.Flow.max_slot_util);
-        (match des.Flow.compiled with
-        | Some c ->
-          Format.printf "%a" Compiler.pp_summary c;
-          Format.printf "floorplanner runtimes: L1 %.2fs, L2 %.2fs@." c.Compiler.l1_runtime_s
-            c.Compiler.l2_runtime_s
-        | None -> ());
-        0)
+      | Ok fault_plan -> (
+        Format.printf "%a@." App.pp a;
+        Option.iter
+          (fun p ->
+            List.iter (Format.printf "injecting: %s@.") (Tapa_cs_network.Fault.describe p))
+          fault_plan;
+        match
+          compile_design a ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold ~jobs ~seed
+            ~fault_plan
+        with
+        | Error e ->
+          Format.printf "compilation failed: %s@." e;
+          1
+        | Ok des ->
+          Format.printf "flow %s: %.0f MHz (max slot utilization %s)@." des.Flow.label
+            des.Flow.freq_mhz
+            (Tapa_cs_util.Table.fmt_pct des.Flow.max_slot_util);
+          (match des.Flow.compiled with
+          | Some c ->
+            Format.printf "%a" Compiler.pp_summary c;
+            Format.printf "floorplanner runtimes: L1 %.2fs, L2 %.2fs@." c.Compiler.l1_runtime_s
+              c.Compiler.l2_runtime_s
+          | None -> ());
+          0))
   in
   let term =
-    Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
-          $ flow_arg $ topology_arg $ threshold_arg $ jobs_arg)
+    Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
+          $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Run the seven-step TAPA-CS compile and print the floorplan.") term
 
 let simulate_cmd =
-  let run app fpgas iters dataset n d cols flow topology threshold jobs =
+  let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
+      loss_rate fail_fpgas =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      match compile_design a ~flow ~fpgas ~topology ~threshold ~jobs with
+      match make_fault_plan ~seed ~loss_rate ~fail_fpgas with
       | Error e ->
-        Format.printf "compilation failed: %s@." e;
+        prerr_endline ("invalid fault plan: " ^ e);
         1
-      | Ok des ->
-        let r = Flow.simulate des in
-        Format.printf "flow %s on %d FPGA(s): %.0f MHz@." des.Flow.label fpgas des.Flow.freq_mhz;
-        Format.printf "end-to-end latency: %.4f s (%d simulation events)@."
-          r.Tapa_cs_sim.Design_sim.latency_s r.Tapa_cs_sim.Design_sim.events;
-        List.iter
-          (fun (l : Tapa_cs_sim.Design_sim.link_stat) ->
-            Format.printf "  link %d->%d: %s moved, busy %.2f ms@." l.src_fpga l.dst_fpga
-              (Tapa_cs_util.Table.fmt_bytes l.bytes)
-              (1e3 *. l.busy_s))
-          r.Tapa_cs_sim.Design_sim.links;
-        0)
+      | Ok fault_plan -> (
+        match
+          compile_design a ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold ~jobs ~seed
+            ~fault_plan
+        with
+        | Error e ->
+          Format.printf "compilation failed: %s@." e;
+          1
+        | Ok des ->
+          let faults =
+            Option.value fault_plan ~default:Tapa_cs_network.Fault.no_faults
+          in
+          let outcome = Flow.simulate_outcome ~faults des in
+          let print_result (r : Tapa_cs_sim.Design_sim.result) =
+            Format.printf "flow %s on %d FPGA(s): %.0f MHz@." des.Flow.label fpgas
+              des.Flow.freq_mhz;
+            Format.printf "end-to-end latency: %.4f s (%d simulation events)@." r.latency_s
+              r.events;
+            List.iter
+              (fun (l : Tapa_cs_sim.Design_sim.link_stat) ->
+                Format.printf "  link %d->%d: %s moved, busy %.2f ms@." l.src_fpga l.dst_fpga
+                  (Tapa_cs_util.Table.fmt_bytes l.bytes)
+                  (1e3 *. l.busy_s))
+              r.links
+          in
+          (match outcome with
+          | Tapa_cs_sim.Design_sim.Completed r ->
+            print_result r;
+            Format.printf "status: Completed@.";
+            0
+          | Tapa_cs_sim.Design_sim.Degraded { result = r; reasons } ->
+            print_result r;
+            Format.printf "status: Degraded@.";
+            List.iter (Format.printf "  reason: %s@.") reasons;
+            0
+          | Tapa_cs_sim.Design_sim.Failed { fault; partial } ->
+            print_result partial;
+            Format.printf "status: Failed (%s)@." fault;
+            1)))
   in
   let term =
-    Term.(const run $ app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg
-          $ flow_arg $ topology_arg $ threshold_arg $ jobs_arg)
+    Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
+          $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg)
   in
-  Cmd.v (Cmd.info "simulate" ~doc:"Compile and run the timed simulation.") term
+  Cmd.v (Cmd.info "simulate" ~doc:"Compile and run the timed simulation, optionally under injected faults.") term
 
 let dot_cmd =
   let run app fpgas iters dataset n d cols =

@@ -78,6 +78,18 @@ let registry =
       Error,
       "a single task carries more memory ports than any one board's HBM channels",
       "split the task: all of a task's ports must bind on its own FPGA" );
+    ( "TCS305",
+      Error,
+      "floorplanner found no feasible task-to-FPGA mapping (placement failure)",
+      "add FPGAs, raise the threshold, or shrink the design" );
+    ( "TCS306",
+      Error,
+      "every floorplan fallback produced only over-capacity mappings",
+      "add FPGAs or rebalance the largest tasks; the count is the number of over-budget devices" );
+    ( "TCS307",
+      Error,
+      "floorplan solver hit its wall-clock deadline without a feasible incumbent",
+      "raise the deadline, use the heuristic strategy, or shrink the instance" );
     ( "TCS401",
       Error,
       "ILP model is trivially infeasible: a constraint excludes every point in the variable \

@@ -5,6 +5,7 @@ open Tapa_cs_floorplan
 open Tapa_cs_pipeline
 open Tapa_cs_freq
 module Pool = Tapa_cs_util.Pool
+module Fault = Tapa_cs_network.Fault
 
 type t = {
   graph : Taskgraph.t;
@@ -18,6 +19,8 @@ type t = {
   freq_mhz : float;
   l1_runtime_s : float;
   l2_runtime_s : float;
+  degraded : bool;
+  fallbacks : string list;
 }
 
 type options = {
@@ -28,6 +31,7 @@ type options = {
   pipeline_interconnect : bool;
   lint : bool;
   jobs : int;
+  fault_plan : Fault.plan option;
 }
 
 let default_options =
@@ -39,6 +43,7 @@ let default_options =
     pipeline_interconnect = true;
     lint = true;
     jobs = Tapa_cs_util.Pool.default_jobs ();
+    fault_plan = None;
   }
 
 let ( let* ) = Result.bind
@@ -67,11 +72,43 @@ let compile ?(options = default_options) ~cluster graph =
       | [] -> Ok ()
       | errors -> Error (Tapa_cs_analysis.Diagnostic.render errors)
   in
-  (* Step 3: inter-FPGA floorplanning. *)
-  let* inter =
-    Inter_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed:options.seed
-      ~cluster ~synthesis graph
+  (* Step 3: inter-FPGA floorplanning.  A fault plan removes dead devices
+     and downed links from the topology before the solve; transient
+     solver timeouts are retried a bounded number of times with a
+     re-derived (still deterministic) seed before giving up. *)
+  let failed_devices, failed_links =
+    match options.fault_plan with
+    | Some p -> (p.Fault.failed_devices, p.Fault.failed_links)
+    | None -> ([], [])
   in
+  let run_inter ~seed =
+    if failed_devices = [] && failed_links = [] then
+      Inter_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed ~cluster
+        ~synthesis graph
+    else
+      Inter_fpga.run_degraded ~strategy:options.strategy ~threshold:options.threshold ~seed
+        ~failed_devices ~failed_links ~cluster ~synthesis graph
+  in
+  let max_retries = 2 in
+  let rec attempt n seed tags =
+    match run_inter ~seed with
+    | Ok inter -> Ok (inter, List.rev tags)
+    | Error Inter_fpga.Solver_timeout when n < max_retries ->
+      (* Deterministic reseed: same options -> same retry sequence. *)
+      attempt (n + 1) (seed + 1_000_003) (Printf.sprintf "retry(%d)" (n + 1) :: tags)
+    | Error e ->
+      Error
+        (Printf.sprintf "inter-FPGA floorplanning failed [%s]: %s" (Inter_fpga.error_code e)
+           (Inter_fpga.error_message e))
+  in
+  let* inter, retry_tags = attempt 0 options.seed [] in
+  let fallbacks = retry_tags @ inter.Inter_fpga.fallbacks in
+  let degraded = fallbacks <> [] in
+  (* If the inter-FPGA solve only succeeded at a relaxed threshold, the
+     per-device floorplans must budget slots at (at least) the same rung —
+     a device legitimately holding 80 % of its fabric cannot be split into
+     70 %-budget slots. *)
+  let intra_threshold = Float.max options.threshold inter.Inter_fpga.threshold_used in
   (* Step 4: communication logic is charged as capacity inside Inter_fpga;
      the cut FIFOs recorded there become AlveoLink streams in the
      simulator. *)
@@ -101,7 +138,7 @@ let compile ?(options = default_options) ~cluster graph =
             (List.init (Taskgraph.num_tasks graph) Fun.id)
         in
         let* placement =
-          Intra_fpga.run ~strategy:options.strategy ~threshold:options.threshold
+          Intra_fpga.run ~strategy:options.strategy ~threshold:intra_threshold
             ~seed:options.seed ~board ~synthesis ~graph ~tasks
             ~io_pull:(fun tid -> cut_width.(tid))
             ()
@@ -153,6 +190,8 @@ let compile ?(options = default_options) ~cluster graph =
         freq_mhz;
         l1_runtime_s = inter.Inter_fpga.stats.runtime_s;
         l2_runtime_s;
+        degraded;
+        fallbacks;
       }
   end
 
@@ -184,6 +223,8 @@ let pp_summary fmt t =
     k t.freq_mhz
     (List.length t.inter.Inter_fpga.cut_fifos)
     (Tapa_cs_util.Table.fmt_bytes t.inter.Inter_fpga.traffic_bytes);
+  if t.degraded then
+    Format.fprintf fmt "  status: Degraded (fallbacks: %s)@." (String.concat ", " t.fallbacks);
   Array.iteri
     (fun i u ->
       Format.fprintf fmt "  FPGA %d: %s utilization, %.0f MHz@." i

@@ -33,6 +33,10 @@ type t = {
   freq_mhz : float;  (** design clock: the minimum across devices *)
   l1_runtime_s : float;  (** inter-FPGA floorplanner time (§5.6) *)
   l2_runtime_s : float;  (** intra-FPGA floorplanner time (§5.6) *)
+  degraded : bool;
+      (** some recovery path fired: a floorplan fallback rung, a solver
+          retry, or a refloorplan onto a pruned topology *)
+  fallbacks : string list;  (** which, in firing order; empty when healthy *)
 }
 
 type options = {
@@ -48,6 +52,13 @@ type options = {
           {!Tapa_cs_util.Pool.default_jobs} ([TAPA_CS_JOBS] env override,
           else the recommended domain count); [1] = fully sequential.
           The compile result is bit-identical for every value. *)
+  fault_plan : Tapa_cs_network.Fault.plan option;
+      (** injected faults (default [None]).  Failed devices and downed
+          links reroute step 3 through {!Inter_fpga.run_degraded} on the
+          surviving sub-topology; the plan's loss rate and mid-run events
+          are consumed by the simulator, not the compiler.  All stochastic
+          draws derive from the plan's seed, so a given (design, plan)
+          pair compiles bit-identically across runs and [jobs]. *)
 }
 
 val default_options : options

@@ -97,17 +97,20 @@ let tapa_cs ?(options = Compiler.default_options) ~cluster graph =
         compiled = Some c;
       }
 
-let simulate ?chunks d =
+let sim_config ?chunks d =
   let k = Cluster.size d.cluster in
   let config =
     Design_sim.make_config ?chunks ~graph:d.graph ~assignment:d.assignment
       ~freq_mhz:(Array.make k d.freq_mhz) ~cluster:d.cluster ~synthesis:d.synthesis ()
   in
-  Design_sim.run
-    {
-      config with
-      Design_sim.port_bandwidth_gbps = d.port_bandwidth_gbps;
-      extra_stage_cycles = d.extra_stage_cycles;
-    }
+  {
+    config with
+    Design_sim.port_bandwidth_gbps = d.port_bandwidth_gbps;
+    extra_stage_cycles = d.extra_stage_cycles;
+  }
+
+let simulate ?chunks d = Design_sim.run (sim_config ?chunks d)
+
+let simulate_outcome ?chunks ?faults d = Design_sim.run_outcome ?faults (sim_config ?chunks d)
 
 let latency_s ?chunks d = (simulate ?chunks d).Design_sim.latency_s

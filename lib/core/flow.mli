@@ -36,5 +36,10 @@ val tapa_cs :
 
 val simulate : ?chunks:int -> design -> Design_sim.result
 
+val simulate_outcome :
+  ?chunks:int -> ?faults:Tapa_cs_network.Fault.plan -> design -> Design_sim.outcome
+(** Fault-injected simulation with a structured status instead of
+    exceptions; see {!Design_sim.run_outcome}. *)
+
 val latency_s : ?chunks:int -> design -> float
 (** Compile-free convenience: simulate and return end-to-end latency. *)

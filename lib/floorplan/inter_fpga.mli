@@ -3,7 +3,15 @@
     per-device utilization threshold (Eq. 1).
 
     Capacities are reduced by the AlveoLink networking IP overhead on
-    every board that participates in inter-FPGA links (§5.6). *)
+    every board that participates in inter-FPGA links (§5.6).
+
+    Placement failures are typed (not strings) so callers can react
+    per-cause, and every solve runs a graceful-degradation chain: the
+    primary partitioner, then warm-started re-solves climbing a
+    threshold-relaxation ladder (+0.05 per rung, up to 0.95), then a
+    deterministic greedy packer.  Rungs that fire are recorded in
+    [fallbacks], and [threshold_used] reports the rung that finally
+    succeeded so downstream stages can budget consistently. *)
 
 open Tapa_cs_device
 open Tapa_cs_graph
@@ -17,7 +25,31 @@ type t = {
   per_fpga_util : float array;  (** max component utilization per device *)
   cost : float;  (** Eq. 2 objective of the chosen mapping *)
   stats : Partition.stats;
+  fallbacks : string list;
+      (** degradation rungs that fired, outermost first: e.g.
+          ["degraded(3/4 FPGAs)"; "relaxed-threshold(0.75)"]; empty on the
+          happy path *)
+  threshold_used : float;
+      (** the utilization threshold of the rung that produced this
+          mapping; equals the requested threshold unless a
+          relaxed-threshold fallback fired *)
 }
+
+type error =
+  | Infeasible  (** no feasible mapping exists (or none was found) *)
+  | Over_capacity of int
+      (** every fallback produced only over-capacity mappings; carries the
+          smallest number of over-budget devices across attempts *)
+  | Solver_timeout
+      (** the exact solver hit its wall-clock deadline with no feasible
+          incumbent *)
+
+val error_code : error -> string
+(** Matching TCS diagnostic code: TCS305 / TCS306 / TCS307 (the linter's
+    registry in {!Tapa_cs_analysis.Diagnostic} is the source of truth). *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
 
 val capacities : threshold:float -> Cluster.t -> Resource.t array
 (** Per-FPGA resource budgets the partitioner enforces: [threshold] x the
@@ -32,8 +64,27 @@ val run :
   cluster:Cluster.t ->
   synthesis:Synthesis.report ->
   Taskgraph.t ->
-  (t, string) Stdlib.result
-(** [Error] carries a human-readable reason (e.g. the design does not fit
-    the cluster under the threshold — the analogue of a routing failure). *)
+  (t, error) Stdlib.result
+(** Floorplan onto the full healthy cluster.  [Error] only after the
+    whole fallback chain is exhausted. *)
+
+val run_degraded :
+  ?strategy:Partition.strategy ->
+  ?threshold:float ->
+  ?seed:int ->
+  ?failed_devices:int list ->
+  ?failed_links:(int * int) list ->
+  cluster:Cluster.t ->
+  synthesis:Synthesis.report ->
+  Taskgraph.t ->
+  (t, error) Stdlib.result
+(** Refloorplan onto the surviving sub-topology: [failed_devices] are
+    excluded outright, [failed_links] (undirected device pairs) are
+    removed from the hop metric, and distances are recomputed by BFS over
+    what remains — disconnected pairs get a large finite distance so the
+    solve degrades instead of crashing.  The returned [assignment] still
+    indexes the original cluster (failed devices simply receive no
+    tasks), and [fallbacks] is prefixed with a [degraded(k'/k FPGAs)]
+    tag.  With nothing failed this is exactly {!run}. *)
 
 val fifos_between : Taskgraph.t -> t -> src_fpga:int -> dst_fpga:int -> Fifo.t list

@@ -15,12 +15,13 @@ type problem = {
 type strategy = Exact | Heuristic | Auto
 
 type stats = {
-  backend : [ `Exact | `Heuristic ];
+  backend : [ `Exact | `Heuristic | `Greedy ];
   runtime_s : float;
   lp_pivots : int;
   bb_nodes : int;
   refinement_moves : int;
   proven_optimal : bool;
+  timed_out : bool;
 }
 
 type result = { assignment : int array; cost : float; feasible : bool; stats : stats }
@@ -296,7 +297,8 @@ let heuristic ?(starts = 4) ~seed p =
    so a bounded-denominator conversion is exact in practice. *)
 let rat_of_weight w = Rat.of_float_approx ~max_den:10_000 w
 
-let exact ~incumbent p =
+let exact ?deadline_s ?timeout_flag ~incumbent p =
+  let mark_timeout () = Option.iter (fun r -> r := true) timeout_flag in
   let n = num_items p in
   let m = Ilp.Model.create () in
   let r_area (r : Resource.t) = [ r.lut; r.ff; r.bram; r.dsp; r.uram ] in
@@ -358,12 +360,20 @@ let exact ~incumbent p =
           values)
         incumbent
     in
-    match Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?incumbent:incumbent_values m with
-    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol) as result ->
+    match
+      Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?deadline_s
+        ?incumbent:incumbent_values m
+    with
+    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol | Ilp.Branch_bound.Timeout (Some sol))
+      as result ->
+      (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
       let assignment = Array.init n (fun i -> if Rat.is_zero sol.values.(y.(i)) then 0 else 1) in
       let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
       Some (assignment, sol.nodes, sol.lp_pivots, proven)
     | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
+    | Ilp.Branch_bound.Timeout None ->
+      mark_timeout ();
+      None
   end
   else begin
     (* x.(i).(part) assignment binaries. *)
@@ -436,8 +446,13 @@ let exact ~incumbent p =
           values)
         incumbent
     in
-    match Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?incumbent:incumbent_values m with
-    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol) as result ->
+    match
+      Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?deadline_s
+        ?incumbent:incumbent_values m
+    with
+    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol | Ilp.Branch_bound.Timeout (Some sol))
+      as result ->
+      (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
       let assignment =
         Array.init n (fun i ->
             let part = ref 0 in
@@ -449,6 +464,9 @@ let exact ~incumbent p =
       let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
       Some (assignment, sol.nodes, sol.lp_pivots, proven)
     | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
+    | Ilp.Branch_bound.Timeout None ->
+      mark_timeout ();
+      None
   end
 
 (* ------------------------------------------------------------------ *)
@@ -623,9 +641,86 @@ let hierarchical ~strategy ~seed ~exact_var_limit p =
 
 let binary_var_count p = if p.k = 2 then num_items p else num_items p * p.k
 
-let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) p =
+(* ------------------------------------------------------------------ *)
+(* Greedy backend: deterministic first-fit-decreasing by area.  The last
+   rung of the compile path's fallback chain — no search, no randomness,
+   always terminates; may return an infeasible or high-cut answer, which
+   the caller surfaces as degraded rather than failing outright.         *)
+(* ------------------------------------------------------------------ *)
+
+let greedy p =
   validate p;
   let t0 = Sys.time () in
+  let n = num_items p in
+  if n = 0 then None
+  else begin
+    let assignment = Array.make n (-1) in
+    let usage = Array.make p.k Resource.zero in
+    List.iter
+      (fun (i, part) ->
+        assignment.(i) <- part;
+        usage.(part) <- Resource.add usage.(part) p.areas.(i))
+      p.fixed;
+    (* Biggest items first (ties broken by id for determinism), each onto
+       the fitting part with the lowest resulting utilization; when
+       nothing fits, the least-overflowing part. *)
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        compare
+          (Resource.utilization p.areas.(b) ~total:p.capacities.(0), a)
+          (Resource.utilization p.areas.(a) ~total:p.capacities.(0), b))
+      order;
+    Array.iter
+      (fun i ->
+        if assignment.(i) < 0 then begin
+          let best = ref 0 and best_key = ref (infinity, infinity) in
+          for part = 0 to p.k - 1 do
+            let after = Resource.add usage.(part) p.areas.(i) in
+            let fits = Resource.fits after ~within:p.capacities.(part) in
+            let util = Resource.utilization after ~total:p.capacities.(part) in
+            let key =
+              ((if fits then 0.0 else 1e9 *. (1.0 +. overflow p.capacities.(part) after)), util)
+            in
+            if key < !best_key then begin
+              best_key := key;
+              best := part
+            end
+          done;
+          assignment.(i) <- !best;
+          usage.(!best) <- Resource.add usage.(!best) p.areas.(i)
+        end)
+      order;
+    Some
+      {
+        assignment;
+        cost = cost_of p assignment;
+        feasible = feasible_assignment p assignment;
+        stats =
+          {
+            backend = `Greedy;
+            runtime_s = Sys.time () -. t0;
+            lp_pivots = 0;
+            bb_nodes = 0;
+            refinement_moves = 0;
+            proven_optimal = false;
+            timed_out = false;
+          };
+      }
+  end
+
+let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?warm_incumbent p =
+  validate p;
+  (* An externally supplied incumbent (e.g. the previous attempt's mapping
+     re-checked against relaxed capacities) only helps if it is feasible
+     for *this* problem; otherwise it is dropped silently. *)
+  let warm_incumbent =
+    match warm_incumbent with
+    | Some a when feasible_assignment p a -> Some (Array.copy a)
+    | _ -> None
+  in
+  let t0 = Sys.time () in
+  let timeout_flag = ref false in
   let finish backend ?(moves = 0) ?(nodes = 0) ?(pivots = 0) ~proven assignment =
     let cost = cost_of p assignment in
     let feasible = feasible_assignment p assignment in
@@ -642,6 +737,7 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) p =
             bb_nodes = nodes;
             refinement_moves = moves;
             proven_optimal = proven;
+            timed_out = !timeout_flag;
           };
       }
   in
@@ -651,20 +747,24 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) p =
   end
   else begin
     let run_heuristic () = heuristic ~seed p in
-    let run_exact incumbent = exact ~incumbent p in
+    let run_exact incumbent = exact ?deadline_s ~timeout_flag ~incumbent p in
     match strategy with
     | Heuristic -> (
       match run_heuristic () with
       | Some (assignment, _, feasible, moves) when feasible -> finish `Heuristic ~moves ~proven:false assignment
       | Some _ | None -> None)
     | Exact -> (
-      match run_exact None with
+      match run_exact warm_incumbent with
       | Some (assignment, nodes, pivots, proven) -> finish `Exact ~nodes ~pivots ~proven assignment
       | None -> None)
     | Auto -> (
       let h = run_heuristic () in
       let incumbent =
-        match h with Some (assignment, _, true, _) -> Some assignment | _ -> None
+        let from_h = match h with Some (assignment, _, true, _) -> Some assignment | _ -> None in
+        match (warm_incumbent, from_h) with
+        | Some w, Some hh -> if cost_of p w <= cost_of p hh then Some w else Some hh
+        | Some w, None -> Some w
+        | None, hh -> hh
       in
       match h with
       (* A feasible zero-cost assignment is optimal outright. *)

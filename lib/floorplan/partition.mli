@@ -28,12 +28,15 @@ type problem = {
 type strategy = Exact | Heuristic | Auto
 
 type stats = {
-  backend : [ `Exact | `Heuristic ];
+  backend : [ `Exact | `Heuristic | `Greedy ];
   runtime_s : float;
   lp_pivots : int;  (** 0 for the heuristic backend *)
   bb_nodes : int;
   refinement_moves : int;  (** 0 for the exact backend *)
   proven_optimal : bool;
+  timed_out : bool;
+      (** the exact backend hit its wall-clock [deadline_s]; the answer
+          (if any) is its best incumbent, not a completed search *)
 }
 
 type result = { assignment : int array; cost : float; feasible : bool; stats : stats }
@@ -44,11 +47,31 @@ val cost_of : problem -> int array -> float
 val feasible_assignment : problem -> int array -> bool
 (** Capacity (Eq. 1) and fixed-placement compliance. *)
 
-val solve : ?strategy:strategy -> ?seed:int -> ?exact_var_limit:int -> problem -> result option
+val solve :
+  ?strategy:strategy ->
+  ?seed:int ->
+  ?exact_var_limit:int ->
+  ?deadline_s:float ->
+  ?warm_incumbent:int array ->
+  problem ->
+  result option
 (** [None] when no feasible assignment was found (exact proof of
     infeasibility for the exact backend; search failure for the
     heuristic).  [exact_var_limit] caps the binary-variable count at which
-    [Auto] still tries the exact backend (default 96). *)
+    [Auto] still tries the exact backend (default 96).  [deadline_s]
+    bounds the flat exact search by wall clock; expiry sets
+    [stats.timed_out] and falls back to the best incumbent — it trades
+    the determinism contract for liveness, so only interactive paths set
+    it.  [warm_incumbent] seeds the exact search with an externally known
+    assignment (e.g. the previous fallback-chain attempt re-checked
+    against relaxed capacities); infeasible seeds are dropped silently. *)
+
+val greedy : problem -> result option
+(** Deterministic first-fit-decreasing placement — no search, no
+    randomness, always terminates.  The last rung of the compile path's
+    fallback chain: the answer may be infeasible ([result.feasible] =
+    false) or high-cut, which callers surface as degraded operation.
+    [None] only for empty instances. *)
 
 val num_items : problem -> int
 

@@ -7,7 +7,12 @@ type solution = {
   lp_solves : int;
   lp_pivots : int;
 }
-type result = Optimal of solution | Feasible of solution | Infeasible | Unbounded
+type result =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Unbounded
+  | Timeout of solution option
 
 let is_feasible model values =
   let nv = Model.num_vars model in
@@ -33,8 +38,8 @@ let is_feasible model values =
 
 type node = { bound : Rat.t; depth : int; lbs : Rat.t array; ubs : Rat.t option array }
 
-let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?incumbent
-    ?(warm_start = true) model =
+let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?deadline_s
+    ?incumbent ?(warm_start = true) model =
   match Validate.check model with
   | Validate.Infeasible_constraint _ :: _ -> Infeasible
   | Validate.Unbounded_direction _ :: _ -> Unbounded
@@ -71,6 +76,23 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
      per node via the reference solver — it exists as the baseline of the
      bench/micro warm-vs-cold measurement. *)
   let template = if warm_start then Some (Simplex.prepare model) else None in
+  (* Wall-clock budget.  Deliberately opt-in: a deadline makes the
+     incumbent depend on host speed, breaking the determinism contract,
+     so the compile pipeline prefers node budgets and only the CLI /
+     robustness paths reach for this. *)
+  let deadline_hit = ref false in
+  let past_deadline =
+    match deadline_s with
+    | None -> fun () -> false
+    | Some budget ->
+      let t0 = Sys.time () in
+      fun () ->
+        if Sys.time () -. t0 >= budget then begin
+          deadline_hit := true;
+          true
+        end
+        else false
+  in
   let nodes = ref 0 and pivots = ref 0 and lp_solves = ref 0 in
   let last_improvement = ref 0 in
   let pivots_left () = Stdlib.max 1 (max_pivots - !pivots) in
@@ -181,7 +203,7 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
        end);
      let stalled () = !best <> None && !nodes - !last_improvement > stall_nodes in
      while (not (Heap.is_empty frontier)) && (not !limit_hit) && !nodes < max_nodes
-           && not (stalled ()) do
+           && (not (stalled ())) && not (past_deadline ()) do
        incr nodes;
        expand (Heap.pop_exn frontier)
      done;
@@ -191,9 +213,12 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
   | exception Exit -> Unbounded
   | exception Not_found -> Infeasible
   | () -> (
+    let finalize sol = { sol with nodes = !nodes; lp_solves = !lp_solves; lp_pivots = !pivots } in
+    if !deadline_hit then Timeout (Option.map finalize !best)
+    else
     match !best with
     | Some sol ->
-      let sol = { sol with nodes = !nodes; lp_solves = !lp_solves; lp_pivots = !pivots } in
+      let sol = finalize sol in
       if !limit_hit then Feasible sol else Optimal sol
     | None ->
       (* Hitting a search limit with no incumbent yields no feasibility

@@ -20,16 +20,27 @@ type result =
   | Feasible of solution  (** best incumbent when a search limit was hit *)
   | Infeasible
   | Unbounded
+  | Timeout of solution option
+      (** the wall-clock [deadline_s] budget expired mid-search; carries
+          the best incumbent found so far, if any *)
 
 val solve :
   ?max_nodes:int ->
   ?max_pivots:int ->
   ?stall_nodes:int ->
+  ?deadline_s:float ->
   ?incumbent:Rat.t array ->
   ?warm_start:bool ->
   Model.t ->
   result
-(** [incumbent] seeds the search with a known feasible assignment (e.g.
+(** [deadline_s] is a wall-clock budget: when it expires the search stops
+    and returns [Timeout] with its best incumbent instead of spinning.
+    Unlike the node/pivot/stall budgets it is {e not} deterministic — the
+    incumbent depends on host speed — so the compile pipeline's fallback
+    chain uses node budgets and reserves the deadline for interactive /
+    fault-injection runs that must never hang.
+
+    [incumbent] seeds the search with a known feasible assignment (e.g.
     from a heuristic) so the solver can prune from the first node.  An
     infeasible seed is rejected silently.
 

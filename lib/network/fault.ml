@@ -1,0 +1,195 @@
+module Prng = Tapa_cs_util.Prng
+
+type link_fault = {
+  loss_rate : float;
+  down : (float * float) list;
+  jitter_s : float;
+}
+
+let ideal = { loss_rate = 0.0; down = []; jitter_s = 0.0 }
+
+let check_fault f =
+  if not (f.loss_rate >= 0.0 && f.loss_rate < 1.0) then
+    invalid_arg (Printf.sprintf "Fault: loss_rate %g outside [0, 1)" f.loss_rate);
+  if f.jitter_s < 0.0 then invalid_arg "Fault: negative jitter";
+  List.iter
+    (fun (s, e) -> if s < 0.0 || e < s then invalid_arg "Fault: malformed down window")
+    f.down
+
+let lossy p =
+  let f = { ideal with loss_rate = p } in
+  check_fault f;
+  f
+
+type retrans = { window : int; timeout_s : float; backoff : float; max_retries : int }
+
+let roce_v2 = { window = 16; timeout_s = 20e-6; backoff = 2.0; max_retries = 8 }
+
+exception Link_lost of { link : string; retries : int }
+
+(* Under go-back-N, a delivered packet costs one successful transmission
+   plus, for each of its losses, a full window of N resent packets.  A
+   packet is lost Geom(p) times before success — expectation p/(1-p) —
+   so the expected wire transmissions per delivered packet are
+   1 + N * p/(1-p) = (1 - p + N*p) / (1 - p). *)
+let expected_transmissions ~loss_rate r =
+  if loss_rate <= 0.0 then 1.0
+  else (1.0 -. loss_rate +. (float_of_int r.window *. loss_rate)) /. (1.0 -. loss_rate)
+
+(* The j-th consecutive loss of a packet (probability p^(j+1)) stalls the
+   sender timeout * backoff^j.  Summing over j < max_retries gives
+   timeout * p * sum_{j=0}^{R-1} (p*backoff)^j — a partial geometric sum,
+   finite even when p*backoff >= 1. *)
+let expected_timeout_s ~loss_rate r =
+  if loss_rate <= 0.0 then 0.0
+  else begin
+    let ratio = loss_rate *. r.backoff in
+    let sum = ref 0.0 and term = ref 1.0 in
+    for _ = 1 to r.max_retries do
+      sum := !sum +. !term;
+      term := !term *. ratio
+    done;
+    r.timeout_s *. loss_rate *. !sum
+  end
+
+(* Per-packet ideal service time on the wire: serialized bytes plus the
+   fixed per-packet overhead (same decomposition as Link.transfer_time_s). *)
+let packet_service_s ~packet_bytes link =
+  let open Link in
+  (float_of_int packet_bytes /. (link.bandwidth_gbytes *. link.derate *. 1e9))
+  +. (link.per_packet_overhead_ns *. 1e-9)
+
+let slowdown ?packet_bytes ?(retrans = roce_v2) ~loss_rate link =
+  let packet_bytes =
+    match packet_bytes with Some b -> b | None -> link.Link.default_packet_bytes
+  in
+  if loss_rate <= 0.0 then 1.0
+  else begin
+    let service = packet_service_s ~packet_bytes link in
+    let extra =
+      ((expected_transmissions ~loss_rate retrans -. 1.0) *. service)
+      +. expected_timeout_s ~loss_rate retrans
+    in
+    1.0 +. (extra /. service)
+  end
+
+(* Stretch a busy interval [at, at + dur) past every down window it
+   overlaps: each overlapped window adds its remaining length, pushing
+   the completion time (and possibly into the next window — windows are
+   sorted, so a single left-to-right fold settles it). *)
+let add_down_windows ~at ~down dur =
+  List.fold_left
+    (fun finish (s, e) -> if s < finish && e > at then finish +. (e -. Float.max s at) else finish)
+    (at +. dur) down
+  -. at
+
+let num_packets ~packet_bytes bytes =
+  if bytes <= 0.0 then 1.0 else Float.ceil (bytes /. float_of_int packet_bytes)
+
+let transfer_time_s ?packet_bytes ?(retrans = roce_v2) ?(at = 0.0) ~fault link bytes =
+  check_fault fault;
+  let packet_bytes =
+    match packet_bytes with Some b -> b | None -> link.Link.default_packet_bytes
+  in
+  let ideal_t = Link.transfer_time_s ~packet_bytes link bytes in
+  let packets = num_packets ~packet_bytes bytes in
+  let p = fault.loss_rate in
+  let retry_wire =
+    if p <= 0.0 then 0.0
+    else
+      (expected_transmissions ~loss_rate:p retrans -. 1.0)
+      *. packets *. packet_service_s ~packet_bytes link
+  in
+  let timeouts = packets *. expected_timeout_s ~loss_rate:p retrans in
+  let jitter = packets *. fault.jitter_s /. 2.0 in
+  add_down_windows ~at ~down:fault.down (ideal_t +. retry_wire +. timeouts +. jitter)
+
+let sample_transfer_time_s ?packet_bytes ?(retrans = roce_v2) ?(at = 0.0) ~fault ~prng link
+    bytes =
+  check_fault fault;
+  let packet_bytes =
+    match packet_bytes with Some b -> b | None -> link.Link.default_packet_bytes
+  in
+  let open Link in
+  let packets = int_of_float (num_packets ~packet_bytes bytes) in
+  let service = packet_service_s ~packet_bytes link in
+  let t = ref (at +. (link.one_way_latency_us *. 1e-6)) in
+  let advance dur = t := !t +. add_down_windows ~at:!t ~down:fault.down dur in
+  for _ = 1 to packets do
+    let jitter = if fault.jitter_s > 0.0 then Prng.float prng fault.jitter_s else 0.0 in
+    advance (service +. jitter);
+    (* Bernoulli losses with backed-off timeouts; each loss also resends
+       the in-flight window behind the lost packet (go-back-N). *)
+    let retries = ref 0 in
+    while fault.loss_rate > 0.0 && Prng.float prng 1.0 < fault.loss_rate do
+      if !retries >= retrans.max_retries then
+        raise (Link_lost { link = link.name; retries = !retries });
+      let timeout = retrans.timeout_s *. (retrans.backoff ** float_of_int !retries) in
+      advance (timeout +. (float_of_int retrans.window *. service));
+      incr retries
+    done
+  done;
+  !t -. at
+
+type plan = {
+  seed : int;
+  loss_rate : float;
+  failed_devices : int list;
+  failed_links : (int * int) list;
+  device_halts : (int * float) list;
+  fifo_stalls : (int * float * float) list;
+}
+
+let no_faults =
+  {
+    seed = 0;
+    loss_rate = 0.0;
+    failed_devices = [];
+    failed_links = [];
+    device_halts = [];
+    fifo_stalls = [];
+  }
+
+let make ?(seed = 0) ?(loss_rate = 0.0) ?(failed_devices = []) ?(failed_links = [])
+    ?(device_halts = []) ?(fifo_stalls = []) () =
+  if not (loss_rate >= 0.0 && loss_rate < 1.0) then
+    invalid_arg (Printf.sprintf "Fault.make: loss_rate %g outside [0, 1)" loss_rate);
+  List.iter
+    (fun (_, t) -> if t < 0.0 then invalid_arg "Fault.make: negative halt time")
+    device_halts;
+  List.iter
+    (fun (_, s, d) ->
+      if s < 0.0 || d < 0.0 then invalid_arg "Fault.make: negative stall time/duration")
+    fifo_stalls;
+  let failed_devices = List.sort_uniq compare failed_devices in
+  let failed_links =
+    List.sort_uniq compare (List.map (fun (a, b) -> (min a b, max a b)) failed_links)
+  in
+  { seed; loss_rate; failed_devices; failed_links; device_halts; fifo_stalls }
+
+let is_trivial p =
+  p.loss_rate = 0.0 && p.failed_devices = [] && p.failed_links = [] && p.device_halts = []
+  && p.fifo_stalls = []
+
+let describe p =
+  let items = ref [] in
+  let add s = items := s :: !items in
+  if p.loss_rate > 0.0 then add (Printf.sprintf "link loss rate %g" p.loss_rate);
+  List.iter (fun d -> add (Printf.sprintf "FPGA %d failed" d)) p.failed_devices;
+  List.iter (fun (a, b) -> add (Printf.sprintf "link %d-%d down" a b)) p.failed_links;
+  List.iter
+    (fun (d, t) -> add (Printf.sprintf "FPGA %d halts at %.3g s" d t))
+    p.device_halts;
+  List.iter
+    (fun (f, s, d) -> add (Printf.sprintf "FIFO %d stalled %.3g s at %.3g s" f d s))
+    p.fifo_stalls;
+  List.rev !items
+
+let pp ppf p =
+  if is_trivial p then Format.fprintf ppf "no faults"
+  else
+    Format.fprintf ppf "@[<hov 2>faults(seed=%d):@ %a@]" p.seed
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         Format.pp_print_string)
+      (describe p)

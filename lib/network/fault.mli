@@ -1,0 +1,130 @@
+(** Deterministic link-fault model and RoCE-v2-style recovery.
+
+    Real QSFP28/RoCE-v2 deployments (§4.4) survive dropped packets and
+    downed ports: the NIC's go-back-N retransmission resends the lost
+    packet plus everything already in flight behind it, pacing retries
+    with an exponentially backed-off timeout.  This module models that
+    recovery twice over:
+
+    - {!transfer_time_s} gives the {e expected} completion time in closed
+      form, so the degradation is analyzable and unit-testable — at loss
+      rate 0 (and no jitter / down windows) it equals
+      {!Link.transfer_time_s} exactly, and it is never smaller;
+    - {!sample_transfer_time_s} draws one concrete outcome from a
+      {!Tapa_cs_util.Prng.t}, matching the repo's bit-reproducibility
+      contract: same seed, same sampled timeline.
+
+    {!plan} is the compile/sim-level fault description the compiler and
+    the simulator thread through their pipelines. *)
+
+type link_fault = {
+  loss_rate : float;  (** per-packet loss probability, [0, 1) *)
+  down : (float * float) list;
+      (** absolute [(start, stop))] outage windows in seconds, disjoint
+          and sorted by start; the link makes no progress inside one *)
+  jitter_s : float;  (** per-packet jitter, uniform over [0, jitter_s] *)
+}
+
+val ideal : link_fault
+(** No loss, no outages, no jitter. *)
+
+val lossy : float -> link_fault
+(** [lossy p] is {!ideal} with [loss_rate = p]. *)
+
+type retrans = {
+  window : int;  (** go-back-N window: packets in flight per loss event *)
+  timeout_s : float;  (** initial retransmission timeout *)
+  backoff : float;  (** >= 1: timeout multiplier per consecutive loss *)
+  max_retries : int;  (** consecutive losses before the link gives up *)
+}
+
+val roce_v2 : retrans
+(** Defaults shaped after RoCE-v2 NIC behaviour over one QSFP28 port:
+    16-packet window, 20 us initial timeout, doubling per retry, 8
+    retries. *)
+
+exception
+  Link_lost of {
+    link : string;
+    retries : int;  (** consecutive losses when the link gave up *)
+  }
+
+val expected_transmissions : loss_rate:float -> retrans -> float
+(** Expected wire transmissions per delivered packet under go-back-N:
+    [(1 - p + N*p) / (1 - p)].  Every loss retransmits the lost packet
+    plus the [N - 1] packets behind it in the window; 1 at [p = 0]. *)
+
+val expected_timeout_s : loss_rate:float -> retrans -> float
+(** Expected timeout stall per delivered packet with exponential backoff:
+    [timeout * p * sum_{j=0}^{max_retries-1} (p*backoff)^j] — the partial
+    geometric sum, so it stays finite even when [p * backoff >= 1].
+    0 at [p = 0]. *)
+
+val slowdown : ?packet_bytes:int -> ?retrans:retrans -> loss_rate:float -> Link.t -> float
+(** Expected per-packet service-time inflation factor (>= 1) of a lossy
+    link versus the ideal one — the factor the simulator derates link
+    servers by. *)
+
+val transfer_time_s :
+  ?packet_bytes:int -> ?retrans:retrans -> ?at:float -> fault:link_fault -> Link.t -> float -> float
+(** Expected one-message transfer time under the fault model, for a
+    transfer starting at absolute time [at] (default 0): the ideal
+    {!Link.transfer_time_s} plus expected retransmission wire time,
+    expected timeout stalls, mean jitter, and the full length of every
+    down window the busy interval overlaps.
+
+    Equals {!Link.transfer_time_s} when [fault = ideal]; never below it.
+    @raise Invalid_argument if [loss_rate] is outside [0, 1) or
+    [jitter_s] is negative. *)
+
+val sample_transfer_time_s :
+  ?packet_bytes:int ->
+  ?retrans:retrans ->
+  ?at:float ->
+  fault:link_fault ->
+  prng:Tapa_cs_util.Prng.t ->
+  Link.t ->
+  float ->
+  float
+(** One sampled transfer: per-packet Bernoulli losses, per-packet jitter
+    draws, go-back-N retransmission with backed-off timeouts, down-window
+    stalls.  Deterministic given the {!Tapa_cs_util.Prng.t} state.
+    @raise Link_lost when one packet fails [max_retries + 1] times in a
+    row. *)
+
+(** {1 Compile/sim-level fault plans} *)
+
+type plan = {
+  seed : int;  (** root seed for every stochastic draw under this plan *)
+  loss_rate : float;  (** applied to every inter-FPGA link *)
+  failed_devices : int list;  (** FPGAs dead before the compile starts *)
+  failed_links : (int * int) list;
+      (** undirected topology edges (by device index) that are down *)
+  device_halts : (int * float) list;  (** (fpga, time_s): dies mid-run *)
+  fifo_stalls : (int * float * float) list;
+      (** (fifo id, start_s, duration_s): the FIFO stops moving data *)
+}
+
+val no_faults : plan
+
+val make :
+  ?seed:int ->
+  ?loss_rate:float ->
+  ?failed_devices:int list ->
+  ?failed_links:(int * int) list ->
+  ?device_halts:(int * float) list ->
+  ?fifo_stalls:(int * float * float) list ->
+  unit ->
+  plan
+(** @raise Invalid_argument on a loss rate outside [0, 1), a negative
+    halt/stall time, or a negative stall duration. *)
+
+val is_trivial : plan -> bool
+(** [true] when the plan injects nothing (loss 0, no failures/halts/stalls);
+    such a plan leaves every pipeline bit-identical to no plan at all. *)
+
+val describe : plan -> string list
+(** Human-readable summary of the injected faults, one entry each — the
+    [Degraded] reasons the simulator and compiler report. *)
+
+val pp : Format.formatter -> plan -> unit

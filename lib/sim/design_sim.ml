@@ -37,6 +37,11 @@ type result = {
 
 exception Deadlock of { tasks : string list; fifos : int list; message : string }
 
+type outcome =
+  | Completed of result
+  | Degraded of { result : result; reasons : string list }
+  | Failed of { fault : string; partial : result }
+
 let () =
   Printexc.register_printer (function
     | Deadlock d -> Some ("Design_sim.Deadlock: " ^ d.message)
@@ -68,7 +73,15 @@ let link_params cfg i j =
     | Cluster.Pcie_gen3x16 -> Network.Link.pcie_p2p
   end
 
-let run cfg =
+(* Structured deadlock details shared by the raising entry point ([run])
+   and the outcome-classifying one ([run_outcome]). *)
+type deadlock_info = { d_tasks : string list; d_fifos : int list; d_message : string }
+
+(* A halted device abandons its task processes mid-run; local to the
+   process bodies, never escapes the engine. *)
+exception Halted
+
+let run_sim ~(faults : Network.Fault.plan) cfg =
   let g = cfg.graph in
   let n = Taskgraph.num_tasks g in
   if Array.length cfg.assignment <> n then invalid_arg "Design_sim: assignment size mismatch";
@@ -97,18 +110,41 @@ let run cfg =
   let in_channel = Array.make (Taskgraph.num_fifos g) None in
   let out_channel = Array.make (Taskgraph.num_fifos g) None in
   let links = Hashtbl.create 16 in
+  (* Injected faults.  Packet loss inflates every link's expected
+     per-packet service time by the closed-form go-back-N slowdown —
+     deterministic, so faulty runs stay bit-reproducible. *)
+  let loss = faults.Network.Fault.loss_rate in
+  let halt_at = Array.make k infinity in
+  List.iter
+    (fun (d, t) -> if d >= 0 && d < k then halt_at.(d) <- Float.min halt_at.(d) t)
+    faults.Network.Fault.device_halts;
+  let stall_of = Hashtbl.create 4 in
+  List.iter
+    (fun (fid, s, d) -> if d > 0.0 then Hashtbl.add stall_of fid (s, s +. d))
+    faults.Network.Fault.fifo_stalls;
+  (* Block the calling process past every stall window of this FIFO that
+     is currently open. *)
+  let stall_wait fid =
+    List.iter
+      (fun (s, e) ->
+        let now = Engine.time () in
+        if now >= s && now < e then Engine.wait (e -. now))
+      (Hashtbl.find_all stall_of fid)
+  in
+  let halted = ref [] in
   let link_server i j =
     match Hashtbl.find_opt links (i, j) with
     | Some s -> s
     | None ->
       let p = link_params cfg i j in
       let h = float_of_int (Stdlib.max 1 (hops cfg i j)) in
+      let slow = if loss > 0.0 then Network.Fault.slowdown ~loss_rate:loss p else 1.0 in
       let s =
         Engine.Server.create eng
           ~name:(Printf.sprintf "link-%d->%d" i j)
-          ~rate_bytes_per_s:(p.Network.Link.bandwidth_gbytes *. p.Network.Link.derate *. 1e9 /. h)
+          ~rate_bytes_per_s:(p.Network.Link.bandwidth_gbytes *. p.Network.Link.derate *. 1e9 /. h /. slow)
           ~latency_s:(p.Network.Link.one_way_latency_us *. 1e-6 *. h)
-          ~per_packet_s:(p.Network.Link.per_packet_overhead_ns *. 1e-9 *. h)
+          ~per_packet_s:(p.Network.Link.per_packet_overhead_ns *. 1e-9 *. h *. slow)
           ~packet_bytes:(float_of_int p.Network.Link.default_packet_bytes)
           ()
       in
@@ -152,6 +188,7 @@ let run cfg =
             while !moved < volume -. 1e-9 do
               let piece = Float.min move_granularity (volume -. !moved) in
               Engine.Channel.pull src_side piece;
+              stall_wait f.id;
               Engine.Server.transfer srv piece;
               Engine.Channel.push dst_side piece;
               moved := !moved +. piece
@@ -191,85 +228,102 @@ let run cfg =
           (List.init (List.length t.mem_ports) Fun.id)
       in
       let chunk_time = Float.max compute_chunk mem_chunk in
+      (* A device halt is checked at chunk granularity: once the halt time
+         passes, the task abandons the rest of its stream.  The exception
+         stays inside the process body (the engine would otherwise abort
+         the whole run); downstream tasks then starve and surface in the
+         deadlock set, which [run_outcome] classifies as [Failed]. *)
+      let check_halt () = if Engine.time () >= halt_at.(fpga) then raise Halted in
       Engine.spawn eng ~name:(Printf.sprintf "task-%s" t.name) (fun () ->
-          (* Bulk inputs must arrive in full before anything starts. *)
-          List.iter
-            (fun (f : Fifo.t) ->
-              match in_channel.(f.id) with
-              | Some ch -> Engine.Channel.pull ch (sim_volume f)
-              | None -> ())
-            bulk_in;
-          Engine.wait ((profile.startup_cycles +. float_of_int stage_latency) /. f_hz);
-          for _ = 1 to nchunks do
+          try
+            (* Bulk inputs must arrive in full before anything starts. *)
             List.iter
               (fun (f : Fifo.t) ->
                 match in_channel.(f.id) with
-                | Some ch -> Engine.Channel.pull ch (chunk_bytes f)
+                | Some ch ->
+                  stall_wait f.id;
+                  Engine.Channel.pull ch (sim_volume f)
                 | None -> ())
-              stream_in;
-            if Float.is_nan task_start.(t.id) then task_start.(t.id) <- Engine.time ();
-            Engine.wait chunk_time;
-            per_fpga_busy.(fpga) <- per_fpga_busy.(fpga) +. chunk_time;
-            task_busy.(t.id) <- task_busy.(t.id) +. chunk_time;
-            task_finish.(t.id) <- Engine.time ();
-            List.iter
-              (fun (f : Fifo.t) ->
-                match out_channel.(f.id) with
-                | Some ch -> Engine.Channel.push ch (chunk_bytes f)
-                | None -> ())
-              out_fifos
-          done))
+              bulk_in;
+            check_halt ();
+            Engine.wait ((profile.startup_cycles +. float_of_int stage_latency) /. f_hz);
+            for _ = 1 to nchunks do
+              check_halt ();
+              List.iter
+                (fun (f : Fifo.t) ->
+                  match in_channel.(f.id) with
+                  | Some ch ->
+                    stall_wait f.id;
+                    Engine.Channel.pull ch (chunk_bytes f)
+                  | None -> ())
+                stream_in;
+              check_halt ();
+              if Float.is_nan task_start.(t.id) then task_start.(t.id) <- Engine.time ();
+              Engine.wait chunk_time;
+              per_fpga_busy.(fpga) <- per_fpga_busy.(fpga) +. chunk_time;
+              task_busy.(t.id) <- task_busy.(t.id) +. chunk_time;
+              task_finish.(t.id) <- Engine.time ();
+              List.iter
+                (fun (f : Fifo.t) ->
+                  match out_channel.(f.id) with
+                  | Some ch -> Engine.Channel.push ch (chunk_bytes f)
+                  | None -> ())
+                out_fifos
+            done
+          with Halted -> halted := (fpga, t.name) :: !halted))
     (Taskgraph.tasks g);
   let r = Engine.run eng in
-  if r.deadlocked <> [] then begin
-    (* Recover the design-level names from the process labels so the
-       error talks about the user's tasks and FIFOs, not simulator
-       internals. *)
-    let strip prefix s =
-      let lp = String.length prefix in
-      if String.length s > lp && String.sub s 0 lp = prefix then
-        Some (String.sub s lp (String.length s - lp))
-      else None
-    in
-    let blocked_tasks = List.filter_map (strip "task-") r.deadlocked in
-    let blocked_fifos =
-      List.filter_map
-        (fun p ->
-          match strip "mover-f" p with
-          | Some n -> int_of_string_opt n
-          | None -> None)
-        r.deadlocked
-    in
-    let fifo_desc fid =
-      let f = Taskgraph.fifo g fid in
-      Printf.sprintf "#%d (%s -> %s)" fid (Taskgraph.task g f.Fifo.src).Task.name
-        (Taskgraph.task g f.Fifo.dst).Task.name
-    in
-    let parts = [] in
-    let parts =
-      if blocked_fifos = [] then parts
-      else
-        Printf.sprintf "inter-FPGA FIFO(s) %s stuck mid-transfer"
-          (String.concat ", " (List.map fifo_desc blocked_fifos))
-        :: parts
-    in
-    let parts =
-      if blocked_tasks = [] then parts
-      else Printf.sprintf "task(s) %s blocked" (String.concat ", " blocked_tasks) :: parts
-    in
-    raise
-      (Deadlock
-         {
-           tasks = blocked_tasks;
-           fifos = blocked_fifos;
-           message =
-             Printf.sprintf
-               "simulation deadlock: %s. A feedback cycle cannot make progress — likely a \
-                bulk-mode FIFO on a cycle (TCS101) or an under-sized feedback FIFO (TCS102); \
-                run `tapa_cs_cli lint` on the design."
-               (String.concat "; " parts);
-         })
-  end;
+  let dead =
+    if r.deadlocked = [] then None
+    else begin
+      (* Recover the design-level names from the process labels so the
+         error talks about the user's tasks and FIFOs, not simulator
+         internals. *)
+      let strip prefix s =
+        let lp = String.length prefix in
+        if String.length s > lp && String.sub s 0 lp = prefix then
+          Some (String.sub s lp (String.length s - lp))
+        else None
+      in
+      let blocked_tasks = List.filter_map (strip "task-") r.deadlocked in
+      let blocked_fifos =
+        List.filter_map
+          (fun p ->
+            match strip "mover-f" p with
+            | Some n -> int_of_string_opt n
+            | None -> None)
+          r.deadlocked
+      in
+      let fifo_desc fid =
+        let f = Taskgraph.fifo g fid in
+        Printf.sprintf "#%d (%s -> %s)" fid (Taskgraph.task g f.Fifo.src).Task.name
+          (Taskgraph.task g f.Fifo.dst).Task.name
+      in
+      let parts = [] in
+      let parts =
+        if blocked_fifos = [] then parts
+        else
+          Printf.sprintf "inter-FPGA FIFO(s) %s stuck mid-transfer"
+            (String.concat ", " (List.map fifo_desc blocked_fifos))
+          :: parts
+      in
+      let parts =
+        if blocked_tasks = [] then parts
+        else Printf.sprintf "task(s) %s blocked" (String.concat ", " blocked_tasks) :: parts
+      in
+      Some
+        {
+          d_tasks = blocked_tasks;
+          d_fifos = blocked_fifos;
+          d_message =
+            Printf.sprintf
+              "simulation deadlock: %s. A feedback cycle cannot make progress — likely a \
+               bulk-mode FIFO on a cycle (TCS101) or an under-sized feedback FIFO (TCS102); \
+               run `tapa_cs_cli lint` on the design."
+              (String.concat "; " parts);
+        }
+    end
+  in
   let link_stats =
     Hashtbl.fold
       (fun (i, j) srv acc ->
@@ -293,11 +347,55 @@ let run cfg =
           busy_s = task_busy.(tid);
         })
   in
-  {
-    latency_s = r.end_time;
-    events = r.events;
-    deadlocked = r.deadlocked;
-    per_fpga_busy_s = per_fpga_busy;
-    links = link_stats;
-    tasks;
-  }
+  let result =
+    {
+      latency_s = r.end_time;
+      events = r.events;
+      deadlocked = r.deadlocked;
+      per_fpga_busy_s = per_fpga_busy;
+      links = link_stats;
+      tasks;
+    }
+  in
+  (result, dead, List.sort_uniq compare !halted)
+
+let run cfg =
+  let result, dead, _ = run_sim ~faults:Network.Fault.no_faults cfg in
+  match dead with
+  | None -> result
+  | Some d -> raise (Deadlock { tasks = d.d_tasks; fifos = d.d_fifos; message = d.d_message })
+
+let run_outcome ?(faults = Network.Fault.no_faults) cfg =
+  let result, dead, halted = run_sim ~faults cfg in
+  let pp_halted halted =
+    String.concat ", "
+      (List.map (fun (fpga, name) -> Printf.sprintf "FPGA %d (task %s)" fpga name) halted)
+  in
+  match dead with
+  | Some d ->
+    (* A mid-run device halt starves everything downstream of the dead
+       tasks; attribute the stall to the fault, not to the design. *)
+    if halted <> [] then
+      Failed
+        {
+          fault = Printf.sprintf "device halt: %s abandoned the run mid-stream" (pp_halted halted);
+          partial = result;
+        }
+    else Failed { fault = d.d_message; partial = result }
+  | None ->
+    let reasons = ref [] in
+    if faults.Network.Fault.loss_rate > 0.0 then
+      reasons :=
+        Printf.sprintf "link loss rate %g absorbed by go-back-N retransmission"
+          faults.Network.Fault.loss_rate
+        :: !reasons;
+    List.iter
+      (fun (fid, s, d) ->
+        if d > 0.0 && s < result.latency_s then
+          reasons := Printf.sprintf "FIFO %d stalled %.3g s at %.3g s" fid d s :: !reasons)
+      faults.Network.Fault.fifo_stalls;
+    if halted <> [] then
+      reasons := Printf.sprintf "device halt after useful work: %s" (pp_halted halted) :: !reasons;
+    match List.rev !reasons with
+    | [] -> Completed result
+    | reasons -> Degraded { result; reasons }

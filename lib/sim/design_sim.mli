@@ -56,6 +56,18 @@ exception
             bulk FIFO on a cycle; TCS102: under-sized feedback FIFO) *)
   }
 
+(** Structured run status for fault-injected simulations — the
+    no-exceptions counterpart of {!run}. *)
+type outcome =
+  | Completed of result  (** clean run, no faults applied *)
+  | Degraded of { result : result; reasons : string list }
+      (** the run finished, but faults slowed or perturbed it; [reasons]
+          lists each injected fault that actually bit *)
+  | Failed of { fault : string; partial : result }
+      (** the run could not finish — a device halt starved the dataflow,
+          or the design deadlocked; [partial] holds the statistics up to
+          the stall point *)
+
 val fpga_idle_fraction : result -> fpga:int -> float
 (** 1 - (average task busy time on this FPGA / makespan): the §5.2/§5.5
     idle-PE metric.  0 when the device computes the whole run. *)
@@ -64,6 +76,16 @@ val run : config -> result
 (** @raise Deadlock when the simulation cannot make progress, naming the
     blocked tasks and FIFOs — the dynamic counterpart of the TCS101/TCS102
     lints, which catch these designs statically. *)
+
+val run_outcome : ?faults:Tapa_cs_network.Fault.plan -> config -> outcome
+(** Like {!run}, but injects the plan's simulator-level faults and never
+    raises on stalls.  Packet loss derates every link server by the
+    closed-form go-back-N slowdown (deterministic — no sampling);
+    [device_halts] abandon a device's tasks at the given time;
+    [fifo_stalls] freeze a FIFO's data movement for a window.  The
+    compile-level fields ([failed_devices], [failed_links]) are ignored
+    here — they act before simulation, in
+    {!Tapa_cs_floorplan.Inter_fpga.run_degraded}. *)
 
 val make_config :
   ?chunks:int ->

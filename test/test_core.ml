@@ -248,6 +248,41 @@ let test_board_generality () =
       | Error e -> Alcotest.failf "board flow failed: %s" e)
     [ Board.u250; Board.stratix10 ]
 
+let test_degraded_compile_survives_device_failure () =
+  (* Design sized for 2 FPGAs, physical cluster of 3 with one failure:
+     the compiler must refloorplan onto the survivors and say so. *)
+  let g = small_chain ~tasks:6 ~lut:50_000 in
+  let cluster = Cluster.make ~board:Board.u55c 3 in
+  let fault_plan = Tapa_cs_network.Fault.make ~seed:7 ~failed_devices:[ 2 ] () in
+  let options = { fast_options with fault_plan = Some fault_plan } in
+  match Compiler.compile ~options ~cluster g with
+  | Error e -> Alcotest.failf "degraded compile failed: %s" e
+  | Ok c ->
+    check bool "flagged Degraded" true c.Compiler.degraded;
+    check bool "fallback chain reported" true (c.Compiler.fallbacks <> []);
+    Array.iter
+      (fun f -> check bool "dead FPGA avoided" true (f <> 2))
+      c.Compiler.inter.Inter_fpga.assignment
+
+let test_degraded_compile_deterministic () =
+  let g = small_chain ~tasks:6 ~lut:50_000 in
+  let cluster = Cluster.make ~board:Board.u55c 3 in
+  let fault_plan = Tapa_cs_network.Fault.make ~seed:11 ~loss_rate:0.02 ~failed_devices:[ 0 ] () in
+  let compile jobs =
+    match
+      Compiler.compile
+        ~options:{ fast_options with jobs; fault_plan = Some fault_plan }
+        ~cluster g
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile (jobs=%d): %s" jobs e
+  in
+  let a = compile 1 and b = compile 4 in
+  check bool "same assignment across jobs" true
+    (a.Compiler.inter.Inter_fpga.assignment = b.Compiler.inter.Inter_fpga.assignment);
+  check bool "same fallback chain" true (a.Compiler.fallbacks = b.Compiler.fallbacks);
+  check (Alcotest.float 0.0) "same clock" a.Compiler.freq_mhz b.Compiler.freq_mhz
+
 let test_port_bandwidth_capped_by_wire () =
   (* port bandwidth <= width * clock *)
   let b = Taskgraph.Builder.create () in
@@ -275,6 +310,10 @@ let () =
           Alcotest.test_case "port bandwidth wire cap" `Quick test_port_bandwidth_capped_by_wire;
           Alcotest.test_case "board generality (U250, Stratix-10)" `Quick test_board_generality;
           Alcotest.test_case "jobs=1 and jobs=4 outputs identical" `Quick test_jobs_determinism;
+          Alcotest.test_case "degraded compile survives device failure" `Quick
+            test_degraded_compile_survives_device_failure;
+          Alcotest.test_case "degraded compile deterministic" `Quick
+            test_degraded_compile_deterministic;
         ] );
       ( "flows",
         [

@@ -174,7 +174,7 @@ let test_inter_fpga_spreads_when_needed () =
     check bool "chain cut minimal" true (List.length r.Inter_fpga.cut_fifos <= 3);
     check bool "under threshold everywhere" true
       (Array.for_all (fun u -> u <= 0.71) r.Inter_fpga.per_fpga_util)
-  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Inter_fpga.error_message e)
 
 let test_inter_fpga_single_fpga_failure () =
   let g = big_task_graph ~tasks:8 ~lut:300_000 in
@@ -187,16 +187,22 @@ let test_inter_fpga_single_fpga_failure () =
 let test_inter_fpga_networking_overhead_charged () =
   (* A single 780k-LUT task fits the bare 70 % budget (802k) but not the
      budget after two AlveoLink ports are charged (755k): adding devices
-     must make this design *fail*, proving the overhead is accounted. *)
+     must push this design off the happy path, proving the overhead is
+     accounted.  (The graceful-degradation chain may still rescue it at a
+     relaxed threshold — but only by firing a fallback rung.) *)
   let g = big_task_graph ~tasks:1 ~lut:780_000 in
   let synthesis = Synthesis.run g in
   let one = Cluster.make ~board:Board.u55c 1 in
   (match Inter_fpga.run ~cluster:one ~synthesis g with
-  | Ok r -> check int "single fpga ok" 0 r.Inter_fpga.assignment.(0)
-  | Error e -> Alcotest.failf "single: %s" e);
+  | Ok r ->
+    check int "single fpga ok" 0 r.Inter_fpga.assignment.(0);
+    check (Alcotest.list Alcotest.string) "no fallback on one device" [] r.Inter_fpga.fallbacks
+  | Error e -> Alcotest.failf "single: %s" (Inter_fpga.error_message e));
   let two = Cluster.make ~board:Board.u55c 2 in
   match Inter_fpga.run ~cluster:two ~synthesis g with
-  | Ok _ -> Alcotest.fail "802k budget minus 2 ports cannot host 780k"
+  | Ok r ->
+    check bool "802k budget minus 2 ports hosts 780k only via a fallback" true
+      (r.Inter_fpga.fallbacks <> [])
   | Error _ -> ()
 
 let test_inter_fpga_traffic_weighted_by_hops () =
@@ -210,7 +216,108 @@ let test_inter_fpga_traffic_weighted_by_hops () =
     in
     (* ring of 2: every hop distance is 1 *)
     check (Alcotest.float 1.0) "traffic accounting" manual r.Inter_fpga.traffic_bytes
-  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Error e -> Alcotest.failf "unexpected: %s" (Inter_fpga.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy fallback and degraded-cluster refloorplanning (tentpole)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_greedy_packs () =
+  (* First-fit decreasing: feasible whenever the bins can hold the load. *)
+  let p = simple_problem ~cap:100 [ 60; 60; 40; 40 ] in
+  (match Partition.greedy p with
+  | Some r ->
+    check bool "greedy feasible" true r.Partition.feasible;
+    check bool "greedy tagged" true (r.Partition.stats.backend = `Greedy)
+  | None -> Alcotest.fail "greedy must pack 2x(60+40)");
+  (* Oversized item: greedy returns an (infeasible) best effort, never
+     crashes. *)
+  let p = simple_problem ~cap:50 [ 60 ] in
+  (match Partition.greedy p with
+  | Some r -> check bool "over-capacity marked infeasible" false r.Partition.feasible
+  | None -> Alcotest.fail "greedy still returns its best effort");
+  (* Pinned items stay pinned. *)
+  let p = simple_problem ~cap:100 ~fixed:[ (0, 1) ] [ 10; 10 ] in
+  match Partition.greedy p with
+  | Some r -> check int "fixed respected" 1 r.Partition.assignment.(0)
+  | None -> Alcotest.fail "expected a packing"
+
+let test_error_codes_match_linter_registry () =
+  List.iter
+    (fun (e, code) ->
+      check Alcotest.string "TCS code" code (Inter_fpga.error_code e);
+      check bool "registered diagnostic" true
+        (List.exists
+           (fun (c, _, _, _) -> c = code)
+           Tapa_cs_analysis.Diagnostic.registry))
+    [
+      (Inter_fpga.Infeasible, "TCS305");
+      (Inter_fpga.Over_capacity 2, "TCS306");
+      (Inter_fpga.Solver_timeout, "TCS307");
+    ]
+
+let degraded_fixture () =
+  (* 6 x 300k LUT needs three U55Cs at T=0.7; a 4-FPGA ring has one to
+     spare. *)
+  let g = big_task_graph ~tasks:6 ~lut:300_000 in
+  let synthesis = Synthesis.run g in
+  let cluster = Cluster.make ~board:Board.u55c 4 in
+  (g, synthesis, cluster)
+
+let test_run_degraded_avoids_failed_device () =
+  let g, synthesis, cluster = degraded_fixture () in
+  match Inter_fpga.run_degraded ~failed_devices:[ 2 ] ~cluster ~synthesis g with
+  | Ok r ->
+    check bool "no task on the dead device" true
+      (Array.for_all (fun f -> f <> 2) r.Inter_fpga.assignment);
+    check bool "degraded tag recorded" true
+      (List.exists
+         (fun t -> String.length t >= 8 && String.sub t 0 8 = "degraded")
+         r.Inter_fpga.fallbacks)
+  | Error e -> Alcotest.failf "degraded solve failed: %s" (Inter_fpga.error_message e)
+
+let test_run_degraded_survives_downed_link () =
+  let g, synthesis, cluster = degraded_fixture () in
+  match Inter_fpga.run_degraded ~failed_links:[ (0, 1) ] ~cluster ~synthesis g with
+  | Ok r ->
+    check bool "degraded tag mentions the link" true
+      (List.exists
+         (fun t -> String.length t >= 8 && String.sub t 0 8 = "degraded")
+         r.Inter_fpga.fallbacks);
+    (* The mapping is still a valid full-cluster assignment. *)
+    check bool "assignment in range" true
+      (Array.for_all (fun f -> f >= 0 && f < 4) r.Inter_fpga.assignment)
+  | Error e -> Alcotest.failf "downed link failed: %s" (Inter_fpga.error_message e)
+
+let test_run_degraded_deterministic () =
+  let g, synthesis, cluster = degraded_fixture () in
+  let solve () =
+    match Inter_fpga.run_degraded ~seed:3 ~failed_devices:[ 1 ] ~cluster ~synthesis g with
+    | Ok r -> r.Inter_fpga.assignment
+    | Error e -> Alcotest.failf "unexpected: %s" (Inter_fpga.error_message e)
+  in
+  check bool "same seed, same degraded mapping" true (solve () = solve ())
+
+let test_run_degraded_edge_cases () =
+  let g, synthesis, cluster = degraded_fixture () in
+  (* Nothing failed: exactly the healthy path. *)
+  (match
+     ( Inter_fpga.run_degraded ~cluster ~synthesis g,
+       Inter_fpga.run ~cluster ~synthesis g )
+   with
+  | Ok a, Ok b ->
+    check bool "healthy degraded = run" true
+      (a.Inter_fpga.assignment = b.Inter_fpga.assignment && a.Inter_fpga.fallbacks = [])
+  | _ -> Alcotest.fail "healthy cluster must solve");
+  (* Every device failed: infeasible, not a crash. *)
+  (match Inter_fpga.run_degraded ~failed_devices:[ 0; 1; 2; 3 ] ~cluster ~synthesis g with
+  | Error Inter_fpga.Infeasible -> ()
+  | _ -> Alcotest.fail "no survivors must be Infeasible");
+  (* Too many failures for the load: typed over-capacity error. *)
+  match Inter_fpga.run_degraded ~failed_devices:[ 1; 2; 3 ] ~cluster ~synthesis g with
+  | Error (Inter_fpga.Over_capacity n) -> check bool "over-capacity count positive" true (n > 0)
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "1.8M LUT cannot fit one U55C"
 
 (* ------------------------------------------------------------------ *)
 (* Intra-FPGA floorplanning                                            *)
@@ -421,6 +528,12 @@ let () =
           Alcotest.test_case "single-FPGA failure" `Quick test_inter_fpga_single_fpga_failure;
           Alcotest.test_case "networking IP overhead (§5.6)" `Quick test_inter_fpga_networking_overhead_charged;
           Alcotest.test_case "hop-weighted traffic" `Quick test_inter_fpga_traffic_weighted_by_hops;
+          Alcotest.test_case "greedy fallback packs" `Quick test_partition_greedy_packs;
+          Alcotest.test_case "TCS error codes" `Quick test_error_codes_match_linter_registry;
+          Alcotest.test_case "degraded avoids failed FPGA" `Quick test_run_degraded_avoids_failed_device;
+          Alcotest.test_case "degraded survives downed link" `Quick test_run_degraded_survives_downed_link;
+          Alcotest.test_case "degraded deterministic" `Quick test_run_degraded_deterministic;
+          Alcotest.test_case "degraded edge cases" `Quick test_run_degraded_edge_cases;
         ] );
       ( "intra_fpga",
         [

@@ -360,6 +360,36 @@ let test_bb_stall_returns_incumbent () =
   | Branch_bound.Optimal _ -> Alcotest.fail "cannot prove optimality with zero nodes"
   | _ -> Alcotest.fail "expected the incumbent back"
 
+let test_bb_deadline_timeout () =
+  (* A zero wall-clock budget must fire before the first node: with an
+     incumbent the solver hands it back under Timeout (Some _) instead of
+     claiming optimality; without one it reports Timeout None. *)
+  let build () =
+    let m = Model.create () in
+    let vars = List.init 6 (fun _ -> Model.add_var m Model.Binary) in
+    Model.add_constraint m (Linear.of_terms (List.map (fun v -> (v, r 3)) vars)) Model.Le (r 8);
+    Model.set_objective m Model.Maximize (Linear.of_terms (List.map (fun v -> (v, r 5)) vars));
+    (m, vars)
+  in
+  let m, vars = build () in
+  let incumbent = Array.of_list (List.mapi (fun i _ -> if i = 0 then Rat.one else Rat.zero) vars) in
+  (match Branch_bound.solve ~deadline_s:0.0 ~incumbent m with
+  | Branch_bound.Timeout (Some s) ->
+    check rat "best incumbent returned" (r 5) s.objective;
+    check bool "incumbent is feasible" true (Branch_bound.is_feasible m s.values)
+  | Branch_bound.Optimal _ -> Alcotest.fail "cannot prove optimality with a zero deadline"
+  | _ -> Alcotest.fail "expected Timeout (Some incumbent)");
+  let m2, _ = build () in
+  (match Branch_bound.solve ~deadline_s:0.0 m2 with
+  | Branch_bound.Timeout None -> ()
+  | Branch_bound.Timeout (Some _) -> Alcotest.fail "no incumbent was seeded"
+  | _ -> Alcotest.fail "expected Timeout None");
+  (* A generous deadline changes nothing. *)
+  let m3, _ = build () in
+  match Branch_bound.solve ~deadline_s:3600.0 m3 with
+  | Branch_bound.Optimal s -> check rat "optimum under generous deadline" (r 10) s.objective
+  | _ -> Alcotest.fail "expected optimal"
+
 let test_model_validation () =
   let m = Model.create () in
   Alcotest.check_raises "negative lb rejected"
@@ -409,6 +439,7 @@ let () =
           Alcotest.test_case "minimization" `Quick test_bb_minimization;
           Alcotest.test_case "is_feasible" `Quick test_is_feasible_rejects;
           Alcotest.test_case "stall returns incumbent" `Quick test_bb_stall_returns_incumbent;
+          Alcotest.test_case "deadline timeout" `Quick test_bb_deadline_timeout;
           Alcotest.test_case "model validation" `Quick test_model_validation;
         ] );
       ("properties", qsuite);

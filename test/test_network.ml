@@ -85,6 +85,130 @@ let test_port_overhead_resources () =
     (ov.Resource.lut > 0 && ov.Resource.ff > 0 && ov.Resource.bram > 0 && ov.Resource.dsp = 0
    && ov.Resource.uram = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Link.transfer_time_s edge cases (satellite)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_link_edge_cases () =
+  let l = Link.alveolink in
+  (* Zero-byte transfer: pure setup latency, no per-packet charge. *)
+  check fl "zero bytes = setup only" (l.Link.one_way_latency_us *. 1e-6)
+    (Link.transfer_time_s l 0.0);
+  check fl "negative bytes treated as empty" (l.Link.one_way_latency_us *. 1e-6)
+    (Link.transfer_time_s l (-5.0));
+  (* packet_bytes larger than the message: exactly one packet is charged. *)
+  let one_big = Link.transfer_time_s ~packet_bytes:1_000_000 l 100.0 in
+  let expected =
+    (l.Link.one_way_latency_us *. 1e-6)
+    +. (l.Link.per_packet_overhead_ns *. 1e-9)
+    +. (100.0 /. (l.Link.bandwidth_gbytes *. l.Link.derate *. 1e9))
+  in
+  check fl "oversized packet charges one packet" expected one_big;
+  (* Derate bounds: every shipped preset keeps derate in (0, 1]. *)
+  List.iter
+    (fun (lk : Link.t) ->
+      check bool (lk.Link.name ^ " derate in (0,1]") true
+        (lk.Link.derate > 0.0 && lk.Link.derate <= 1.0))
+    [ Link.alveolink; Link.pcie_p2p; Link.host_mpi_10g ];
+  (* A derate below 1 strictly slows the wire component. *)
+  let full = { l with Link.derate = 1.0 } in
+  check bool "derate < 1 slows transfers" true
+    (Link.transfer_time_s l 1e8 > Link.transfer_time_s full 1e8)
+
+(* ------------------------------------------------------------------ *)
+(* Fault model: closed forms and sampling (tentpole)                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_closed_forms () =
+  let r = Fault.roce_v2 in
+  (* E[transmissions] = (1 - p + N*p) / (1 - p). *)
+  check fl "no loss, one transmission" 1.0 (Fault.expected_transmissions ~loss_rate:0.0 r);
+  let p = 0.01 in
+  check fl "go-back-N expectation"
+    ((1.0 -. p +. (float_of_int r.Fault.window *. p)) /. (1.0 -. p))
+    (Fault.expected_transmissions ~loss_rate:p r);
+  (* E[timeout] = timeout * p * partial geometric sum. *)
+  check fl "no loss, no timeouts" 0.0 (Fault.expected_timeout_s ~loss_rate:0.0 r);
+  let ratio = p *. r.Fault.backoff in
+  let geo = (1.0 -. (ratio ** float_of_int r.Fault.max_retries)) /. (1.0 -. ratio) in
+  check fl "backed-off timeout expectation" (r.Fault.timeout_s *. p *. geo)
+    (Fault.expected_timeout_s ~loss_rate:p r);
+  (* The partial sum stays finite even at p*backoff >= 1. *)
+  let heavy = { r with Fault.backoff = 4.0 } in
+  check bool "finite past the geometric radius" true
+    (Float.is_finite (Fault.expected_timeout_s ~loss_rate:0.5 heavy));
+  (* Slowdown is 1 at p = 0 and grows with p. *)
+  let l = Link.alveolink in
+  check fl "slowdown 1 at p=0" 1.0 (Fault.slowdown ~loss_rate:0.0 l);
+  check bool "slowdown grows with loss" true
+    (Fault.slowdown ~loss_rate:0.05 l > Fault.slowdown ~loss_rate:0.01 l
+    && Fault.slowdown ~loss_rate:0.01 l > 1.0)
+
+let test_fault_transfer_time () =
+  let l = Link.alveolink in
+  (* fault = ideal reproduces Link.transfer_time_s exactly. *)
+  List.iter
+    (fun bytes ->
+      check fl
+        (Printf.sprintf "ideal fault = ideal link at %g B" bytes)
+        (Link.transfer_time_s l bytes)
+        (Fault.transfer_time_s ~fault:Fault.ideal l bytes))
+    [ 0.0; 100.0; 1e6; 64e6 ];
+  (* A down window the busy interval overlaps adds its remaining length. *)
+  let ideal_t = Link.transfer_time_s l 1e6 in
+  let fault = { Fault.ideal with Fault.down = [ (0.0, 1e-3) ] } in
+  check fl "down window at t=0 adds its full length" (ideal_t +. 1e-3)
+    (Fault.transfer_time_s ~fault l 1e6);
+  (* A window entirely after completion adds nothing. *)
+  let late = { Fault.ideal with Fault.down = [ (10.0, 11.0) ] } in
+  check fl "late window adds nothing" ideal_t (Fault.transfer_time_s ~fault:late l 1e6);
+  (* Starting inside the window waits it out. *)
+  check fl "start mid-window waits" (ideal_t +. 0.5e-3)
+    (Fault.transfer_time_s ~at:0.5e-3 ~fault l 1e6);
+  (* Mean jitter is jitter/2 per packet. *)
+  let jit = { Fault.ideal with Fault.jitter_s = 1e-6 } in
+  let packets = Float.ceil (1e6 /. float_of_int l.Link.default_packet_bytes) in
+  check fl "mean jitter jitter/2 per packet" (ideal_t +. (packets *. 0.5e-6))
+    (Fault.transfer_time_s ~fault:jit l 1e6);
+  (* Invalid fault specs are rejected. *)
+  Alcotest.check_raises "loss_rate 1 rejected" (Invalid_argument "Fault: loss_rate 1 outside [0, 1)")
+    (fun () -> ignore (Fault.transfer_time_s ~fault:(Fault.lossy 1.0) l 1e6))
+
+let test_fault_sampling () =
+  let l = Link.alveolink in
+  let fault = Fault.lossy 0.02 in
+  (* Same seed -> bit-identical sample; different seed -> (almost surely)
+     different timeline. *)
+  let sample seed =
+    Fault.sample_transfer_time_s ~fault ~prng:(Tapa_cs_util.Prng.create seed) l 64e6
+  in
+  check fl "same seed, same sample" (sample 42) (sample 42);
+  check bool "different seeds diverge" true (sample 42 <> sample 43);
+  (* Sampled time is at least the loss-free wire time. *)
+  check bool "sample >= ideal" true (sample 7 >= Link.transfer_time_s l 64e6);
+  (* A link with max_retries = 0 gives up on the first loss. *)
+  let fragile = { Fault.roce_v2 with Fault.max_retries = 0 } in
+  let hot = Fault.lossy 0.9 in
+  check bool "fragile link raises Link_lost" true
+    (match
+       Fault.sample_transfer_time_s ~retrans:fragile ~fault:hot
+         ~prng:(Tapa_cs_util.Prng.create 1) l 64e6
+     with
+    | _ -> false
+    | exception Fault.Link_lost _ -> true)
+
+(* qcheck property: the faulty expected time dominates the ideal time and
+   equals it at loss rate 0 (satellite). *)
+let prop_faulty_dominates =
+  QCheck.Test.make ~name:"faulty expected time >= ideal; equal at p=0" ~count:200
+    QCheck.(pair (float_bound_exclusive 0.5) (float_range 1.0 1e8))
+    (fun (p, bytes) ->
+      let l = Link.alveolink in
+      let ideal_t = Link.transfer_time_s l bytes in
+      let faulty = Fault.transfer_time_s ~fault:(Fault.lossy p) l bytes in
+      let at_zero = Fault.transfer_time_s ~fault:(Fault.lossy 0.0) l bytes in
+      faulty >= ideal_t -. 1e-12 && Float.abs (at_zero -. ideal_t) < 1e-12)
+
 let () =
   Alcotest.run "network"
     [
@@ -102,5 +226,13 @@ let () =
           Alcotest.test_case "table 10 rows" `Quick test_table10_rows;
           Alcotest.test_case "alveolink tradeoff" `Quick test_alveolink_wins_tradeoff;
           Alcotest.test_case "port overhead (§5.6)" `Quick test_port_overhead_resources;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "link edge cases" `Quick test_link_edge_cases;
+          Alcotest.test_case "closed forms" `Quick test_fault_closed_forms;
+          Alcotest.test_case "faulty transfer time" `Quick test_fault_transfer_time;
+          Alcotest.test_case "deterministic sampling" `Quick test_fault_sampling;
+          QCheck_alcotest.to_alcotest prop_faulty_dominates;
         ] );
     ]

@@ -288,6 +288,85 @@ let test_engine_exception_propagates () =
   Alcotest.check_raises "process exception surfaces" (Failure "boom") (fun () ->
       ignore (Engine.run e))
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injected outcomes (tentpole)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_outcome_completed () =
+  match Design_sim.run_outcome (simple_design ~cross:true ()) with
+  | Design_sim.Completed r ->
+    check bool "same result as run" true
+      (r.latency_s = (Design_sim.run (simple_design ~cross:true ())).latency_s)
+  | _ -> Alcotest.fail "fault-free run must report Completed"
+
+let test_outcome_lossy_links_degrade () =
+  let clean =
+    match Design_sim.run_outcome (simple_design ~cross:true ()) with
+    | Design_sim.Completed r -> r
+    | _ -> Alcotest.fail "clean run"
+  in
+  let faults = Tapa_cs_network.Fault.make ~loss_rate:0.05 () in
+  match Design_sim.run_outcome ~faults (simple_design ~cross:true ()) with
+  | Design_sim.Degraded { result; reasons } ->
+    check bool "loss reason reported" true
+      (List.exists (fun r -> String.length r > 0) reasons && reasons <> []);
+    check bool "lossy run is slower" true (result.latency_s > clean.latency_s)
+  | _ -> Alcotest.fail "lossy run must report Degraded"
+
+let test_outcome_loss_local_only_is_harmless () =
+  (* Loss only derates inter-FPGA links; a single-FPGA design still
+     reports Degraded (the fault was requested) but keeps its latency. *)
+  let clean =
+    match Design_sim.run_outcome (simple_design ()) with
+    | Design_sim.Completed r -> r
+    | _ -> Alcotest.fail "clean run"
+  in
+  let faults = Tapa_cs_network.Fault.make ~loss_rate:0.05 () in
+  match Design_sim.run_outcome ~faults (simple_design ()) with
+  | Design_sim.Degraded { result; _ } -> check fl "latency unchanged" clean.latency_s result.latency_s
+  | Design_sim.Completed _ -> ()
+  | Design_sim.Failed _ -> Alcotest.fail "must not fail"
+
+let test_outcome_fifo_stall_degrades () =
+  let clean =
+    match Design_sim.run_outcome (simple_design ~cross:true ()) with
+    | Design_sim.Completed r -> r
+    | _ -> Alcotest.fail "clean run"
+  in
+  let faults = Tapa_cs_network.Fault.make ~fifo_stalls:[ (0, 0.0, 1e-3) ] () in
+  match Design_sim.run_outcome ~faults (simple_design ~cross:true ()) with
+  | Design_sim.Degraded { result; reasons } ->
+    check bool "stall reason reported" true (reasons <> []);
+    check bool "stall adds about its duration" true
+      (result.latency_s >= clean.latency_s +. 0.9e-3)
+  | _ -> Alcotest.fail "stalled run must report Degraded"
+
+let test_outcome_device_halt_fails () =
+  (* Halting the consumer's FPGA at t=0 starves the producer: the run
+     cannot finish and must classify as Failed, attributing the halt. *)
+  let faults = Tapa_cs_network.Fault.make ~device_halts:[ (1, 0.0) ] () in
+  match Design_sim.run_outcome ~faults (simple_design ~cross:true ()) with
+  | Design_sim.Failed { fault; partial } ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+      at 0
+    in
+    check bool "halt attributed" true (contains fault "halt");
+    check bool "partial stats present" true (partial.latency_s >= 0.0)
+  | Design_sim.Completed _ -> Alcotest.fail "halted run must not complete"
+  | Design_sim.Degraded _ -> Alcotest.fail "halted run must not merely degrade"
+
+let test_outcome_deterministic () =
+  let faults = Tapa_cs_network.Fault.make ~seed:5 ~loss_rate:0.02 ~fifo_stalls:[ (0, 1e-4, 5e-4) ] () in
+  let latency () =
+    match Design_sim.run_outcome ~faults (simple_design ~cross:true ()) with
+    | Design_sim.Degraded { result; _ } -> result.latency_s
+    | Design_sim.Completed r -> r.latency_s
+    | Design_sim.Failed _ -> Alcotest.fail "must finish"
+  in
+  check fl "bit-identical across runs" (latency ()) (latency ())
+
 (* Property: random fan-out/fan-in pipelines conserve bytes on every
    channel and never deadlock. *)
 let prop_random_pipelines_conserve =
@@ -378,6 +457,15 @@ let () =
           Alcotest.test_case "link contention" `Quick test_design_sim_link_contention;
           Alcotest.test_case "config validation" `Quick test_design_sim_validation;
           Alcotest.test_case "exception propagation" `Quick test_engine_exception_propagates;
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "fault-free completes" `Quick test_outcome_completed;
+          Alcotest.test_case "lossy links degrade" `Quick test_outcome_lossy_links_degrade;
+          Alcotest.test_case "local design shrugs off loss" `Quick test_outcome_loss_local_only_is_harmless;
+          Alcotest.test_case "fifo stall degrades" `Quick test_outcome_fifo_stall_degrades;
+          Alcotest.test_case "device halt fails" `Quick test_outcome_device_halt_fails;
+          Alcotest.test_case "deterministic outcomes" `Quick test_outcome_deterministic;
         ] );
       ("properties", qsuite);
     ]

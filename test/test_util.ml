@@ -325,6 +325,30 @@ let test_pool_nested_and_shutdown () =
   let seq = Pool.parallel_map ~pool (fun i -> i * 2) (Array.init 6 Fun.id) in
   check bool "post-shutdown sequential" true (seq = Array.init 6 (fun i -> i * 2))
 
+let test_pool_failing_batch_drains () =
+  (* Documented behaviour: a worker raising mid-batch does not cancel the
+     batch — every element is still evaluated, and the first exception
+     observed re-raises in the caller only after the drain. *)
+  let n = 64 in
+  let evaluated = Atomic.make 0 in
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match
+     Pool.parallel_map ~pool
+       (fun i ->
+         Atomic.incr evaluated;
+         if i mod 16 = 3 then failwith (Printf.sprintf "boom-%d" i) else i)
+       (Array.init n Fun.id)
+   with
+  | _ -> Alcotest.fail "expected the batch failure to re-raise"
+  | exception Failure msg ->
+    check bool "one of the raised exceptions wins" true
+      (List.mem msg [ "boom-3"; "boom-19"; "boom-35"; "boom-51" ]));
+  check int "every element still evaluated" n (Atomic.get evaluated);
+  (* The drained pool runs the next batch normally. *)
+  let ok = Pool.parallel_map ~pool succ (Array.init 10 Fun.id) in
+  check bool "next batch clean" true (ok = Array.init 10 succ)
+
 let test_pool_small_arrays () =
   check bool "empty" true (Pool.parallel_map Fun.id [||] = [||]);
   check bool "singleton" true (Pool.parallel_map succ [| 41 |] = [| 42 |]);
@@ -383,6 +407,7 @@ let () =
         [
           Alcotest.test_case "matches sequential map" `Quick test_pool_matches_sequential;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "failing batch drains" `Quick test_pool_failing_batch_drains;
           Alcotest.test_case "nested + shutdown" `Quick test_pool_nested_and_shutdown;
           Alcotest.test_case "small arrays" `Quick test_pool_small_arrays;
         ] );
