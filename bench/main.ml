@@ -48,6 +48,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("idle", "per-FPGA idle-time analysis (task traces)", Exp_idle.idle);
     ("autoscale", "roofline autoscaler (section 7 extension)", Exp_autoscale.autoscale);
     ("micro", "bechamel kernel microbenchmarks", Micro.run);
+    ("certcheck", "float-first simplex certification gate (CI)", Exp_certcheck.run);
   ]
 
 let usage () =

@@ -25,21 +25,34 @@ let rat_add =
   let a = Rat.of_ints 355 113 and b = Rat.of_ints 22 7 in
   Test.make ~name:"rat add" (Staged.stage (fun () -> ignore (Rat.add a b)))
 
+(* A 12-var, 10-constraint LP built once and re-solved. *)
+let lp_model =
+  let m = Ilp.Model.create () in
+  let rng = Prng.create 3 in
+  let vars = List.init 12 (fun _ -> Ilp.Model.add_var m Ilp.Model.Continuous ~ub:(Rat.of_int 10)) in
+  for _ = 1 to 10 do
+    let coeffs = List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 0 5))) vars in
+    Ilp.Model.add_constraint m (Ilp.Linear.of_terms coeffs) Ilp.Model.Le (Rat.of_int (Prng.int_in rng 5 40))
+  done;
+  Ilp.Model.set_objective m Ilp.Model.Maximize
+    (Ilp.Linear.of_terms (List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 9))) vars));
+  m
+
 let simplex_lp =
-  (* A 12-var, 10-constraint LP built once and re-solved. *)
-  let model =
-    let m = Ilp.Model.create () in
-    let rng = Prng.create 3 in
-    let vars = List.init 12 (fun _ -> Ilp.Model.add_var m Ilp.Model.Continuous ~ub:(Rat.of_int 10)) in
-    for _ = 1 to 10 do
-      let coeffs = List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 0 5))) vars in
-      Ilp.Model.add_constraint m (Ilp.Linear.of_terms coeffs) Ilp.Model.Le (Rat.of_int (Prng.int_in rng 5 40))
-    done;
-    Ilp.Model.set_objective m Ilp.Model.Maximize
-      (Ilp.Linear.of_terms (List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 9))) vars));
-    m
-  in
-  Test.make ~name:"simplex 12x10 LP" (Staged.stage (fun () -> ignore (Ilp.Simplex.solve model)))
+  Test.make ~name:"simplex 12x10 LP" (Staged.stage (fun () -> ignore (Ilp.Simplex.solve lp_model)))
+
+(* Float-first vs exact on the same pre-prepared template: the gap is
+   pure arithmetic — double pivots plus one rational LU certification
+   versus rational pivots throughout. *)
+let lp_prepared = Ilp.Simplex.prepare lp_model
+
+let simplex_float_first =
+  Test.make ~name:"simplex 12x10 LP, float-first"
+    (Staged.stage (fun () -> ignore (Ilp.Simplex.solve_float_first lp_prepared)))
+
+let simplex_exact_prepared =
+  Test.make ~name:"simplex 12x10 LP, exact prepared"
+    (Staged.stage (fun () -> ignore (Ilp.Simplex.solve_prepared lp_prepared)))
 
 let bb_ilp =
   let model =
@@ -75,10 +88,19 @@ let bb_floorplan_model =
     (Ilp.Linear.of_terms (List.map (fun v -> (v, Rat.of_int (Prng.int_in rng 1 20))) vars));
   m
 
+(* The warm-started bench rides the default solver configuration, which
+   is now float-first with dual warm restarts; the "exact prepared"
+   variant pins the previous all-rational prepared path so the trajectory
+   file records both the new default and the old one. *)
 let bb_warm =
   Test.make ~name:"B&B 24-var floorplan ILP, warm-started"
     (Staged.stage (fun () ->
          ignore (Ilp.Branch_bound.solve ~warm_start:true bb_floorplan_model)))
+
+let bb_exact_prepared =
+  Test.make ~name:"B&B 24-var floorplan ILP, exact prepared"
+    (Staged.stage (fun () ->
+         ignore (Ilp.Branch_bound.solve ~warm_start:true ~float_first:false bb_floorplan_model)))
 
 let bb_cold =
   Test.make ~name:"B&B 24-var floorplan ILP, cold rebuild"
@@ -103,15 +125,15 @@ let compile_seq =
 
 (* Only meaningful with >= 2 cores: on a single-core host extra domains
    just time-slice (and pay cross-domain GC synchronization), so the
-   variant is skipped rather than recording a misleading slowdown. *)
+   variant is skipped rather than recording a misleading slowdown.  The
+   name is pinned to jobs=4 (not the host's core count) so trajectory
+   entries from different machines stay comparable. *)
 let compile_par =
-  let jobs = Pool.default_jobs () in
-  if jobs < 2 then None
+  if Pool.default_jobs () < 2 then None
   else
     Some
-      (Test.make
-         ~name:(Printf.sprintf "compile stencil 4-FPGA, jobs=%d" jobs)
-         (Staged.stage (fun () -> compile_with_jobs jobs)))
+      (Test.make ~name:"compile stencil 4-FPGA, jobs=4"
+         (Staged.stage (fun () -> compile_with_jobs 4)))
 
 let partition_heuristic =
   let problem =
@@ -187,7 +209,8 @@ let small_sim =
 let tests =
   Test.make_grouped ~name:"kernels"
     ([
-       bigint_mul; bigint_divmod; rat_add; simplex_lp; bb_ilp; bb_warm; bb_cold; compile_seq;
+       bigint_mul; bigint_divmod; rat_add; simplex_lp; simplex_float_first;
+       simplex_exact_prepared; bb_ilp; bb_warm; bb_exact_prepared; bb_cold; compile_seq;
      ]
     @ Option.to_list compile_par
     @ [ partition_heuristic; link_ideal; link_faulty; event_queue; small_sim ])

@@ -146,9 +146,51 @@ let compile_design app_t ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Solver counters of one compile plus the process-wide floorplan-cache
+   counts, as a table (or JSON for scripting).  The solver counters come
+   from [Compiler.solver_stats] and are bit-stable across [--jobs] and
+   cache states; the cache counts are process-wide and depend on what ran
+   earlier, so they are labelled as such. *)
+let print_solver_stats ~json c =
+  let s = Compiler.solver_stats c in
+  let cache_hits, cache_misses = Tapa_cs_floorplan.Partition.cache_stats () in
+  if json then
+    Format.printf
+      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d}@."
+      s.Compiler.lp_solves s.Compiler.lp_pivots s.Compiler.lp_certified s.Compiler.lp_fallbacks
+      s.Compiler.bb_nodes s.Compiler.refinement_moves cache_hits cache_misses
+  else begin
+    let i = string_of_int in
+    Tapa_cs_util.Table.print ~title:"solver statistics"
+      ~header:[ "counter"; "value" ]
+      ~aligns:[ Tapa_cs_util.Table.Left; Tapa_cs_util.Table.Right ]
+      [
+        [ "LP relaxations solved"; i s.Compiler.lp_solves ];
+        [ "simplex pivots"; i s.Compiler.lp_pivots ];
+        [ "float-certified solves"; i s.Compiler.lp_certified ];
+        [ "exact fallbacks"; i s.Compiler.lp_fallbacks ];
+        [ "branch-and-bound nodes"; i s.Compiler.bb_nodes ];
+        [ "refinement moves"; i s.Compiler.refinement_moves ];
+        [ "floorplan cache hits (process)"; i cache_hits ];
+        [ "floorplan cache misses (process)"; i cache_misses ];
+      ]
+  end
+
+let stats_arg =
+  let doc =
+    "Print solver statistics after the compile: LP solves and pivots, how many relaxations the \
+     float-first simplex certified vs fell back to exact arithmetic, branch-and-bound nodes, \
+     refinement moves and the process-wide floorplan-cache hit/miss counts."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_json_arg =
+  let doc = "With $(b,--stats): emit the counters as a single JSON object instead of a table." in
+  Arg.(value & flag & info [ "stats-json" ] ~doc)
+
 let compile_cmd =
   let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
-      loss_rate fail_fpgas =
+      loss_rate fail_fpgas stats stats_json =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
@@ -179,14 +221,17 @@ let compile_cmd =
           | Some c ->
             Format.printf "%a" Compiler.pp_summary c;
             Format.printf "floorplanner runtimes: L1 %.2fs, L2 %.2fs@." c.Compiler.l1_runtime_s
-              c.Compiler.l2_runtime_s
-          | None -> ());
+              c.Compiler.l2_runtime_s;
+            if stats then print_solver_stats ~json:stats_json c
+          | None ->
+            if stats then
+              Format.printf "no solver statistics: flow %s has no compile step@." des.Flow.label);
           0))
   in
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
           $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
-          $ seed_arg $ loss_rate_arg $ fail_fpga_arg)
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ stats_arg $ stats_json_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Run the seven-step TAPA-CS compile and print the floorplan.") term
 

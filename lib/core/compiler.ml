@@ -195,6 +195,49 @@ let compile ?(options = default_options) ~cluster graph =
       }
   end
 
+type solver_stats = {
+  lp_solves : int;
+  lp_pivots : int;
+  lp_certified : int;
+  lp_fallbacks : int;
+  bb_nodes : int;
+  refinement_moves : int;
+}
+
+(* Aggregated over the inter-FPGA solve and every intra-FPGA bisection
+   level.  Deliberately excludes the solution-cache hit/miss counts:
+   those depend on what ran earlier in the process (cold vs warm), while
+   everything in [t] — including these counters — is bit-identical
+   across [jobs] settings and cache states.  Cache observability lives
+   in [Partition.cache_stats].  Note the counters describe the solves
+   that *produced* the stored results: a cache hit replays the stored
+   stats record, so the aggregate is stable by construction. *)
+let solver_stats t =
+  let add acc (s : Partition.stats) =
+    {
+      lp_solves = acc.lp_solves + s.lp_solves;
+      lp_pivots = acc.lp_pivots + s.lp_pivots;
+      lp_certified = acc.lp_certified + s.lp_certified;
+      lp_fallbacks = acc.lp_fallbacks + s.lp_fallbacks;
+      bb_nodes = acc.bb_nodes + s.bb_nodes;
+      refinement_moves = acc.refinement_moves + s.refinement_moves;
+    }
+  in
+  let zero =
+    {
+      lp_solves = 0;
+      lp_pivots = 0;
+      lp_certified = 0;
+      lp_fallbacks = 0;
+      bb_nodes = 0;
+      refinement_moves = 0;
+    }
+  in
+  let acc = add zero t.inter.Inter_fpga.stats in
+  Array.fold_left
+    (fun acc p -> List.fold_left add acc p.Intra_fpga.levels)
+    acc t.intra
+
 let fpga_of t tid = t.inter.Inter_fpga.assignment.(tid)
 
 let slot_of t tid =

@@ -70,6 +70,24 @@ val compile : ?options:options -> cluster:Cluster.t -> Taskgraph.t -> (t, string
     stage tail run on a worker-domain pool; results are assembled in
     index order so the output does not depend on [jobs]. *)
 
+type solver_stats = {
+  lp_solves : int;  (** LP relaxations solved across all floorplan ILPs *)
+  lp_pivots : int;  (** simplex iterations (float on certified solves) *)
+  lp_certified : int;  (** solves settled by the float-first path *)
+  lp_fallbacks : int;  (** solves where certification forced exact re-solve *)
+  bb_nodes : int;  (** branch-and-bound nodes explored *)
+  refinement_moves : int;  (** heuristic move-refinement steps *)
+}
+
+val solver_stats : t -> solver_stats
+(** Solver counters aggregated over the inter-FPGA solve and every
+    intra-FPGA bisection level.  Derived purely from the compile result,
+    so it is bit-identical across [jobs] settings and cache states — a
+    floorplan-cache hit replays the stored stats of the solve that
+    produced it.  Process-wide cache hit/miss counts (which {e do}
+    depend on what ran earlier) are reported separately by
+    {!Partition.cache_stats}. *)
+
 val slot_of : t -> int -> int option
 (** Final slot of a task on its FPGA. *)
 

@@ -17,7 +17,10 @@ type strategy = Exact | Heuristic | Auto
 type stats = {
   backend : [ `Exact | `Heuristic | `Greedy ];
   runtime_s : float;
+  lp_solves : int;
   lp_pivots : int;
+  lp_certified : int;
+  lp_fallbacks : int;
   bb_nodes : int;
   refinement_moves : int;
   proven_optimal : bool;
@@ -25,6 +28,36 @@ type stats = {
 }
 
 type result = { assignment : int array; cost : float; feasible : bool; stats : stats }
+
+(* Solver-counter bundle threaded from Branch_bound solutions up through
+   the exact / hierarchical backends into [stats]. *)
+type ilp_counters = {
+  c_nodes : int;
+  c_solves : int;
+  c_pivots : int;
+  c_cert : int;
+  c_fb : int;
+}
+
+let zero_counters = { c_nodes = 0; c_solves = 0; c_pivots = 0; c_cert = 0; c_fb = 0 }
+
+let add_counters a b =
+  {
+    c_nodes = a.c_nodes + b.c_nodes;
+    c_solves = a.c_solves + b.c_solves;
+    c_pivots = a.c_pivots + b.c_pivots;
+    c_cert = a.c_cert + b.c_cert;
+    c_fb = a.c_fb + b.c_fb;
+  }
+
+let counters_of (sol : Ilp.Branch_bound.solution) =
+  {
+    c_nodes = sol.nodes;
+    c_solves = sol.lp_solves;
+    c_pivots = sol.lp_pivots;
+    c_cert = sol.lp_certified;
+    c_fb = sol.lp_fallbacks;
+  }
 
 let num_items p = Array.length p.areas
 
@@ -369,7 +402,7 @@ let exact ?deadline_s ?timeout_flag ~incumbent p =
       (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
       let assignment = Array.init n (fun i -> if Rat.is_zero sol.values.(y.(i)) then 0 else 1) in
       let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
-      Some (assignment, sol.nodes, sol.lp_pivots, proven)
+      Some (assignment, counters_of sol, proven)
     | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
     | Ilp.Branch_bound.Timeout None ->
       mark_timeout ();
@@ -462,7 +495,7 @@ let exact ?deadline_s ?timeout_flag ~incumbent p =
             !part)
       in
       let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
-      Some (assignment, sol.nodes, sol.lp_pivots, proven)
+      Some (assignment, counters_of sol, proven)
     | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
     | Ilp.Branch_bound.Timeout None ->
       mark_timeout ();
@@ -528,28 +561,28 @@ let solve_two_way ~strategy ~seed ~exact_var_limit sub =
   in
   match strategy with
   | Heuristic -> (
-    match h with Some (a, _, true, m) -> Some (a, 0, 0, m, false) | _ -> None)
+    match h with Some (a, _, true, m) -> Some (a, zero_counters, m, false) | _ -> None)
   | Exact -> (
     match exact ~incumbent:None sub with
-    | Some (a, nodes, pivots, proven) -> Some (a, nodes, pivots, 0, proven)
+    | Some (a, counters, proven) -> Some (a, counters, 0, proven)
     | None -> None)
   | Auto -> (
     match h with
     (* A feasible zero-cost split is optimal by definition (costs are
        nonnegative): skip the ILP entirely. *)
-    | Some (a, cost, true, m) when cost <= 1e-12 -> Some (a, 0, 0, m, true)
+    | Some (a, cost, true, m) when cost <= 1e-12 -> Some (a, zero_counters, m, true)
     | _ -> (
       match try_exact () with
-      | Some (a, nodes, pivots, proven) -> Some (a, nodes, pivots, 0, proven)
+      | Some (a, counters, proven) -> Some (a, counters, 0, proven)
       | None -> (
-        match h with Some (a, _, true, m) -> Some (a, 0, 0, m, false) | _ -> None)))
+        match h with Some (a, _, true, m) -> Some (a, zero_counters, m, false) | _ -> None)))
 
 let hierarchical ~strategy ~seed ~exact_var_limit p =
   let n = num_items p in
   let assignment = Array.make n (-1) in
   let fixed_part = Array.make n (-1) in
   List.iter (fun (i, part) -> fixed_part.(i) <- part) p.fixed;
-  let nodes = ref 0 and pivots = ref 0 and moves = ref 0 in
+  let counters = ref zero_counters and moves = ref 0 in
   let failed = ref false in
   (* BFS over (part range, member items); sibling ranges are known, so
      edges leaving the current range become pulls toward whichever half
@@ -613,9 +646,8 @@ let hierarchical ~strategy ~seed ~exact_var_limit p =
       in
       match solve_two_way ~strategy ~seed ~exact_var_limit sub with
       | None -> failed := true
-      | Some (a, nd, pv, mv, _) ->
-        nodes := !nodes + nd;
-        pivots := !pivots + pv;
+      | Some (a, cnt, mv, _) ->
+        counters := add_counters !counters cnt;
         moves := !moves + mv;
         let ma = ref [] and mb = ref [] in
         Array.iteri
@@ -636,7 +668,7 @@ let hierarchical ~strategy ~seed ~exact_var_limit p =
   if !failed then None
   else begin
     moves := !moves + refine_global p assignment;
-    Some (assignment, !nodes, !pivots, !moves)
+    Some (assignment, !counters, !moves)
   end
 
 let binary_var_count p = if p.k = 2 then num_items p else num_items p * p.k
@@ -700,7 +732,10 @@ let greedy p =
           {
             backend = `Greedy;
             runtime_s = Sys.time () -. t0;
+            lp_solves = 0;
             lp_pivots = 0;
+            lp_certified = 0;
+            lp_fallbacks = 0;
             bb_nodes = 0;
             refinement_moves = 0;
             proven_optimal = false;
@@ -709,8 +744,7 @@ let greedy p =
       }
   end
 
-let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?warm_incumbent p =
-  validate p;
+let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent p =
   (* An externally supplied incumbent (e.g. the previous attempt's mapping
      re-checked against relaxed capacities) only helps if it is feasible
      for *this* problem; otherwise it is dropped silently. *)
@@ -721,7 +755,7 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?wa
   in
   let t0 = Sys.time () in
   let timeout_flag = ref false in
-  let finish backend ?(moves = 0) ?(nodes = 0) ?(pivots = 0) ~proven assignment =
+  let finish backend ?(moves = 0) ?(counters = zero_counters) ~proven assignment =
     let cost = cost_of p assignment in
     let feasible = feasible_assignment p assignment in
     Some
@@ -733,8 +767,11 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?wa
           {
             backend;
             runtime_s = Sys.time () -. t0;
-            lp_pivots = pivots;
-            bb_nodes = nodes;
+            lp_solves = counters.c_solves;
+            lp_pivots = counters.c_pivots;
+            lp_certified = counters.c_cert;
+            lp_fallbacks = counters.c_fb;
+            bb_nodes = counters.c_nodes;
             refinement_moves = moves;
             proven_optimal = proven;
             timed_out = !timeout_flag;
@@ -755,7 +792,7 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?wa
       | Some _ | None -> None)
     | Exact -> (
       match run_exact warm_incumbent with
-      | Some (assignment, nodes, pivots, proven) -> finish `Exact ~nodes ~pivots ~proven assignment
+      | Some (assignment, counters, proven) -> finish `Exact ~counters ~proven assignment
       | None -> None)
     | Auto -> (
       let h = run_heuristic () in
@@ -776,19 +813,19 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?wa
       let joint_limit = if p.k = 2 then exact_var_limit else exact_var_limit / 2 in
       if binary_var_count p <= joint_limit then begin
         match run_exact incumbent with
-        | Some (assignment, nodes, pivots, true) ->
-          finish `Exact ~nodes ~pivots ~proven:true assignment
-        | Some (assignment, nodes, pivots, false) -> (
+        | Some (assignment, counters, true) ->
+          finish `Exact ~counters ~proven:true assignment
+        | Some (assignment, counters, false) -> (
           (* Search budget exhausted: the recursive-bisection backend often
              beats a stalled joint search on k > 2 instances. *)
           let hier =
             if p.k > 2 then hierarchical ~strategy:Auto ~seed ~exact_var_limit p else None
           in
           match hier with
-          | Some (ha, hn, hp, hm)
+          | Some (ha, hc, hm)
             when feasible_assignment p ha && cost_of p ha < cost_of p assignment -. 1e-9 ->
-            finish `Heuristic ~moves:hm ~nodes:hn ~pivots:hp ~proven:false ha
-          | _ -> finish `Exact ~nodes ~pivots ~proven:false assignment)
+            finish `Heuristic ~moves:hm ~counters:(add_counters counters hc) ~proven:false ha
+          | _ -> finish `Exact ~counters ~proven:false assignment)
         | None -> None (* exact proof of infeasibility *)
       end
       else begin
@@ -800,15 +837,93 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?wa
         in
         let flat = match h with Some (a, c, true, m) -> Some (a, c, m) | _ -> None in
         match (hier, flat) with
-        | Some (a, nodes, pivots, moves), Some (fa, fc, _)
+        | Some (a, counters, moves), Some (fa, fc, _)
           when feasible_assignment p a && cost_of p a <= fc +. 1e-9 ->
           ignore fa;
-          finish `Heuristic ~moves ~nodes ~pivots ~proven:false a
-        | Some (a, nodes, pivots, moves), None when feasible_assignment p a ->
-          finish `Heuristic ~moves ~nodes ~pivots ~proven:false a
+          finish `Heuristic ~moves ~counters ~proven:false a
+        | Some (a, counters, moves), None when feasible_assignment p a ->
+          finish `Heuristic ~moves ~counters ~proven:false a
         | _, Some (fa, _, fm) -> finish `Heuristic ~moves:fm ~proven:false fa
-        | Some (a, nodes, pivots, moves), _ when feasible_assignment p a ->
-          finish `Heuristic ~moves ~nodes ~pivots ~proven:false a
+        | Some (a, counters, moves), _ when feasible_assignment p a ->
+          finish `Heuristic ~moves ~counters ~proven:false a
         | _ -> None
       end)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed solution cache.
+
+   Stencil-style designs ask the floorplanner the same question many
+   times: identical task graphs partitioned under identical capacities
+   recur across compile attempts, fault-injection retries and the
+   intra-FPGA levels of a hierarchical run.  Since [solve_uncached] is a
+   pure function of its arguments (the PRNG is seeded, the ILP is
+   deterministic), the whole [result option] can be memoized under a
+   canonical digest of every input that influences the answer.
+
+   Determinism contract: the cache must never change *what* is returned,
+   only how fast.  Two consequences shape the code below:
+   - [runtime_s] is part of the stored record and is returned verbatim
+     on a hit, so cache-cold and cache-warm compiles emit bit-identical
+     reports.  Hit/miss observability lives in [cache_stats] only.
+   - a wall-clock [deadline_s] budget makes the result host-speed
+     dependent, so deadline-bearing calls bypass the cache entirely. *)
+
+let cache : result option Memo.t = Memo.create ()
+
+let cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent p =
+  let buf = Buffer.create 512 in
+  let int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
+  let flt f =
+    (* %h is exact (hex float): no decimal rounding can merge keys *)
+    Buffer.add_string buf (Printf.sprintf "%h" f);
+    Buffer.add_char buf ';'
+  in
+  let res (r : Resource.t) =
+    int r.lut; int r.ff; int r.bram; int r.dsp; int r.uram
+  in
+  Buffer.add_string buf
+    (match strategy with Exact -> "E" | Heuristic -> "H" | Auto -> "A");
+  int seed;
+  int exact_var_limit;
+  (match warm_incumbent with
+  | None -> Buffer.add_char buf 'n'
+  | Some a ->
+    Buffer.add_char buf 'w';
+    int (Array.length a);
+    Array.iter int a);
+  int (Array.length p.areas);
+  Array.iter res p.areas;
+  int (List.length p.edges);
+  List.iter (fun (a, b, w) -> int a; int b; flt w) p.edges;
+  int (List.length p.pulls);
+  List.iter (fun (i, part, w) -> int i; int part; flt w) p.pulls;
+  int p.k;
+  Array.iter res p.capacities;
+  (* [dist] is a function; its observable behaviour on this problem is
+     exactly the k x k table, so that table is what gets hashed. *)
+  for a = 0 to p.k - 1 do
+    for b = 0 to p.k - 1 do
+      int (p.dist a b)
+    done
+  done;
+  int (List.length p.fixed);
+  List.iter (fun (i, part) -> int i; int part) p.fixed;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?warm_incumbent p =
+  validate p;
+  match deadline_s with
+  | Some _ -> solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent p
+  | None ->
+    let key = cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent p in
+    let r, _hit =
+      Memo.find_or_compute cache ~key (fun () ->
+          solve_uncached ~strategy ~seed ~exact_var_limit ?warm_incumbent p)
+    in
+    (* Deep-copy the assignment: callers own their result arrays and a
+       mutation must not poison later hits. *)
+    Option.map (fun r -> { r with assignment = Array.copy r.assignment }) r
+
+let cache_stats () = Memo.stats cache
+let reset_cache () = Memo.reset cache

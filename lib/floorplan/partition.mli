@@ -30,7 +30,14 @@ type strategy = Exact | Heuristic | Auto
 type stats = {
   backend : [ `Exact | `Heuristic | `Greedy ];
   runtime_s : float;
+  lp_solves : int;  (** LP relaxations solved; 0 for the heuristic backend *)
   lp_pivots : int;  (** 0 for the heuristic backend *)
+  lp_certified : int;
+      (** LP solves settled by the float-first simplex path whose basis
+          passed exact rational certification *)
+  lp_fallbacks : int;
+      (** LP solves where certification rejected the float basis and the
+          exact solver was consulted *)
   bb_nodes : int;
   refinement_moves : int;  (** 0 for the exact backend *)
   proven_optimal : bool;
@@ -64,7 +71,23 @@ val solve :
     the determinism contract for liveness, so only interactive paths set
     it.  [warm_incumbent] seeds the exact search with an externally known
     assignment (e.g. the previous fallback-chain attempt re-checked
-    against relaxed capacities); infeasible seeds are dropped silently. *)
+    against relaxed capacities); infeasible seeds are dropped silently.
+
+    Results are memoized in a content-addressed cache keyed on a
+    canonical digest of every argument that influences the answer
+    (strategy, seed, limits, incumbent, areas, edges, pulls, [k],
+    capacities, the [k x k] distance table and fixed placements).  The
+    cache is transparent: hits return the stored record — including its
+    original [runtime_s] — so compile output is bit-identical whether the
+    cache is cold or warm, and it is safe under domain-parallel compile.
+    Calls that set [deadline_s] bypass the cache (their result may depend
+    on host speed).  Observe it via {!cache_stats} / {!reset_cache}. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the process-wide solution cache. *)
+
+val reset_cache : unit -> unit
+(** Clears the solution cache and its counters (tests / benchmarks). *)
 
 val greedy : problem -> result option
 (** Deterministic first-fit-decreasing placement — no search, no

@@ -18,8 +18,45 @@ type report = {
 
 (* Tasks of the same kind with the same compute shape share one synthesis
    run; tasks with explicit resource overrides are keyed on the override
-   too so heterogeneous calibrations stay distinct. *)
-let cache_key (t : Task.t) = (t.kind, t.compute, t.resources, t.mem_ports)
+   too so heterogeneous calibrations stay distinct.
+
+   The key is a digest of a canonical length-prefixed serialization, not
+   a structural tuple.  The tuple key had two latent defects: the [kind]
+   string sat next to variable-length fields with no framing (so two
+   different tasks could in principle serialize alike), and the compute
+   record's floats were compared with polymorphic equality, under which
+   [nan <> nan] — a task whose traffic came out as NaN would never match
+   its own key and silently resynthesize every occurrence. *)
+let cache_key (t : Task.t) =
+  let buf = Buffer.create 128 in
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
+  let flt f = Buffer.add_string buf (Printf.sprintf "%h" f); Buffer.add_char buf ';' in
+  str t.kind;
+  flt t.compute.ii;
+  flt t.compute.elems;
+  flt t.compute.ops_per_elem;
+  int t.compute.elem_bits;
+  int t.compute.buffer_bytes;
+  int t.compute.lanes;
+  int (List.length t.mem_ports);
+  List.iter
+    (fun (p : Task.mem_port) ->
+      Buffer.add_char buf (match p.dir with Task.Read -> 'r' | Task.Write -> 'w');
+      int p.width_bits;
+      flt p.bytes;
+      match p.channel with None -> Buffer.add_char buf 'n' | Some c -> int c)
+    t.mem_ports;
+  (match t.resources with
+  | None -> Buffer.add_char buf 'n'
+  | Some (r : Resource.t) ->
+    Buffer.add_char buf 'r';
+    int r.lut; int r.ff; int r.bram; int r.dsp; int r.uram);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let run ?board ?pool g =
   let tasks = Taskgraph.tasks g in

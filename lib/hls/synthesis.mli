@@ -23,6 +23,14 @@ type report = {
   total_resources : Resource.t;
 }
 
+val cache_key : Task.t -> string
+(** Canonical digest of everything that determines a task's synthesis
+    result: kind, compute shape, memory ports and any explicit resource
+    override.  Length-prefixed serialization, so adjacent fields cannot
+    alias; floats are rendered exactly ([%h]), so NaN traffic still keys
+    consistently (the old structural-tuple key compared NaN with
+    polymorphic equality and never matched itself). *)
+
 val run : ?board:Board.t -> ?pool:Tapa_cs_util.Pool.t -> Taskgraph.t -> report
 (** Synthesizes one representative task per distinct {!cache_key} — via
     [pool] when given, so independent kinds estimate on separate cores —

@@ -6,6 +6,8 @@ type solution = {
   nodes : int;
   lp_solves : int;
   lp_pivots : int;
+  lp_certified : int;
+  lp_fallbacks : int;
 }
 type result =
   | Optimal of solution
@@ -36,10 +38,19 @@ let is_feasible model values =
          | Model.Eq -> Rat.equal lhs rhs)
        (Model.constraints model)
 
-type node = { bound : Rat.t; depth : int; lbs : Rat.t array; ubs : Rat.t option array }
+type node = {
+  bound : Rat.t;
+  depth : int;
+  lbs : Rat.t array;
+  ubs : Rat.t option array;
+  warm : Simplex.basis option;
+      (* the parent's certified LP basis: after one bound tightened it
+         stays dual-feasible, so the child restarts with a dual simplex
+         phase instead of solving from scratch *)
+}
 
 let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?deadline_s
-    ?incumbent ?(warm_start = true) model =
+    ?incumbent ?(warm_start = true) ?(float_first = true) model =
   match Validate.check model with
   | Validate.Infeasible_constraint _ :: _ -> Infeasible
   | Validate.Unbounded_direction _ :: _ -> Unbounded
@@ -67,6 +78,8 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
             nodes = 0;
             lp_solves = 0;
             lp_pivots = 0;
+            lp_certified = 0;
+            lp_fallbacks = 0;
           }
       | _ -> None)
   in
@@ -94,6 +107,7 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
         else false
   in
   let nodes = ref 0 and pivots = ref 0 and lp_solves = ref 0 in
+  let certified = ref 0 and fallbacks = ref 0 in
   let last_improvement = ref 0 in
   let pivots_left () = Stdlib.max 1 (max_pivots - !pivots) in
   let frontier = Heap.create ~cmp:node_cmp in
@@ -110,22 +124,28 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
   let prune_by_incumbent bound =
     match !best with Some b -> not (better bound b.objective) | None -> false
   in
-  let solve_lp lbs ubs =
+  let solve_lp ?warm lbs ubs =
     incr lp_solves;
-    let outcome =
+    let outcome () =
       match template with
-      | Some t -> Simplex.solve_prepared ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) t
-      | None -> Simplex.solve_reference ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) model
+      | Some t when float_first ->
+        (* Float-first with exact certification; the parent basis (when
+           carried by the node) turns the solve into a dual restart. *)
+        let ff = Simplex.solve_float_first ~bounds:(lbs, ubs) ?warm ~max_pivots:(pivots_left ()) t in
+        if ff.Simplex.ff_certified then incr certified else incr fallbacks;
+        (ff.Simplex.ff_result, ff.Simplex.ff_basis)
+      | Some t -> (Simplex.solve_prepared ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) t, None)
+      | None -> (Simplex.solve_reference ~bounds:(lbs, ubs) ~max_pivots:(pivots_left ()) model, None)
     in
-    match outcome with
+    match outcome () with
     | exception Simplex.Pivot_limit ->
       limit_hit := true;
       None
-    | Simplex.Infeasible -> None
-    | Simplex.Unbounded -> raise Exit (* surfaced as Unbounded below *)
-    | Simplex.Optimal sol ->
+    | Simplex.Infeasible, _ -> None
+    | Simplex.Unbounded, _ -> raise Exit (* surfaced as Unbounded below *)
+    | Simplex.Optimal sol, basis ->
       pivots := !pivots + sol.pivots;
-      Some sol
+      Some (sol, basis)
   in
   let pick_branch_var values =
     (* Most fractional binary: fractional part closest to 1/2. *)
@@ -146,9 +166,9 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
   let expand node =
     if prune_by_incumbent node.bound || !limit_hit then ()
     else begin
-      match solve_lp node.lbs node.ubs with
+      match solve_lp ?warm:node.warm node.lbs node.ubs with
       | None -> ()
-      | Some lp ->
+      | Some (lp, basis) ->
         if prune_by_incumbent lp.objective then ()
         else begin
           let v = pick_branch_var lp.values in
@@ -160,12 +180,14 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
                 nodes = !nodes;
                 lp_solves = !lp_solves;
                 lp_pivots = !pivots;
+                lp_certified = !certified;
+                lp_fallbacks = !fallbacks;
               }
           else begin
             let child fix =
               let lbs = Array.copy node.lbs and ubs = Array.copy node.ubs in
               if fix = 0 then ubs.(v) <- Some Rat.zero else lbs.(v) <- Rat.one;
-              { bound = lp.objective; depth = node.depth + 1; lbs; ubs }
+              { bound = lp.objective; depth = node.depth + 1; lbs; ubs; warm = basis }
             in
             (* Explore the branch suggested by the LP value first. *)
             let primary = if Rat.compare (Rat.fractional lp.values.(v)) (Rat.of_ints 1 2) >= 0 then 1 else 0 in
@@ -176,12 +198,12 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
     end
   in
   match
-    (let root = { bound = Rat.zero; depth = 0; lbs = root_lbs; ubs = root_ubs } in
+    (let root = { bound = Rat.zero; depth = 0; lbs = root_lbs; ubs = root_ubs; warm = None } in
      (* Seed the frontier with the root; its [bound] is a placeholder that
         never prunes because the incumbent check re-solves the LP. *)
      (match solve_lp root.lbs root.ubs with
      | None -> if not !limit_hit then raise Not_found (* root infeasible *)
-     | Some lp ->
+     | Some (lp, basis) ->
        let v = pick_branch_var lp.values in
        if v < 0 then
          record_candidate
@@ -191,12 +213,14 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
              nodes = 0;
              lp_solves = !lp_solves;
              lp_pivots = !pivots;
+             lp_certified = !certified;
+             lp_fallbacks = !fallbacks;
            }
        else begin
          let child fix =
            let lbs = Array.copy root.lbs and ubs = Array.copy root.ubs in
            if fix = 0 then ubs.(v) <- Some Rat.zero else lbs.(v) <- Rat.one;
-           { bound = lp.objective; depth = 1; lbs; ubs }
+           { bound = lp.objective; depth = 1; lbs; ubs; warm = basis }
          in
          Heap.push frontier (child 0);
          Heap.push frontier (child 1)
@@ -213,7 +237,16 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
   | exception Exit -> Unbounded
   | exception Not_found -> Infeasible
   | () -> (
-    let finalize sol = { sol with nodes = !nodes; lp_solves = !lp_solves; lp_pivots = !pivots } in
+    let finalize sol =
+      {
+        sol with
+        nodes = !nodes;
+        lp_solves = !lp_solves;
+        lp_pivots = !pivots;
+        lp_certified = !certified;
+        lp_fallbacks = !fallbacks;
+      }
+    in
     if !deadline_hit then Timeout (Option.map finalize !best)
     else
     match !best with

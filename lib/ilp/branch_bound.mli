@@ -12,7 +12,16 @@ type solution = {
   values : Rat.t array;
   nodes : int;  (** branch-and-bound nodes explored *)
   lp_solves : int;  (** LP relaxations solved (root + per-node) *)
-  lp_pivots : int;  (** total simplex pivots across all LP solves *)
+  lp_pivots : int;
+      (** total simplex iterations across all LP solves (float iterations
+          on certified solves, exact pivots on fallbacks) *)
+  lp_certified : int;
+      (** LP solves settled by the float-first path: the float basis
+          passed exact certification (or the node was decided by an exact
+          bound conflict) *)
+  lp_fallbacks : int;
+      (** LP solves where certification rejected the float result and the
+          exact solver was consulted; always 0 when [float_first=false] *)
 }
 
 type result =
@@ -31,6 +40,7 @@ val solve :
   ?deadline_s:float ->
   ?incumbent:Rat.t array ->
   ?warm_start:bool ->
+  ?float_first:bool ->
   Model.t ->
   result
 (** [deadline_s] is a wall-clock budget: when it expires the search stops
@@ -53,6 +63,17 @@ val solve :
     against.  Both settings return the same result constructor and
     objective; when an instance has several optima they may pick
     different optimal assignments.
+
+    [float_first] (default [true]; only meaningful with [warm_start])
+    solves node relaxations through {!Simplex.solve_float_first}: a
+    double-precision simplex proposes the basis, exact rational
+    certification accepts or rejects it, and rejected nodes fall back to
+    the exact solver — results are exact either way, and the
+    [lp_certified] / [lp_fallbacks] counters record which route each
+    solve took.  Each node also carries its parent's certified basis;
+    since tightening a single bound keeps that basis dual-feasible, the
+    child's float solve warm-restarts with a dual simplex phase instead
+    of a from-scratch two-phase run.
 
     Models are screened through {!Validate.check} first: trivially
     infeasible or unbounded instances return [Infeasible] / [Unbounded]

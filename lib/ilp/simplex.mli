@@ -77,6 +77,45 @@ val solve :
     bounded-variable path.
     @raise Pivot_limit when [max_pivots] is exhausted. *)
 
+type basis
+(** A simplex basis proposed by the float path: one basic column per
+    template row plus the nonbasic-at-upper-bound flags.  Opaque —
+    meaningful only together with the {!prepared} template it came from.
+    {!Branch_bound} threads a parent's basis to its children so their
+    solves can warm-restart with a dual simplex phase. *)
+
+type float_first_outcome = {
+  ff_result : result;
+  ff_basis : basis option;
+      (** the certified optimal basis; [None] on exact fallback (or when
+          the node was decided by a bound conflict) *)
+  ff_certified : bool;
+      (** [true] when the float proposal passed exact certification (or
+          the node was infeasible by an exact bound conflict); [false]
+          when the exact solver had to be consulted *)
+}
+
+val solve_float_first :
+  ?bounds:Rat.t array * Rat.t option array ->
+  ?warm:basis ->
+  ?max_pivots:int ->
+  prepared ->
+  float_first_outcome
+(** Float-first solve with exact certification.  Runs the prepared
+    bounded-variable simplex in double precision (warm-restarting from
+    [warm] with a dual simplex phase when given), then re-derives the
+    proposed basis's solution {e exactly}: basic values via a rational
+    LU solve of [B x_B = b], reduced costs via [B^T y = c_B].  If the
+    basis passes the exact primal and dual feasibility checks the
+    reconstructed rational solution is provably optimal and is returned
+    with [ff_certified = true].  On any violation — and on float claims
+    of infeasibility or unboundedness, which carry no certificate — the
+    node is re-solved by {!solve_prepared} (falling back to
+    {!solve_reference} as before), so the result is always exact; only
+    [ff_certified] records that the fast path missed.
+    @raise Pivot_limit when the exact fallback exhausts [max_pivots]
+    (the float attempt itself is capped separately and cheaply). *)
+
 val solve_reference :
   ?bounds:Rat.t array * Rat.t option array ->
   ?max_pivots:int ->

@@ -1,0 +1,55 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  lock : Mutex.t;
+  max_entries : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(max_entries = 8192) () =
+  {
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    max_entries = max max_entries 1;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~key =
+  match with_lock t (fun () -> Hashtbl.find_opt t.table key) with
+  | Some _ as v ->
+    Atomic.incr t.hits;
+    v
+  | None ->
+    Atomic.incr t.misses;
+    None
+
+let store t key v =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
+        Hashtbl.add t.table key v
+      end)
+
+let find_or_compute t ~key f =
+  match find t ~key with
+  | Some v -> (v, true)
+  | None ->
+    (* Compute outside the lock: the determinism contract makes a racing
+       duplicate compute return the same value, so first-store-wins is
+       safe and slow solves don't block unrelated lookups. *)
+    let v = f () in
+    store t key v;
+    (v, false)
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let stats t = (Atomic.get t.hits, Atomic.get t.misses)
+
+let reset t =
+  with_lock t (fun () -> Hashtbl.reset t.table);
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0

@@ -1,0 +1,45 @@
+(** Content-addressed memo table for deterministic computations.
+
+    A [t] maps canonical string keys (typically a [Digest.string] of a
+    serialized problem) to previously computed values.  It is designed for
+    caching solver results across the compile pipeline:
+
+    - Thread/domain-safe: lookups and insertions take an internal mutex, so
+      a single global table can be shared by [Pool] workers.
+    - Compute-outside-lock: [find_or_compute] releases the mutex while the
+      supplied thunk runs, so a slow solve does not serialize unrelated
+      lookups.  Two domains racing on the same key may both compute; the
+      first store wins and the value is identical by the determinism
+      contract (same key => same canonical problem => same result), so the
+      duplicate work is harmless.
+    - Bounded: when the table exceeds [max_entries] it is cleared wholesale
+      before the next insertion.  Eviction only ever costs recomputation,
+      never changes results.
+
+    Hit/miss counters are kept in atomics and can be read or reset at any
+    time; they are observability-only and must never feed back into cached
+    values (that would break cold-vs-warm bit-identity). *)
+
+type 'a t
+
+val create : ?max_entries:int -> unit -> 'a t
+(** [create ()] makes an empty table.  [max_entries] defaults to 8192. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** [find_or_compute t ~key f] returns [(v, hit)]: the cached value for
+    [key] with [hit = true], or [f ()] (stored under [key]) with
+    [hit = false].  If [f] raises, nothing is stored and the exception
+    propagates.  The caller must treat [v] as shared: copy any mutable
+    structure before handing it out. *)
+
+val find : 'a t -> key:string -> 'a option
+(** Lookup without computing; counts as a hit or miss. *)
+
+val length : 'a t -> int
+(** Number of entries currently stored. *)
+
+val stats : 'a t -> int * int
+(** [(hits, misses)] since creation or the last [reset]. *)
+
+val reset : 'a t -> unit
+(** Drop all entries and zero the counters. *)

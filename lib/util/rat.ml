@@ -4,6 +4,24 @@ module B = Bigint
 
 type t = { n : B.t; d : B.t }
 
+(* Native fast path: floorplanning data is overwhelmingly small integers
+   (binary bounds, single-digit coefficients), and for those the generic
+   route — three array multiplications plus an array-based gcd per
+   operation — dominates the exact solver's profile.  When both operands
+   fit under [Bigint.to_small]'s 2^30 cap the cross-products stay inside
+   the native 63-bit range, so the arithmetic and the gcd run on ints and
+   only the canonical result is re-boxed. *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let make_small num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { n = B.zero; d = B.one }
+  else begin
+    let num, den = if den < 0 then (-num, -den) else (num, den) in
+    let g = gcd_int (Stdlib.abs num) den in
+    { n = B.of_int (num / g); d = B.of_int (den / g) }
+  end
+
 let make num den =
   if B.is_zero den then raise Division_by_zero;
   if B.is_zero num then { n = B.zero; d = B.one }
@@ -33,7 +51,9 @@ let equal a b = B.equal a.n b.n && B.equal a.d b.d
 
 let compare a b =
   (* a.n/a.d ? b.n/b.d  <=>  a.n*b.d ? b.n*a.d (denominators positive). *)
-  B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+  match (B.to_small a.n, B.to_small a.d, B.to_small b.n, B.to_small b.d) with
+  | Some an, Some ad, Some bn, Some bd -> Stdlib.compare (an * bd) (bn * ad)
+  | _ -> B.compare (B.mul a.n b.d) (B.mul b.n a.d)
 
 let neg x = { x with n = B.neg x.n }
 let abs x = { x with n = B.abs x.n }
@@ -45,13 +65,19 @@ let inv x =
 let add a b =
   if is_zero a then b
   else if is_zero b then a
-  else make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+  else
+    match (B.to_small a.n, B.to_small a.d, B.to_small b.n, B.to_small b.d) with
+    | Some an, Some ad, Some bn, Some bd -> make_small ((an * bd) + (bn * ad)) (ad * bd)
+    | _ -> make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
 
 let sub a b = add a (neg b)
 
 let mul a b =
   if is_zero a || is_zero b then zero
-  else make (B.mul a.n b.n) (B.mul a.d b.d)
+  else
+    match (B.to_small a.n, B.to_small a.d, B.to_small b.n, B.to_small b.d) with
+    | Some an, Some ad, Some bn, Some bd -> make_small (an * bn) (ad * bd)
+    | _ -> make (B.mul a.n b.n) (B.mul a.d b.d)
 
 let div a b = mul a (inv b)
 

@@ -97,6 +97,41 @@ let test_jobs_determinism () =
       done)
     apps
 
+let test_cache_cold_warm_identity () =
+  (* The floorplan solution cache's contract: a warm compile replays the
+     stored solver records verbatim, so every output field — including
+     the Sys.time-derived runtime inside the replayed stats and the
+     solver counters — is bit-identical to the cold compile.  Only the
+     process-wide hit/miss counters may differ, and they live outside
+     the compile result. *)
+  let g = (Stencil.generate (Stencil.make_config ~iterations:8 ~fpgas:2 ())).App.graph in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let run () =
+    match Compiler.compile ~options:fast_options ~cluster g with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  Tapa_cs_floorplan.Partition.reset_cache ();
+  let cold = run () in
+  let _, misses_after_cold = Tapa_cs_floorplan.Partition.cache_stats () in
+  check bool "cold compile populated the cache" true (misses_after_cold > 0);
+  let warm = run () in
+  let hits_after_warm, _ = Tapa_cs_floorplan.Partition.cache_stats () in
+  check bool "warm compile hit the cache" true (hits_after_warm > 0);
+  check bool "inter assignment identical" true
+    (cold.Compiler.inter.Inter_fpga.assignment = warm.Compiler.inter.Inter_fpga.assignment);
+  check bool "inter stats replayed verbatim" true
+    (cold.Compiler.inter.Inter_fpga.stats = warm.Compiler.inter.Inter_fpga.stats);
+  check (Alcotest.float 0.0) "L1 runtime replayed verbatim" cold.Compiler.l1_runtime_s
+    warm.Compiler.l1_runtime_s;
+  check bool "slot maps identical" true
+    (Array.for_all2
+       (fun (a : Intra_fpga.t) (b : Intra_fpga.t) -> a.Intra_fpga.slot_of = b.Intra_fpga.slot_of)
+       cold.Compiler.intra warm.Compiler.intra);
+  check bool "freq estimates identical" true (cold.Compiler.freq = warm.Compiler.freq);
+  check bool "solver counters identical" true
+    (Compiler.solver_stats cold = Compiler.solver_stats warm)
+
 let test_flows_on_small_design () =
   let g = small_chain ~tasks:4 ~lut:20_000 in
   (match Flow.vitis g with
@@ -310,6 +345,8 @@ let () =
           Alcotest.test_case "port bandwidth wire cap" `Quick test_port_bandwidth_capped_by_wire;
           Alcotest.test_case "board generality (U250, Stratix-10)" `Quick test_board_generality;
           Alcotest.test_case "jobs=1 and jobs=4 outputs identical" `Quick test_jobs_determinism;
+          Alcotest.test_case "cache-cold and cache-warm outputs identical" `Quick
+            test_cache_cold_warm_identity;
           Alcotest.test_case "degraded compile survives device failure" `Quick
             test_degraded_compile_survives_device_failure;
           Alcotest.test_case "degraded compile deterministic" `Quick

@@ -468,6 +468,43 @@ let test_partition_deterministic () =
   | Some a, Some b -> check bool "deterministic" true (a.Partition.assignment = b.Partition.assignment)
   | _ -> Alcotest.fail "expected solutions"
 
+let test_partition_cache () =
+  (* The solution cache must be transparent: a warm solve returns the
+     stored record — runtime_s and all — and handing out a copy of the
+     assignment keeps caller mutations from poisoning later hits. *)
+  Partition.reset_cache ();
+  let mk () =
+    (* A fresh record (and fresh [dist] closure) per call: the key is
+       content-addressed, so physically distinct but equal problems must
+       still hit. *)
+    simple_problem ~cap:110 ~edges:[ (0, 1, 1.0); (1, 2, 100.0); (2, 3, 1.0) ] [ 50; 50; 50; 50 ]
+  in
+  let r1 = Partition.solve ~strategy:Partition.Exact (mk ()) in
+  let h0, m0 = Partition.cache_stats () in
+  check bool "first solve misses" true (m0 >= 1 && h0 = 0);
+  let r2 = Partition.solve ~strategy:Partition.Exact (mk ()) in
+  let h1, _ = Partition.cache_stats () in
+  check bool "second solve hits" true (h1 > h0);
+  (match (r1, r2) with
+  | Some a, Some b ->
+    check bool "identical assignment" true (a.Partition.assignment = b.Partition.assignment);
+    check bool "identical cost" true (a.Partition.cost = b.Partition.cost);
+    check bool "identical stats (runtime replayed verbatim)" true
+      (a.Partition.stats = b.Partition.stats);
+    (* Mutate the first result; a later hit must be unaffected. *)
+    a.Partition.assignment.(0) <- 99;
+    (match Partition.solve ~strategy:Partition.Exact (mk ()) with
+    | Some c -> check bool "cache unpoisoned by caller mutation" true (c.Partition.assignment.(0) <> 99)
+    | None -> Alcotest.fail "expected a solution")
+  | _ -> Alcotest.fail "expected solutions");
+  (* A deadline-bearing call bypasses the cache: its result may depend on
+     host speed, so it must neither consult nor populate the table. *)
+  let h2, m2 = Partition.cache_stats () in
+  ignore (Partition.solve ~strategy:Partition.Exact ~deadline_s:10.0 (mk ()));
+  check bool "deadline solve bypasses cache" true (Partition.cache_stats () = (h2, m2));
+  Partition.reset_cache ();
+  check bool "reset clears counters" true (Partition.cache_stats () = (0, 0))
+
 let test_partition_distance_metric_matters () =
   (* The same heavy edge costs more when its endpoints land farther apart:
      a star topology's hub detour must push the solver to colocate. *)
@@ -519,6 +556,7 @@ let () =
           Alcotest.test_case "exact = brute force" `Slow test_exact_matches_brute_force;
           Alcotest.test_case "heuristic feasibility" `Quick test_heuristic_always_feasible_when_returned;
           Alcotest.test_case "determinism" `Quick test_partition_deterministic;
+          Alcotest.test_case "solution cache" `Quick test_partition_cache;
           Alcotest.test_case "min-cut lower bound (oracle)" `Quick test_partition_cost_bounded_by_global_mincut;
           Alcotest.test_case "distance metrics" `Quick test_partition_distance_metric_matters;
         ] );

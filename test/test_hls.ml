@@ -98,6 +98,46 @@ let test_synthesis_distinguishes_overrides () =
   check bool "totals add up" true
     (Resource.equal r.Synthesis.total_resources (Resource.make ~lut:300 ()))
 
+let test_cache_key_canonical () =
+  (* Identical tasks (ids/names aside) share a key; any semantic field
+     difference separates them. *)
+  let c = Task.make_compute ~elems:10.0 ~ops_per_elem:2.0 () in
+  let base = mk_task ~kind:"pe" ~compute:c () in
+  check bool "id/name irrelevant" true
+    (Synthesis.cache_key base = Synthesis.cache_key (mk_task ~id:7 ~name:"other" ~kind:"pe" ~compute:c ()));
+  check bool "kind separates" true
+    (Synthesis.cache_key base <> Synthesis.cache_key (mk_task ~kind:"pe2" ~compute:c ()));
+  check bool "compute separates" true
+    (Synthesis.cache_key base
+    <> Synthesis.cache_key (mk_task ~kind:"pe" ~compute:(Task.make_compute ~elems:11.0 ~ops_per_elem:2.0 ()) ()));
+  check bool "override separates" true
+    (Synthesis.cache_key base
+    <> Synthesis.cache_key (mk_task ~kind:"pe" ~compute:c ~resources:(Resource.make ~lut:1 ()) ()));
+  check bool "mem ports separate" true
+    (Synthesis.cache_key base
+    <> Synthesis.cache_key
+         (mk_task ~kind:"pe" ~compute:c
+            ~mem_ports:[ Task.mem_port ~dir:Task.Read ~width_bits:512 ~bytes:1e6 () ]
+            ()))
+
+let test_cache_key_no_field_aliasing () =
+  (* Regression for the structural-tuple key's framing defect: the kind
+     string must be length-prefixed so it cannot bleed into the adjacent
+     numeric fields of the serialization. *)
+  let k1 = Synthesis.cache_key (mk_task ~kind:"a1" ()) in
+  let k2 = Synthesis.cache_key (mk_task ~kind:"a" ()) in
+  check bool "kind framed" true (k1 <> k2)
+
+let test_cache_key_nan_stable () =
+  (* Regression for the second defect: a NaN traffic volume compared
+     with polymorphic equality never equalled itself, so such tasks
+     resynthesized on every occurrence.  The digest key must map a task
+     to the same key every time, NaN or not. *)
+  let nan_port = Task.mem_port ~dir:Task.Write ~width_bits:256 ~bytes:(0.0 /. 0.0) () in
+  let t1 = mk_task ~kind:"pe" ~mem_ports:[ nan_port ] () in
+  let t2 = mk_task ~id:1 ~kind:"pe" ~mem_ports:[ nan_port ] () in
+  check bool "NaN task keys consistently" true (Synthesis.cache_key t1 = Synthesis.cache_key t2)
+
 let () =
   Alcotest.run "hls"
     [
@@ -115,5 +155,8 @@ let () =
         [
           Alcotest.test_case "per-kind caching" `Quick test_synthesis_caching;
           Alcotest.test_case "distinct overrides" `Quick test_synthesis_distinguishes_overrides;
+          Alcotest.test_case "canonical cache key" `Quick test_cache_key_canonical;
+          Alcotest.test_case "cache key framing" `Quick test_cache_key_no_field_aliasing;
+          Alcotest.test_case "cache key NaN-stable" `Quick test_cache_key_nan_stable;
         ] );
     ]

@@ -207,6 +207,126 @@ let prop_prepared_matches_reference =
       | Simplex.Unbounded, Simplex.Unbounded -> true
       | _ -> false)
 
+(* Differential check of the float-first certified path against the
+   reference solver: the certify-then-fallback contract promises exact
+   equality of the objective (not mere closeness), whichever of the two
+   internal routes produced it. *)
+let prop_float_first_matches_reference =
+  QCheck.Test.make ~name:"float-first certified simplex matches reference solver" ~count:300
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 1 6 in
+      let m = Model.create () in
+      let vars =
+        List.init n (fun _ ->
+            if Prng.int rng 2 = 0 then Model.add_var m Model.Binary
+            else begin
+              let lb = r (Prng.int rng 3) in
+              match Prng.int rng 3 with
+              | 0 -> Model.add_var m Model.Continuous ~lb
+              | _ -> Model.add_var m Model.Continuous ~lb ~ub:(Rat.add lb (r (Prng.int rng 5)))
+            end)
+      in
+      let ncon = Prng.int_in rng 1 5 in
+      for _ = 1 to ncon do
+        let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-4) 4))) vars in
+        let rel = match Prng.int rng 3 with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq in
+        Model.add_constraint m (Linear.of_terms coeffs) rel (r (Prng.int_in rng (-5) 10))
+      done;
+      let sense = if Prng.int rng 2 = 0 then Model.Minimize else Model.Maximize in
+      Model.set_objective m sense
+        (Linear.of_terms (List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars));
+      let bounds =
+        if Prng.int rng 2 = 0 then None
+        else begin
+          let lbs = Array.init n (Model.var_lb m) in
+          let ubs = Array.init n (Model.var_ub m) in
+          List.iter
+            (fun v ->
+              if Prng.int rng 3 = 0 then lbs.(v) <- Rat.add lbs.(v) (r (Prng.int rng 2));
+              if Prng.int rng 3 = 0 then ubs.(v) <- Some (r (Prng.int rng 3)))
+            vars;
+          Some (lbs, ubs)
+        end
+      in
+      let reference = Simplex.solve_reference ?bounds m in
+      let ff = Simplex.solve_float_first ?bounds (Simplex.prepare m) in
+      match (reference, ff.Simplex.ff_result) with
+      | Simplex.Optimal a, Simplex.Optimal b ->
+        Rat.equal a.objective b.objective
+        && List.for_all
+             (fun (e, rel, rhs) ->
+               let lhs = Linear.eval e (fun v -> b.values.(v)) in
+               match rel with
+               | Model.Le -> Rat.compare lhs rhs <= 0
+               | Model.Ge -> Rat.compare lhs rhs >= 0
+               | Model.Eq -> Rat.equal lhs rhs)
+             (Model.constraints m)
+      | Simplex.Infeasible, Simplex.Infeasible -> true
+      | Simplex.Unbounded, Simplex.Unbounded -> true
+      | _ -> false)
+
+(* Adversarial near-degenerate instances: coefficients whose differences
+   vanish in double precision.  The float path must NOT be trusted here —
+   certification has to reject its basis (or its feasibility verdict) and
+   the exact fallback must still return the exact optimum. *)
+let big_rat num den = Rat.make (Bigint.of_string num) (Bigint.of_string den)
+
+let test_float_first_adversarial_tie () =
+  (* max x + (1 + 10^-30) y  st  x + y <= 1.  In doubles both objective
+     coefficients round to 1.0 and Dantzig pricing picks x; the true
+     optimum needs y.  The exact dual check sees the 10^-30 reduced cost
+     and must refuse to certify. *)
+  let q = big_rat "1" "1000000000000000000000000000000" in
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous and y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 1) ]) Model.Le (r 1);
+  Model.set_objective m Model.Maximize
+    (Linear.of_terms [ (x, r 1); (y, Rat.add (r 1) q) ]);
+  let ff = Simplex.solve_float_first (Simplex.prepare m) in
+  (match ff.Simplex.ff_result with
+  | Simplex.Optimal s ->
+    check rat "exact tie-broken optimum" (Rat.add (r 1) q) s.objective;
+    check rat "y carries the bonus" (r 1) s.values.(y)
+  | _ -> Alcotest.fail "expected optimal");
+  check bool "certification refused the float basis" false ff.Simplex.ff_certified;
+  match Simplex.solve_reference m with
+  | Simplex.Optimal s -> check rat "reference agrees" (Rat.add (r 1) q) s.objective
+  | _ -> Alcotest.fail "reference should be optimal"
+
+let test_float_first_adversarial_infeasible () =
+  (* x <= 10^-21 yet x >= 10^-20: truly infeasible, but the violation is
+     far below any float feasibility tolerance, so the float phase 1
+     accepts it.  Exact certification must catch the lie and the fallback
+     must return Infeasible. *)
+  let tiny_ub = big_rat "1" "1000000000000000000000" in
+  let tiny_lb = big_rat "1" "100000000000000000000" in
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous ~ub:tiny_ub in
+  Model.add_constraint m (Linear.var x) Model.Ge tiny_lb;
+  Model.set_objective m Model.Maximize (Linear.var x);
+  let ff = Simplex.solve_float_first (Simplex.prepare m) in
+  check bool "exactly infeasible" true (ff.Simplex.ff_result = Simplex.Infeasible);
+  check bool "float path could not certify" false ff.Simplex.ff_certified
+
+let test_float_first_certifies_clean_lp () =
+  (* Well-conditioned LP: the float basis must pass exact certification
+     (no fallback) and reproduce the known rational optimum. *)
+  let m = Model.create () in
+  let x = Model.add_var m Model.Continuous and y = Model.add_var m Model.Continuous in
+  Model.add_constraint m (Linear.of_terms [ (x, r 2); (y, r 1) ]) Model.Le (r 3);
+  Model.add_constraint m (Linear.of_terms [ (x, r 1); (y, r 2) ]) Model.Le (r 3);
+  Model.set_objective m Model.Maximize (Linear.of_terms [ (x, r 1); (y, r 1) ]);
+  let ff = Simplex.solve_float_first (Simplex.prepare m) in
+  (match ff.Simplex.ff_result with
+  | Simplex.Optimal s ->
+    check rat "exact objective from certified basis" (r 2) s.objective;
+    check rat "x" (r 1) s.values.(x);
+    check rat "y" (r 1) s.values.(y)
+  | _ -> Alcotest.fail "expected optimal");
+  check bool "certified without fallback" true ff.Simplex.ff_certified
+
 (* ------------------------------------------------------------------ *)
 (* Branch and bound                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -323,6 +443,40 @@ let prop_bb_warm_matches_cold =
       | Branch_bound.Feasible a, Branch_bound.Feasible b -> Rat.equal a.objective b.objective
       | _ -> false)
 
+(* The float-first B&B (dual warm restarts + certification) must agree
+   with the pure exact prepared path on result and objective, and its
+   certified + fallback counters must account for every LP solve. *)
+let prop_bb_float_first_matches_exact =
+  QCheck.Test.make ~name:"float-first B&B matches exact prepared B&B" ~count:80
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 2 7 in
+      let ncon = Prng.int_in rng 1 4 in
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_var m Model.Binary) in
+      for _ = 1 to ncon do
+        let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars in
+        Model.add_constraint m (Linear.of_terms coeffs) Model.Le (r (Prng.int_in rng (-3) 8))
+      done;
+      Model.set_objective m Model.Maximize
+        (Linear.of_terms (List.map (fun v -> (v, r (Prng.int_in rng (-9) 9))) vars));
+      let accounted (a : Branch_bound.solution) =
+        a.lp_certified + a.lp_fallbacks = a.lp_solves
+      in
+      match
+        (Branch_bound.solve ~float_first:true m, Branch_bound.solve ~float_first:false m)
+      with
+      | Branch_bound.Optimal a, Branch_bound.Optimal b ->
+        Rat.equal a.objective b.objective
+        && Branch_bound.is_feasible m a.values
+        && accounted a
+        && b.lp_certified = 0 && b.lp_fallbacks = 0
+      | Branch_bound.Infeasible, Branch_bound.Infeasible -> true
+      | Branch_bound.Unbounded, Branch_bound.Unbounded -> true
+      | Branch_bound.Feasible a, Branch_bound.Feasible b -> Rat.equal a.objective b.objective
+      | _ -> false)
+
 let test_simplex_pivot_limit () =
   (* A model that needs pivots must raise when given none. *)
   let m = Model.create () in
@@ -407,8 +561,10 @@ let qsuite =
     [
       prop_simplex_sound;
       prop_prepared_matches_reference;
+      prop_float_first_matches_reference;
       prop_bb_matches_brute_force;
       prop_bb_warm_matches_cold;
+      prop_bb_float_first_matches_exact;
     ]
 
 let () =
@@ -430,6 +586,12 @@ let () =
           Alcotest.test_case "fractional optimum exact" `Quick test_simplex_fractional_optimum;
           Alcotest.test_case "pivot limit" `Quick test_simplex_pivot_limit;
           Alcotest.test_case "degeneracy" `Quick test_simplex_degenerate;
+          Alcotest.test_case "float-first certifies clean LP" `Quick
+            test_float_first_certifies_clean_lp;
+          Alcotest.test_case "float-first adversarial objective tie" `Quick
+            test_float_first_adversarial_tie;
+          Alcotest.test_case "float-first adversarial infeasibility" `Quick
+            test_float_first_adversarial_infeasible;
         ] );
       ( "branch_bound",
         [

@@ -355,6 +355,65 @@ let test_pool_small_arrays () =
   check bool "no pool" true (Pool.parallel_map succ (Array.init 20 Fun.id) = Array.init 20 succ);
   check bool "jobs floor" true (Pool.default_jobs () >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Memo: content-addressed memoization                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_basics () =
+  let m = Memo.create () in
+  let computes = ref 0 in
+  let f () = incr computes; 42 in
+  let v1, hit1 = Memo.find_or_compute m ~key:"a" f in
+  let v2, hit2 = Memo.find_or_compute m ~key:"a" f in
+  check int "value" 42 v1;
+  check int "cached value" 42 v2;
+  check bool "first is a miss" false hit1;
+  check bool "second is a hit" true hit2;
+  check int "computed once" 1 !computes;
+  check int "length" 1 (Memo.length m);
+  check bool "stats after one miss, one hit" true (Memo.stats m = (1, 1));
+  check bool "find present" true (Memo.find m ~key:"a" = Some 42);
+  check bool "find absent" true (Memo.find m ~key:"b" = None);
+  check bool "find counts toward stats" true (Memo.stats m = (2, 2));
+  Memo.reset m;
+  check int "reset empties" 0 (Memo.length m);
+  check bool "reset clears counters" true (Memo.stats m = (0, 0))
+
+let test_memo_capacity () =
+  let m = Memo.create ~max_entries:4 () in
+  for i = 0 to 9 do
+    ignore (Memo.find_or_compute m ~key:(string_of_int i) (fun () -> i))
+  done;
+  (* The table clears wholesale at capacity instead of growing without
+     bound; it must never exceed max_entries. *)
+  check bool "bounded" true (Memo.length m <= 4)
+
+let test_memo_concurrent () =
+  (* Hammer one table from several domains: every computed value must be
+     correct, and hits + misses must equal the number of lookups — no
+     update may be lost to a race. *)
+  let m = Memo.create () in
+  let domains = 4 and per_domain = 500 and keyspace = 40 in
+  let worker seed () =
+    let rng = Prng.create seed in
+    for _ = 1 to per_domain do
+      let k = Prng.int rng keyspace in
+      let v, _ = Memo.find_or_compute m ~key:(string_of_int k) (fun () -> k * 7) in
+      assert (v = k * 7)
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  let hits, misses = Memo.stats m in
+  check int "every lookup accounted" (domains * per_domain) (hits + misses);
+  check bool "table bounded by keyspace" true (Memo.length m <= keyspace);
+  (* Every stored value is right regardless of which domain stored it. *)
+  for k = 0 to keyspace - 1 do
+    match Memo.find m ~key:(string_of_int k) with
+    | Some v -> check int "stored value" (k * 7) v
+    | None -> ()
+  done
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_identity; prop_compare_total_order;
     prop_rat_field_laws; prop_rat_compare_antisym; prop_rat_floor_bound; prop_heap_is_sorted ]
@@ -410,6 +469,12 @@ let () =
           Alcotest.test_case "failing batch drains" `Quick test_pool_failing_batch_drains;
           Alcotest.test_case "nested + shutdown" `Quick test_pool_nested_and_shutdown;
           Alcotest.test_case "small arrays" `Quick test_pool_small_arrays;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "basics" `Quick test_memo_basics;
+          Alcotest.test_case "capacity bound" `Quick test_memo_capacity;
+          Alcotest.test_case "domain concurrency" `Quick test_memo_concurrent;
         ] );
       ("properties", qsuite);
     ]
