@@ -49,6 +49,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("autoscale", "roofline autoscaler (section 7 extension)", Exp_autoscale.autoscale);
     ("micro", "bechamel kernel microbenchmarks", Micro.run);
     ("certcheck", "float-first simplex certification gate (CI)", Exp_certcheck.run);
+    ("simgate", "simulation determinism gate (CI)", Exp_simgate.run);
   ]
 
 let usage () =

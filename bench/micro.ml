@@ -181,30 +181,81 @@ let event_queue =
            ignore (Heap.pop h)
          done))
 
-let small_sim =
-  let config =
-    let b = Taskgraph.Builder.create () in
-    let ids =
-      List.init 8 (fun i ->
-          Taskgraph.Builder.add_task b ~name:(Printf.sprintf "t%d" i)
-            ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
-            ())
-    in
-    let rec link = function
-      | a :: (c :: _ as rest) ->
-        ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~elems:1e5 ());
-        link rest
-      | _ -> ()
-    in
-    link ids;
-    let g = Taskgraph.Builder.build b in
-    let board = Board.u55c () in
-    let cluster = Cluster.make ~board:(fun () -> board) 1 in
-    let synthesis = Synthesis.run ~board g in
-    Tapa_cs_sim.Design_sim.make_config ~graph:g ~assignment:(Array.make 8 0)
-      ~freq_mhz:[| 300.0 |] ~cluster ~synthesis ()
+let event_fourheap =
+  Test.make ~name:"event 4-ary heap push/pop x1000"
+    (Staged.stage (fun () ->
+         let h = Fourheap.create ~cmp:Int.compare in
+         for i = 999 downto 0 do
+           Fourheap.push h ((i * 7919) mod 1000)
+         done;
+         while not (Fourheap.is_empty h) do
+           ignore (Fourheap.pop h)
+         done))
+
+let small_sim_config =
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init 8 (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "t%d" i)
+          ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ())
+          ())
   in
-  Test.make ~name:"8-task pipeline simulation" (Staged.stage (fun () -> ignore (Tapa_cs_sim.Design_sim.run config)))
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~elems:1e5 ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) 1 in
+  let synthesis = Synthesis.run ~board g in
+  Tapa_cs_sim.Design_sim.make_config ~graph:g ~assignment:(Array.make 8 0)
+    ~freq_mhz:[| 300.0 |] ~cluster ~synthesis ()
+
+(* The engine benches bypass the result cache — they time the simulator,
+   not a hash lookup.  The pinned "8-task pipeline simulation" name is
+   the coalesced engine (the default); the ", reference" variant prices
+   the coalescing + inline-wake + two-tier-queue win on the same design,
+   and ", cache warm" is what repeated sweep points actually pay. *)
+let small_sim =
+  Test.make ~name:"8-task pipeline simulation"
+    (Staged.stage (fun () -> ignore (Tapa_cs_sim.Design_sim.run ~cache:false small_sim_config)))
+
+let small_sim_reference =
+  Test.make ~name:"8-task pipeline simulation, reference"
+    (Staged.stage (fun () ->
+         ignore (Tapa_cs_sim.Design_sim.run_reference ~cache:false small_sim_config)))
+
+let small_sim_cached =
+  Test.make ~name:"8-task pipeline simulation, cache warm"
+    (Staged.stage (fun () -> ignore (Tapa_cs_sim.Design_sim.run small_sim_config)))
+
+(* Sweep harness over four independent points (the pipeline at different
+   chunk granularities), cache off so every run simulates.  jobs=4 is
+   skipped on single-core hosts exactly like [compile_par]; the jobs=1
+   entry keeps the trajectory comparable everywhere. *)
+let sweep_jobs_arr =
+  Array.map
+    (fun chunks ->
+      Tapa_cs_sim.Sim_sweep.job
+        ~label:(Printf.sprintf "chunks=%d" chunks)
+        { small_sim_config with Tapa_cs_sim.Design_sim.chunks })
+    [| 16; 32; 64; 128 |]
+
+let sim_sweep_seq =
+  Test.make ~name:"sim sweep 4 points, jobs=1"
+    (Staged.stage (fun () ->
+         ignore (Tapa_cs_sim.Sim_sweep.run ~jobs:1 ~cache:false sweep_jobs_arr)))
+
+let sim_sweep_par =
+  if Pool.default_jobs () < 2 then None
+  else
+    Some
+      (Test.make ~name:"sim sweep 4 points, jobs=4"
+         (Staged.stage (fun () ->
+              ignore (Tapa_cs_sim.Sim_sweep.run ~jobs:4 ~cache:false sweep_jobs_arr))))
 
 let tests =
   Test.make_grouped ~name:"kernels"
@@ -213,7 +264,11 @@ let tests =
        simplex_exact_prepared; bb_ilp; bb_warm; bb_exact_prepared; bb_cold; compile_seq;
      ]
     @ Option.to_list compile_par
-    @ [ partition_heuristic; link_ideal; link_faulty; event_queue; small_sim ])
+    @ [
+        partition_heuristic; link_ideal; link_faulty; event_queue; event_fourheap; small_sim;
+        small_sim_reference; small_sim_cached; sim_sweep_seq;
+      ]
+    @ Option.to_list sim_sweep_par)
 
 (* Machine-readable perf trajectory: name -> ns/run, written next to the
    repo's other BENCH_*.json artifacts so successive PRs can be compared

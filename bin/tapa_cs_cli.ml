@@ -154,11 +154,12 @@ let compile_design app_t ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold
 let print_solver_stats ~json c =
   let s = Compiler.solver_stats c in
   let cache_hits, cache_misses = Tapa_cs_floorplan.Partition.cache_stats () in
+  let sim_hits, sim_misses = Tapa_cs_sim.Design_sim.cache_stats () in
   if json then
     Format.printf
-      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d}@."
+      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d}@."
       s.Compiler.lp_solves s.Compiler.lp_pivots s.Compiler.lp_certified s.Compiler.lp_fallbacks
-      s.Compiler.bb_nodes s.Compiler.refinement_moves cache_hits cache_misses
+      s.Compiler.bb_nodes s.Compiler.refinement_moves cache_hits cache_misses sim_hits sim_misses
   else begin
     let i = string_of_int in
     Tapa_cs_util.Table.print ~title:"solver statistics"
@@ -173,6 +174,8 @@ let print_solver_stats ~json c =
         [ "refinement moves"; i s.Compiler.refinement_moves ];
         [ "floorplan cache hits (process)"; i cache_hits ];
         [ "floorplan cache misses (process)"; i cache_misses ];
+        [ "sim cache hits (process)"; i sim_hits ];
+        [ "sim cache misses (process)"; i sim_misses ];
       ]
   end
 
@@ -187,6 +190,23 @@ let stats_arg =
 let stats_json_arg =
   let doc = "With $(b,--stats): emit the counters as a single JSON object instead of a table." in
   Arg.(value & flag & info [ "stats-json" ] ~doc)
+
+(* The simulate command's counterpart of [print_solver_stats]: just the
+   process-wide simulation-cache counters, since a simulate run may use
+   a flow with no compile step (and the interesting cache here is the
+   simulator's, not the floorplanner's). *)
+let print_sim_stats ~json () =
+  let sim_hits, sim_misses = Tapa_cs_sim.Design_sim.cache_stats () in
+  if json then
+    Format.printf "{\"sim_cache_hits\":%d,\"sim_cache_misses\":%d}@." sim_hits sim_misses
+  else
+    Tapa_cs_util.Table.print ~title:"simulation statistics"
+      ~header:[ "counter"; "value" ]
+      ~aligns:[ Tapa_cs_util.Table.Left; Tapa_cs_util.Table.Right ]
+      [
+        [ "sim cache hits (process)"; string_of_int sim_hits ];
+        [ "sim cache misses (process)"; string_of_int sim_misses ];
+      ]
 
 let compile_cmd =
   let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
@@ -237,7 +257,7 @@ let compile_cmd =
 
 let simulate_cmd =
   let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
-      loss_rate fail_fpgas =
+      loss_rate fail_fpgas stats stats_json =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
@@ -272,27 +292,130 @@ let simulate_cmd =
                   (1e3 *. l.busy_s))
               r.links
           in
-          (match outcome with
-          | Tapa_cs_sim.Design_sim.Completed r ->
-            print_result r;
-            Format.printf "status: Completed@.";
-            0
-          | Tapa_cs_sim.Design_sim.Degraded { result = r; reasons } ->
-            print_result r;
-            Format.printf "status: Degraded@.";
-            List.iter (Format.printf "  reason: %s@.") reasons;
-            0
-          | Tapa_cs_sim.Design_sim.Failed { fault; partial } ->
-            print_result partial;
-            Format.printf "status: Failed (%s)@." fault;
-            1)))
+          let code =
+            match outcome with
+            | Tapa_cs_sim.Design_sim.Completed r ->
+              print_result r;
+              Format.printf "status: Completed@.";
+              0
+            | Tapa_cs_sim.Design_sim.Degraded { result = r; reasons } ->
+              print_result r;
+              Format.printf "status: Degraded@.";
+              List.iter (Format.printf "  reason: %s@.") reasons;
+              0
+            | Tapa_cs_sim.Design_sim.Failed { fault; partial } ->
+              print_result partial;
+              Format.printf "status: Failed (%s)@." fault;
+              1
+          in
+          if stats then print_sim_stats ~json:stats_json ();
+          code))
+  in
+  let sim_stats_arg =
+    let doc =
+      "Print the process-wide simulation-cache hit/miss counters after the run."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
           $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
-          $ seed_arg $ loss_rate_arg $ fail_fpga_arg)
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ sim_stats_arg $ stats_json_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Compile and run the timed simulation, optionally under injected faults.") term
+
+let sweep_cmd =
+  let max_fpgas_arg =
+    let doc = "Largest cluster size to sweep (the curve runs k = 1 .. this)." in
+    Arg.(value & opt int 4 & info [ "max-fpgas" ] ~doc)
+  in
+  let sweep_jobs_arg =
+    let doc =
+      "Worker domains for the simulation sweep (the compiled points simulate concurrently \
+       through the parallel harness).  0 selects the default; results are byte-identical for \
+       every value."
+    in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
+  in
+  let run app max_fpgas iters dataset n d cols topology board threshold jobs seed stats =
+    let board = board_of_name board in
+    let compiled =
+      List.filter_map
+        (fun k ->
+          match make_app app ~fpgas:k ~iters ~dataset ~n ~d ~cols with
+          | Error e ->
+            prerr_endline e;
+            None
+          | Ok a -> (
+            let cluster = Cluster.make ~topology ~board k in
+            let options =
+              { Compiler.default_options with threshold; jobs = effective_jobs jobs; seed }
+            in
+            match Flow.tapa_cs ~options ~cluster a.App.graph with
+            | Error e -> Some (k, Error e)
+            | Ok des -> Some (k, Ok { des with Flow.label = Printf.sprintf "%s@%d" app k })))
+        (List.init (max 1 max_fpgas) (fun i -> i + 1))
+    in
+    let designs = List.filter_map (fun (_, r) -> Result.to_option r) compiled in
+    let outcomes = Flow.simulate_many ~jobs:(effective_jobs jobs) designs in
+    let outcome_of label =
+      List.assoc_opt label outcomes
+    in
+    let base_latency = ref None in
+    let rows =
+      List.map
+        (fun (k, r) ->
+          match r with
+          | Error e -> [ string_of_int k; "-"; "-"; "-"; "failed: " ^ e ]
+          | Ok des -> (
+            match outcome_of des.Flow.label with
+            | Some (Tapa_cs_sim.Design_sim.Completed res)
+            | Some (Tapa_cs_sim.Design_sim.Degraded { result = res; _ }) ->
+              if !base_latency = None then base_latency := Some res.latency_s;
+              let speedup =
+                match !base_latency with
+                | Some b when res.latency_s > 0.0 -> Printf.sprintf "%.2fx" (b /. res.latency_s)
+                | _ -> "-"
+              in
+              [
+                string_of_int k;
+                Printf.sprintf "%.0f" des.Flow.freq_mhz;
+                Printf.sprintf "%.3f" (1e3 *. res.latency_s);
+                string_of_int res.events;
+                speedup;
+              ]
+            | Some (Tapa_cs_sim.Design_sim.Failed { fault; _ }) ->
+              [ string_of_int k; "-"; "-"; "-"; "sim failed: " ^ fault ]
+            | None -> [ string_of_int k; "-"; "-"; "-"; "no result" ]))
+        compiled
+    in
+    Tapa_cs_util.Table.print
+      ~title:(Printf.sprintf "%s scaling sweep (simulated)" app)
+      ~header:[ "FPGAs"; "MHz"; "latency ms"; "events"; "speedup" ]
+      ~aligns:
+        [
+          Tapa_cs_util.Table.Right; Tapa_cs_util.Table.Right; Tapa_cs_util.Table.Right;
+          Tapa_cs_util.Table.Right; Tapa_cs_util.Table.Left;
+        ]
+      rows;
+    if stats then begin
+      let h, m = Tapa_cs_sim.Design_sim.cache_stats () in
+      Format.printf "sim cache: %d hits, %d misses (process)@." h m
+    end;
+    0
+  in
+  let term =
+    Term.(const run $ app_arg $ max_fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg
+          $ cols_arg $ topology_arg $ board_arg $ threshold_arg $ sweep_jobs_arg $ seed_arg
+          $ stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Compile an application at every cluster size up to --max-fpgas and simulate all \
+          points concurrently through the parallel sweep harness.  Output is byte-identical \
+          for every --jobs value.")
+    term
 
 let dot_cmd =
   let run app fpgas iters dataset n d cols =
@@ -347,7 +470,18 @@ let autoscale_cmd =
   let bytes_arg = Arg.(value & opt float 8.0 & info [ "bytes" ] ~doc:"External-memory bytes per element.") in
   let lanes_arg = Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"Elements per cycle one PE sustains.") in
   let lut_arg = Arg.(value & opt int 30_000 & info [ "pe-lut" ] ~doc:"LUTs per processing element.") in
-  let run fpgas elems ops bytes lanes lut =
+  let measured_arg =
+    let doc =
+      "Also lower every plan into its PE-level task graph and run the timed simulator on it \
+       (through the parallel sweep harness), printing measured next to predicted latency."
+    in
+    Arg.(value & flag & info [ "measured" ] ~doc)
+  in
+  let measured_jobs_arg =
+    let doc = "Worker domains for the --measured simulation sweep (0 = default)." in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
+  in
+  let run fpgas elems ops bytes lanes lut measured jobs =
     let kernel =
       {
         Autoscale.name = "cli-kernel";
@@ -360,11 +494,27 @@ let autoscale_cmd =
       }
     in
     let cluster = Cluster.make ~board:Board.u55c (max 1 fpgas) in
-    List.iter (fun (_, plan) -> Format.printf "%a@." Autoscale.pp_plan plan)
-      (Autoscale.sweep ~cluster kernel);
+    if measured then
+      List.iter
+        (fun (_, plan, outcome) ->
+          let measured_s =
+            match outcome with
+            | Tapa_cs_sim.Design_sim.Completed r
+            | Tapa_cs_sim.Design_sim.Degraded { result = r; _ } ->
+              Printf.sprintf "%.3f ms measured" (1e3 *. r.Tapa_cs_sim.Design_sim.latency_s)
+            | Tapa_cs_sim.Design_sim.Failed { fault; _ } -> "sim failed: " ^ fault
+          in
+          Format.printf "%a | %s@." Autoscale.pp_plan plan measured_s)
+        (Autoscale.measured_sweep ~jobs:(effective_jobs jobs) ~cluster kernel)
+    else
+      List.iter (fun (_, plan) -> Format.printf "%a@." Autoscale.pp_plan plan)
+        (Autoscale.sweep ~cluster kernel);
     0
   in
-  let term = Term.(const run $ fpgas_arg $ elems_arg $ ops_arg $ bytes_arg $ lanes_arg $ lut_arg) in
+  let term =
+    Term.(const run $ fpgas_arg $ elems_arg $ ops_arg $ bytes_arg $ lanes_arg $ lut_arg
+          $ measured_arg $ measured_jobs_arg)
+  in
   Cmd.v
     (Cmd.info "autoscale"
        ~doc:"Roofline-driven scale-up advice for a data-parallel kernel (the section-7 extension).")
@@ -445,6 +595,6 @@ let () =
   let doc = "TAPA-CS reproduction: multi-FPGA dataflow compiler and simulator" in
   let main =
     Cmd.group (Cmd.info "tapa_cs_cli" ~doc)
-      [ compile_cmd; simulate_cmd; dot_cmd; emit_cmd; autoscale_cmd; lint_cmd; info_cmd ]
+      [ compile_cmd; simulate_cmd; sweep_cmd; dot_cmd; emit_cmd; autoscale_cmd; lint_cmd; info_cmd ]
   in
   exit (Cmd.eval' main)

@@ -1,4 +1,7 @@
 open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+open Tapa_cs_sim
 
 type kernel = {
   name : string;
@@ -94,6 +97,76 @@ let sweep ?threshold ~cluster kernel =
       let k = i + 1 in
       let sub = Cluster.make ~topology:cluster.Cluster.topology ~board:(fun () -> Cluster.board cluster 0) k in
       (k, plan ?threshold ~cluster:sub kernel))
+
+(* ------------------------------------------------------------------ *)
+(* Measured scaling: lower the analytic plan into a PE-level task graph
+   and run it through the event simulator, so the advisor's roofline
+   prediction can be checked against the timed dataflow model (HBM port
+   contention, link serialization, halo synchronization) instead of
+   trusted blindly. *)
+
+let to_graph ~cluster kernel (p : plan) =
+  let k = p.fpgas in
+  if k > Cluster.size cluster then invalid_arg "Autoscale.to_graph: plan larger than cluster";
+  let b = Taskgraph.Builder.create () in
+  let total_pes = float_of_int (k * p.pes_per_fpga) in
+  let elems_per_pe = kernel.elems /. total_pes in
+  let bytes_per_pe = kernel.bytes_per_elem *. elems_per_pe in
+  let pe_ids =
+    Array.init k (fun d ->
+        Array.init p.pes_per_fpga (fun i ->
+            let mem_ports =
+              if bytes_per_pe <= 0.0 then []
+              else
+                [
+                  Task.mem_port ~dir:Task.Read ~width_bits:p.port_width_bits ~bytes:bytes_per_pe ();
+                ]
+            in
+            Taskgraph.Builder.add_task b
+              ~name:(Printf.sprintf "%s.d%d.pe%d" kernel.name d i)
+              ~kind:(kernel.name ^ ".pe")
+              ~compute:
+                (Task.make_compute ~ii:1.0 ~elems:elems_per_pe ~ops_per_elem:kernel.ops_per_elem
+                   ~lanes:kernel.pe_lanes ())
+              ~mem_ports
+              ~resources:kernel.pe_resources ()))
+  in
+  (* One boundary-exchange FIFO pair between neighbouring devices: the
+     halo traffic of a 1-D decomposition.  The pair forms a 2-cycle, so
+     the simulator's SCC credit keeps it live. *)
+  if k > 1 && kernel.exchange_bytes > 0.0 then begin
+    let width = 512 in
+    let elems = kernel.exchange_bytes /. float_of_int (width / 8) in
+    for d = 0 to k - 2 do
+      let l = pe_ids.(d).(0) and r = pe_ids.(d + 1).(0) in
+      ignore (Taskgraph.Builder.add_fifo b ~src:l ~dst:r ~width_bits:width ~elems ());
+      ignore (Taskgraph.Builder.add_fifo b ~src:r ~dst:l ~width_bits:width ~elems ())
+    done
+  end;
+  let g = Taskgraph.Builder.build b in
+  let assignment =
+    Array.init (Taskgraph.num_tasks g) (fun tid -> tid / p.pes_per_fpga)
+  in
+  (g, assignment)
+
+let measured_sweep ?jobs ?chunks ?threshold ?(mode = Design_sim.Coalesced) ~cluster kernel =
+  let points = sweep ?threshold ~cluster kernel in
+  let board () = Cluster.board cluster 0 in
+  let sims =
+    List.map
+      (fun (k, p) ->
+        let sub = Cluster.make ~topology:cluster.Cluster.topology ~board k in
+        let g, assignment = to_graph ~cluster:sub kernel p in
+        let synthesis = Synthesis.run ~board:(board ()) g in
+        let freq_mhz = Array.make k (board ()).Board.max_freq_mhz in
+        let cfg =
+          Design_sim.make_config ?chunks ~graph:g ~assignment ~freq_mhz ~cluster:sub ~synthesis ()
+        in
+        Sim_sweep.job ~mode ~label:(Printf.sprintf "%s@%d" kernel.name k) cfg)
+      points
+  in
+  let outcomes = Sim_sweep.run ?jobs (Array.of_list sims) in
+  List.map2 (fun (k, p) (_, outcome) -> (k, p, outcome)) points (Array.to_list outcomes)
 
 let pp_plan fmt p =
   Format.fprintf fmt

@@ -44,5 +44,28 @@ val sweep : ?threshold:float -> cluster:Cluster.t -> kernel -> (int * plan) list
 (** The plan at every cluster size from 1 to the full cluster — the
     scaling curve an engineer would sketch by hand. *)
 
+val to_graph :
+  cluster:Cluster.t -> kernel -> plan -> Tapa_cs_graph.Taskgraph.t * int array
+(** Lower a plan into the PE-level task graph it describes — one
+    data-parallel PE task per replica (with its HBM port share) plus a
+    bidirectional halo-exchange FIFO pair between neighbouring devices —
+    and the task->FPGA assignment.  This is the bridge from the analytic
+    advisor to the event simulator. *)
+
+val measured_sweep :
+  ?jobs:int ->
+  ?chunks:int ->
+  ?threshold:float ->
+  ?mode:Tapa_cs_sim.Design_sim.engine_mode ->
+  cluster:Cluster.t ->
+  kernel ->
+  (int * plan * Tapa_cs_sim.Design_sim.outcome) list
+(** {!sweep}, with every point also lowered via {!to_graph} and run
+    through the {!Tapa_cs_sim.Sim_sweep} parallel harness: the scaling
+    curve as the timed dataflow model sees it, next to the roofline
+    prediction.  [jobs] is the sweep parallelism (results are
+    byte-identical for every value); simulation results come from the
+    content-addressed cache when warm. *)
+
 val bound_name : bound -> string
 val pp_plan : Format.formatter -> plan -> unit

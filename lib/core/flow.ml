@@ -114,3 +114,11 @@ let simulate ?chunks d = Design_sim.run (sim_config ?chunks d)
 let simulate_outcome ?chunks ?faults d = Design_sim.run_outcome ?faults (sim_config ?chunks d)
 
 let latency_s ?chunks d = (simulate ?chunks d).Design_sim.latency_s
+
+let simulate_many ?jobs ?chunks ?(faults = fun (_ : design) -> Tapa_cs_network.Fault.no_faults)
+    (designs : design list) =
+  let jobs_arr =
+    Array.of_list
+      (List.map (fun d -> Sim_sweep.job ~faults:(faults d) ~label:d.label (sim_config ?chunks d)) designs)
+  in
+  Array.to_list (Sim_sweep.run ?jobs jobs_arr)

@@ -34,6 +34,11 @@ val tapa : ?board:(unit -> Board.t) -> ?options:Compiler.options -> Taskgraph.t 
 val tapa_cs :
   ?options:Compiler.options -> cluster:Cluster.t -> Taskgraph.t -> (design, string) Stdlib.result
 
+val sim_config : ?chunks:int -> design -> Design_sim.config
+(** The simulator configuration [simulate] runs — exposed so callers can
+    drive {!Design_sim} / {!Sim_sweep} directly (engine-mode comparisons,
+    sweeps over chunk granularity). *)
+
 val simulate : ?chunks:int -> design -> Design_sim.result
 
 val simulate_outcome :
@@ -43,3 +48,15 @@ val simulate_outcome :
 
 val latency_s : ?chunks:int -> design -> float
 (** Compile-free convenience: simulate and return end-to-end latency. *)
+
+val simulate_many :
+  ?jobs:int ->
+  ?chunks:int ->
+  ?faults:(design -> Tapa_cs_network.Fault.plan) ->
+  design list ->
+  (string * Design_sim.outcome) list
+(** Simulate a batch of independent designs through the parallel
+    {!Design_sim} sweep harness ({!Tapa_cs_sim.Sim_sweep}).  Rows come
+    back [(label, outcome)] in input order, byte-identical for every
+    [jobs] value; [faults] derives an optional per-design fault plan
+    (default: none). *)

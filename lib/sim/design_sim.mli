@@ -9,7 +9,45 @@
 
     FIFOs that close a dependency cycle (PageRank's PE/controller loop)
     receive one chunk of initial credit, the standard synchronous-dataflow
-    treatment of feedback edges. *)
+    treatment of feedback edges.
+
+    {2 Engine modes}
+
+    Two engines compute the same schedule.  The {!Reference} mode
+    advances strictly one chunk per event, always re-entering the event
+    queue — the original, obviously-correct schedule.  The default
+    {!Coalesced} mode plans ahead instead of blocking: every local FIFO
+    between two coalescing tasks becomes a {e commitment ledger} of
+    timestamped whole-chunk tokens (committed pushes / committed free
+    slots), against which a task can price an arbitrary number of future
+    chunks by exact token algebra — the same float expressions the
+    reference fiber would evaluate, in the same order.  Commitments
+    propagate transitively through a work-list cascade (publishing
+    supply downstream and space upstream extends the neighbours' plans
+    while they sleep), typically collapsing a whole pipeline into one
+    planning pass and a single wake per fiber.  Cross-FPGA endpoints
+    keep real channels: their planned ops replay as bare events at their
+    exact reference instants, bounded by buffered level / free space;
+    movers batch buffered whole pieces through
+    {!Engine.Server.transfer_batch} under the same monotonicity guards,
+    and the engine resumes unblocked processes inline ([inline_wake]).
+    When nothing is plannable, a fiber falls back to blocking reference
+    ops for one chunk, preserving liveness and deadlock reporting.  The
+    contract, gated in the test suite over a randomized corpus:
+    [latency_s], [deadlocked] and [links] are bit-identical between the
+    two modes — only [events] and the internal schedule differ.
+
+    {2 Simulation cache}
+
+    Results are memoized under a canonical content digest of everything
+    the simulator reads: graph structure and per-task synthesis keys,
+    assignment, clocks, cluster hop/locality tables, synthesis timing
+    profiles, applied port-bandwidth and stage-cycle tables, chunk count,
+    engine mode, and the consumed fault fields ([loss_rate],
+    [device_halts], [fifo_stalls] — [seed], [failed_devices] and
+    [failed_links] never reach the simulator and are deliberately
+    excluded).  Warm hits return a defensive copy; cold and warm results
+    are bit-identical. *)
 
 open Tapa_cs_device
 open Tapa_cs_graph
@@ -27,6 +65,10 @@ type config = {
 }
 
 val default_chunks : int
+
+type engine_mode =
+  | Coalesced  (** batched chunks + inline wakes; the default engine *)
+  | Reference  (** one chunk per event; the equivalence oracle *)
 
 type link_stat = { src_fpga : int; dst_fpga : int; bytes : float; busy_s : float }
 
@@ -72,12 +114,20 @@ val fpga_idle_fraction : result -> fpga:int -> float
 (** 1 - (average task busy time on this FPGA / makespan): the §5.2/§5.5
     idle-PE metric.  0 when the device computes the whole run. *)
 
-val run : config -> result
-(** @raise Deadlock when the simulation cannot make progress, naming the
+val run : ?cache:bool -> config -> result
+(** Simulate with the {!Coalesced} engine.  [cache] (default [true])
+    consults the content-addressed result cache first.
+    @raise Deadlock when the simulation cannot make progress, naming the
     blocked tasks and FIFOs — the dynamic counterpart of the TCS101/TCS102
     lints, which catch these designs statically. *)
 
-val run_outcome : ?faults:Tapa_cs_network.Fault.plan -> config -> outcome
+val run_reference : ?cache:bool -> config -> result
+(** {!run} on the {!Reference} engine: one chunk per event, queued wakes.
+    The oracle the coalesced engine is gated against; also what benches
+    use to price the coalescing win. *)
+
+val run_outcome :
+  ?mode:engine_mode -> ?cache:bool -> ?faults:Tapa_cs_network.Fault.plan -> config -> outcome
 (** Like {!run}, but injects the plan's simulator-level faults and never
     raises on stalls.  Packet loss derates every link server by the
     closed-form go-back-N slowdown (deterministic — no sampling);
@@ -100,3 +150,13 @@ val make_config :
   config
 (** Convenience constructor; the port bandwidth defaults to the full
     per-channel HBM bandwidth and no extra pipeline latency. *)
+
+(** {2 Cache observability} *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the simulation result cache since start (or the
+    last {!reset_cache}).  Observability only — never feeds back into
+    simulated values. *)
+
+val reset_cache : unit -> unit
+(** Drop all cached results and zero the counters (tests, benches). *)

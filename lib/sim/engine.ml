@@ -2,9 +2,46 @@ open Tapa_cs_util
 
 type event = { etime : float; seq : int; fn : unit -> unit }
 
+(* Growable FIFO ring for the zero-delay events (process wake-ups and
+   spawns).  They are always scheduled at the current simulated time with
+   a fresh (strictly larger) sequence number, so arrival order here IS
+   (etime, seq) order — an O(1) append/pop replaces a heap round-trip for
+   roughly half of a dataflow simulation's events. *)
+module Ring = struct
+  type t = { mutable data : event array; mutable head : int; mutable len : int }
+
+  let dummy = { etime = 0.0; seq = 0; fn = ignore }
+  let create () = { data = Array.make 64 dummy; head = 0; len = 0 }
+
+  let push r ev =
+    let cap = Array.length r.data in
+    if r.len = cap then begin
+      let nd = Array.make (2 * cap) dummy in
+      for i = 0 to r.len - 1 do
+        nd.(i) <- r.data.((r.head + i) mod cap)
+      done;
+      r.data <- nd;
+      r.head <- 0
+    end;
+    r.data.((r.head + r.len) mod Array.length r.data) <- ev;
+    r.len <- r.len + 1
+
+  let peek r = if r.len = 0 then None else Some r.data.(r.head)
+
+  let pop_exn r =
+    if r.len = 0 then raise Not_found;
+    let ev = r.data.(r.head) in
+    r.data.(r.head) <- dummy;
+    r.head <- (r.head + 1) mod Array.length r.data;
+    r.len <- r.len - 1;
+    ev
+end
+
 type t = {
   mutable enow : float;
-  queue : event Heap.t;
+  queue : event Fourheap.t;
+  immediate : Ring.t;
+  inline_wake : bool;
   mutable seq : int;
   mutable events : int;
   mutable current : string;
@@ -16,10 +53,12 @@ let event_cmp a b =
   let c = Float.compare a.etime b.etime in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create () =
+let create ?(inline_wake = false) () =
   {
     enow = 0.0;
-    queue = Heap.create ~cmp:event_cmp;
+    queue = Fourheap.create ~cmp:event_cmp;
+    immediate = Ring.create ();
+    inline_wake;
     seq = 0;
     events = 0;
     current = "<main>";
@@ -31,19 +70,43 @@ let now t = t.enow
 
 let schedule t dt fn =
   t.seq <- t.seq + 1;
-  Heap.push t.queue { etime = t.enow +. dt; seq = t.seq; fn }
+  let etime = t.enow +. dt in
+  let ev = { etime; seq = t.seq; fn } in
+  (* Events landing exactly at the current time keep FIFO order in the
+     ring; anything in the future takes the heap.  [etime = enow] covers
+     both literal zero delays and delays that round away. *)
+  if etime = t.enow then Ring.push t.immediate ev else Fourheap.push t.queue ev
+
+(* Absolute-time variant of [schedule]: the caller supplies the exact
+   event time instead of a delta.  Coalescing depends on this — replaying
+   a reference schedule bit-for-bit means reproducing the very float
+   values iterated [enow +. dt] additions produce, which a delta-based
+   API would re-round. *)
+let at t time fn =
+  if time < t.enow then invalid_arg "Engine.at: time in the past";
+  t.seq <- t.seq + 1;
+  let ev = { etime = time; seq = t.seq; fn } in
+  if time = t.enow then Ring.push t.immediate ev else Fourheap.push t.queue ev
 
 (* Effects performed by process code.  [Suspend register] hands the
    channel/server a wake thunk; the handler wraps the continuation so the
-   wake re-enters through the event queue (keeping determinism). *)
+   wake re-enters through the event queue (keeping determinism).  With
+   [inline_wake] the wake instead continues the fiber on the spot, nested
+   inside the waker — same simulated time, no queue round-trip, and one
+   fewer counted event per rendezvous. *)
 type _ Effect.t +=
   | Wait : float -> unit Effect.t
+  | WaitUntil : float -> unit Effect.t
   | Time : float Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 let wait dt =
   if dt < 0.0 then invalid_arg "Engine.wait: negative duration";
   Effect.perform (Wait dt)
+
+let wait_until time = Effect.perform (WaitUntil time)
+
+let suspend register = Effect.perform (Suspend register)
 
 let time () = Effect.perform Time
 
@@ -62,6 +125,17 @@ let spawn t ?(name = "process") body =
                 schedule t dt (fun () ->
                     t.current <- resume_name;
                     Effect.Deep.continue k ()))
+          | WaitUntil tgt ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                if tgt < t.enow then
+                  Effect.Deep.discontinue k (Invalid_argument "Engine.wait_until: time in the past")
+                else begin
+                  let resume_name = t.current in
+                  at t tgt (fun () ->
+                      t.current <- resume_name;
+                      Effect.Deep.continue k ())
+                end)
           | Time -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k t.enow)
           | Suspend register ->
             Some
@@ -70,11 +144,19 @@ let spawn t ?(name = "process") body =
                 t.suspend_id <- t.suspend_id + 1;
                 let sid = t.suspend_id in
                 Hashtbl.replace t.suspended sid resume_name;
-                register (fun () ->
-                    schedule t 0.0 (fun () ->
-                        Hashtbl.remove t.suspended sid;
-                        t.current <- resume_name;
-                        Effect.Deep.continue k ())))
+                if t.inline_wake then
+                  register (fun () ->
+                      Hashtbl.remove t.suspended sid;
+                      let caller = t.current in
+                      t.current <- resume_name;
+                      Effect.Deep.continue k ();
+                      t.current <- caller)
+                else
+                  register (fun () ->
+                      schedule t 0.0 (fun () ->
+                          Hashtbl.remove t.suspended sid;
+                          t.current <- resume_name;
+                          Effect.Deep.continue k ())))
           | _ -> None);
     }
   in
@@ -84,20 +166,36 @@ let spawn t ?(name = "process") body =
 
 type run_result = { end_time : float; events : int; deadlocked : string list }
 
+let next_event t =
+  (* Merge the ring and the heap under the (etime, seq) total order: the
+     ring is FIFO in that order by construction, so comparing fronts is
+     enough to replay exactly the single-heap schedule. *)
+  match (Ring.peek t.immediate, Fourheap.peek t.queue) with
+  | None, None -> None
+  | Some i, None -> Some i
+  | None, Some h -> Some h
+  | Some i, Some h -> if event_cmp i h <= 0 then Some i else Some h
+
+let pop_event t =
+  match (Ring.peek t.immediate, Fourheap.peek t.queue) with
+  | Some i, Some h -> if event_cmp i h <= 0 then Ring.pop_exn t.immediate else Fourheap.pop_exn t.queue
+  | Some _, None -> Ring.pop_exn t.immediate
+  | None, _ -> Fourheap.pop_exn t.queue
+
 let run ?until t =
   let continue_run () =
-    match Heap.peek t.queue with
+    match next_event t with
     | None -> false
     | Some ev -> ( match until with None -> true | Some u -> ev.etime <= u)
   in
   while continue_run () do
-    let ev = Heap.pop_exn t.queue in
+    let ev = pop_event t in
     t.enow <- Float.max t.enow ev.etime;
     t.events <- t.events + 1;
     ev.fn ()
   done;
   let deadlocked = Hashtbl.fold (fun _ name acc -> name :: acc) t.suspended [] in
-  { end_time = t.enow; events = t.events; deadlocked = List.sort_uniq compare deadlocked }
+  { end_time = t.enow; events = t.events; deadlocked = List.sort_uniq String.compare deadlocked }
 
 module Channel = struct
   type engine = t
@@ -118,14 +216,18 @@ module Channel = struct
     { eng; cname = name; capacity; clevel = 0.0; pushers = []; pullers = []; pushed = 0.0; pulled = 0.0 }
 
   let wake_pullers ch =
-    let ws = ch.pullers in
-    ch.pullers <- [];
-    List.iter (fun w -> w ()) (List.rev ws)
+    match ch.pullers with
+    | [] -> ()
+    | ws ->
+      ch.pullers <- [];
+      List.iter (fun w -> w ()) (List.rev ws)
 
   let wake_pushers ch =
-    let ws = ch.pushers in
-    ch.pushers <- [];
-    List.iter (fun w -> w ()) (List.rev ws)
+    match ch.pushers with
+    | [] -> ()
+    | ws ->
+      ch.pushers <- [];
+      List.iter (fun w -> w ()) (List.rev ws)
 
   (* Tolerances are relative to the magnitudes involved: channels move
      hundreds of megabytes in repeated chunks, so absolute epsilons would
@@ -183,6 +285,9 @@ module Channel = struct
     go amount
 
   let level ch = ch.clevel
+  let free_space ch = Float.max 0.0 (ch.capacity -. ch.clevel)
+  let has_waiting_pushers ch = ch.pushers <> []
+  let has_waiting_pullers ch = ch.pullers <> []
   let total_pushed ch = ch.pushed
   let total_pulled ch = ch.pulled
   let name ch = ch.cname
@@ -218,16 +323,49 @@ module Server = struct
       bytes = 0.0;
     }
 
+  let service_time srv amount =
+    let packets = if amount <= 0.0 then 0.0 else ceil (amount /. srv.packet) in
+    (amount /. srv.rate) +. (packets *. srv.per_packet)
+
   let transfer srv amount =
     if amount < 0.0 then invalid_arg "Server.transfer: negative amount";
     let tnow = srv.eng.enow in
-    let packets = if amount <= 0.0 then 0.0 else ceil (amount /. srv.packet) in
-    let ser = (amount /. srv.rate) +. (packets *. srv.per_packet) in
+    let ser = service_time srv amount in
     let start = Float.max tnow srv.busy_until in
     srv.busy_until <- start +. ser;
     srv.busy <- srv.busy +. ser;
     srv.bytes <- srv.bytes +. amount;
     wait (srv.busy_until -. tnow +. srv.latency)
+
+  let transfer_batch srv ?(on_piece = fun _ -> ()) ~pieces amount =
+    (* One fiber wait for [pieces] back-to-back transfers of [amount]
+       each, replicating the unbatched schedule bit-for-bit: the loop
+       below performs, per piece, the very float expressions {!transfer}
+       would evaluate when called at piece [p-1]'s resume time — not a
+       closed form, which rounds differently in the last ulp.  [on_piece
+       p] fires at exactly piece [p]'s reference resume instant for the
+       intermediate pieces (the caller moves the piece between its
+       channels there); the fiber itself resumes at the last piece's.
+       Busy time, bytes and the busy horizon accumulate through the same
+       iterated additions as [pieces] separate {!transfer}s.
+
+       The whole busy window is claimed up front, so this is only valid
+       while no other process shares the server during the batch. *)
+    if amount < 0.0 then invalid_arg "Server.transfer: negative amount";
+    if pieces <= 0 then invalid_arg "Server.transfer_batch: pieces must be positive";
+    let ser = service_time srv amount in
+    let tnow = ref srv.eng.enow in
+    let final = ref !tnow in
+    for p = 1 to pieces do
+      let start = Float.max !tnow srv.busy_until in
+      srv.busy_until <- start +. ser;
+      srv.busy <- srv.busy +. ser;
+      srv.bytes <- srv.bytes +. amount;
+      let r = !tnow +. (srv.busy_until -. !tnow +. srv.latency) in
+      if p < pieces then at srv.eng r (fun () -> on_piece p) else final := r;
+      tnow := r
+    done;
+    wait_until !final
 
   let busy_time srv = srv.busy
   let bytes_moved srv = srv.bytes

@@ -1,0 +1,30 @@
+module Pool = Tapa_cs_util.Pool
+module Network = Tapa_cs_network
+
+type job = {
+  label : string;
+  config : Design_sim.config;
+  mode : Design_sim.engine_mode;
+  faults : Network.Fault.plan;
+}
+
+let job ?(mode = Design_sim.Coalesced) ?(faults = Network.Fault.no_faults) ~label config =
+  { label; config; mode; faults }
+
+let run_one ~cache j = Design_sim.run_outcome ~mode:j.mode ~cache ~faults:j.faults j.config
+
+let run ?jobs ?(cache = true) (js : job array) =
+  let one j = (j.label, run_one ~cache j) in
+  match jobs with
+  | Some n when n <= 1 -> Array.map one js
+  | None ->
+    if Pool.default_jobs () < 2 || Array.length js < 2 then Array.map one js
+    else Pool.parallel_map one js
+  | Some n ->
+    if Array.length js < 2 then Array.map one js
+    else begin
+      let pool = Pool.create ~domains:(n - 1) () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Pool.parallel_map ~pool one js)
+    end

@@ -1,0 +1,35 @@
+(** Parallel harness for independent design simulations.
+
+    A sweep runs a batch of unrelated {!Design_sim} points — candidate
+    FPGA counts, frequency settings, fault scenarios — across worker
+    domains via {!Tapa_cs_util.Pool.parallel_map}.  Each simulation is a
+    pure function of its job (the engine is deterministic and the shared
+    result cache content-addressed and domain-safe), and results are
+    assembled in index order, so the output array is byte-identical
+    whatever the [jobs] count: parallelism may only change wall-clock
+    time.  The CI determinism gate ([bench/exp_simgate.ml]) enforces
+    exactly this. *)
+
+type job = {
+  label : string;  (** carried through to the result row *)
+  config : Design_sim.config;
+  mode : Design_sim.engine_mode;
+  faults : Tapa_cs_network.Fault.plan;
+}
+
+val job :
+  ?mode:Design_sim.engine_mode ->
+  ?faults:Tapa_cs_network.Fault.plan ->
+  label:string ->
+  Design_sim.config ->
+  job
+(** Convenience constructor: coalesced engine, no faults. *)
+
+val run : ?jobs:int -> ?cache:bool -> job array -> (string * Design_sim.outcome) array
+(** Simulate every job and return [(label, outcome)] rows in job order.
+
+    [jobs] caps the worker count: [Some 1] forces the sequential path,
+    [Some n] runs on an ephemeral [n]-domain pool (shut down afterwards),
+    and [None] defaults to {!Tapa_cs_util.Pool.default_jobs} — sequential
+    on single-core hosts or under [TAPA_CS_JOBS=1].  [cache] (default
+    [true]) is passed through to the per-point simulation cache. *)

@@ -288,6 +288,59 @@ let test_engine_exception_propagates () =
   Alcotest.check_raises "process exception surfaces" (Failure "boom") (fun () ->
       ignore (Engine.run e))
 
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.spawn e ~name:"a" (fun () ->
+      Engine.wait 1.0;
+      fired := 1 :: !fired;
+      Engine.wait 1.0;
+      fired := 2 :: !fired);
+  let r1 = Engine.run ~until:1.5 e in
+  check (Alcotest.list int) "events <= until run, later ones stay queued" [ 1 ] (List.rev !fired);
+  check fl "end_time is the last executed event, not the horizon" 1.0 r1.end_time;
+  check bool "waiting on time is not a deadlock" true (r1.deadlocked = []);
+  (* resuming the same engine drains the rest *)
+  let r2 = Engine.run e in
+  check (Alcotest.list int) "resumed run finishes" [ 1; 2 ] (List.rev !fired);
+  check fl "final end time" 2.0 r2.end_time;
+  (* a horizon past the last event never stretches end_time *)
+  let e2 = Engine.create () in
+  Engine.spawn e2 (fun () -> Engine.wait 1.0);
+  check fl "end_time never overshoots an early-drained queue" 1.0
+    (Engine.run ~until:5.0 e2).end_time
+
+let test_channel_capacity_invariant () =
+  (* Oversized pushes stream through in capacity-sized pieces; at no
+     observable instant may the level leave [0, capacity], and free_space
+     must always be the clamped complement. *)
+  let e = Engine.create () in
+  let cap = 4.0 in
+  let ch = Engine.Channel.create e ~name:"c" ~capacity:cap in
+  let ok = ref true in
+  let sample () =
+    let lvl = Engine.Channel.level ch in
+    if lvl < -1e-9 || lvl > cap +. 1e-9 then ok := false;
+    if Float.abs (Engine.Channel.free_space ch -. Float.max 0.0 (cap -. lvl)) > 1e-9 then
+      ok := false
+  in
+  Engine.spawn e ~name:"p" (fun () ->
+      for _ = 1 to 5 do
+        Engine.Channel.push ch 10.0;
+        sample ()
+      done);
+  Engine.spawn e ~name:"q" (fun () ->
+      for _ = 1 to 25 do
+        Engine.wait 0.1;
+        Engine.Channel.pull ch 2.0;
+        sample ()
+      done);
+  let r = Engine.run e in
+  check bool "no deadlock" true (r.deadlocked = []);
+  check bool "level stayed inside [0, capacity]" true !ok;
+  check fl "conservation" (Engine.Channel.total_pushed ch)
+    (Engine.Channel.total_pulled ch +. Engine.Channel.level ch)
+
 (* ------------------------------------------------------------------ *)
 (* Fault-injected outcomes (tentpole)                                  *)
 (* ------------------------------------------------------------------ *)
@@ -341,6 +394,25 @@ let test_outcome_fifo_stall_degrades () =
       (result.latency_s >= clean.latency_s +. 0.9e-3)
   | _ -> Alcotest.fail "stalled run must report Degraded"
 
+let test_outcome_chained_stall_windows () =
+  (* Two back-to-back stall windows on the same FIFO, listed out of
+     order: serving the first lands the process exactly at the start of
+     the second.  The fixpoint walk must serve both; the old single-pass
+     walk over unsorted windows silently skipped the second. *)
+  let clean =
+    match Design_sim.run_outcome (simple_design ~cross:true ()) with
+    | Design_sim.Completed r -> r
+    | _ -> Alcotest.fail "clean run"
+  in
+  let faults =
+    Tapa_cs_network.Fault.make ~fifo_stalls:[ (0, 2e-3, 1e-3); (0, 1e-3, 1e-3) ] ()
+  in
+  match Design_sim.run_outcome ~faults (simple_design ~cross:true ()) with
+  | Design_sim.Degraded { result; _ } ->
+    check bool "both chained windows served" true
+      (result.latency_s >= clean.latency_s +. 1.9e-3)
+  | _ -> Alcotest.fail "stalled run must report Degraded"
+
 let test_outcome_device_halt_fails () =
   (* Halting the consumer's FPGA at t=0 starves the producer: the run
      cannot finish and must classify as Failed, attributing the halt. *)
@@ -367,63 +439,184 @@ let test_outcome_deterministic () =
   in
   check fl "bit-identical across runs" (latency ()) (latency ())
 
+(* Random layered fan-out/fan-in pipeline split over 2 FPGAs — the corpus
+   both the conservation property and the engine-equivalence property
+   draw from. *)
+let random_pipeline_config seed =
+  let rng = Tapa_cs_util.Prng.create seed in
+  let b = Taskgraph.Builder.create () in
+  let stages = 2 + Tapa_cs_util.Prng.int rng 4 in
+  let widths = [| 1; 2; 4 |] in
+  (* layered DAG: every node in layer i feeds >= 1 node in layer i+1 *)
+  let layers =
+    Array.init stages (fun li ->
+        Array.init
+          (1 + Tapa_cs_util.Prng.int rng widths.(li mod 3))
+          (fun ni ->
+            Taskgraph.Builder.add_task b
+              ~name:(Printf.sprintf "l%dn%d" li ni)
+              ~compute:(Task.make_compute ~elems:(float_of_int (100 + Tapa_cs_util.Prng.int rng 1000)) ~ii:1.0 ())
+              ()))
+  in
+  for li = 0 to stages - 2 do
+    Array.iter
+      (fun src ->
+        let dst = layers.(li + 1).(Tapa_cs_util.Prng.int rng (Array.length layers.(li + 1))) in
+        ignore
+          (Taskgraph.Builder.add_fifo b ~src ~dst
+             ~elems:(float_of_int (50 + Tapa_cs_util.Prng.int rng 500))
+             ()))
+      layers.(li)
+  done;
+  (* make sure every layer-i+1 node has an input: connect from node 0 *)
+  for li = 0 to stages - 2 do
+    Array.iter
+      (fun dst ->
+        ignore
+          (Taskgraph.Builder.add_fifo b ~src:layers.(li).(0) ~dst ~elems:100.0 ()))
+      layers.(li + 1)
+  done;
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) 2 in
+  let synthesis = Synthesis.run ~board g in
+  let assignment = Array.init (Taskgraph.num_tasks g) (fun _ -> Tapa_cs_util.Prng.int rng 2) in
+  Design_sim.make_config ~chunks:8 ~graph:g ~assignment ~freq_mhz:[| 300.0; 250.0 |] ~cluster
+    ~synthesis ()
+
 (* Property: random fan-out/fan-in pipelines conserve bytes on every
    channel and never deadlock. *)
 let prop_random_pipelines_conserve =
   QCheck.Test.make ~name:"random pipelines complete and conserve" ~count:40
     (QCheck.int_range 0 10_000)
     (fun seed ->
-      let rng = Tapa_cs_util.Prng.create seed in
-      let b = Taskgraph.Builder.create () in
-      let stages = 2 + Tapa_cs_util.Prng.int rng 4 in
-      let widths = [| 1; 2; 4 |] in
-      (* layered DAG: every node in layer i feeds >= 1 node in layer i+1 *)
-      let layers =
-        Array.init stages (fun li ->
-            Array.init
-              (1 + Tapa_cs_util.Prng.int rng widths.(li mod 3))
-              (fun ni ->
-                Taskgraph.Builder.add_task b
-                  ~name:(Printf.sprintf "l%dn%d" li ni)
-                  ~compute:(Task.make_compute ~elems:(float_of_int (100 + Tapa_cs_util.Prng.int rng 1000)) ~ii:1.0 ())
-                  ()))
-      in
-      for li = 0 to stages - 2 do
-        Array.iter
-          (fun src ->
-            let dst = layers.(li + 1).(Tapa_cs_util.Prng.int rng (Array.length layers.(li + 1))) in
-            ignore
-              (Taskgraph.Builder.add_fifo b ~src ~dst
-                 ~elems:(float_of_int (50 + Tapa_cs_util.Prng.int rng 500))
-                 ()))
-          layers.(li)
-      done;
-      (* make sure every layer-i+1 node has an input: connect from node 0 *)
-      for li = 0 to stages - 2 do
-        Array.iter
-          (fun dst ->
-            ignore
-              (Taskgraph.Builder.add_fifo b ~src:layers.(li).(0) ~dst ~elems:100.0 ()))
-          layers.(li + 1)
-      done;
-      let g = Taskgraph.Builder.build b in
-      let board = Board.u55c () in
-      let cluster = Cluster.make ~board:(fun () -> board) 2 in
-      let synthesis = Synthesis.run ~board g in
-      let assignment =
-        Array.init (Taskgraph.num_tasks g) (fun _ -> Tapa_cs_util.Prng.int rng 2)
-      in
-      let r =
-        Design_sim.run
-          (Design_sim.make_config ~chunks:8 ~graph:g ~assignment ~freq_mhz:[| 300.0; 250.0 |]
-             ~cluster ~synthesis ())
-      in
+      let r = Design_sim.run ~cache:false (random_pipeline_config seed) in
       r.deadlocked = [] && r.latency_s > 0.0
       && Array.for_all
            (fun (t : Design_sim.task_stat) -> t.finish_s <= r.latency_s +. 1e-9)
            r.tasks)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_pipelines_conserve ]
+(* Everything the coalesced/reference equivalence contract covers. *)
+let eq_key (r : Design_sim.result) =
+  ( r.latency_s,
+    r.deadlocked,
+    List.map
+      (fun (l : Design_sim.link_stat) -> (l.src_fpga, l.dst_fpga, l.bytes, l.busy_s))
+      r.links )
+
+(* Property: the coalesced engine is bit-identical to the reference
+   engine — latency, deadlock set and link statistics, with no tolerance
+   — over the random corpus. *)
+let prop_coalesced_equals_reference =
+  QCheck.Test.make ~name:"coalesced engine bit-identical to reference" ~count:40
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let cfg = random_pipeline_config seed in
+      let c = Design_sim.run ~cache:false cfg in
+      let r = Design_sim.run_reference ~cache:false cfg in
+      eq_key c = eq_key r && c.events <= r.events)
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence, sweep harness, cache                            *)
+(* ------------------------------------------------------------------ *)
+
+let rate_mismatch_config () =
+  (* 4x slower consumer across the link: credit piles up upstream, which
+     is exactly where chunk batching compresses the most events. *)
+  let b = Taskgraph.Builder.create () in
+  let p = Taskgraph.Builder.add_task b ~name:"p" ~compute:(Task.make_compute ~elems:2e5 ~ii:1.0 ()) () in
+  let c = Taskgraph.Builder.add_task b ~name:"c" ~compute:(Task.make_compute ~elems:2e5 ~ii:4.0 ()) () in
+  ignore (Taskgraph.Builder.add_fifo b ~src:p ~dst:c ~width_bits:32 ~elems:2e5 ());
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) 2 in
+  let synthesis = Synthesis.run ~board g in
+  Design_sim.make_config ~graph:g ~assignment:[| 0; 1 |] ~freq_mhz:[| 300.0; 300.0 |] ~cluster
+    ~synthesis ()
+
+let fan_in_config () =
+  (* Two producers at different rates on different FPGAs feeding one
+     consumer: one cross FIFO, one local, mixed batch widths. *)
+  let b = Taskgraph.Builder.create () in
+  let p0 = Taskgraph.Builder.add_task b ~name:"p0" ~compute:(Task.make_compute ~elems:1e5 ~ii:1.0 ()) () in
+  let p1 = Taskgraph.Builder.add_task b ~name:"p1" ~compute:(Task.make_compute ~elems:1e5 ~ii:2.0 ()) () in
+  let c = Taskgraph.Builder.add_task b ~name:"c" ~compute:(Task.make_compute ~elems:2e5 ~ii:1.0 ()) () in
+  ignore (Taskgraph.Builder.add_fifo b ~src:p0 ~dst:c ~width_bits:32 ~elems:1e5 ());
+  ignore (Taskgraph.Builder.add_fifo b ~src:p1 ~dst:c ~width_bits:32 ~elems:1e5 ());
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) 2 in
+  let synthesis = Synthesis.run ~board g in
+  Design_sim.make_config ~graph:g ~assignment:[| 0; 1; 0 |] ~freq_mhz:[| 300.0; 300.0 |] ~cluster
+    ~synthesis ()
+
+let test_coalesced_matches_reference () =
+  List.iter
+    (fun (name, cfg) ->
+      let c = Design_sim.run ~cache:false cfg in
+      let r = Design_sim.run_reference ~cache:false cfg in
+      check bool (name ^ ": latency/deadlocks/links bit-identical") true (eq_key c = eq_key r);
+      check bool (name ^ ": coalescing never adds events") true (c.events <= r.events))
+    [
+      ("local", simple_design ());
+      ("cross", simple_design ~cross:true ());
+      ("rate mismatch", rate_mismatch_config ());
+      ("fan-in", fan_in_config ());
+    ];
+  (* rate mismatch is where the reference event count actually explodes *)
+  let cfg = rate_mismatch_config () in
+  let c = Design_sim.run ~cache:false cfg in
+  let r = Design_sim.run_reference ~cache:false cfg in
+  check bool "rate mismatch coalesces substantially (>= 1.5x fewer events)" true
+    (3 * c.events <= 2 * r.events)
+
+let test_sweep_jobs_identity () =
+  let points =
+    Array.map
+      (fun chunks ->
+        Sim_sweep.job ~label:(string_of_int chunks)
+          { (simple_design ~cross:true ()) with Design_sim.chunks })
+      [| 4; 8; 16; 32 |]
+  in
+  let seq = Sim_sweep.run ~jobs:1 ~cache:false points in
+  let par = Sim_sweep.run ~jobs:4 ~cache:false points in
+  check bool "jobs=1 and jobs=4 rows byte-identical" true (seq = par);
+  Array.iteri
+    (fun i (label, _) ->
+      check Alcotest.string "labels in job order" (string_of_int [| 4; 8; 16; 32 |].(i)) label)
+    seq;
+  (* a Reference-mode job rides the same harness and must agree *)
+  let both =
+    Sim_sweep.run ~jobs:1 ~cache:false
+      [|
+        Sim_sweep.job ~label:"c" (simple_design ~cross:true ());
+        Sim_sweep.job ~mode:Design_sim.Reference ~label:"r" (simple_design ~cross:true ());
+      |]
+  in
+  match (snd both.(0), snd both.(1)) with
+  | Design_sim.Completed c, Design_sim.Completed r ->
+    check bool "both engine modes agree through the sweep" true (eq_key c = eq_key r)
+  | _ -> Alcotest.fail "sweep points must complete"
+
+let test_cache_cold_warm_and_keys () =
+  Design_sim.reset_cache ();
+  let cfg = simple_design ~cross:true () in
+  let cold = Design_sim.run cfg in
+  let warm = Design_sim.run cfg in
+  check bool "cold and warm results bit-identical (full record)" true (cold = warm);
+  check bool "warm hit returns a fresh copy, not the cached arrays" true
+    (not (cold.Design_sim.per_fpga_busy_s == warm.Design_sim.per_fpga_busy_s));
+  check bool "one miss then one hit" true (Design_sim.cache_stats () = (1, 1));
+  ignore (Design_sim.run { cfg with Design_sim.chunks = 32 });
+  check bool "chunk count is part of the key" true (snd (Design_sim.cache_stats ()) = 2);
+  ignore (Design_sim.run_reference cfg);
+  check bool "engine mode is part of the key" true (snd (Design_sim.cache_stats ()) = 3);
+  Design_sim.reset_cache ();
+  check bool "reset drops entries and zeroes counters" true (Design_sim.cache_stats () = (0, 0))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_pipelines_conserve; prop_coalesced_equals_reference ]
 
 let () =
   Alcotest.run "sim"
@@ -434,11 +627,13 @@ let () =
           Alcotest.test_case "FIFO order at equal time" `Quick test_same_time_fifo_order;
           Alcotest.test_case "negative wait" `Quick test_negative_wait_rejected;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "run ~until semantics" `Quick test_run_until;
         ] );
       ( "channel",
         [
           Alcotest.test_case "backpressure" `Quick test_channel_backpressure;
           Alcotest.test_case "oversized messages" `Quick test_channel_oversized_message_streams;
+          Alcotest.test_case "capacity invariant" `Quick test_channel_capacity_invariant;
           Alcotest.test_case "float rounding regression" `Quick test_channel_no_float_wedge;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
         ] );
@@ -458,12 +653,19 @@ let () =
           Alcotest.test_case "config validation" `Quick test_design_sim_validation;
           Alcotest.test_case "exception propagation" `Quick test_engine_exception_propagates;
         ] );
+      ( "coalescing",
+        [
+          Alcotest.test_case "coalesced equals reference" `Quick test_coalesced_matches_reference;
+          Alcotest.test_case "sweep jobs identity" `Quick test_sweep_jobs_identity;
+          Alcotest.test_case "cache cold/warm + key sensitivity" `Quick test_cache_cold_warm_and_keys;
+        ] );
       ( "outcomes",
         [
           Alcotest.test_case "fault-free completes" `Quick test_outcome_completed;
           Alcotest.test_case "lossy links degrade" `Quick test_outcome_lossy_links_degrade;
           Alcotest.test_case "local design shrugs off loss" `Quick test_outcome_loss_local_only_is_harmless;
           Alcotest.test_case "fifo stall degrades" `Quick test_outcome_fifo_stall_degrades;
+          Alcotest.test_case "chained stall windows (fixpoint)" `Quick test_outcome_chained_stall_windows;
           Alcotest.test_case "device halt fails" `Quick test_outcome_device_halt_fails;
           Alcotest.test_case "deterministic outcomes" `Quick test_outcome_deterministic;
         ] );

@@ -233,6 +233,50 @@ let test_heap_peek () =
   check bool "peek is min" true (Heap.peek h = Some 2);
   check int "peek does not remove" 3 (Heap.length h)
 
+(* ------------------------------------------------------------------ *)
+(* Fourheap (the coalesced engine's event queue)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fourheap_ties_by_secondary () =
+  (* The engine orders events by (time, seq); the heap must honour the
+     full comparator, including the tie-break component. *)
+  let cmp (ta, sa) (tb, sb) =
+    if compare ta tb <> 0 then compare ta tb else compare sa sb
+  in
+  let h = Fourheap.create ~cmp in
+  List.iter (Fourheap.push h) [ (1.0, 3); (1.0, 1); (0.5, 2); (1.0, 2) ];
+  let rec drain acc = match Fourheap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  check bool "ties drain in secondary order" true
+    (drain [] = [ (0.5, 2); (1.0, 1); (1.0, 2); (1.0, 3) ])
+
+(* Interleaved push/pop against a sorted-list model: peek, pop and
+   length must agree with the model after every single operation, not
+   just on a final drain. *)
+let prop_fourheap_matches_model =
+  QCheck.Test.make ~name:"fourheap matches sorted-list model under interleaving" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 300) (QCheck.pair QCheck.bool QCheck.small_int))
+    (fun ops ->
+      let h = Fourheap.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, v) ->
+          if is_pop then begin
+            let expect =
+              match !model with
+              | [] -> None
+              | x :: tl ->
+                model := tl;
+                Some x
+            in
+            Fourheap.pop h = expect
+          end
+          else begin
+            Fourheap.push h v;
+            model := List.merge Int.compare [ v ] !model;
+            Fourheap.peek h = Some (List.hd !model) && Fourheap.length h = List.length !model
+          end)
+        ops)
+
 let prop_heap_is_sorted =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:100
     (QCheck.list_of_size (QCheck.Gen.int_range 0 200) QCheck.small_int)
@@ -416,7 +460,8 @@ let test_memo_concurrent () =
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_identity; prop_compare_total_order;
-    prop_rat_field_laws; prop_rat_compare_antisym; prop_rat_floor_bound; prop_heap_is_sorted ]
+    prop_rat_field_laws; prop_rat_compare_antisym; prop_rat_floor_bound; prop_heap_is_sorted;
+    prop_fourheap_matches_model ]
 
 let () =
   Alcotest.run "util"
@@ -452,6 +497,7 @@ let () =
       ( "heap",
         [
           Alcotest.test_case "heapsort" `Quick test_heap_sorts;
+          Alcotest.test_case "fourheap tie-break" `Quick test_fourheap_ties_by_secondary;
           Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
           Alcotest.test_case "peek" `Quick test_heap_peek;
         ] );
