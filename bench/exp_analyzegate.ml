@@ -1,0 +1,320 @@
+(* CI gate for the static performance verifier.
+
+   Five properties, each checked exactly where exactness is the
+   contract and measured where the contract is a saving:
+
+   1. Soundness on real designs: for every example application the
+      closed-form interval [lower, upper] must contain the latency of
+      BOTH simulator engines, and the freshly emitted artifacts must
+      round-trip through the re-parser with zero diagnostics.
+
+   2. Soundness on a random corpus: 48 seeded layered pipelines, same
+      containment check.  The corpus is deterministic, so a failure is
+      a bug in the bounds (or the simulator), never flakiness.
+
+   3. Tamper sensitivity: corrupting any artifact class (floorplan Tcl,
+      connectivity config, design report, stage-note arithmetic) must
+      surface the matching TCS6xx diagnostic.
+
+   4. Cross-check wiring: with TAPA_CS_INJECT_STATIC_VIOLATION set, a
+      [verify_static] compile must fail with TCS503 — proving the
+      differential gate is actually in the compile path, not just in a
+      library nobody calls.
+
+   5. Pruning is lossless and pays: an SLO sweep must (a) prune at
+      least one point, (b) return surviving rows byte-identical to the
+      matching rows of the unpruned sweep, and (c) cost less wall-clock
+      than simulating everything.  The analyzer itself must also be an
+      order of magnitude cheaper than even a cache-warm simulation —
+      that ratio is what makes screening every sweep point free. *)
+
+open Tapa_cs
+open Tapa_cs_device
+open Tapa_cs_graph
+open Tapa_cs_hls
+module Static_perf = Tapa_cs_analysis.Static_perf
+module Diagnostic = Tapa_cs_analysis.Diagnostic
+module Design_sim = Tapa_cs_sim.Design_sim
+module Sim_sweep = Tapa_cs_sim.Sim_sweep
+module Apps = Tapa_cs_apps
+
+let fail fmt = Printf.ksprintf (fun s -> Printf.printf "  FAIL: %s\n" s; exit 1) fmt
+
+let design label graph fpgas =
+  let cluster = Cluster.make ~board:Board.u55c fpgas in
+  match Flow.tapa_cs ~cluster graph with
+  | Ok d -> d
+  | Error e -> fail "%s compile failed: %s" label e
+
+let example_designs () =
+  [
+    ( "stencil x4",
+      design "stencil x4"
+        (Apps.Stencil.generate (Apps.Stencil.make_config ~iterations:8 ~fpgas:4 ())).Apps.App.graph
+        4 );
+    ( "stencil x2",
+      design "stencil x2"
+        (Apps.Stencil.generate (Apps.Stencil.make_config ~iterations:8 ~fpgas:2 ())).Apps.App.graph
+        2 );
+    ( "pagerank x2",
+      design "pagerank x2"
+        (Apps.Pagerank.generate
+           (Apps.Pagerank.make_config ~dataset:Apps.Dataset.web_google ~fpgas:2 ()))
+          .Apps.App.graph 2 );
+    ( "knn x2",
+      design "knn x2"
+        (Apps.Knn.generate (Apps.Knn.make_config ~n_points:1_000_000 ~dims:2 ~fpgas:2 ()))
+          .Apps.App.graph 2 );
+    ( "cnn x2",
+      design "cnn x2"
+        (Apps.Cnn.generate (Apps.Cnn.make_config ~cols:4 ~fpgas:2 ())).Apps.App.graph 2 );
+  ]
+
+let inside (s : Static_perf.t) latency =
+  latency >= s.Static_perf.latency_lower_s && latency <= s.Static_perf.latency_upper_s
+
+(* 1. every example app: both engines inside the interval, artifacts
+   round-trip clean. *)
+let check_examples designs =
+  List.iter
+    (fun (label, d) ->
+      let s = Flow.static_bounds d in
+      let cfg = Flow.sim_config d in
+      let c = Design_sim.run ~cache:false cfg in
+      let r = Design_sim.run_reference ~cache:false cfg in
+      if not (inside s c.Design_sim.latency_s) then
+        fail "%s: coalesced latency %.9e outside [%.9e, %.9e]" label c.Design_sim.latency_s
+          s.Static_perf.latency_lower_s s.Static_perf.latency_upper_s;
+      if not (inside s r.Design_sim.latency_s) then
+        fail "%s: reference latency %.9e outside interval" label r.Design_sim.latency_s;
+      (match d.Flow.compiled with
+      | None -> fail "%s: tapa_cs flow returned no compiled design" label
+      | Some c ->
+        (match Emit.verify_roundtrip c with
+        | [] -> ()
+        | ds ->
+          fail "%s: artifact round-trip not clean: %s" label
+            (String.concat "; " (List.map (fun d -> d.Diagnostic.code) ds))));
+      Printf.printf "  %-12s latency %.6f ms in [%.6f, %.6f] ms, artifacts clean\n" label
+        (1e3 *. c.Design_sim.latency_s)
+        (1e3 *. s.Static_perf.latency_lower_s)
+        (1e3 *. s.Static_perf.latency_upper_s))
+    designs;
+  Printf.printf "  example soundness: %d designs x 2 engines inside interval\n"
+    (List.length designs)
+
+(* 2. random layered pipelines (the test suite's corpus shape, fresh
+   seed range so the gate and the unit tests do not share instances). *)
+let random_pipeline_config seed =
+  let rng = Tapa_cs_util.Prng.create seed in
+  let b = Taskgraph.Builder.create () in
+  let stages = 2 + Tapa_cs_util.Prng.int rng 4 in
+  let widths = [| 1; 2; 4 |] in
+  let layers =
+    Array.init stages (fun li ->
+        Array.init
+          (1 + Tapa_cs_util.Prng.int rng widths.(li mod 3))
+          (fun ni ->
+            Taskgraph.Builder.add_task b
+              ~name:(Printf.sprintf "l%dn%d" li ni)
+              ~compute:
+                (Task.make_compute
+                   ~elems:(float_of_int (100 + Tapa_cs_util.Prng.int rng 1000))
+                   ~ii:1.0 ())
+              ()))
+  in
+  for li = 0 to stages - 2 do
+    Array.iter
+      (fun src ->
+        let dst = layers.(li + 1).(Tapa_cs_util.Prng.int rng (Array.length layers.(li + 1))) in
+        ignore
+          (Taskgraph.Builder.add_fifo b ~src ~dst
+             ~elems:(float_of_int (50 + Tapa_cs_util.Prng.int rng 500))
+             ()))
+      layers.(li)
+  done;
+  for li = 0 to stages - 2 do
+    Array.iter
+      (fun dst ->
+        ignore (Taskgraph.Builder.add_fifo b ~src:layers.(li).(0) ~dst ~elems:100.0 ()))
+      layers.(li + 1)
+  done;
+  let g = Taskgraph.Builder.build b in
+  let board = Board.u55c () in
+  let cluster = Cluster.make ~board:(fun () -> board) 2 in
+  let synthesis = Synthesis.run ~board g in
+  let assignment = Array.init (Taskgraph.num_tasks g) (fun _ -> Tapa_cs_util.Prng.int rng 2) in
+  Design_sim.make_config ~chunks:8 ~graph:g ~assignment ~freq_mhz:[| 300.0; 250.0 |] ~cluster
+    ~synthesis ()
+
+let corpus_size = 48
+
+let check_corpus () =
+  for seed = 20_001 to 20_000 + corpus_size do
+    let cfg = random_pipeline_config seed in
+    let s = Static_perf.bounds cfg in
+    let c = Design_sim.run ~cache:false cfg in
+    let r = Design_sim.run_reference ~cache:false cfg in
+    if not (inside s c.Design_sim.latency_s && inside s r.Design_sim.latency_s) then
+      fail "seed %d: latency (%.9e coalesced / %.9e reference) escapes [%.9e, %.9e]" seed
+        c.Design_sim.latency_s r.Design_sim.latency_s s.Static_perf.latency_lower_s
+        s.Static_perf.latency_upper_s
+  done;
+  Printf.printf "  corpus soundness: %d random pipelines x 2 engines inside interval\n"
+    corpus_size
+
+let contains sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* 3. each artifact class, tampered, must trip its own code. *)
+let replace_first ~old_ ~new_ s =
+  let ol = String.length old_ in
+  let rec find i =
+    if i + ol > String.length s then fail "tamper pattern %S not found" old_
+    else if String.sub s i ol = old_ then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ new_ ^ String.sub s (i + ol) (String.length s - i - ol)
+
+let check_tampering (c : Compiler.t) =
+  let tcl f = Emit.floorplan_tcl c ~fpga:f in
+  let cfg f = Emit.connectivity_cfg c ~fpga:f in
+  let report = Emit.design_report_json c in
+  let codes_of ~tcl_of ~cfg_of ~report =
+    List.map (fun d -> d.Diagnostic.code) (Emit.verify_artifacts c ~tcl_of ~cfg_of ~report)
+  in
+  let expect code codes what =
+    if not (List.mem code codes) then
+      fail "tampered %s did not flag %s (got: %s)" what code (String.concat "," codes)
+  in
+  (* Tamper the first FPGA whose artifact actually carries the pattern,
+     so the gate does not depend on which device the floorplanner put a
+     given task or crossing on. *)
+  let fpga_with artifact pat =
+    if contains pat (artifact 0) then 0
+    else if contains pat (artifact 1) then 1
+    else fail "no artifact carries %S" pat
+  in
+  let tamper artifact pat new_ =
+    let victim = fpga_with artifact pat in
+    fun f -> if f = victim then replace_first ~old_:pat ~new_ (artifact f) else artifact f
+  in
+  expect "TCS601"
+    (codes_of
+       ~tcl_of:(tamper tcl "[get_cells -hier " "[get_cells -hier ghost_")
+       ~cfg_of:cfg ~report)
+    "floorplan Tcl";
+  expect "TCS602"
+    (codes_of ~tcl_of:tcl ~cfg_of:(tamper cfg ":HBM[" ":HBM[3") ~report)
+    "connectivity cfg";
+  expect "TCS603"
+    (codes_of ~tcl_of:tcl ~cfg_of:cfg
+       ~report:(replace_first ~old_:"\"fpgas\": 2" ~new_:"\"fpgas\": 9" report))
+    "design report";
+  expect "TCS604"
+    (codes_of
+       ~tcl_of:(tamper tcl ": 1 pipeline stage(s)" ": 7 pipeline stage(s)")
+       ~cfg_of:cfg ~report)
+    "stage notes";
+  Printf.printf "  tamper sensitivity: TCS601/602/603/604 each fire on its artifact class\n"
+
+(* 4. the differential gate in the compile path. *)
+let check_injection graph =
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let options = { Compiler.default_options with verify_static = true } in
+  (match Compiler.compile ~options ~cluster graph with
+  | Ok _ -> ()
+  | Error e -> fail "verify_static rejected an honest design: %s" e);
+  Unix.putenv "TAPA_CS_INJECT_STATIC_VIOLATION" "1";
+  let result = Compiler.compile ~options ~cluster graph in
+  Unix.putenv "TAPA_CS_INJECT_STATIC_VIOLATION" "";
+  (match result with
+  | Ok _ -> fail "verify_static accepted an injected interval violation"
+  | Error e ->
+    if not (contains "TCS503" e) then fail "injected violation failed without TCS503: %s" e);
+  Printf.printf "  cross-check wiring: injected violation fails verify_static with TCS503\n"
+
+(* 5. SLO pruning: lossless and measured. *)
+let check_pruning () =
+  let points =
+    Array.map
+      (fun (label, seed) -> Sim_sweep.job ~label (random_pipeline_config seed))
+      (Array.init 12 (fun i -> (Printf.sprintf "p%d" i, 30_000 + i)))
+  in
+  let lower (j : Sim_sweep.job) =
+    (Static_perf.bounds j.Sim_sweep.config).Static_perf.latency_lower_s
+  in
+  let lowers = Array.map lower points in
+  let lo = Array.fold_left min infinity lowers and hi = Array.fold_left max 0.0 lowers in
+  (* Split the corpus: points whose lower bound already exceeds the SLO
+     are prunable, the rest must simulate. *)
+  let slo = (lo +. hi) /. 2.0 in
+  Design_sim.reset_cache ();
+  let t0 = Unix.gettimeofday () in
+  let full = Sim_sweep.run ~jobs:1 ~cache:false points in
+  let t_full = Unix.gettimeofday () -. t0 in
+  Sim_sweep.reset_static_pruned ();
+  Design_sim.reset_cache ();
+  let t0 = Unix.gettimeofday () in
+  let slo_rows = Sim_sweep.run_slo ~jobs:1 ~cache:false ~slo_latency_s:slo ~lower_bound_s:lower points in
+  let t_slo = Unix.gettimeofday () -. t0 in
+  let pruned = Sim_sweep.static_pruned () in
+  if pruned = 0 then fail "SLO sweep pruned nothing (slo %.9e over lowers [%.9e, %.9e])" slo lo hi;
+  if pruned = Array.length points then fail "SLO sweep pruned everything";
+  Array.iteri
+    (fun i (label, row) ->
+      let label', outcome = full.(i) in
+      if label <> label' then fail "row order diverged at %d" i;
+      match row with
+      | Sim_sweep.Simulated o ->
+        if o <> outcome then fail "surviving row %s differs from unpruned sweep" label
+      | Sim_sweep.Pruned { lower_bound_s } ->
+        if lower_bound_s <= slo then fail "row %s pruned below the SLO" label;
+        (match outcome with
+        | Design_sim.Completed res ->
+          if res.Design_sim.latency_s < lower_bound_s then
+            fail "row %s pruned but simulates faster than its lower bound" label
+        | _ -> fail "pruned row %s did not complete unpruned" label))
+    slo_rows;
+  Printf.printf
+    "  pruning losslessness: %d/%d points pruned, survivors byte-identical (%.1f ms vs %.1f ms)\n"
+    pruned (Array.length points) (1e3 *. t_slo) (1e3 *. t_full);
+  (* The analyzer must be far cheaper than even a cache-warm rerun —
+     that is what makes screening every point worthwhile.  Timed over
+     enough repetitions to dominate clock noise; gated at 4x with the
+     typical ratio well above 10x. *)
+  let cfg = random_pipeline_config 30_000 in
+  ignore (Design_sim.run cfg);
+  let reps = 2_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Static_perf.bounds cfg)
+  done;
+  let t_bounds = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Design_sim.run cfg)
+  done;
+  let t_warm = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let ratio = t_warm /. t_bounds in
+  if ratio < 4.0 then
+    fail "static bounds not cheap enough: %.2f us vs %.2f us cache-warm sim (%.1fx)"
+      (1e6 *. t_bounds) (1e6 *. t_warm) ratio;
+  Printf.printf "  analyzer cost: %.2f us/bounds vs %.2f us cache-warm sim (%.1fx cheaper)\n"
+    (1e6 *. t_bounds) (1e6 *. t_warm) ratio
+
+let run () =
+  Exp_common.section "Static performance verifier gate";
+  let designs = example_designs () in
+  check_examples designs;
+  check_corpus ();
+  (match (List.assoc "stencil x2" designs).Flow.compiled with
+  | Some c ->
+    check_tampering c;
+    check_injection c.Compiler.graph
+  | None -> fail "stencil x2 has no compiled design");
+  check_pruning ();
+  Printf.printf "  static verifier gate passed\n"

@@ -50,6 +50,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("micro", "bechamel kernel microbenchmarks", Micro.run);
     ("certcheck", "float-first simplex certification gate (CI)", Exp_certcheck.run);
     ("simgate", "simulation determinism gate (CI)", Exp_simgate.run);
+    ("analyzegate", "static performance verifier gate (CI)", Exp_analyzegate.run);
   ]
 
 let usage () =

@@ -232,6 +232,14 @@ let small_sim_cached =
   Test.make ~name:"8-task pipeline simulation, cache warm"
     (Staged.stage (fun () -> ignore (Tapa_cs_sim.Design_sim.run small_sim_config)))
 
+(* The closed-form bounds on the same design the sim benches run.  The
+   pinned contract (gated in [analyzegate]) is that this stays an order
+   of magnitude under even the cache-warm sim — screening a sweep point
+   statically must be far cheaper than looking its simulation up. *)
+let static_bounds_bench =
+  Test.make ~name:"8-task pipeline static bounds"
+    (Staged.stage (fun () -> ignore (Tapa_cs_analysis.Static_perf.bounds small_sim_config)))
+
 (* Sweep harness over four independent points (the pipeline at different
    chunk granularities), cache off so every run simulates.  jobs=4 is
    skipped on single-core hosts exactly like [compile_par]; the jobs=1
@@ -266,7 +274,7 @@ let tests =
     @ Option.to_list compile_par
     @ [
         partition_heuristic; link_ideal; link_faulty; event_queue; event_fourheap; small_sim;
-        small_sim_reference; small_sim_cached; sim_sweep_seq;
+        small_sim_reference; small_sim_cached; static_bounds_bench; sim_sweep_seq;
       ]
     @ Option.to_list sim_sweep_par)
 

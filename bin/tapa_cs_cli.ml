@@ -128,12 +128,19 @@ let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
   | "cnn" -> Ok (Cnn.generate (Cnn.make_config ~cols ~fpgas ()))
   | other -> Error (Printf.sprintf "unknown app %S" other)
 
-let compile_design app_t ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold ~jobs ~seed
-    ~fault_plan =
+let compile_design ?(verify_static = false) app_t ~flow ~fpgas ~cluster_fpgas ~topology ~board
+    ~threshold ~jobs ~seed ~fault_plan =
   let board = board_of_name board in
   let k = if cluster_fpgas <= 0 then fpgas else cluster_fpgas in
   let options =
-    { Compiler.default_options with threshold; jobs = effective_jobs jobs; seed; fault_plan }
+    {
+      Compiler.default_options with
+      threshold;
+      jobs = effective_jobs jobs;
+      seed;
+      fault_plan;
+      verify_static;
+    }
   in
   match flow with
   | `Vitis -> Flow.vitis ~board app_t.App.graph
@@ -155,11 +162,13 @@ let print_solver_stats ~json c =
   let s = Compiler.solver_stats c in
   let cache_hits, cache_misses = Tapa_cs_floorplan.Partition.cache_stats () in
   let sim_hits, sim_misses = Tapa_cs_sim.Design_sim.cache_stats () in
+  let static_pruned = Tapa_cs_sim.Sim_sweep.static_pruned () in
   if json then
     Format.printf
-      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d}@."
+      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d,\"static_pruned\":%d}@."
       s.Compiler.lp_solves s.Compiler.lp_pivots s.Compiler.lp_certified s.Compiler.lp_fallbacks
       s.Compiler.bb_nodes s.Compiler.refinement_moves cache_hits cache_misses sim_hits sim_misses
+      static_pruned
   else begin
     let i = string_of_int in
     Tapa_cs_util.Table.print ~title:"solver statistics"
@@ -176,6 +185,7 @@ let print_solver_stats ~json c =
         [ "floorplan cache misses (process)"; i cache_misses ];
         [ "sim cache hits (process)"; i sim_hits ];
         [ "sim cache misses (process)"; i sim_misses ];
+        [ "statically pruned sweep points (process)"; i static_pruned ];
       ]
   end
 
@@ -197,8 +207,10 @@ let stats_json_arg =
    simulator's, not the floorplanner's). *)
 let print_sim_stats ~json () =
   let sim_hits, sim_misses = Tapa_cs_sim.Design_sim.cache_stats () in
+  let static_pruned = Tapa_cs_sim.Sim_sweep.static_pruned () in
   if json then
-    Format.printf "{\"sim_cache_hits\":%d,\"sim_cache_misses\":%d}@." sim_hits sim_misses
+    Format.printf "{\"sim_cache_hits\":%d,\"sim_cache_misses\":%d,\"static_pruned\":%d}@."
+      sim_hits sim_misses static_pruned
   else
     Tapa_cs_util.Table.print ~title:"simulation statistics"
       ~header:[ "counter"; "value" ]
@@ -206,11 +218,19 @@ let print_sim_stats ~json () =
       [
         [ "sim cache hits (process)"; string_of_int sim_hits ];
         [ "sim cache misses (process)"; string_of_int sim_misses ];
+        [ "statically pruned sweep points (process)"; string_of_int static_pruned ];
       ]
+
+let verify_static_arg =
+  let doc =
+    "After compiling, run the timed simulation and fail the compile if the simulated latency \
+     falls outside the statically derived [lower, upper] latency interval (TCS503)."
+  in
+  Arg.(value & flag & info [ "verify-static" ] ~doc)
 
 let compile_cmd =
   let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
-      loss_rate fail_fpgas stats stats_json =
+      loss_rate fail_fpgas stats stats_json verify_static =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
@@ -227,8 +247,8 @@ let compile_cmd =
             List.iter (Format.printf "injecting: %s@.") (Tapa_cs_network.Fault.describe p))
           fault_plan;
         match
-          compile_design a ~flow ~fpgas ~cluster_fpgas ~topology ~board ~threshold ~jobs ~seed
-            ~fault_plan
+          compile_design ~verify_static a ~flow ~fpgas ~cluster_fpgas ~topology ~board
+            ~threshold ~jobs ~seed ~fault_plan
         with
         | Error e ->
           Format.printf "compilation failed: %s@." e;
@@ -242,6 +262,9 @@ let compile_cmd =
             Format.printf "%a" Compiler.pp_summary c;
             Format.printf "floorplanner runtimes: L1 %.2fs, L2 %.2fs@." c.Compiler.l1_runtime_s
               c.Compiler.l2_runtime_s;
+            Format.printf "static bounds: %a@." Tapa_cs_analysis.Static_perf.pp c.Compiler.static;
+            if verify_static then
+              Format.printf "static verification: simulated latency inside the interval@.";
             if stats then print_solver_stats ~json:stats_json c
           | None ->
             if stats then
@@ -251,7 +274,8 @@ let compile_cmd =
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
           $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
-          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ stats_arg $ stats_json_arg)
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ stats_arg $ stats_json_arg
+          $ verify_static_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Run the seven-step TAPA-CS compile and print the floorplan.") term
 
@@ -481,7 +505,19 @@ let autoscale_cmd =
     let doc = "Worker domains for the --measured simulation sweep (0 = default)." in
     Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
   in
-  let run fpgas elems ops bytes lanes lut measured jobs =
+  let slo_ms_arg =
+    let doc =
+      "Latency SLO in milliseconds for the --measured sweep.  Points whose certified static \
+       lower bound already exceeds the SLO are pruned without simulating (counted in \
+       --stats-json as static_pruned).  0 disables pruning."
+    in
+    Arg.(value & opt float 0.0 & info [ "slo-ms" ] ~doc)
+  in
+  let autoscale_stats_arg =
+    let doc = "Print the simulation-cache and static-pruning counters after the sweep." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run fpgas elems ops bytes lanes lut measured jobs slo_ms stats stats_json =
     let kernel =
       {
         Autoscale.name = "cli-kernel";
@@ -494,26 +530,40 @@ let autoscale_cmd =
       }
     in
     let cluster = Cluster.make ~board:Board.u55c (max 1 fpgas) in
-    if measured then
+    let describe_result (r : Tapa_cs_sim.Design_sim.result) =
+      Printf.sprintf "%.3f ms measured" (1e3 *. r.Tapa_cs_sim.Design_sim.latency_s)
+    in
+    let describe_outcome = function
+      | Tapa_cs_sim.Design_sim.Completed r | Tapa_cs_sim.Design_sim.Degraded { result = r; _ } ->
+        describe_result r
+      | Tapa_cs_sim.Design_sim.Failed { fault; _ } -> "sim failed: " ^ fault
+    in
+    if measured && slo_ms > 0.0 then
+      List.iter
+        (fun (_, plan, row) ->
+          let note =
+            match row with
+            | Tapa_cs_sim.Sim_sweep.Simulated outcome -> describe_outcome outcome
+            | Tapa_cs_sim.Sim_sweep.Pruned { lower_bound_s } ->
+              Printf.sprintf "pruned (static lower bound %.3f ms > SLO)" (1e3 *. lower_bound_s)
+          in
+          Format.printf "%a | %s@." Autoscale.pp_plan plan note)
+        (Autoscale.measured_sweep_slo ~jobs:(effective_jobs jobs)
+           ~slo_latency_s:(1e-3 *. slo_ms) ~cluster kernel)
+    else if measured then
       List.iter
         (fun (_, plan, outcome) ->
-          let measured_s =
-            match outcome with
-            | Tapa_cs_sim.Design_sim.Completed r
-            | Tapa_cs_sim.Design_sim.Degraded { result = r; _ } ->
-              Printf.sprintf "%.3f ms measured" (1e3 *. r.Tapa_cs_sim.Design_sim.latency_s)
-            | Tapa_cs_sim.Design_sim.Failed { fault; _ } -> "sim failed: " ^ fault
-          in
-          Format.printf "%a | %s@." Autoscale.pp_plan plan measured_s)
+          Format.printf "%a | %s@." Autoscale.pp_plan plan (describe_outcome outcome))
         (Autoscale.measured_sweep ~jobs:(effective_jobs jobs) ~cluster kernel)
     else
       List.iter (fun (_, plan) -> Format.printf "%a@." Autoscale.pp_plan plan)
         (Autoscale.sweep ~cluster kernel);
+    if stats then print_sim_stats ~json:stats_json ();
     0
   in
   let term =
     Term.(const run $ fpgas_arg $ elems_arg $ ops_arg $ bytes_arg $ lanes_arg $ lut_arg
-          $ measured_arg $ measured_jobs_arg)
+          $ measured_arg $ measured_jobs_arg $ slo_ms_arg $ autoscale_stats_arg $ stats_json_arg)
   in
   Cmd.v
     (Cmd.info "autoscale"
@@ -535,21 +585,60 @@ let lint_cmd =
     let doc = "Emit machine-readable JSON-lines instead of the pretty report." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run app fpgas iters dataset n d cols topology threshold json =
+  let only_arg =
+    let doc =
+      "Report only diagnostics of this severity ($(b,error), $(b,warning) or $(b,info)).  The \
+       exit code is computed from the filtered list, identically in JSON and pretty modes."
+    in
+    Arg.(value
+         & opt
+             (some
+                (enum
+                   [
+                     ("error", Tapa_cs_analysis.Diagnostic.Error);
+                     ("warning", Tapa_cs_analysis.Diagnostic.Warning);
+                     ("info", Tapa_cs_analysis.Diagnostic.Info);
+                   ]))
+             None
+         & info [ "only" ] ~doc)
+  in
+  let max_warnings_arg =
+    let doc =
+      "Exit non-zero when more than N warning-severity diagnostics are reported (after \
+       --only filtering).  Negative disables the gate."
+    in
+    Arg.(value & opt int (-1) & info [ "max-warnings" ] ~doc ~docv:"N")
+  in
+  let run app fpgas iters dataset n d cols topology threshold json only max_warnings =
     let make = function
       | "broken" -> Ok (Broken.generate ())
       | name -> make_app name ~fpgas ~iters ~dataset ~n ~d ~cols
     in
     let targets = match app with Some a -> [ a ] | None -> app_names in
     let cluster = Cluster.make ~topology ~board:Board.u55c fpgas in
+    let warnings = ref 0 in
     let lint_one status name =
       match make name with
       | Error e ->
         prerr_endline e;
         1
       | Ok a ->
-        let ds = Tapa_cs_analysis.Lint.run_all ~threshold ~cluster a.App.graph in
+        let all = Tapa_cs_analysis.Lint.run_all ~threshold ~cluster a.App.graph in
+        let ds =
+          match only with
+          | None -> all
+          | Some sev ->
+            List.filter (fun d -> d.Tapa_cs_analysis.Diagnostic.severity = sev) all
+        in
         let nerr = List.length (Tapa_cs_analysis.Diagnostic.errors ds) in
+        warnings :=
+          !warnings
+          + List.length
+              (List.filter
+                 (fun d -> d.Tapa_cs_analysis.Diagnostic.severity = Tapa_cs_analysis.Diagnostic.Warning)
+                 ds);
+        (* Exit code comes from the same filtered list in both modes; only
+           the rendering differs. *)
         if json then begin
           if ds <> [] then
             print_endline (Tapa_cs_analysis.Diagnostic.render ~json:true ds)
@@ -561,18 +650,94 @@ let lint_cmd =
         end;
         if nerr > 0 then 1 else status
     in
-    List.fold_left lint_one 0 targets
+    let status = List.fold_left lint_one 0 targets in
+    if max_warnings >= 0 && !warnings > max_warnings then begin
+      if not json then
+        Format.printf "lint: %d warning(s) exceed --max-warnings %d@." !warnings max_warnings;
+      1
+    end
+    else status
   in
   let term =
     Term.(const run $ lint_app_arg $ fpgas_arg $ iters_arg $ dataset_arg $ n_arg $ d_arg
-          $ cols_arg $ topology_arg $ threshold_arg $ json_arg)
+          $ cols_arg $ topology_arg $ threshold_arg $ json_arg $ only_arg $ max_warnings_arg)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static design linter (step 0 of the compile): graph shape, deadlock, \
           rate/width and capacity checks.  Exits non-zero when any error-severity diagnostic \
-          is raised.")
+          is raised, or when warnings exceed --max-warnings.")
+    term
+
+let analyze_cmd =
+  let json_arg =
+    let doc =
+      "Emit the bounds as a JSON object followed by the diagnostics as JSON-lines."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run app fpgas cluster_fpgas iters dataset n d cols topology board threshold jobs seed
+      loss_rate fail_fpgas json verify_static =
+    match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok a -> (
+      match make_fault_plan ~seed ~loss_rate ~fail_fpgas with
+      | Error e ->
+        prerr_endline ("invalid fault plan: " ^ e);
+        1
+      | Ok fault_plan -> (
+        match
+          compile_design ~verify_static a ~flow:`Tapa_cs ~fpgas ~cluster_fpgas ~topology ~board
+            ~threshold ~jobs ~seed ~fault_plan
+        with
+        | Error e ->
+          Format.printf "compilation failed: %s@." e;
+          1
+        | Ok des -> (
+          match des.Flow.compiled with
+          | None ->
+            Format.printf "flow %s has no compile step to analyze@." des.Flow.label;
+            1
+          | Some c ->
+            let module Static_perf = Tapa_cs_analysis.Static_perf in
+            let module Diagnostic = Tapa_cs_analysis.Diagnostic in
+            let s = c.Compiler.static in
+            let ds =
+              Diagnostic.sort
+                (Static_perf.depth_diagnostics ~graph:c.Compiler.graph s
+                @ Emit.verify_roundtrip c)
+            in
+            if json then begin
+              Format.printf
+                "{\"latency_lower_s\":%.9e,\"latency_upper_s\":%.9e,\"steady_ii_s\":%.9e,\"throughput_chunks_per_s\":%.9e}@."
+                s.Static_perf.latency_lower_s s.Static_perf.latency_upper_s
+                s.Static_perf.steady_ii_s s.Static_perf.throughput_chunks_per_s;
+              if ds <> [] then print_endline (Diagnostic.render ~json:true ds)
+            end
+            else begin
+              Format.printf "== %s (%s) on %d FPGA(s) ==@." a.App.name a.App.variant fpgas;
+              Format.printf "%a@." Static_perf.pp s;
+              if verify_static then
+                Format.printf "static verification: simulated latency inside the interval@.";
+              print_string (Diagnostic.render ds)
+            end;
+            if Diagnostic.errors ds <> [] then 1 else 0)))
+  in
+  let term =
+    Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
+          $ d_arg $ cols_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg $ seed_arg
+          $ loss_rate_arg $ fail_fpga_arg $ json_arg $ verify_static_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Compile, derive the closed-form performance bounds and minimal FIFO depths \
+          (TCS5xx), and round-trip the emitted CAD artifacts through the re-parser \
+          (TCS6xx).  Exits non-zero on any error-severity diagnostic; --verify-static \
+          additionally cross-checks the timed simulation against the interval.")
     term
 
 let info_cmd =
@@ -595,6 +760,9 @@ let () =
   let doc = "TAPA-CS reproduction: multi-FPGA dataflow compiler and simulator" in
   let main =
     Cmd.group (Cmd.info "tapa_cs_cli" ~doc)
-      [ compile_cmd; simulate_cmd; sweep_cmd; dot_cmd; emit_cmd; autoscale_cmd; lint_cmd; info_cmd ]
+      [
+        compile_cmd; simulate_cmd; sweep_cmd; dot_cmd; emit_cmd; autoscale_cmd; analyze_cmd;
+        lint_cmd; info_cmd;
+      ]
   in
   exit (Cmd.eval' main)

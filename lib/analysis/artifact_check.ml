@@ -1,0 +1,352 @@
+module Taskgraph = Tapa_cs_graph.Taskgraph
+module Fifo = Tapa_cs_graph.Fifo
+module Task = Tapa_cs_graph.Task
+module Pipelining = Tapa_cs_pipeline.Pipelining
+
+type floorplan = {
+  pblocks : (string * string list) list;
+  stage_notes : (string * string * int) list;
+}
+
+type binding = { task : string; port_index : int; channel : int }
+type stream = { task : string; dir : [ `Tx | `Rx ]; peer_fpga : int }
+type connectivity = { bindings : binding list; streams : stream list }
+
+type report = {
+  fpgas : int;
+  clock_mhz : float;
+  cut_fifo_ids : int list;
+  device_clock_mhz : (int * float) list;
+  device_tasks : (int * string list) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small string helpers (no external parsing dependency)               *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let after p s = String.sub s (String.length p) (String.length s - String.length p)
+
+(* Index of [sub] in [s] at or after [from]; -1 when absent. *)
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1) in
+  if m = 0 then from else go (Stdlib.max 0 from)
+
+(* ------------------------------------------------------------------ *)
+(* Parsers — exactly the emitter's grammar, unrelated lines ignored    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_floorplan_tcl s =
+  let pblocks = ref [] and notes = ref [] in
+  let cells name = match List.assoc_opt name !pblocks with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      pblocks := !pblocks @ [ (name, r) ];
+      r
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if has_prefix "create_pblock pblock_" line then
+        ignore (cells (after "create_pblock pblock_" line))
+      else if has_prefix "add_cells_to_pblock pblock_" line then begin
+        try
+          Scanf.sscanf line "add_cells_to_pblock pblock_%s@ [get_cells -hier %s@]"
+            (fun name task ->
+              let r = cells name in
+              r := task :: !r)
+        with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+      end
+      else if has_prefix "# fifo " line then begin
+        (* "# fifo SRC->DST: N pipeline stage(s) inserted at slot crossings" *)
+        let body = after "# fifo " line in
+        match find_sub body "->" 0 with
+        | -1 -> ()
+        | arrow -> (
+          let src = String.sub body 0 arrow in
+          let rest = String.sub body (arrow + 2) (String.length body - arrow - 2) in
+          match String.index_opt rest ':' with
+          | None -> ()
+          | Some colon -> (
+            let dst = String.sub rest 0 colon in
+            let tail = String.sub rest (colon + 1) (String.length rest - colon - 1) in
+            try Scanf.sscanf tail " %d" (fun n -> notes := (src, dst, n) :: !notes)
+            with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()))
+      end)
+    (String.split_on_char '\n' s);
+  {
+    pblocks = List.map (fun (n, r) -> (n, List.rev !r)) !pblocks;
+    stage_notes = List.rev !notes;
+  }
+
+let parse_connectivity_cfg s =
+  let bindings = ref [] and streams = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if has_prefix "sp=" line then begin
+        try
+          Scanf.sscanf line "sp=%s@.m_axi_%d:HBM[%d]" (fun task port_index channel ->
+              bindings := { task; port_index; channel } :: !bindings)
+        with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+      end
+      else if has_prefix "stream_connect=hivenet_rx.out:" line then begin
+        try
+          Scanf.sscanf line "stream_connect=hivenet_rx.out:%s@.in # from FPGA %d"
+            (fun task peer_fpga -> streams := { task; dir = `Rx; peer_fpga } :: !streams)
+        with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+      end
+      else if has_prefix "stream_connect=" line then begin
+        try
+          Scanf.sscanf line "stream_connect=%s@.out:hivenet_tx.in # to FPGA %d"
+            (fun task peer_fpga -> streams := { task; dir = `Tx; peer_fpga } :: !streams)
+        with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+      end)
+    (String.split_on_char '\n' s);
+  { bindings = List.rev !bindings; streams = List.rev !streams }
+
+exception Bad_report of string
+
+let parse_design_report s =
+  let scan_from pos fmt conv what =
+    try Scanf.sscanf (String.sub s pos (String.length s - pos)) fmt conv
+    with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+      raise (Bad_report (Printf.sprintf "unreadable %s" what))
+  in
+  let int_field ?(from = 0) ?limit key =
+    let pos = find_sub s (Printf.sprintf "\"%s\":" key) from in
+    let ok = pos >= 0 && match limit with None -> true | Some l -> pos < l in
+    if not ok then raise (Bad_report (Printf.sprintf "missing field %S" key));
+    scan_from (pos + String.length key + 3) " %d" (fun v -> v) key
+  in
+  let float_field ?(from = 0) ?limit key =
+    let pos = find_sub s (Printf.sprintf "\"%s\":" key) from in
+    let ok = pos >= 0 && match limit with None -> true | Some l -> pos < l in
+    if not ok then raise (Bad_report (Printf.sprintf "missing field %S" key));
+    scan_from (pos + String.length key + 3) " %f" (fun v -> v) key
+  in
+  let bracket_body ?(from = 0) key =
+    let pos = find_sub s (Printf.sprintf "\"%s\": [" key) from in
+    if pos < 0 then raise (Bad_report (Printf.sprintf "missing list %S" key));
+    let open_ = find_sub s "[" pos in
+    let close = find_sub s "]" open_ in
+    if close < 0 then raise (Bad_report (Printf.sprintf "unterminated list %S" key));
+    (String.sub s (open_ + 1) (close - open_ - 1), close)
+  in
+  try
+    let devices_at = find_sub s "\"devices\":" 0 in
+    if devices_at < 0 then raise (Bad_report "missing field \"devices\"");
+    let fpgas = int_field ~limit:devices_at "fpgas" in
+    let clock_mhz = float_field ~limit:devices_at "clock_mhz" in
+    let cut_body, _ = bracket_body "cut_fifos" in
+    let cut_fifo_ids =
+      String.split_on_char ',' cut_body
+      |> List.filter_map (fun x ->
+             let x = String.trim x in
+             if x = "" then None else Some (int_of_string x))
+    in
+    let device_clock_mhz = ref [] and device_tasks = ref [] in
+    let pos = ref devices_at in
+    (try
+       while true do
+         let at = find_sub s "\"index\":" !pos in
+         if at < 0 then raise Exit;
+         let index = int_field ~from:at "index" in
+         let clk = float_field ~from:at "clock_mhz" in
+         let tasks_body, close = bracket_body ~from:at "tasks" in
+         let names =
+           String.split_on_char ',' tasks_body
+           |> List.filter_map (fun x ->
+                  let x = String.trim x in
+                  if String.length x >= 2 && x.[0] = '"' then
+                    Some (String.sub x 1 (String.length x - 2))
+                  else None)
+         in
+         device_clock_mhz := (index, clk) :: !device_clock_mhz;
+         device_tasks := (index, names) :: !device_tasks;
+         pos := close
+       done
+     with Exit -> ());
+    Ok
+      {
+        fpgas;
+        clock_mhz;
+        cut_fifo_ids;
+        device_clock_mhz = List.rev !device_clock_mhz;
+        device_tasks = List.rev !device_tasks;
+      }
+  with
+  | Bad_report m -> Error m
+  | Failure m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Checkers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let diag code loc message =
+  Diagnostic.make
+    ?hint:(Diagnostic.default_hint code)
+    ~code
+    ~severity:(Diagnostic.default_severity code)
+    ~loc message
+
+let artifact_loc name = Diagnostic.Constraint { name }
+
+let check_floorplan ~fpga ~expected_slots fp =
+  let loc = artifact_loc (Printf.sprintf "floorplan_f%d.tcl" fpga) in
+  let ds = ref [] in
+  let emit m = ds := diag "TCS601" loc m :: !ds in
+  let placed_in task =
+    List.find_opt (fun (_, cells) -> List.mem task cells) fp.pblocks |> Option.map fst
+  in
+  List.iter
+    (fun (task, slot) ->
+      match placed_in task with
+      | None -> emit (Printf.sprintf "task %s is missing (expected in pblock_%s)" task slot)
+      | Some got when got <> slot ->
+        emit (Printf.sprintf "task %s sits in pblock_%s, expected pblock_%s" task got slot)
+      | Some _ -> ())
+    expected_slots;
+  List.iter
+    (fun (pb, cells) ->
+      List.iter
+        (fun cell ->
+          if not (List.mem_assoc cell expected_slots) then
+            emit
+              (Printf.sprintf "pblock_%s places cell %s the floorplanner never assigned" pb cell))
+        cells)
+    fp.pblocks;
+  List.rev !ds
+
+let check_stage_balance ~graph ~fpga ~expected_insertions ~expected_total fp =
+  let loc = artifact_loc (Printf.sprintf "floorplan_f%d.tcl" fpga) in
+  let ds = ref [] in
+  let emit m = ds := diag "TCS604" loc m :: !ds in
+  let name tid = (Taskgraph.task graph tid).Task.name in
+  let render (fid, stages) =
+    let f = Taskgraph.fifo graph fid in
+    (name f.Fifo.src, name f.Fifo.dst, stages)
+  in
+  let expected_notes = List.map render expected_insertions in
+  if expected_notes <> fp.stage_notes then
+    emit
+      (Printf.sprintf
+         "crossing-stage comments disagree with the in-memory insertions (%d emitted, %d \
+          expected)"
+         (List.length fp.stage_notes)
+         (List.length expected_notes));
+  (* Re-derive the balance from what the artifact says: map each comment
+     back to a FIFO (consuming duplicates in graph order) and feed the
+     stages as crossings through the balancing pass. *)
+  let consumed = Hashtbl.create 8 in
+  let resolve (src, dst, stages) =
+    let found = ref None in
+    Array.iter
+      (fun (f : Fifo.t) ->
+        if
+          !found = None
+          && (not (Hashtbl.mem consumed f.Fifo.id))
+          && name f.Fifo.src = src
+          && name f.Fifo.dst = dst
+        then begin
+          Hashtbl.add consumed f.Fifo.id ();
+          found := Some (f.Fifo.id, stages)
+        end)
+      (Taskgraph.fifos graph);
+    if !found = None then
+      emit (Printf.sprintf "stage comment names unknown fifo %s->%s" src dst);
+    !found
+  in
+  let crossings = List.filter_map resolve fp.stage_notes in
+  let bal = Pipelining.run ~graph ~crossings in
+  Array.iter
+    (fun (f : Fifo.t) ->
+      let got = Pipelining.stages_of bal f.Fifo.id and want = expected_total f.Fifo.id in
+      if got <> want then
+        emit
+          (Printf.sprintf
+             "re-deriving the cut-set balance from the artifact gives %d stage(s) on fifo \
+              %s->%s, the in-memory pipeline has %d"
+             got (name f.Fifo.src) (name f.Fifo.dst) want))
+    (Taskgraph.fifos graph);
+  List.rev !ds
+
+let check_connectivity ~fpga ~expected_bindings ~expected_streams conn =
+  let file = Printf.sprintf "connectivity_f%d.cfg" fpga in
+  let ds = ref [] in
+  let bloc (b : binding) =
+    Diagnostic.Channel { task = b.task; port_index = b.port_index; channel = b.channel }
+  in
+  let emit_b code b m = ds := diag code (bloc b) m :: !ds in
+  List.iter
+    (fun b ->
+      if not (List.mem b conn.bindings) then
+        emit_b "TCS602" b
+          (Printf.sprintf "%s lacks binding sp=%s.m_axi_%d:HBM[%d]" file b.task b.port_index
+             b.channel))
+    expected_bindings;
+  List.iter
+    (fun b ->
+      if not (List.mem b expected_bindings) then
+        emit_b "TCS602" b
+          (Printf.sprintf "%s carries binding sp=%s.m_axi_%d:HBM[%d] the compiler never made"
+             file b.task b.port_index b.channel))
+    conn.bindings;
+  let sdesc (st : stream) =
+    match st.dir with
+    | `Tx -> Printf.sprintf "%s.out -> FPGA %d" st.task st.peer_fpga
+    | `Rx -> Printf.sprintf "FPGA %d -> %s.in" st.peer_fpga st.task
+  in
+  let sloc = artifact_loc file in
+  List.iter
+    (fun st ->
+      if not (List.mem st conn.streams) then
+        ds := diag "TCS602" sloc (Printf.sprintf "missing stream_connect for %s" (sdesc st)) :: !ds)
+    expected_streams;
+  List.iter
+    (fun st ->
+      if not (List.mem st expected_streams) then
+        ds :=
+          diag "TCS602" sloc
+            (Printf.sprintf "extra stream_connect for %s the cut-set does not contain" (sdesc st))
+          :: !ds)
+    conn.streams;
+  List.rev !ds
+
+let check_report ~expected got =
+  let loc = artifact_loc "design_report.json" in
+  let ds = ref [] in
+  let emit m = ds := diag "TCS603" loc m :: !ds in
+  (* Clocks pass through a %.1f rendering; half that quantum is the
+     tightest honest tolerance. *)
+  let clock_eq a b = Float.abs (a -. b) <= 0.06 in
+  if got.fpgas <> expected.fpgas then
+    emit (Printf.sprintf "report says %d FPGAs, compile used %d" got.fpgas expected.fpgas);
+  if not (clock_eq got.clock_mhz expected.clock_mhz) then
+    emit
+      (Printf.sprintf "report clock %.1f MHz, compile closed at %.1f MHz" got.clock_mhz
+         expected.clock_mhz);
+  if got.cut_fifo_ids <> expected.cut_fifo_ids then
+    emit
+      (Printf.sprintf "report cut-set {%s} differs from the compiler's {%s}"
+         (String.concat "," (List.map string_of_int got.cut_fifo_ids))
+         (String.concat "," (List.map string_of_int expected.cut_fifo_ids)));
+  let by_index l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let gclk = by_index got.device_clock_mhz and eclk = by_index expected.device_clock_mhz in
+  if
+    List.length gclk <> List.length eclk
+    || not (List.for_all2 (fun (i, a) (j, b) -> i = j && clock_eq a b) gclk eclk)
+  then emit "per-device clocks disagree with the compile result";
+  let gt = by_index got.device_tasks and et = by_index expected.device_tasks in
+  if gt <> et then begin
+    let render l =
+      String.concat "; "
+        (List.map (fun (i, names) -> Printf.sprintf "f%d:[%s]" i (String.concat "," names)) l)
+    in
+    emit
+      (Printf.sprintf "per-device task lists disagree: report %s, compile %s" (render gt)
+         (render et))
+  end;
+  List.rev !ds

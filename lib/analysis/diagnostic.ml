@@ -99,20 +99,54 @@ let registry =
       Error,
       "ILP objective is trivially unbounded along an unconstrained variable",
       "bound the named variable or constrain it" );
+    ( "TCS501",
+      Warning,
+      "FIFO depth is below the minimal deadlock-free bound for its reconvergent paths",
+      "deepen the FIFO to at least the static minimal depth (path imbalance, floor 2)" );
+    ( "TCS502",
+      Info,
+      "FIFO depth is wastefully oversized versus its minimal deadlock-free bound",
+      "shrink the FIFO toward the static minimal depth to reclaim BRAM" );
+    ( "TCS503",
+      Error,
+      "simulated latency falls outside the static [lower, upper] latency interval",
+      "the analytic model and the simulator disagree: report the design, do not ship the bound" );
+    ( "TCS601",
+      Error,
+      "emitted floorplan Tcl disagrees with the in-memory slot assignment",
+      "re-emit the artifacts; stale or hand-edited Tcl must not drive place-and-route" );
+    ( "TCS602",
+      Error,
+      "emitted connectivity config disagrees with the in-memory HBM binding",
+      "re-emit the artifacts; the v++ config must match the bound channels exactly" );
+    ( "TCS603",
+      Error,
+      "emitted design report disagrees with the in-memory compile result",
+      "re-emit the artifacts; downstream tooling reads the report as ground truth" );
+    ( "TCS604",
+      Error,
+      "cut-set pipeline stages in the emitted Tcl do not re-derive the in-memory latency balance",
+      "re-emit the artifacts; unbalanced cut latencies break the throughput argument" );
   ]
 
+(* One lookup shared by every accessor, so severity / meaning / hint can
+   never disagree about whether a code exists. *)
+let find code = List.find_opt (fun (c, _, _, _) -> c = code) registry
+
+let is_known code = find code <> None
+
 let default_severity code =
-  match List.find_opt (fun (c, _, _, _) -> c = code) registry with
+  match find code with
   | Some (_, s, _, _) -> s
   | None -> Error
 
 let describe code =
-  match List.find_opt (fun (c, _, _, _) -> c = code) registry with
+  match find code with
   | Some (_, _, m, _) -> m
   | None -> "?"
 
 let default_hint code =
-  match List.find_opt (fun (c, _, _, _) -> c = code) registry with
+  match find code with
   | Some (_, _, _, h) when h <> "" -> Some h
   | _ -> None
 

@@ -28,7 +28,11 @@ val make : ?hint:string -> code:string -> severity:severity -> loc:location -> s
     passed here should normally come from {!default_severity}. *)
 
 val default_severity : string -> severity
-(** Registry severity of a code; [Error] for unknown codes (fail safe). *)
+(** Registry severity of a code; [Error] for unknown codes (fail safe: an
+    unregistered code must never slip through as ignorable). *)
+
+val is_known : string -> bool
+(** Whether a code is in the {!registry}. *)
 
 val describe : string -> string
 (** One-line meaning of a code from the registry, or ["?"] if unknown. *)

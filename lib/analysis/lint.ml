@@ -291,6 +291,13 @@ let ilp_model m =
     (Ilp.Validate.check m)
 
 (* ------------------------------------------------------------------ *)
+(* TCS305..307: floorplanner failures as diagnostics                   *)
+(* ------------------------------------------------------------------ *)
+
+let floorplan_error (e : Inter_fpga.error) =
+  diag (Inter_fpga.error_code e) Diagnostic.Design (Inter_fpga.error_message e)
+
+(* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 

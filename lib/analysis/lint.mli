@@ -38,6 +38,11 @@ val capacity :
 
 val ilp_model : Tapa_cs_ilp.Model.t -> Diagnostic.t list
 
+val floorplan_error : Tapa_cs_floorplan.Inter_fpga.error -> Diagnostic.t
+(** A floorplanner failure as its registry diagnostic (TCS305 placement
+    infeasible / TCS306 over capacity / TCS307 solver timeout) — the
+    single rendering the compiler and the CLI share. *)
+
 val run_all : ?threshold:float -> cluster:Cluster.t -> Taskgraph.t -> Diagnostic.t list
 (** Every pass (synthesizes the graph itself for the capacity check),
     sorted errors-first. *)

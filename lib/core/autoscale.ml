@@ -149,7 +149,7 @@ let to_graph ~cluster kernel (p : plan) =
   in
   (g, assignment)
 
-let measured_sweep ?jobs ?chunks ?threshold ?(mode = Design_sim.Coalesced) ~cluster kernel =
+let sweep_jobs ?chunks ?threshold ~mode ~cluster kernel =
   let points = sweep ?threshold ~cluster kernel in
   let board () = Cluster.board cluster 0 in
   let sims =
@@ -165,8 +165,22 @@ let measured_sweep ?jobs ?chunks ?threshold ?(mode = Design_sim.Coalesced) ~clus
         Sim_sweep.job ~mode ~label:(Printf.sprintf "%s@%d" kernel.name k) cfg)
       points
   in
-  let outcomes = Sim_sweep.run ?jobs (Array.of_list sims) in
+  (points, Array.of_list sims)
+
+let measured_sweep ?jobs ?chunks ?threshold ?(mode = Design_sim.Coalesced) ~cluster kernel =
+  let points, sims = sweep_jobs ?chunks ?threshold ~mode ~cluster kernel in
+  let outcomes = Sim_sweep.run ?jobs sims in
   List.map2 (fun (k, p) (_, outcome) -> (k, p, outcome)) points (Array.to_list outcomes)
+
+let measured_sweep_slo ?jobs ?chunks ?threshold ?(mode = Design_sim.Coalesced) ~slo_latency_s
+    ~cluster kernel =
+  let points, sims = sweep_jobs ?chunks ?threshold ~mode ~cluster kernel in
+  let lower_bound_s (j : Sim_sweep.job) =
+    (Tapa_cs_analysis.Static_perf.bounds j.Sim_sweep.config)
+      .Tapa_cs_analysis.Static_perf.latency_lower_s
+  in
+  let rows = Sim_sweep.run_slo ?jobs ~slo_latency_s ~lower_bound_s sims in
+  List.map2 (fun (k, p) (_, row) -> (k, p, row)) points (Array.to_list rows)
 
 let pp_plan fmt p =
   Format.fprintf fmt

@@ -67,5 +67,21 @@ val measured_sweep :
     byte-identical for every value); simulation results come from the
     content-addressed cache when warm. *)
 
+val measured_sweep_slo :
+  ?jobs:int ->
+  ?chunks:int ->
+  ?threshold:float ->
+  ?mode:Tapa_cs_sim.Design_sim.engine_mode ->
+  slo_latency_s:float ->
+  cluster:Cluster.t ->
+  kernel ->
+  (int * plan * Tapa_cs_sim.Sim_sweep.slo_row) list
+(** {!measured_sweep} with static pruning: a point whose certified lower
+    latency bound ({!Tapa_cs_analysis.Static_perf.bounds}) already
+    exceeds the SLO comes back as [Pruned] without simulating — sound,
+    because the simulated latency can only be higher.  Each pruned point
+    bumps {!Tapa_cs_sim.Sim_sweep.static_pruned} (reported by the CLI's
+    [--stats-json] as ["static_pruned"]). *)
+
 val bound_name : bound -> string
 val pp_plan : Format.formatter -> plan -> unit

@@ -6,6 +6,9 @@ open Tapa_cs_pipeline
 open Tapa_cs_freq
 module Pool = Tapa_cs_util.Pool
 module Fault = Tapa_cs_network.Fault
+module Design_sim = Tapa_cs_sim.Design_sim
+module Static_perf = Tapa_cs_analysis.Static_perf
+module Diagnostic = Tapa_cs_analysis.Diagnostic
 
 type t = {
   graph : Taskgraph.t;
@@ -21,6 +24,7 @@ type t = {
   l2_runtime_s : float;
   degraded : bool;
   fallbacks : string list;
+  static : Static_perf.t;
 }
 
 type options = {
@@ -32,6 +36,7 @@ type options = {
   lint : bool;
   jobs : int;
   fault_plan : Fault.plan option;
+  verify_static : bool;
 }
 
 let default_options =
@@ -44,9 +49,29 @@ let default_options =
     lint = true;
     jobs = Tapa_cs_util.Pool.default_jobs ();
     fault_plan = None;
+    verify_static = false;
   }
 
 let ( let* ) = Result.bind
+
+(* Accessors shared by the public API below and the in-compile static
+   analysis (which runs before the result record exists), so the two can
+   never drift apart. *)
+let port_bandwidth_gbps' ~cluster ~graph ~freq_mhz ~hbm ~assignment tid port_index =
+  let fpga = assignment.(tid) in
+  let board = Cluster.board cluster fpga in
+  let bound =
+    Hbm_binding.effective_port_bandwidth_gbps board hbm.(fpga) ~task_id:tid ~port_index
+  in
+  let task = Taskgraph.task graph tid in
+  match List.nth_opt task.Task.mem_ports port_index with
+  | None -> 0.0
+  | Some p ->
+    let wire = float_of_int p.Task.width_bits /. 8.0 *. freq_mhz *. 1e6 /. 1e9 in
+    Float.min bound wire
+
+let extra_stage_cycles' ~pipeline fid =
+  Array.fold_left (fun acc p -> acc + Pipelining.stages_of p fid) 0 pipeline
 
 let compile ?(options = default_options) ~cluster graph =
   (* One worker pool for every parallel stage of this compile.  [jobs = 1]
@@ -98,8 +123,8 @@ let compile ?(options = default_options) ~cluster graph =
       attempt (n + 1) (seed + 1_000_003) (Printf.sprintf "retry(%d)" (n + 1) :: tags)
     | Error e ->
       Error
-        (Printf.sprintf "inter-FPGA floorplanning failed [%s]: %s" (Inter_fpga.error_code e)
-           (Inter_fpga.error_message e))
+        (Format.asprintf "inter-FPGA floorplanning failed %a" Diagnostic.pp
+           (Tapa_cs_analysis.Lint.floorplan_error e))
   in
   let* inter, retry_tags = attempt 0 options.seed [] in
   let fallbacks = retry_tags @ inter.Inter_fpga.fallbacks in
@@ -177,6 +202,57 @@ let compile ?(options = default_options) ~cluster graph =
   else begin
     let freq_mhz = Array.fold_left (fun acc (e : Freq_model.estimate) -> Float.min acc e.freq_mhz) infinity freq in
     let l2_runtime_s = Array.fold_left (fun acc p -> acc +. Intra_fpga.runtime_s p) 0.0 intra in
+    (* Static performance bounds, at the same simulator configuration
+       [Flow.sim_config] would build for this compile (design clock on
+       every device, bound HBM bandwidth, pipelining stage latency). *)
+    let assignment = inter.Inter_fpga.assignment in
+    let sim_cfg =
+      let cfg =
+        Design_sim.make_config ~graph ~assignment ~freq_mhz:(Array.make k freq_mhz) ~cluster
+          ~synthesis ()
+      in
+      {
+        cfg with
+        Design_sim.port_bandwidth_gbps =
+          port_bandwidth_gbps' ~cluster ~graph ~freq_mhz ~hbm ~assignment;
+        extra_stage_cycles = extra_stage_cycles' ~pipeline;
+      }
+    in
+    let loss_rate =
+      match options.fault_plan with Some p -> p.Fault.loss_rate | None -> 0.0
+    in
+    let static = Static_perf.analyze ~loss_rate sim_cfg in
+    (* Internal testing hook: corrupt the interval so --verify-static has
+       a guaranteed violation to catch (the soundness gate uses it). *)
+    let static =
+      match Sys.getenv_opt "TAPA_CS_INJECT_STATIC_VIOLATION" with
+      | None | Some "" | Some "0" -> static
+      | Some _ ->
+        {
+          static with
+          Static_perf.latency_lower_s = static.Static_perf.latency_upper_s +. 1.0;
+          latency_upper_s = static.Static_perf.latency_upper_s +. 2.0;
+        }
+    in
+    let* () =
+      if not options.verify_static then Ok ()
+      else begin
+        (* Differential check: the simulated latency (loss derating
+           applied, halts and stalls out of the static model) must land
+           inside the closed-form interval. *)
+        let faults = if loss_rate > 0.0 then Fault.make ~loss_rate () else Fault.no_faults in
+        match Design_sim.run_outcome ~faults sim_cfg with
+        | Design_sim.Completed r | Design_sim.Degraded { result = r; _ } -> (
+          match Static_perf.interval_check static ~latency_s:r.Design_sim.latency_s with
+          | None -> Ok ()
+          | Some d ->
+            Error (Format.asprintf "static verification failed %a" Diagnostic.pp d))
+        | Design_sim.Failed { fault; _ } ->
+          Error
+            (Printf.sprintf "static verification failed: simulation did not complete (%s)"
+               fault)
+      end
+    in
     Ok
       {
         graph;
@@ -192,6 +268,7 @@ let compile ?(options = default_options) ~cluster graph =
         l2_runtime_s;
         degraded;
         fallbacks;
+        static;
       }
   end
 
@@ -245,20 +322,10 @@ let slot_of t tid =
   t.intra.(fpga).Intra_fpga.slot_of.(tid)
 
 let port_bandwidth_gbps t tid port_index =
-  let fpga = fpga_of t tid in
-  let board = Cluster.board t.cluster fpga in
-  let bound =
-    Hbm_binding.effective_port_bandwidth_gbps board t.hbm.(fpga) ~task_id:tid ~port_index
-  in
-  let task = Taskgraph.task t.graph tid in
-  match List.nth_opt task.Task.mem_ports port_index with
-  | None -> 0.0
-  | Some p ->
-    let wire = float_of_int p.Task.width_bits /. 8.0 *. t.freq_mhz *. 1e6 /. 1e9 in
-    Float.min bound wire
+  port_bandwidth_gbps' ~cluster:t.cluster ~graph:t.graph ~freq_mhz:t.freq_mhz ~hbm:t.hbm
+    ~assignment:t.inter.Inter_fpga.assignment tid port_index
 
-let extra_stage_cycles t fid =
-  Array.fold_left (fun acc p -> acc + Pipelining.stages_of p fid) 0 t.pipeline
+let extra_stage_cycles t fid = extra_stage_cycles' ~pipeline:t.pipeline fid
 
 let pp_summary fmt t =
   let k = Cluster.size t.cluster in

@@ -37,6 +37,12 @@ type t = {
       (** some recovery path fired: a floorplan fallback rung, a solver
           retry, or a refloorplan onto a pruned topology *)
   fallbacks : string list;  (** which, in firing order; empty when healthy *)
+  static : Tapa_cs_analysis.Static_perf.t;
+      (** closed-form performance bounds of the compiled design at the
+          simulator's default chunking: certified latency interval,
+          steady-state initiation interval with its bottleneck, and
+          minimal deadlock-free FIFO depths.  Computed under the fault
+          plan's loss rate when one is set. *)
 }
 
 type options = {
@@ -59,6 +65,13 @@ type options = {
           are consumed by the simulator, not the compiler.  All stochastic
           draws derive from the plan's seed, so a given (design, plan)
           pair compiles bit-identically across runs and [jobs]. *)
+  verify_static : bool;
+      (** differential gate (default [false]): simulate the compiled
+          design once and fail the compile with a rendered TCS503
+          diagnostic if the simulated latency falls outside the static
+          [lower, upper] interval.  The [TAPA_CS_INJECT_STATIC_VIOLATION]
+          environment variable corrupts the interval first — the
+          soundness gate uses it to prove the check can fire. *)
 }
 
 val default_options : options

@@ -144,6 +144,106 @@ let design_report_json (c : Compiler.t) =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Round-trip verification (TCS6xx)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Artifact_check = Tapa_cs_analysis.Artifact_check
+module Diagnostic = Tapa_cs_analysis.Diagnostic
+
+let verify_artifacts (c : Compiler.t) ~tcl_of ~cfg_of ~report =
+  let g = c.Compiler.graph in
+  let name tid = (Taskgraph.task g tid).Task.name in
+  let k = Cluster.size c.Compiler.cluster in
+  let ds = ref [] in
+  for fpga = 0 to k - 1 do
+    let board = Cluster.board c.Compiler.cluster fpga in
+    let fp = Artifact_check.parse_floorplan_tcl (tcl_of fpga) in
+    let expected_slots =
+      List.filter_map
+        (fun tid ->
+          if Compiler.fpga_of c tid <> fpga then None
+          else
+            match Compiler.slot_of c tid with
+            | Some s -> Some (name tid, slot_name board s)
+            | None -> None)
+        (List.init (Taskgraph.num_tasks g) Fun.id)
+    in
+    ds := !ds @ Artifact_check.check_floorplan ~fpga ~expected_slots fp;
+    let pipe = c.Compiler.pipeline.(fpga) in
+    let expected_insertions =
+      List.map
+        (fun (ins : Tapa_cs_pipeline.Pipelining.insertion) ->
+          (ins.Tapa_cs_pipeline.Pipelining.fifo_id, ins.Tapa_cs_pipeline.Pipelining.stages))
+        pipe.Tapa_cs_pipeline.Pipelining.insertions
+    in
+    ds :=
+      !ds
+      @ Artifact_check.check_stage_balance ~graph:g ~fpga ~expected_insertions
+          ~expected_total:(Tapa_cs_pipeline.Pipelining.stages_of pipe)
+          fp;
+    let conn = Artifact_check.parse_connectivity_cfg (cfg_of fpga) in
+    let expected_bindings =
+      List.filter_map
+        (fun (a : Hbm_binding.assignment) ->
+          if Compiler.fpga_of c a.task_id <> fpga then None
+          else
+            Some
+              {
+                Artifact_check.task = name a.task_id;
+                port_index = a.port_index;
+                channel = a.channel;
+              })
+        c.Compiler.hbm.(fpga).Hbm_binding.assignments
+    in
+    let expected_streams =
+      List.filter_map
+        (fun (f : Fifo.t) ->
+          let sf = Compiler.fpga_of c f.Fifo.src and df = Compiler.fpga_of c f.Fifo.dst in
+          if sf = fpga then
+            Some { Artifact_check.task = name f.Fifo.src; dir = `Tx; peer_fpga = df }
+          else if df = fpga then
+            Some { Artifact_check.task = name f.Fifo.dst; dir = `Rx; peer_fpga = sf }
+          else None)
+        c.Compiler.inter.Inter_fpga.cut_fifos
+    in
+    ds := !ds @ Artifact_check.check_connectivity ~fpga ~expected_bindings ~expected_streams conn
+  done;
+  (match Artifact_check.parse_design_report report with
+  | Error m ->
+    ds :=
+      !ds
+      @ [
+          Diagnostic.make ~code:"TCS603" ~severity:Diagnostic.Error
+            ~loc:(Diagnostic.Constraint { name = "design_report.json" })
+            (Printf.sprintf "design report is unparseable: %s" m);
+        ]
+  | Ok got ->
+    let expected =
+      {
+        Artifact_check.fpgas = k;
+        clock_mhz = c.Compiler.freq_mhz;
+        cut_fifo_ids =
+          List.map (fun (f : Fifo.t) -> f.Fifo.id) c.Compiler.inter.Inter_fpga.cut_fifos;
+        device_clock_mhz =
+          List.init k (fun i -> (i, c.Compiler.freq.(i).Tapa_cs_freq.Freq_model.freq_mhz));
+        device_tasks =
+          List.init k (fun i ->
+              ( i,
+                List.filter_map
+                  (fun tid -> if Compiler.fpga_of c tid = i then Some (name tid) else None)
+                  (List.init (Taskgraph.num_tasks g) Fun.id) ));
+      }
+    in
+    ds := !ds @ Artifact_check.check_report ~expected got);
+  !ds
+
+let verify_roundtrip (c : Compiler.t) =
+  verify_artifacts c
+    ~tcl_of:(fun fpga -> floorplan_tcl c ~fpga)
+    ~cfg_of:(fun fpga -> connectivity_cfg c ~fpga)
+    ~report:(design_report_json c)
+
 let write_all (c : Compiler.t) ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let k = Cluster.size c.Compiler.cluster in

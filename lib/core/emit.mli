@@ -25,3 +25,22 @@ val design_report_json : Compiler.t -> string
 val write_all : Compiler.t -> dir:string -> unit
 (** Write `floorplan_f<i>.tcl`, `connectivity_f<i>.cfg` for every FPGA
     plus `design_report.json` into [dir] (created if missing). *)
+
+val verify_artifacts :
+  Compiler.t ->
+  tcl_of:(int -> string) ->
+  cfg_of:(int -> string) ->
+  report:string ->
+  Tapa_cs_analysis.Diagnostic.t list
+(** Re-parse the given artifact texts (per-FPGA Tcl and connectivity
+    config, plus the design report) with
+    {!Tapa_cs_analysis.Artifact_check} and verify them against the
+    in-memory design: slot assignment (TCS601), HBM binding and
+    inter-FPGA streams (TCS602), report contents (TCS603) and cut-set
+    latency balance re-derivation (TCS604).  Empty means the artifacts
+    faithfully describe the compile. *)
+
+val verify_roundtrip : Compiler.t -> Tapa_cs_analysis.Diagnostic.t list
+(** {!verify_artifacts} over freshly emitted artifacts — the end-to-end
+    emit → parse → re-verify loop the [analyze] CLI subcommand runs.
+    Always empty unless the emitters and the checkers disagree. *)

@@ -111,14 +111,38 @@ let sim_config ?chunks d =
 
 let simulate ?chunks d = Design_sim.run (sim_config ?chunks d)
 
+let static_bounds ?chunks ?(loss_rate = 0.0) d =
+  Tapa_cs_analysis.Static_perf.analyze ~loss_rate (sim_config ?chunks d)
+
 let simulate_outcome ?chunks ?faults d = Design_sim.run_outcome ?faults (sim_config ?chunks d)
 
 let latency_s ?chunks d = (simulate ?chunks d).Design_sim.latency_s
 
+(* The pruning callback: sound only while the static model covers the
+   job's faults — loss is derated closed-form, but halts and stalls can
+   cut a run short of its clean lower bound, so those jobs always
+   simulate. *)
+let job_lower_bound_s (j : Sim_sweep.job) =
+  let f = j.Sim_sweep.faults in
+  if f.Tapa_cs_network.Fault.device_halts <> [] || f.Tapa_cs_network.Fault.fifo_stalls <> []
+  then neg_infinity
+  else
+    (Tapa_cs_analysis.Static_perf.bounds ~loss_rate:f.Tapa_cs_network.Fault.loss_rate
+       j.Sim_sweep.config)
+      .Tapa_cs_analysis.Static_perf.latency_lower_s
+
 let simulate_many ?jobs ?chunks ?(faults = fun (_ : design) -> Tapa_cs_network.Fault.no_faults)
-    (designs : design list) =
+    ?slo_latency_s (designs : design list) =
   let jobs_arr =
     Array.of_list
       (List.map (fun d -> Sim_sweep.job ~faults:(faults d) ~label:d.label (sim_config ?chunks d)) designs)
   in
-  Array.to_list (Sim_sweep.run ?jobs jobs_arr)
+  match slo_latency_s with
+  | None -> Array.to_list (Sim_sweep.run ?jobs jobs_arr)
+  | Some slo ->
+    Sim_sweep.run_slo ?jobs ~slo_latency_s:slo ~lower_bound_s:job_lower_bound_s jobs_arr
+    |> Array.to_list
+    |> List.filter_map (fun (label, row) ->
+           match row with
+           | Sim_sweep.Simulated o -> Some (label, o)
+           | Sim_sweep.Pruned _ -> None)

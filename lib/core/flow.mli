@@ -41,6 +41,13 @@ val sim_config : ?chunks:int -> design -> Design_sim.config
 
 val simulate : ?chunks:int -> design -> Design_sim.result
 
+val static_bounds :
+  ?chunks:int -> ?loss_rate:float -> design -> Tapa_cs_analysis.Static_perf.t
+(** Closed-form bounds for exactly the configuration {!simulate} would
+    run ({!Tapa_cs_analysis.Static_perf.analyze}): certified latency
+    interval, steady-state II and bottleneck, minimal FIFO depths.
+    [loss_rate] (default 0) mirrors a lossy fault plan's link derating. *)
+
 val simulate_outcome :
   ?chunks:int -> ?faults:Tapa_cs_network.Fault.plan -> design -> Design_sim.outcome
 (** Fault-injected simulation with a structured status instead of
@@ -53,10 +60,20 @@ val simulate_many :
   ?jobs:int ->
   ?chunks:int ->
   ?faults:(design -> Tapa_cs_network.Fault.plan) ->
+  ?slo_latency_s:float ->
   design list ->
   (string * Design_sim.outcome) list
 (** Simulate a batch of independent designs through the parallel
     {!Design_sim} sweep harness ({!Tapa_cs_sim.Sim_sweep}).  Rows come
     back [(label, outcome)] in input order, byte-identical for every
     [jobs] value; [faults] derives an optional per-design fault plan
-    (default: none). *)
+    (default: none).
+
+    [slo_latency_s] turns on static pruning: designs whose certified
+    lower latency bound already exceeds the SLO are skipped without
+    simulating (dropped from the rows; each skip bumps
+    {!Sim_sweep.static_pruned}).  The returned rows are byte-identical
+    to the matching rows without pruning — a pruned design's simulated
+    latency is at least its lower bound, so it could never have met the
+    SLO.  Designs whose fault plan injects halts or stalls are out of
+    the static model and always simulate. *)

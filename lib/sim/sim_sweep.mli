@@ -33,3 +33,36 @@ val run : ?jobs:int -> ?cache:bool -> job array -> (string * Design_sim.outcome)
     and [None] defaults to {!Tapa_cs_util.Pool.default_jobs} — sequential
     on single-core hosts or under [TAPA_CS_JOBS=1].  [cache] (default
     [true]) is passed through to the per-point simulation cache. *)
+
+(** {2 SLO pruning}
+
+    Static-bound screening for sweeps with a latency target: points
+    whose certified lower bound already misses the SLO are skipped
+    without simulating.  The bound callback lives with the caller
+    (normally {!Tapa_cs_analysis.Static_perf.bounds} via [Flow]) so this
+    library stays independent of the analysis layer. *)
+
+type slo_row =
+  | Simulated of Design_sim.outcome  (** the point was simulated as usual *)
+  | Pruned of { lower_bound_s : float }
+      (** skipped: even the certified lower bound exceeds the SLO *)
+
+val run_slo :
+  ?jobs:int ->
+  ?cache:bool ->
+  slo_latency_s:float ->
+  lower_bound_s:(job -> float) ->
+  job array ->
+  (string * slo_row) array
+(** Like {!run}, with rows in job order, but a job is only simulated when
+    [lower_bound_s job <= slo_latency_s].  Pruning is lossless as long as
+    the callback is a true lower bound on the job's simulated latency
+    (return [neg_infinity] to force simulation): surviving rows are
+    byte-identical to the matching rows of an unpruned {!run}.  Each
+    pruned point bumps the process-wide {!static_pruned} tally. *)
+
+val static_pruned : unit -> int
+(** Points pruned by {!run_slo} since start (or {!reset_static_pruned});
+    surfaced as ["static_pruned"] in the CLI's [--stats-json]. *)
+
+val reset_static_pruned : unit -> unit

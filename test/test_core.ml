@@ -335,6 +335,287 @@ let test_port_bandwidth_capped_by_wire () =
     check bool "wire cap respected" true (bw <= wire +. 1e-9)
   | Error e -> Alcotest.failf "compile: %s" e
 
+(* ------------------------------------------------------------------ *)
+(* Static verification gate (--verify-static, TCS503)                  *)
+(* ------------------------------------------------------------------ *)
+
+let stencil2 () = (Stencil.generate (Stencil.make_config ~iterations:8 ~fpgas:2 ())).App.graph
+
+let test_static_bounds_attached () =
+  let g = stencil2 () in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Compiler.compile ~options:fast_options ~cluster g with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok c ->
+    let s = c.Compiler.static in
+    let module Sp = Tapa_cs_analysis.Static_perf in
+    check bool "interval ordered" true (s.Sp.latency_lower_s <= s.Sp.latency_upper_s);
+    check bool "interval positive" true (s.Sp.latency_lower_s > 0.0);
+    check bool "depths populated" true (s.Sp.min_depths <> []);
+    check bool "bottleneck named" true (s.Sp.bottleneck <> None)
+
+let test_verify_static_passes () =
+  let g = stencil2 () in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let options = { fast_options with verify_static = true } in
+  (match Compiler.compile ~options ~cluster g with
+  | Error e -> Alcotest.failf "verified compile must pass: %s" e
+  | Ok _ -> ());
+  (* The simulated latency really is inside the attached interval. *)
+  match Flow.tapa_cs ~options:fast_options ~cluster g with
+  | Error e -> Alcotest.failf "flow: %s" e
+  | Ok d ->
+    let c = Option.get d.Flow.compiled in
+    let s = c.Compiler.static in
+    let module Sp = Tapa_cs_analysis.Static_perf in
+    let l = Flow.latency_s d in
+    check bool "flow latency inside interval" true
+      (l >= s.Sp.latency_lower_s && l <= s.Sp.latency_upper_s)
+
+let test_verify_static_catches_injected_violation () =
+  let g = stencil2 () in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let options = { fast_options with verify_static = true } in
+  Unix.putenv "TAPA_CS_INJECT_STATIC_VIOLATION" "1";
+  let result = Compiler.compile ~options ~cluster g in
+  Unix.putenv "TAPA_CS_INJECT_STATIC_VIOLATION" "";
+  (match result with
+  | Ok _ -> Alcotest.fail "corrupted interval must fail the verified compile"
+  | Error e ->
+    check bool "names TCS503" true
+      (let nl = String.length "TCS503" and hl = String.length e in
+       let rec go i = i + nl <= hl && (String.sub e i nl = "TCS503" || go (i + 1)) in
+       go 0));
+  (* Without the gate the corruption is carried but not enforced. *)
+  Unix.putenv "TAPA_CS_INJECT_STATIC_VIOLATION" "1";
+  let unchecked = Compiler.compile ~options:fast_options ~cluster g in
+  Unix.putenv "TAPA_CS_INJECT_STATIC_VIOLATION" "";
+  check bool "unverified compile unaffected" true (Result.is_ok unchecked)
+
+(* ------------------------------------------------------------------ *)
+(* Artifact round-trip and golden files                                *)
+(* ------------------------------------------------------------------ *)
+
+let compile_stencil2 () =
+  let g = stencil2 () in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Compiler.compile ~options:fast_options ~cluster g with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile: %s" e
+
+let test_roundtrip_clean () =
+  let c = compile_stencil2 () in
+  match Emit.verify_roundtrip c with
+  | [] -> ()
+  | ds ->
+    Alcotest.failf "emit -> parse -> verify must be clean, got:\n%s"
+      (Tapa_cs_analysis.Diagnostic.render ds)
+
+(* Replace the first occurrence of [old_] in [s] with [new_]; [s]
+   unchanged when absent. *)
+let replace_first ~old_ ~new_ s =
+  let nl = String.length old_ and hl = String.length s in
+  let rec find i = if i + nl > hl then -1 else if String.sub s i nl = old_ then i else find (i + 1) in
+  let at = find 0 in
+  if at < 0 then s
+  else String.sub s 0 at ^ new_ ^ String.sub s (at + nl) (hl - at - nl)
+
+let test_roundtrip_catches_tampering () =
+  let c = compile_stencil2 () in
+  let roundtrip ~tcl_of ~cfg_of ~report = Emit.verify_artifacts c ~tcl_of ~cfg_of ~report in
+  let flags code ds = List.exists (fun d -> d.Tapa_cs_analysis.Diagnostic.code = code) ds in
+  let tcl = Emit.floorplan_tcl c and cfg = Emit.connectivity_cfg c in
+  let report = Emit.design_report_json c in
+  (* Rename a placed cell: the Tcl now places a task the floorplanner
+     never assigned (and its real task goes missing). *)
+  let ds =
+    roundtrip
+      ~tcl_of:(fun fpga ->
+        let t = tcl ~fpga in
+        if fpga = 0 then replace_first ~old_:"[get_cells -hier read" ~new_:"[get_cells -hier impostor" t
+        else t)
+      ~cfg_of:(fun fpga -> cfg ~fpga) ~report
+  in
+  check bool "tampered tcl flagged" true (flags "TCS601" ds);
+  (* Re-channel an HBM binding. *)
+  let ds =
+    roundtrip
+      ~tcl_of:(fun fpga -> tcl ~fpga)
+      ~cfg_of:(fun fpga ->
+        let t = cfg ~fpga in
+        if fpga = 0 then replace_first ~old_:":HBM[0]" ~new_:":HBM[31]" t else t)
+      ~report
+  in
+  check bool "tampered cfg flagged" true (flags "TCS602" ds);
+  (* Wrong device count in the report. *)
+  let ds =
+    roundtrip
+      ~tcl_of:(fun fpga -> tcl ~fpga)
+      ~cfg_of:(fun fpga -> cfg ~fpga)
+      ~report:(replace_first ~old_:"\"fpgas\": 2" ~new_:"\"fpgas\": 3" report)
+  in
+  check bool "tampered report flagged" true (flags "TCS603" ds);
+  (* Understate a crossing-stage comment: the cut-set balance no longer
+     re-derives. *)
+  let ds =
+    roundtrip
+      ~tcl_of:(fun fpga ->
+        let t = tcl ~fpga in
+        replace_first ~old_:": 1 pipeline stage(s)" ~new_:": 2 pipeline stage(s)" t)
+      ~cfg_of:(fun fpga -> cfg ~fpga) ~report
+  in
+  check bool "tampered stage comment flagged" true (flags "TCS604" ds)
+
+(* Golden files: the emitted artifacts for the 8-iteration 2-FPGA stencil,
+   with the two wall-clock floorplanner-runtime lines dropped.  Regenerate
+   with TAPA_CS_UPDATE_GOLDEN=1 (writes into TAPA_CS_GOLDEN_DIR, default
+   ./golden). *)
+
+let normalize s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l ->
+         let has sub =
+           let nl = String.length sub and hl = String.length l in
+           let rec go i = i + nl <= hl && (String.sub l i nl = sub || go (i + 1)) in
+           go 0
+         in
+         not (has "_floorplan_seconds"))
+  |> String.concat "\n"
+
+(* dune runtest runs in the test directory, dune exec in the workspace
+   root: accept both. *)
+let golden_dir () =
+  match Sys.getenv_opt "TAPA_CS_GOLDEN_DIR" with
+  | Some d -> d
+  | None -> if Sys.file_exists "golden" then "golden" else Filename.concat "test" "golden"
+
+let golden_check name actual =
+  let path = Filename.concat (golden_dir ()) name in
+  let actual = normalize actual in
+  if Sys.getenv_opt "TAPA_CS_UPDATE_GOLDEN" <> None then begin
+    let oc = open_out path in
+    output_string oc actual;
+    close_out oc
+  end
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let expected = really_input_string ic n in
+    close_in ic;
+    if actual <> expected then
+      Alcotest.failf "%s drifted from its golden file (regenerate with TAPA_CS_UPDATE_GOLDEN=1)"
+        name
+  end
+
+let test_emit_golden () =
+  let c = compile_stencil2 () in
+  golden_check "stencil2_floorplan_f0.tcl.expected" (Emit.floorplan_tcl c ~fpga:0);
+  golden_check "stencil2_floorplan_f1.tcl.expected" (Emit.floorplan_tcl c ~fpga:1);
+  golden_check "stencil2_connectivity_f0.cfg.expected" (Emit.connectivity_cfg c ~fpga:0);
+  golden_check "stencil2_connectivity_f1.cfg.expected" (Emit.connectivity_cfg c ~fpga:1);
+  golden_check "stencil2_design_report.json.expected" (Emit.design_report_json c)
+
+(* ------------------------------------------------------------------ *)
+(* SLO pruning: lossless and counted                                   *)
+(* ------------------------------------------------------------------ *)
+
+let chain_design ~label ~elems =
+  let b = Taskgraph.Builder.create () in
+  let ids =
+    List.init 3 (fun i ->
+        Taskgraph.Builder.add_task b ~name:(Printf.sprintf "c%d" i)
+          ~compute:(Task.make_compute ~elems ~ii:1.0 ())
+          ~resources:(Resource.make ~lut:20_000 ~ff:20_000 ()) ())
+  in
+  let rec link = function
+    | a :: (c :: _ as rest) ->
+      ignore (Taskgraph.Builder.add_fifo b ~src:a ~dst:c ~width_bits:64 ~elems ());
+      link rest
+    | _ -> ()
+  in
+  link ids;
+  let g = Taskgraph.Builder.build b in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  match Flow.tapa_cs ~options:fast_options ~cluster g with
+  | Ok d -> { d with Flow.label }
+  | Error e -> Alcotest.failf "chain %s: %s" label e
+
+let test_simulate_many_slo_lossless () =
+  let designs =
+    [
+      chain_design ~label:"fast" ~elems:1e4;
+      chain_design ~label:"mid" ~elems:1e6;
+      chain_design ~label:"slow" ~elems:1e8;
+    ]
+  in
+  let bounds =
+    List.map (fun d -> (Flow.static_bounds d).Tapa_cs_analysis.Static_perf.latency_lower_s) designs
+  in
+  (* An SLO between the fastest and slowest lower bounds: some points
+     survive, some are pruned. *)
+  let slo = (List.nth bounds 0 +. List.nth bounds 2) /. 2.0 in
+  check bool "slo splits the corpus" true
+    (List.exists (fun b -> b <= slo) bounds && List.exists (fun b -> b > slo) bounds);
+  let unpruned = Flow.simulate_many ~jobs:1 designs in
+  Tapa_cs_sim.Sim_sweep.reset_static_pruned ();
+  let pruned = Flow.simulate_many ~jobs:1 ~slo_latency_s:slo designs in
+  check bool "pruning counted" true (Tapa_cs_sim.Sim_sweep.static_pruned () > 0);
+  check bool "some survivors" true (pruned <> []);
+  check bool "fewer rows than unpruned" true (List.length pruned < List.length unpruned);
+  (* Lossless: every surviving row is identical to its unpruned twin. *)
+  List.iter
+    (fun (label, outcome) ->
+      match List.assoc_opt label unpruned with
+      | None -> Alcotest.failf "survivor %s missing from the unpruned sweep" label
+      | Some reference -> check bool (label ^ " identical") true (outcome = reference))
+    pruned;
+  (* A survivor's simulated latency can still exceed the SLO (the bound
+     is a lower bound, not a prediction) — but no pruned point could have
+     met it: its lower bound already exceeds the SLO. *)
+  List.iter
+    (fun d ->
+      let lb = (Flow.static_bounds d).Tapa_cs_analysis.Static_perf.latency_lower_s in
+      if List.mem_assoc d.Flow.label pruned |> not then
+        check bool (d.Flow.label ^ " pruned soundly") true (lb > slo))
+    designs
+
+let test_autoscale_slo () =
+  let kernel =
+    {
+      Autoscale.name = "slo-kernel";
+      elems = 1e8;
+      ops_per_elem = 8.0;
+      bytes_per_elem = 8.0;
+      pe_resources = Resource.make ~lut:30_000 ~ff:45_000 ~bram:37 ~dsp:75 ();
+      pe_lanes = 4;
+      exchange_bytes = 8e6;
+    }
+  in
+  let cluster = Cluster.make ~board:Board.u55c 3 in
+  (* Unreachable SLO: everything prunes, nothing simulates. *)
+  Tapa_cs_sim.Sim_sweep.reset_static_pruned ();
+  let rows = Autoscale.measured_sweep_slo ~jobs:1 ~slo_latency_s:1e-9 ~cluster kernel in
+  check int "all pruned" (List.length rows) (Tapa_cs_sim.Sim_sweep.static_pruned ());
+  List.iter
+    (fun (_, _, row) ->
+      match row with
+      | Tapa_cs_sim.Sim_sweep.Pruned { lower_bound_s } ->
+        check bool "bound above slo" true (lower_bound_s > 1e-9)
+      | Tapa_cs_sim.Sim_sweep.Simulated _ -> Alcotest.fail "nothing can meet a 1ns SLO")
+    rows;
+  (* Generous SLO: nothing prunes, and the rows match the unpruned sweep. *)
+  let unpruned = Autoscale.measured_sweep ~jobs:1 ~cluster kernel in
+  Tapa_cs_sim.Sim_sweep.reset_static_pruned ();
+  let rows = Autoscale.measured_sweep_slo ~jobs:1 ~slo_latency_s:3600.0 ~cluster kernel in
+  check int "none pruned" 0 (Tapa_cs_sim.Sim_sweep.static_pruned ());
+  List.iter2
+    (fun (k1, _, row) (k2, _, outcome) ->
+      check int "same point" k1 k2;
+      match row with
+      | Tapa_cs_sim.Sim_sweep.Simulated o -> check bool "same outcome" true (o = outcome)
+      | Tapa_cs_sim.Sim_sweep.Pruned _ -> Alcotest.fail "generous SLO must not prune")
+    rows unpruned
+
 let () =
   Alcotest.run "core"
     [
@@ -364,5 +645,25 @@ let () =
           Alcotest.test_case "parallel design scales" `Slow test_multi_fpga_speedup_on_parallel_design;
           Alcotest.test_case "pagerank keeps scaling" `Slow test_pagerank_superlinear_shape;
           Alcotest.test_case "8-FPGA stencil slowdown (§5.7)" `Slow test_stencil_8fpga_internode_slowdown;
+        ] );
+      ( "static verifier",
+        [
+          Alcotest.test_case "bounds attached to the compile" `Quick test_static_bounds_attached;
+          Alcotest.test_case "--verify-static passes on honest bounds" `Quick
+            test_verify_static_passes;
+          Alcotest.test_case "--verify-static catches injected violation" `Quick
+            test_verify_static_catches_injected_violation;
+        ] );
+      ( "artifacts",
+        [
+          Alcotest.test_case "emit -> parse -> verify is clean" `Quick test_roundtrip_clean;
+          Alcotest.test_case "round-trip catches tampering" `Quick test_roundtrip_catches_tampering;
+          Alcotest.test_case "emitters match golden files" `Quick test_emit_golden;
+        ] );
+      ( "slo pruning",
+        [
+          Alcotest.test_case "simulate_many pruning is lossless" `Quick
+            test_simulate_many_slo_lossless;
+          Alcotest.test_case "autoscale sweep pruning" `Quick test_autoscale_slo;
         ] );
     ]
