@@ -51,6 +51,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("certcheck", "float-first simplex certification gate (CI)", Exp_certcheck.run);
     ("simgate", "simulation determinism gate (CI)", Exp_simgate.run);
     ("analyzegate", "static performance verifier gate (CI)", Exp_analyzegate.run);
+    ("ilpgate", "hierarchical floorplan determinism + scale gate (CI)", Exp_ilpgate.run);
   ]
 
 let usage () =

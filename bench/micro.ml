@@ -154,6 +154,17 @@ let partition_heuristic =
   Test.make ~name:"heuristic partition 60 tasks / 4 parts"
     (Staged.stage (fun () -> ignore (Partition.solve ~strategy:Partition.Heuristic problem)))
 
+(* The tentpole scale target: a cluster-sized instance through the
+   hierarchical decomposition (cluster-level assignment, one portfolio
+   race per node group, stitch + polish).  The cache is reset inside the
+   staged closure so every run times a genuine solve, not a replay. *)
+let partition_hierarchical =
+  let problem, groups = Exp_ilpgate.synthetic ~fpgas:100 ~tasks:1000 () in
+  Test.make ~name:"hierarchical floorplan 100-FPGA/1000-task"
+    (Staged.stage (fun () ->
+         Partition.reset_cache ();
+         ignore (Partition.solve ~groups problem)))
+
 (* Faulty vs ideal link transfer-time: the closed-form fault model is on
    the simulator's per-message hot path, so its overhead versus the plain
    serialization formula is worth tracking.  64 MB at 1% loss is the
@@ -170,17 +181,9 @@ let link_faulty =
     (Staged.stage (fun () ->
          ignore (Tapa_cs_network.Fault.transfer_time_s ~fault Tapa_cs_network.Link.alveolink xfer_bytes)))
 
-let event_queue =
-  Test.make ~name:"event heap push/pop x1000"
-    (Staged.stage (fun () ->
-         let h = Heap.create ~cmp:compare in
-         for i = 999 downto 0 do
-           Heap.push h ((i * 7919) mod 1000)
-         done;
-         while not (Heap.is_empty h) do
-           ignore (Heap.pop h)
-         done))
-
+(* The binary [Heap] is retired from production paths (it survives only
+   as the differential-test oracle), so only the 4-ary heap — the one the
+   simulator and B&B frontier actually use — is tracked here. *)
 let event_fourheap =
   Test.make ~name:"event 4-ary heap push/pop x1000"
     (Staged.stage (fun () ->
@@ -273,7 +276,8 @@ let tests =
      ]
     @ Option.to_list compile_par
     @ [
-        partition_heuristic; link_ideal; link_faulty; event_queue; event_fourheap; small_sim;
+        partition_heuristic; partition_hierarchical; link_ideal; link_faulty; event_fourheap;
+        small_sim;
         small_sim_reference; small_sim_cached; static_bounds_bench; sim_sweep_seq;
       ]
     @ Option.to_list sim_sweep_par)

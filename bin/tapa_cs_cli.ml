@@ -165,10 +165,11 @@ let print_solver_stats ~json c =
   let static_pruned = Tapa_cs_sim.Sim_sweep.static_pruned () in
   if json then
     Format.printf
-      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d,\"static_pruned\":%d}@."
+      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"subproblems\":%d,\"races_exact\":%d,\"races_anneal\":%d,\"incumbent_broadcasts\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d,\"static_pruned\":%d}@."
       s.Compiler.lp_solves s.Compiler.lp_pivots s.Compiler.lp_certified s.Compiler.lp_fallbacks
-      s.Compiler.bb_nodes s.Compiler.refinement_moves cache_hits cache_misses sim_hits sim_misses
-      static_pruned
+      s.Compiler.bb_nodes s.Compiler.refinement_moves s.Compiler.subproblems
+      s.Compiler.races_exact s.Compiler.races_anneal s.Compiler.incumbent_broadcasts cache_hits
+      cache_misses sim_hits sim_misses static_pruned
   else begin
     let i = string_of_int in
     Tapa_cs_util.Table.print ~title:"solver statistics"
@@ -181,6 +182,10 @@ let print_solver_stats ~json c =
         [ "exact fallbacks"; i s.Compiler.lp_fallbacks ];
         [ "branch-and-bound nodes"; i s.Compiler.bb_nodes ];
         [ "refinement moves"; i s.Compiler.refinement_moves ];
+        [ "hierarchical subproblems"; i s.Compiler.subproblems ];
+        [ "portfolio races won: exact"; i s.Compiler.races_exact ];
+        [ "portfolio races won: anneal"; i s.Compiler.races_anneal ];
+        [ "incumbent broadcasts"; i s.Compiler.incumbent_broadcasts ];
         [ "floorplan cache hits (process)"; i cache_hits ];
         [ "floorplan cache misses (process)"; i cache_misses ];
         [ "sim cache hits (process)"; i sim_hits ];
@@ -193,7 +198,8 @@ let stats_arg =
   let doc =
     "Print solver statistics after the compile: LP solves and pivots, how many relaxations the \
      float-first simplex certified vs fell back to exact arithmetic, branch-and-bound nodes, \
-     refinement moves and the process-wide floorplan-cache hit/miss counts."
+     refinement moves, hierarchical-decomposition subproblems, portfolio race wins per arm, \
+     incumbent broadcasts and the process-wide floorplan-cache hit/miss counts."
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 

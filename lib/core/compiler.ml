@@ -108,10 +108,10 @@ let compile ?(options = default_options) ~cluster graph =
   in
   let run_inter ~seed =
     if failed_devices = [] && failed_links = [] then
-      Inter_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed ~cluster
+      Inter_fpga.run ~strategy:options.strategy ~threshold:options.threshold ~seed ?pool ~cluster
         ~synthesis graph
     else
-      Inter_fpga.run_degraded ~strategy:options.strategy ~threshold:options.threshold ~seed
+      Inter_fpga.run_degraded ~strategy:options.strategy ~threshold:options.threshold ~seed ?pool
         ~failed_devices ~failed_links ~cluster ~synthesis graph
   in
   let max_retries = 2 in
@@ -279,6 +279,10 @@ type solver_stats = {
   lp_fallbacks : int;
   bb_nodes : int;
   refinement_moves : int;
+  subproblems : int;
+  races_exact : int;
+  races_anneal : int;
+  incumbent_broadcasts : int;
 }
 
 (* Aggregated over the inter-FPGA solve and every intra-FPGA bisection
@@ -298,6 +302,10 @@ let solver_stats t =
       lp_fallbacks = acc.lp_fallbacks + s.lp_fallbacks;
       bb_nodes = acc.bb_nodes + s.bb_nodes;
       refinement_moves = acc.refinement_moves + s.refinement_moves;
+      subproblems = acc.subproblems + s.subproblems;
+      races_exact = acc.races_exact + s.races_exact;
+      races_anneal = acc.races_anneal + s.races_anneal;
+      incumbent_broadcasts = acc.incumbent_broadcasts + s.incumbent_broadcasts;
     }
   in
   let zero =
@@ -308,6 +316,10 @@ let solver_stats t =
       lp_fallbacks = 0;
       bb_nodes = 0;
       refinement_moves = 0;
+      subproblems = 0;
+      races_exact = 0;
+      races_anneal = 0;
+      incumbent_broadcasts = 0;
     }
   in
   let acc = add zero t.inter.Inter_fpga.stats in

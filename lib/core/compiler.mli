@@ -90,6 +90,15 @@ type solver_stats = {
   lp_fallbacks : int;  (** solves where certification forced exact re-solve *)
   bb_nodes : int;  (** branch-and-bound nodes explored *)
   refinement_moves : int;  (** heuristic move-refinement steps *)
+  subproblems : int;
+      (** node-level subproblems spawned by the hierarchical floorplan
+          decomposition; 0 when every solve took a flat path *)
+  races_exact : int;  (** portfolio races won by the exact B&B arm *)
+  races_anneal : int;
+      (** portfolio races won by simulated annealing (cost matched the
+          exact LP bound) *)
+  incumbent_broadcasts : int;
+      (** incumbent improvements shared across parallel B&B subtrees *)
 }
 
 val solver_stats : t -> solver_stats

@@ -1,0 +1,123 @@
+(* Deterministic simulated annealing over capacity-constrained K-way
+   assignments — the heuristic arm of the exact-vs-anneal portfolio race.
+
+   The module deliberately takes plain labelled inputs instead of a
+   [Partition.problem] so it sits below Partition in the module graph
+   (Partition races it against its own exact backend).  Everything is
+   driven by a seeded {!Tapa_cs_util.Prng}: same inputs, same answer, on
+   every host — which is what lets the racer's arbitration stay
+   deterministic while the race itself only shaves wall-clock. *)
+
+open Tapa_cs_util
+open Tapa_cs_device
+
+type outcome = {
+  assignment : int array;
+  cost : float;  (** raw distance objective of [assignment] (no penalty) *)
+  feasible : bool;  (** capacities and fixed placements all respected *)
+  moves : int;  (** accepted moves (uphill and downhill) *)
+}
+
+(* Mirrors Partition's working objective: normalized per-resource
+   overshoot, so the penalty scale is comparable across instances. *)
+let overflow (cap : Resource.t) (u : Resource.t) =
+  let f used total =
+    if used <= total then 0.0
+    else float_of_int (used - total) /. float_of_int (Stdlib.max 1 total)
+  in
+  f u.Resource.lut cap.Resource.lut
+  +. f u.ff cap.ff +. f u.bram cap.bram +. f u.dsp cap.dsp +. f u.uram cap.uram
+
+let penalty = 1e7
+
+let run ~areas ~edges ~pulls ~k ~capacities ~(dist : int -> int -> int) ~fixed ~seed ~iters
+    ~(init : int array) () =
+  let n = Array.length areas in
+  let assignment = Array.copy init in
+  let movable = Array.make n true in
+  List.iter (fun (i, _) -> movable.(i) <- false) fixed;
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, w) ->
+      adj.(a) <- (b, w) :: adj.(a);
+      adj.(b) <- (a, w) :: adj.(b))
+    edges;
+  let pulls_of = Array.make n [] in
+  List.iter (fun (i, part, w) -> pulls_of.(i) <- (part, w) :: pulls_of.(i)) pulls;
+  let usage = Array.make k Resource.zero in
+  Array.iteri (fun i part -> usage.(part) <- Resource.add usage.(part) areas.(i)) assignment;
+  let raw_cost a =
+    let c = ref 0.0 in
+    List.iter (fun (x, y, w) -> c := !c +. (w *. float_of_int (dist a.(x) a.(y)))) edges;
+    List.iter (fun (i, part, w) -> c := !c +. (w *. float_of_int (dist a.(i) part))) pulls;
+    !c
+  in
+  let total_over () =
+    let acc = ref 0.0 in
+    Array.iteri (fun part u -> acc := !acc +. overflow capacities.(part) u) usage;
+    !acc
+  in
+  (* Delta of the penalized working objective for moving [i] to [dst]. *)
+  let move_delta i dst =
+    let src = assignment.(i) in
+    let d = ref 0.0 in
+    List.iter
+      (fun (j, w) ->
+        if j <> i then
+          d := !d +. (w *. float_of_int (dist dst assignment.(j) - dist src assignment.(j))))
+      adj.(i);
+    List.iter (fun (tp, w) -> d := !d +. (w *. float_of_int (dist dst tp - dist src tp))) pulls_of.(i);
+    let a = areas.(i) in
+    let over_src = overflow capacities.(src) usage.(src) in
+    let over_src' = overflow capacities.(src) (Resource.sub usage.(src) a) in
+    let over_dst = overflow capacities.(dst) usage.(dst) in
+    let over_dst' = overflow capacities.(dst) (Resource.add usage.(dst) a) in
+    !d +. (penalty *. (over_src' -. over_src +. over_dst' -. over_dst))
+  in
+  let apply i dst =
+    let src = assignment.(i) in
+    usage.(src) <- Resource.sub usage.(src) areas.(i);
+    usage.(dst) <- Resource.add usage.(dst) areas.(i);
+    assignment.(i) <- dst
+  in
+  let moves = ref 0 in
+  let best = ref None in
+  (* best feasible raw cost seen *)
+  let consider_best () =
+    if total_over () = 0.0 then begin
+      let c = raw_cost assignment in
+      match !best with
+      | Some (bc, _) when bc <= c -> ()
+      | _ -> best := Some (c, Array.copy assignment)
+    end
+  in
+  consider_best ();
+  if n > 0 && k > 1 && iters > 0 then begin
+    let rng = Prng.create seed in
+    (* Temperature: start proportional to the objective scale, cool
+       geometrically to ~1/1000th over the iteration budget. *)
+    let obj0 = raw_cost assignment +. (penalty *. total_over ()) in
+    let t0 = Stdlib.max 1.0 (0.10 *. Float.abs obj0) in
+    let ratio = 1e-3 in
+    let movable_ids = Array.of_list (List.filter (fun i -> movable.(i)) (List.init n Fun.id)) in
+    let m = Array.length movable_ids in
+    if m > 0 then
+      for it = 0 to iters - 1 do
+        let temp = t0 *. (ratio ** (float_of_int it /. float_of_int iters)) in
+        let i = movable_ids.(Prng.int rng m) in
+        let dst = Prng.int rng k in
+        if dst <> assignment.(i) then begin
+          let delta = move_delta i dst in
+          if delta < 0.0 || Prng.float rng 1.0 < Float.exp (-.delta /. temp) then begin
+            apply i dst;
+            incr moves;
+            if delta < 0.0 then consider_best ()
+          end
+        end
+      done;
+    consider_best ()
+  end;
+  match !best with
+  | Some (c, a) -> { assignment = a; cost = c; feasible = true; moves = !moves }
+  | None ->
+    { assignment; cost = raw_cost assignment; feasible = total_over () = 0.0; moves = !moves }

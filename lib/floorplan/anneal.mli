@@ -1,0 +1,39 @@
+(** Deterministic simulated annealing for capacity-constrained K-way
+    assignment — the heuristic arm {!Partition} races against its exact
+    branch-and-bound backend.
+
+    All randomness flows from a seeded {!Tapa_cs_util.Prng}, so the
+    answer is a pure function of the inputs (same result on every host
+    and worker count).  That purity is what keeps the portfolio race's
+    arbitration deterministic: racing only changes how soon the losing
+    solver stops, never which answer wins. *)
+
+open Tapa_cs_device
+
+type outcome = {
+  assignment : int array;
+  cost : float;  (** raw distance objective of [assignment] (no penalty) *)
+  feasible : bool;  (** capacities and fixed placements all respected *)
+  moves : int;  (** accepted moves (uphill and downhill) *)
+}
+
+val run :
+  areas:Resource.t array ->
+  edges:(int * int * float) list ->
+  pulls:(int * int * float) list ->
+  k:int ->
+  capacities:Resource.t array ->
+  dist:(int -> int -> int) ->
+  fixed:(int * int) list ->
+  seed:int ->
+  iters:int ->
+  init:int array ->
+  unit ->
+  outcome
+(** Anneal from [init] (fixed items never move) with single-item
+    relocation moves under a penalized objective (distance cost plus a
+    large normalized-overflow penalty, matching the heuristic backend's
+    working objective), geometric cooling over [iters] proposals, and
+    Metropolis acceptance.  Returns the best {e feasible} assignment
+    observed — falling back to the final state, flagged infeasible, when
+    the walk never reached feasibility. *)

@@ -76,7 +76,7 @@ let over_capacity_count (p : Partition.problem) (r : Partition.result) =
 let relax_step = 0.05
 let relax_limit = 0.95
 
-let solve_chain ~strategy ~seed ~threshold ~problem_at =
+let solve_chain ~strategy ~seed ~threshold ?pool ?groups ~problem_at () =
   let p0 = problem_at threshold in
   let attempts = ref [] in
   let record p att =
@@ -85,7 +85,7 @@ let solve_chain ~strategy ~seed ~threshold ~problem_at =
   in
   let rec climb ~warm th =
     let p = problem_at th in
-    match record p (Partition.solve ~strategy ~seed ?warm_incumbent:warm p) with
+    match record p (Partition.solve ~strategy ~seed ?warm_incumbent:warm ?pool ?groups p) with
     | Some r when r.Partition.feasible ->
       let tags = if th > threshold then [ Printf.sprintf "relaxed-threshold(%.2f)" th ] else [] in
       Ok (r, p, th, tags)
@@ -166,8 +166,17 @@ let edges_of ~cluster g =
   Array.to_list (Taskgraph.fifos g)
   |> List.map (fun (f : Fifo.t) -> (f.src, f.dst, float_of_int f.width_bits *. lambda))
 
+(* Server-node grouping for the hierarchical decomposition: one group per
+   node, meaningful only when the cluster actually spans nodes.  The
+   mapping is a pure function of the cluster (and, degraded, of the
+   survivor list), so the cache key stays stable across runs. *)
+let node_groups ~cluster ~part_device k =
+  if cluster.Cluster.num_nodes > 1 then
+    Some (Array.init k (fun part -> cluster.Cluster.node_of (part_device part)))
+  else None
+
 let run ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_threshold) ?(seed = 1)
-    ~cluster ~synthesis g =
+    ?pool ~cluster ~synthesis g =
   let k = Cluster.size cluster in
   let areas = Array.map (fun (p : Synthesis.profile) -> p.resources) synthesis.Synthesis.profiles in
   let edges = edges_of ~cluster g in
@@ -186,7 +195,8 @@ let run ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_thresho
       fixed = [];
     }
   in
-  match solve_chain ~strategy ~seed ~threshold ~problem_at with
+  let groups = node_groups ~cluster ~part_device:Fun.id k in
+  match solve_chain ~strategy ~seed ~threshold ?pool ?groups ~problem_at () with
   | Error e -> Error e
   | Ok (r, _, threshold_used, fallbacks) ->
     Ok
@@ -194,7 +204,7 @@ let run ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_thresho
          ~threshold_used g r)
 
 let run_degraded ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_threshold)
-    ?(seed = 1) ?(failed_devices = []) ?(failed_links = []) ~cluster ~synthesis g =
+    ?(seed = 1) ?pool ?(failed_devices = []) ?(failed_links = []) ~cluster ~synthesis g =
   let k = Cluster.size cluster in
   let failed = Array.make k false in
   List.iter (fun d -> if d >= 0 && d < k then failed.(d) <- true) failed_devices;
@@ -207,7 +217,7 @@ let run_degraded ?(strategy = Partition.Auto) ?(threshold = Constants.utilizatio
   | _ ->
     let surv = Array.of_list survivors in
     let k' = Array.length surv in
-    if k' = k && failed_links = [] then run ~strategy ~threshold ~seed ~cluster ~synthesis g
+    if k' = k && failed_links = [] then run ~strategy ~threshold ~seed ?pool ~cluster ~synthesis g
     else begin
       (* Hop metric of the surviving sub-topology: BFS over the healthy
          unit-distance edges of the original cluster, skipping failed
@@ -260,7 +270,8 @@ let run_degraded ?(strategy = Partition.Auto) ?(threshold = Constants.utilizatio
           fixed = [];
         }
       in
-      match solve_chain ~strategy ~seed ~threshold ~problem_at with
+      let groups = node_groups ~cluster ~part_device:(fun part -> surv.(part)) k' in
+      match solve_chain ~strategy ~seed ~threshold ?pool ?groups ~problem_at () with
       | Error e -> Error e
       | Ok (r, _, threshold_used, fallbacks) ->
         let tag =

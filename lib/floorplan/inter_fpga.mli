@@ -13,6 +13,7 @@
     [fallbacks], and [threshold_used] reports the rung that finally
     succeeded so downstream stages can budget consistently. *)
 
+open Tapa_cs_util
 open Tapa_cs_device
 open Tapa_cs_graph
 open Tapa_cs_hls
@@ -61,17 +62,26 @@ val run :
   ?strategy:Partition.strategy ->
   ?threshold:float ->
   ?seed:int ->
+  ?pool:Pool.t ->
   cluster:Cluster.t ->
   synthesis:Synthesis.report ->
   Taskgraph.t ->
   (t, error) Stdlib.result
 (** Floorplan onto the full healthy cluster.  [Error] only after the
-    whole fallback chain is exhausted. *)
+    whole fallback chain is exhausted.
+
+    Multi-node clusters route large [Auto] instances through
+    {!Partition}'s hierarchical decomposition, grouped by server node —
+    the per-node subproblems race exact branch-and-bound against
+    simulated annealing concurrently on [pool].  [pool] is a wall-clock
+    lever only: the mapping, cost and stats are identical with and
+    without it. *)
 
 val run_degraded :
   ?strategy:Partition.strategy ->
   ?threshold:float ->
   ?seed:int ->
+  ?pool:Pool.t ->
   ?failed_devices:int list ->
   ?failed_links:(int * int) list ->
   cluster:Cluster.t ->

@@ -23,6 +23,10 @@ type stats = {
   lp_fallbacks : int;
   bb_nodes : int;
   refinement_moves : int;
+  subproblems : int;
+  races_exact : int;
+  races_anneal : int;
+  incumbent_broadcasts : int;
   proven_optimal : bool;
   timed_out : bool;
 }
@@ -57,6 +61,21 @@ let counters_of (sol : Ilp.Branch_bound.solution) =
     c_pivots = sol.lp_pivots;
     c_cert = sol.lp_certified;
     c_fb = sol.lp_fallbacks;
+  }
+
+(* Hierarchy / portfolio-race counter bundle: how many subproblems the
+   grouped decomposition spawned, which arm won each race, and how often
+   the parallel B&B merge improved its incumbent. *)
+type race_stats = { r_sub : int; r_exact : int; r_anneal : int; r_bcast : int }
+
+let zero_race = { r_sub = 0; r_exact = 0; r_anneal = 0; r_bcast = 0 }
+
+let add_race a b =
+  {
+    r_sub = a.r_sub + b.r_sub;
+    r_exact = a.r_exact + b.r_exact;
+    r_anneal = a.r_anneal + b.r_anneal;
+    r_bcast = a.r_bcast + b.r_bcast;
   }
 
 let num_items p = Array.length p.areas
@@ -330,8 +349,28 @@ let heuristic ?(starts = 4) ~seed p =
    so a bounded-denominator conversion is exact in practice. *)
 let rat_of_weight w = Rat.of_float_approx ~max_den:10_000 w
 
-let exact ?deadline_s ?timeout_flag ~incumbent p =
-  let mark_timeout () = Option.iter (fun r -> r := true) timeout_flag in
+(* Exact rational objective of an assignment — the same arithmetic the
+   ILP objective uses (edge weights through [rat_of_weight], integer
+   distances), so equality with the root LP bound is a proof of
+   optimality for the portfolio racer's annealing arm. *)
+let cost_rat p assignment =
+  let d a b = Rat.of_int (p.dist a b) in
+  let edge =
+    List.fold_left
+      (fun acc (a, b, w) ->
+        Rat.add acc (Rat.mul (rat_of_weight w) (d assignment.(a) assignment.(b))))
+      Rat.zero p.edges
+  in
+  List.fold_left
+    (fun acc (i, part, w) -> Rat.add acc (Rat.mul (rat_of_weight w) (d assignment.(i) part)))
+    edge p.pulls
+
+(* Lower a problem to its 0-1 ILP.  Returns the model, the encoded warm
+   incumbent (when given) and the decoder from ILP variable values back
+   to an assignment.  Shared by the flat exact backend and the portfolio
+   racer, which additionally needs the model itself for the root LP
+   bound and the parallel subtree search. *)
+let build_ilp ~incumbent p =
   let n = num_items p in
   let m = Ilp.Model.create () in
   let r_area (r : Resource.t) = [ r.lut; r.ff; r.bram; r.dsp; r.uram ] in
@@ -393,20 +432,10 @@ let exact ?deadline_s ?timeout_flag ~incumbent p =
           values)
         incumbent
     in
-    match
-      Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?deadline_s
-        ?incumbent:incumbent_values m
-    with
-    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol | Ilp.Branch_bound.Timeout (Some sol))
-      as result ->
-      (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
-      let assignment = Array.init n (fun i -> if Rat.is_zero sol.values.(y.(i)) then 0 else 1) in
-      let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
-      Some (assignment, counters_of sol, proven)
-    | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
-    | Ilp.Branch_bound.Timeout None ->
-      mark_timeout ();
-      None
+    let decode values =
+      Array.init n (fun i -> if Rat.is_zero values.(y.(i)) then 0 else 1)
+    in
+    (m, incumbent_values, decode)
   end
   else begin
     (* x.(i).(part) assignment binaries. *)
@@ -479,28 +508,33 @@ let exact ?deadline_s ?timeout_flag ~incumbent p =
           values)
         incumbent
     in
-    match
-      Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?deadline_s
-        ?incumbent:incumbent_values m
-    with
-    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol | Ilp.Branch_bound.Timeout (Some sol))
-      as result ->
-      (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
-      let assignment =
-        Array.init n (fun i ->
-            let part = ref 0 in
-            for pa = 0 to p.k - 1 do
-              if Rat.equal sol.values.(x.(i).(pa)) Rat.one then part := pa
-            done;
-            !part)
-      in
-      let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
-      Some (assignment, counters_of sol, proven)
-    | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
-    | Ilp.Branch_bound.Timeout None ->
-      mark_timeout ();
-      None
+    let decode values =
+      Array.init n (fun i ->
+          let part = ref 0 in
+          for pa = 0 to p.k - 1 do
+            if Rat.equal values.(x.(i).(pa)) Rat.one then part := pa
+          done;
+          !part)
+    in
+    (m, incumbent_values, decode)
   end
+
+let exact ?deadline_s ?timeout_flag ~incumbent p =
+  let mark_timeout () = Option.iter (fun r -> r := true) timeout_flag in
+  let m, incumbent_values, decode = build_ilp ~incumbent p in
+  match
+    Ilp.Branch_bound.solve ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80 ?deadline_s
+      ?incumbent:incumbent_values m
+  with
+  | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol | Ilp.Branch_bound.Timeout (Some sol))
+    as result ->
+    (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
+    let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
+    Some (decode sol.values, counters_of sol, proven)
+  | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded -> None
+  | Ilp.Branch_bound.Timeout None ->
+    mark_timeout ();
+    None
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchical backend for k > 2: recursive two-way bisection over
@@ -738,13 +772,359 @@ let greedy p =
             lp_fallbacks = 0;
             bb_nodes = 0;
             refinement_moves = 0;
+            subproblems = 0;
+            races_exact = 0;
+            races_anneal = 0;
+            incumbent_broadcasts = 0;
             proven_optimal = false;
             timed_out = false;
           };
       }
   end
 
-let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent p =
+(* ------------------------------------------------------------------ *)
+(* Portfolio race: deterministic simulated annealing vs parallel exact
+   branch-and-bound on the same subproblem.
+
+   Both arms are deterministic, so the race only affects wall-clock: the
+   anneal arm "wins" exactly when its feasible answer's exact rational
+   cost equals the root LP bound (a proof of optimality), in which case
+   the exact arm is cancelled via a shared token and its (now
+   wall-clock-dependent) partial counters are discarded.  Otherwise the
+   token is never raised, the exact arm runs to its full budget, and the
+   arbitration below is a pure function of two deterministic results —
+   identical under jobs = 1 and jobs = N.                               *)
+(* ------------------------------------------------------------------ *)
+
+let race_iters p = Stdlib.min 200_000 (2_000 * num_items p)
+
+let exact_race ?timeout_flag ?pool ~seed ~incumbent p =
+  let mark_timeout () = Option.iter (fun r -> r := true) timeout_flag in
+  let m, incumbent_values, decode = build_ilp ~incumbent p in
+  let lp_bound =
+    match Ilp.Simplex.solve m with
+    | Ilp.Simplex.Optimal s -> Some s.objective
+    | Ilp.Simplex.Infeasible | Ilp.Simplex.Unbounded -> None
+    | exception Ilp.Simplex.Pivot_limit -> None
+  in
+  let token = Pool.cancel_token () in
+  let run_anneal () =
+    let init =
+      match incumbent with
+      | Some a -> Array.copy a
+      | None -> (
+        match greedy p with Some r -> r.assignment | None -> Array.make (num_items p) 0)
+    in
+    let o =
+      Anneal.run ~areas:p.areas ~edges:p.edges ~pulls:p.pulls ~k:p.k ~capacities:p.capacities
+        ~dist:p.dist ~fixed:p.fixed ~seed ~iters:(race_iters p) ~init ()
+    in
+    let certified =
+      o.feasible
+      && feasible_assignment p o.assignment
+      && (match lp_bound with Some b -> Rat.equal (cost_rat p o.assignment) b | None -> false)
+    in
+    if certified then Pool.cancel token;
+    `Anneal (o, certified)
+  in
+  let run_bb () =
+    let result, ps =
+      Ilp.Branch_bound.solve_parallel ~max_nodes:800 ~max_pivots:300_000 ~stall_nodes:80
+        ?incumbent:incumbent_values ?pool
+        ~should_stop:(fun () -> Pool.cancelled token)
+        m
+    in
+    `Bb (result, ps)
+  in
+  (* The anneal arm is listed first so the sequential fallback (jobs = 1,
+     or a nested call inside a pool worker) runs it before the exact arm:
+     cancellation then has the same observable effect in both modes — a
+     certified anneal means the exact arm's answer is discarded. *)
+  let outs = Pool.parallel_map ?pool (fun f -> f ()) [| run_anneal; run_bb |] in
+  let anneal_o, anneal_certified =
+    match outs.(0) with `Anneal (o, c) -> (o, c) | _ -> assert false
+  in
+  let bb_result, bb_par = match outs.(1) with `Bb (r, ps) -> (r, ps) | _ -> assert false in
+  if anneal_certified then
+    (* Provably optimal: the anneal cost equals the exact root LP bound.
+       Only the deterministic root LP solve is accounted — the cancelled
+       exact arm's partial counters depend on how fast it was stopped. *)
+    Some
+      ( anneal_o.assignment,
+        { zero_counters with c_solves = 1 },
+        true,
+        { zero_race with r_anneal = 1 },
+        anneal_o.moves )
+  else
+    match bb_result with
+    | (Ilp.Branch_bound.Optimal sol | Ilp.Branch_bound.Feasible sol
+      | Ilp.Branch_bound.Timeout (Some sol)) as result ->
+      (match result with Ilp.Branch_bound.Timeout _ -> mark_timeout () | _ -> ());
+      let proven = match result with Ilp.Branch_bound.Optimal _ -> true | _ -> false in
+      let a = decode sol.values in
+      (* An uncertified but feasible anneal answer can still beat a
+         budget-limited exact incumbent; the exact arm wins ties. *)
+      if
+        (not proven)
+        && anneal_o.feasible
+        && feasible_assignment p anneal_o.assignment
+        && Rat.compare (cost_rat p anneal_o.assignment) (cost_rat p a) < 0
+      then
+        Some
+          ( anneal_o.assignment,
+            counters_of sol,
+            false,
+            { zero_race with r_anneal = 1; r_bcast = bb_par.par_broadcasts },
+            anneal_o.moves )
+      else
+        Some
+          (a, counters_of sol, proven, { zero_race with r_exact = 1; r_bcast = bb_par.par_broadcasts }, 0)
+    | Ilp.Branch_bound.Infeasible | Ilp.Branch_bound.Unbounded | Ilp.Branch_bound.Timeout None ->
+      (match bb_result with Ilp.Branch_bound.Timeout None -> mark_timeout () | _ -> ());
+      (* The exact arm's budget-limited "Infeasible" is a conflation (no
+         incumbent found in budget); a feasible anneal answer refutes it. *)
+      if anneal_o.feasible && feasible_assignment p anneal_o.assignment then
+        Some
+          ( anneal_o.assignment,
+            { zero_counters with c_solves = 1 },
+            false,
+            { zero_race with r_anneal = 1 },
+            anneal_o.moves )
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Grouped decomposition (hierarchical floorplanning across server
+   nodes): a cluster-level assignment of items to part *groups* (the
+   FPGAs of one server node), then one independent subproblem per group
+   — each a portfolio race — solved concurrently on the pool, stitched
+   into a global assignment and polished across the cut.  Feasibility of
+   the stitched result is by construction (each subproblem respects its
+   own parts' capacities); the final anneal polish only ever replaces it
+   with a feasible, no-worse assignment.                                *)
+(* ------------------------------------------------------------------ *)
+
+let solve_grouped ~seed ~exact_var_limit ?pool ~groups p =
+  let n = num_items p in
+  let g_count = 1 + Array.fold_left Stdlib.max 0 groups in
+  let gparts = Array.make g_count [] in
+  for part = p.k - 1 downto 0 do
+    gparts.(groups.(part)) <- part :: gparts.(groups.(part))
+  done;
+  if Array.exists (fun l -> l = []) gparts then None
+  else begin
+    let parts_arr = Array.map Array.of_list gparts in
+    (* Cluster-level metric: min distance between any two member parts. *)
+    let gdist = Array.make_matrix g_count g_count max_int in
+    for a = 0 to p.k - 1 do
+      for b = 0 to p.k - 1 do
+        let ga = groups.(a) and gb = groups.(b) in
+        if p.dist a b < gdist.(ga).(gb) then gdist.(ga).(gb) <- p.dist a b
+      done
+    done;
+    let gproblem =
+      {
+        areas = p.areas;
+        edges = p.edges;
+        pulls = List.map (fun (i, part, w) -> (i, groups.(part), w)) p.pulls;
+        k = g_count;
+        capacities =
+          (* 10% headroom under the summed member capacities: a group
+             filled to the exact sum is a bin-packing instance with zero
+             slack, which the per-part subproblem routinely cannot
+             split.  The headroom trades a little cluster-level freedom
+             for subproblems that actually place. *)
+          Array.map
+            (fun parts ->
+              Resource.scale 0.9 (Resource.sum (List.map (fun q -> p.capacities.(q)) parts)))
+            gparts;
+        dist = (fun a b -> gdist.(a).(b));
+        fixed = List.map (fun (i, part) -> (i, groups.(part))) p.fixed;
+      }
+    in
+    (* Cluster-level solve: greedy first fit, then delta-cost annealing.
+       The move-refinement heuristic recomputes the full objective per
+       candidate move (O(n * k * E) per pass) — fine at intra-node scale,
+       hopeless at 1000 tasks x dozens of groups — whereas the annealer's
+       per-proposal cost is O(degree). *)
+    let cluster =
+      match greedy gproblem with
+      | None -> None
+      | Some g0 ->
+        let o =
+          Anneal.run ~areas:gproblem.areas ~edges:gproblem.edges ~pulls:gproblem.pulls
+            ~k:gproblem.k ~capacities:gproblem.capacities ~dist:gproblem.dist
+            ~fixed:gproblem.fixed ~seed
+            ~iters:(Stdlib.min 400_000 (400 * n))
+            ~init:g0.assignment ()
+        in
+        if o.feasible && feasible_assignment gproblem o.assignment then
+          Some (o.assignment, zero_counters, o.moves)
+        else if g0.feasible then Some (g0.assignment, zero_counters, 0)
+        else None
+    in
+    match cluster with
+    | None -> None
+    | Some (cluster_assign, cluster_counters, cluster_moves) ->
+      (* Gateway part of group g toward group g': the member part closest
+         to g'.  Cross-group edges become pulls toward it — the cut-set
+         reconciliation that keeps boundary traffic near the links that
+         will carry it. *)
+      let gateway =
+        Array.init g_count (fun g ->
+            Array.init g_count (fun g' ->
+                if g = g' then parts_arr.(g).(0)
+                else begin
+                  let best = ref parts_arr.(g).(0) and bestd = ref max_int in
+                  Array.iter
+                    (fun q ->
+                      let d =
+                        Array.fold_left
+                          (fun acc q' -> Stdlib.min acc (p.dist q q'))
+                          max_int parts_arr.(g')
+                      in
+                      if d < !bestd then begin
+                        bestd := d;
+                        best := q
+                      end)
+                    parts_arr.(g);
+                  !best
+                end))
+      in
+      let members = Array.make g_count [] in
+      for i = n - 1 downto 0 do
+        members.(cluster_assign.(i)) <- i :: members.(cluster_assign.(i))
+      done;
+      let local_part = Array.make p.k (-1) in
+      Array.iteri
+        (fun _g parts -> Array.iteri (fun li q -> local_part.(q) <- li) parts)
+        parts_arr;
+      let adj = Array.make n [] in
+      List.iter
+        (fun (a, b, w) ->
+          adj.(a) <- (b, w) :: adj.(a);
+          adj.(b) <- (a, w) :: adj.(b))
+        p.edges;
+      let pulls_of = Array.make n [] in
+      List.iter (fun (i, part, w) -> pulls_of.(i) <- (part, w) :: pulls_of.(i)) p.pulls;
+      let fixed_part = Array.make n (-1) in
+      List.iter (fun (i, part) -> fixed_part.(i) <- part) p.fixed;
+      let make_sub g =
+        let mem = Array.of_list members.(g) in
+        let index_of = Hashtbl.create 16 in
+        Array.iteri (fun li tid -> Hashtbl.replace index_of tid li) mem;
+        let parts = parts_arr.(g) in
+        let sub_edges = ref [] and sub_pulls = ref [] and sub_fixed = ref [] in
+        Array.iteri
+          (fun li tid ->
+            List.iter
+              (fun (other, w) ->
+                match Hashtbl.find_opt index_of other with
+                | Some lj -> if li < lj then sub_edges := (li, lj, w) :: !sub_edges
+                | None ->
+                  let g' = cluster_assign.(other) in
+                  if g' <> g then
+                    sub_pulls := (li, local_part.(gateway.(g).(g')), w) :: !sub_pulls)
+              adj.(tid);
+            List.iter
+              (fun (part, w) ->
+                let tgt = if groups.(part) = g then part else gateway.(g).(groups.(part)) in
+                sub_pulls := (li, local_part.(tgt), w) :: !sub_pulls)
+              pulls_of.(tid);
+            if fixed_part.(tid) >= 0 then
+              sub_fixed := (li, local_part.(fixed_part.(tid))) :: !sub_fixed)
+          mem;
+        {
+          areas = Array.map (fun tid -> p.areas.(tid)) mem;
+          edges = !sub_edges;
+          pulls = !sub_pulls;
+          k = Array.length parts;
+          capacities = Array.map (fun q -> p.capacities.(q)) parts;
+          dist = (fun a b -> p.dist parts.(a) parts.(b));
+          fixed = !sub_fixed;
+        }
+      in
+      let solve_sub sub =
+        if num_items sub = 0 then Some (Array.make 0 0, zero_counters, zero_race, 0)
+        else if
+          (* The race earns a bigger exact budget than the flat joint
+             path: its B&B arm is the parallel subtree search, and a
+             certified anneal cancels it early on the easy instances. *)
+          binary_var_count sub <= 2 * exact_var_limit
+        then
+          match exact_race ?pool ~seed ~incumbent:None sub with
+          | Some (a, cnt, _proven, race, mv) -> Some (a, cnt, { race with r_sub = 1 }, mv)
+          | None -> None
+        else begin
+          (* Too large for the exact arm: anneal from the heuristic
+             start, falling back to the heuristic answer itself. *)
+          let h = heuristic ~seed sub in
+          let init =
+            match h with
+            | Some (a, _, _, _) -> a
+            | None -> (
+              match greedy sub with Some r -> r.assignment | None -> Array.make (num_items sub) 0)
+          in
+          let o =
+            Anneal.run ~areas:sub.areas ~edges:sub.edges ~pulls:sub.pulls ~k:sub.k
+              ~capacities:sub.capacities ~dist:sub.dist ~fixed:sub.fixed ~seed
+              ~iters:(race_iters sub) ~init ()
+          in
+          if o.feasible && feasible_assignment sub o.assignment then
+            (* no exact arm ran, so this is not a race win — only
+               [r_sub] is counted *)
+            Some (o.assignment, zero_counters, { zero_race with r_sub = 1 }, o.moves)
+          else
+            match h with
+            | Some (a, _, true, mv) -> Some (a, zero_counters, { zero_race with r_sub = 1 }, mv)
+            | _ -> (
+              (* last rung: first-fit-decreasing, accepted only when it
+                 lands feasible *)
+              match greedy sub with
+              | Some r when r.feasible ->
+                Some (r.assignment, zero_counters, { zero_race with r_sub = 1 }, 0)
+              | _ -> None)
+        end
+      in
+      let subs = Array.init g_count make_sub in
+      let solved = Pool.parallel_map ?pool solve_sub subs in
+      if Array.exists Option.is_none solved then None
+      else begin
+        let assignment = Array.make n (-1) in
+        let counters = ref cluster_counters in
+        let race = ref { zero_race with r_sub = 1 } in
+        let moves = ref cluster_moves in
+        Array.iteri
+          (fun g s ->
+            let a, cnt, rc, mv = Option.get s in
+            let mem = Array.of_list members.(g) in
+            Array.iteri (fun li tid -> assignment.(tid) <- parts_arr.(g).(a.(li))) mem;
+            counters := add_counters !counters cnt;
+            race := add_race !race rc;
+            moves := !moves + mv)
+          solved;
+        (* Polish across group boundaries; only a feasible, no-worse
+           answer may replace the stitched one. *)
+        let o =
+          Anneal.run ~areas:p.areas ~edges:p.edges ~pulls:p.pulls ~k:p.k
+            ~capacities:p.capacities ~dist:p.dist ~fixed:p.fixed ~seed
+            ~iters:(Stdlib.min 200_000 (100 * n)) ~init:assignment ()
+        in
+        let final =
+          if
+            o.feasible
+            && feasible_assignment p o.assignment
+            && cost_of p o.assignment <= cost_of p assignment +. 1e-9
+          then begin
+            moves := !moves + o.moves;
+            o.assignment
+          end
+          else assignment
+        in
+        Some (final, !counters, !race, !moves)
+      end
+  end
+
+let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent ?pool ?groups p =
   (* An externally supplied incumbent (e.g. the previous attempt's mapping
      re-checked against relaxed capacities) only helps if it is feasible
      for *this* problem; otherwise it is dropped silently. *)
@@ -755,7 +1135,8 @@ let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent 
   in
   let t0 = Sys.time () in
   let timeout_flag = ref false in
-  let finish backend ?(moves = 0) ?(counters = zero_counters) ~proven assignment =
+  let finish backend ?(moves = 0) ?(counters = zero_counters) ?(race = zero_race) ~proven
+      assignment =
     let cost = cost_of p assignment in
     let feasible = feasible_assignment p assignment in
     Some
@@ -773,6 +1154,10 @@ let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent 
             lp_fallbacks = counters.c_fb;
             bb_nodes = counters.c_nodes;
             refinement_moves = moves;
+            subproblems = race.r_sub;
+            races_exact = race.r_exact;
+            races_anneal = race.r_anneal;
+            incumbent_broadcasts = race.r_bcast;
             proven_optimal = proven;
             timed_out = !timeout_flag;
           };
@@ -795,6 +1180,21 @@ let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent 
       | Some (assignment, counters, proven) -> finish `Exact ~counters ~proven assignment
       | None -> None)
     | Auto -> (
+      (* Grouped decomposition fires only for large clusters with a real
+         grouping (several groups, each with several parts) and no
+         wall-clock deadline: every legacy path stays bit-identical. *)
+      let grouped =
+        match groups with
+        | Some g when deadline_s = None && p.k > 8 && Array.length g = p.k ->
+          let gc = 1 + Array.fold_left Stdlib.max 0 g in
+          if gc >= 2 && gc < p.k && Array.for_all (fun x -> x >= 0) g then solve_grouped ~seed ~exact_var_limit ?pool ~groups:g p
+          else None
+        | _ -> None
+      in
+      match grouped with
+      | Some (assignment, counters, race, moves) ->
+        finish `Heuristic ~moves ~counters ~race ~proven:false assignment
+      | None ->
       let h = run_heuristic () in
       let incumbent =
         let from_h = match h with Some (assignment, _, true, _) -> Some assignment | _ -> None in
@@ -871,7 +1271,7 @@ let solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent 
 
 let cache : result option Memo.t = Memo.create ()
 
-let cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent p =
+let cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent ?groups p =
   let buf = Buffer.create 512 in
   let int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
   let flt f =
@@ -909,17 +1309,28 @@ let cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent p =
   done;
   int (List.length p.fixed);
   List.iter (fun (i, part) -> int i; int part) p.fixed;
+  (* The part grouping routes the decomposition, so it is part of the
+     answer's identity; the worker pool is deliberately NOT hashed — it
+     may only change wall-clock, never the result. *)
+  (match groups with
+  | None -> Buffer.add_char buf 'n'
+  | Some g ->
+    Buffer.add_char buf 'g';
+    int (Array.length g);
+    Array.iter int g);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?warm_incumbent p =
+let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?warm_incumbent
+    ?pool ?groups p =
   validate p;
   match deadline_s with
-  | Some _ -> solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent p
+  | Some _ ->
+    solve_uncached ~strategy ~seed ~exact_var_limit ?deadline_s ?warm_incumbent ?pool ?groups p
   | None ->
-    let key = cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent p in
+    let key = cache_key ~strategy ~seed ~exact_var_limit ?warm_incumbent ?groups p in
     let r, _hit =
       Memo.find_or_compute cache ~key (fun () ->
-          solve_uncached ~strategy ~seed ~exact_var_limit ?warm_incumbent p)
+          solve_uncached ~strategy ~seed ~exact_var_limit ?warm_incumbent ?pool ?groups p)
     in
     (* Deep-copy the assignment: callers own their result arrays and a
        mutation must not poison later hits. *)

@@ -40,6 +40,17 @@ type stats = {
           exact solver was consulted *)
   bb_nodes : int;
   refinement_moves : int;  (** 0 for the exact backend *)
+  subproblems : int;
+      (** node/board-level subproblems the grouped decomposition spawned
+          (cluster-level problem included); 0 on the flat paths *)
+  races_exact : int;
+      (** portfolio races won by the exact branch-and-bound arm *)
+  races_anneal : int;
+      (** portfolio races won by the simulated-annealing arm, i.e. the
+          anneal cost matched the exact root LP bound *)
+  incumbent_broadcasts : int;
+      (** incumbent improvements during the parallel B&B replay merges —
+          deterministic, independent of worker count *)
   proven_optimal : bool;
   timed_out : bool;
       (** the exact backend hit its wall-clock [deadline_s]; the answer
@@ -60,6 +71,8 @@ val solve :
   ?exact_var_limit:int ->
   ?deadline_s:float ->
   ?warm_incumbent:int array ->
+  ?pool:Pool.t ->
+  ?groups:int array ->
   problem ->
   result option
 (** [None] when no feasible assignment was found (exact proof of
@@ -73,10 +86,24 @@ val solve :
     assignment (e.g. the previous fallback-chain attempt re-checked
     against relaxed capacities); infeasible seeds are dropped silently.
 
+    [groups] (one group id per part, e.g. the server node hosting each
+    FPGA) enables the hierarchical decomposition on large [Auto]
+    instances ([k > 8], at least two non-trivial groups, no deadline): a
+    cluster-level assignment of items to groups, then one independent
+    subproblem per group — each racing exact parallel branch-and-bound
+    against deterministic simulated annealing — solved concurrently on
+    [pool], stitched and polished.  Without [groups] (or outside those
+    conditions) the flat paths run exactly as before.  [pool] only ever
+    changes wall-clock time, never the answer: both race arms are
+    deterministic and the arbitration is a pure function of their
+    results.
+
     Results are memoized in a content-addressed cache keyed on a
     canonical digest of every argument that influences the answer
     (strategy, seed, limits, incumbent, areas, edges, pulls, [k],
-    capacities, the [k x k] distance table and fixed placements).  The
+    capacities, the [k x k] distance table, fixed placements and
+    [groups]; [pool] is deliberately excluded — it cannot change the
+    answer).  The
     cache is transparent: hits return the stored record — including its
     original [runtime_s] — so compile output is bit-identical whether the
     cache is cold or warm, and it is safe under domain-parallel compile.

@@ -16,6 +16,12 @@ type result =
   | Unbounded
   | Timeout of solution option
 
+type par_stats = {
+  par_subproblems : int;
+  par_pruned : int;
+  par_broadcasts : int;
+}
+
 let is_feasible model values =
   let nv = Model.num_vars model in
   Array.length values = nv
@@ -41,6 +47,12 @@ let is_feasible model values =
 type node = {
   bound : Rat.t;
   depth : int;
+  seq : int;
+      (* insertion order.  The frontier comparison breaks bound ties on
+         [seq], making the pop order a total function of the search inputs
+         rather than of heap internals — required so the carved subtrees
+         and every tie-heavy best-first run are reproducible under any
+         heap implementation. *)
   lbs : Rat.t array;
   ubs : Rat.t option array;
   warm : Simplex.basis option;
@@ -49,12 +61,31 @@ type node = {
          phase instead of solving from scratch *)
 }
 
-let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?deadline_s
-    ?incumbent ?(warm_start = true) ?(float_first = true) model =
-  match Validate.check model with
-  | Validate.Infeasible_constraint _ :: _ -> Infeasible
-  | Validate.Unbounded_direction _ :: _ -> Unbounded
-  | [] ->
+(* Outcome of one best-first run, rich enough for the parallel driver:
+   the plain [result] plus the raw counters and, when the run was asked
+   to carve, the drained frontier in deterministic pop order. *)
+type core = {
+  c_result : result;
+  c_best : solution option; (* finalized best incumbent, if any *)
+  c_limit : bool;
+  c_deadline : bool;
+  c_stopped : bool; (* cooperative [should_stop] fired *)
+  c_carved : node list;
+  c_nodes : int;
+  c_lp_solves : int;
+  c_lp_pivots : int;
+  c_lp_certified : int;
+  c_lp_fallbacks : int;
+}
+
+(* The best-first search engine shared by {!solve} (single run over the
+   whole model) and {!solve_parallel} (one run per carved subtree).
+   [root] seeds the search inside a subtree's bound box; [carve = Some k]
+   stops the loop once the frontier holds [k] nodes and hands them back
+   instead of finishing; [template] is the prepared simplex shared across
+   runs (read-only, so safe to share between domains). *)
+let solve_core ~max_nodes ~max_pivots ~stall_nodes ~deadline_s ~should_stop ~incumbent
+    ~float_first ~template ~root ~carve model =
   let nv = Model.num_vars model in
   let sense, obj_expr = Model.objective model in
   (* Internally minimize: flip the comparison for maximization. *)
@@ -62,7 +93,12 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
     match sense with Model.Minimize -> Rat.compare a b < 0 | Model.Maximize -> Rat.compare a b > 0
   in
   let node_cmp a b =
-    match sense with Model.Minimize -> Rat.compare a.bound b.bound | Model.Maximize -> Rat.compare b.bound a.bound
+    let c =
+      match sense with
+      | Model.Minimize -> Rat.compare a.bound b.bound
+      | Model.Maximize -> Rat.compare b.bound a.bound
+    in
+    if c <> 0 then c else Stdlib.compare a.seq b.seq
   in
   let binaries =
     List.filter (fun j -> Model.var_kind model j = Model.Binary) (List.init nv (fun j -> j))
@@ -83,12 +119,6 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
           }
       | _ -> None)
   in
-  (* Warm start: lower the model to its standard-form template once at the
-     root; every node then only re-applies its branching bounds.  The cold
-     path ([warm_start = false]) re-runs the full model -> tableau lowering
-     per node via the reference solver — it exists as the baseline of the
-     bench/micro warm-vs-cold measurement. *)
-  let template = if warm_start then Some (Simplex.prepare model) else None in
   (* Wall-clock budget.  Deliberately opt-in: a deadline makes the
      incumbent depend on host speed, breaking the determinism contract,
      so the compile pipeline prefers node budgets and only the CLI /
@@ -106,13 +136,33 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
         end
         else false
   in
+  (* Cooperative cancellation, polled once per node like the deadline.
+     Purely a wall-clock lever: every caller either discards a stopped
+     run's answer outright (portfolio loser) or deterministically
+     recomputes it (parallel merge). *)
+  let stop_hit = ref false in
+  let stop_requested =
+    match should_stop with
+    | None -> fun () -> false
+    | Some f ->
+      fun () ->
+        if f () then begin
+          stop_hit := true;
+          true
+        end
+        else false
+  in
   let nodes = ref 0 and pivots = ref 0 and lp_solves = ref 0 in
   let certified = ref 0 and fallbacks = ref 0 in
   let last_improvement = ref 0 in
   let pivots_left () = Stdlib.max 1 (max_pivots - !pivots) in
-  let frontier = Heap.create ~cmp:node_cmp in
-  let root_lbs = Array.init nv (Model.var_lb model) in
-  let root_ubs = Array.init nv (Model.var_ub model) in
+  let frontier = Fourheap.create ~cmp:node_cmp in
+  let next_seq = ref 0 in
+  let push_node ~bound ~depth ~lbs ~ubs ~warm =
+    let seq = !next_seq in
+    incr next_seq;
+    Fourheap.push frontier { bound; depth; seq; lbs; ubs; warm }
+  in
   let limit_hit = ref false in
   let record_candidate sol =
     match !best with
@@ -187,21 +237,28 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
             let child fix =
               let lbs = Array.copy node.lbs and ubs = Array.copy node.ubs in
               if fix = 0 then ubs.(v) <- Some Rat.zero else lbs.(v) <- Rat.one;
-              { bound = lp.objective; depth = node.depth + 1; lbs; ubs; warm = basis }
+              (node.depth + 1, lp.objective, lbs, ubs, basis)
             in
             (* Explore the branch suggested by the LP value first. *)
             let primary = if Rat.compare (Rat.fractional lp.values.(v)) (Rat.of_ints 1 2) >= 0 then 1 else 0 in
-            Heap.push frontier (child primary);
-            Heap.push frontier (child (1 - primary))
+            let push (depth, bound, lbs, ubs, warm) = push_node ~bound ~depth ~lbs ~ubs ~warm in
+            push (child primary);
+            push (child (1 - primary))
           end
         end
     end
   in
+  let carved = ref [] in
   match
-    (let root = { bound = Rat.zero; depth = 0; lbs = root_lbs; ubs = root_ubs; warm = None } in
-     (* Seed the frontier with the root; its [bound] is a placeholder that
-        never prunes because the incumbent check re-solves the LP. *)
-     (match solve_lp root.lbs root.ubs with
+    (let root_lbs, root_ubs, root_warm, root_depth =
+       match root with
+       | Some n -> (n.lbs, n.ubs, n.warm, n.depth)
+       | None -> (Array.init nv (Model.var_lb model), Array.init nv (Model.var_ub model), None, 0)
+     in
+     (* Seed the frontier from the root LP; the root is not counted as a
+        node and is never pruned by the seed incumbent (its children are,
+        on pop). *)
+     (match solve_lp ?warm:root_warm root_lbs root_ubs with
      | None -> if not !limit_hit then raise Not_found (* root infeasible *)
      | Some (lp, basis) ->
        let v = pick_branch_var lp.values in
@@ -218,25 +275,63 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
            }
        else begin
          let child fix =
-           let lbs = Array.copy root.lbs and ubs = Array.copy root.ubs in
+           let lbs = Array.copy root_lbs and ubs = Array.copy root_ubs in
            if fix = 0 then ubs.(v) <- Some Rat.zero else lbs.(v) <- Rat.one;
-           { bound = lp.objective; depth = 1; lbs; ubs; warm = basis }
+           push_node ~bound:lp.objective ~depth:(root_depth + 1) ~lbs ~ubs ~warm:basis
          in
-         Heap.push frontier (child 0);
-         Heap.push frontier (child 1)
+         child 0;
+         child 1
        end);
      let stalled () = !best <> None && !nodes - !last_improvement > stall_nodes in
-     while (not (Heap.is_empty frontier)) && (not !limit_hit) && !nodes < max_nodes
-           && (not (stalled ())) && not (past_deadline ()) do
+     let carve_cap = match carve with Some c -> Stdlib.max 2 c | None -> max_int in
+     while (not (Fourheap.is_empty frontier)) && (not !limit_hit) && !nodes < max_nodes
+           && Fourheap.length frontier < carve_cap
+           && (not (stalled ())) && (not (past_deadline ())) && not (stop_requested ()) do
        incr nodes;
-       expand (Heap.pop_exn frontier)
+       expand (Fourheap.pop_exn frontier)
      done;
-     if (not (Heap.is_empty frontier)) && (!nodes >= max_nodes || stalled ()) then
-       limit_hit := true)
+     if (not (Fourheap.is_empty frontier)) && (!nodes >= max_nodes || stalled ()) then
+       limit_hit := true;
+     if carve <> None && (not !limit_hit) && (not !deadline_hit) && (not !stop_hit)
+        && Fourheap.length frontier >= Stdlib.min carve_cap 2 && not (Fourheap.is_empty frontier)
+     then begin
+       (* Drain in pop order (total thanks to [seq]), so the subtree list
+          is deterministic. *)
+       let rec drain acc =
+         match Fourheap.pop frontier with None -> List.rev acc | Some n -> drain (n :: acc)
+       in
+       carved := drain []
+     end)
   with
-  | exception Exit -> Unbounded
-  | exception Not_found -> Infeasible
-  | () -> (
+  | exception Exit ->
+    {
+      c_result = Unbounded;
+      c_best = None;
+      c_limit = false;
+      c_deadline = false;
+      c_stopped = false;
+      c_carved = [];
+      c_nodes = !nodes;
+      c_lp_solves = !lp_solves;
+      c_lp_pivots = !pivots;
+      c_lp_certified = !certified;
+      c_lp_fallbacks = !fallbacks;
+    }
+  | exception Not_found ->
+    {
+      c_result = Infeasible;
+      c_best = None;
+      c_limit = false;
+      c_deadline = false;
+      c_stopped = false;
+      c_carved = [];
+      c_nodes = !nodes;
+      c_lp_solves = !lp_solves;
+      c_lp_pivots = !pivots;
+      c_lp_certified = !certified;
+      c_lp_fallbacks = !fallbacks;
+    }
+  | () ->
     let finalize sol =
       {
         sol with
@@ -247,16 +342,195 @@ let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_in
         lp_fallbacks = !fallbacks;
       }
     in
-    if !deadline_hit then Timeout (Option.map finalize !best)
-    else
-    match !best with
-    | Some sol ->
-      let sol = finalize sol in
-      if !limit_hit then Feasible sol else Optimal sol
-    | None ->
-      (* Hitting a search limit with no incumbent yields no feasibility
-         certificate either way; the result type has no "unknown" arm and
-         every caller (e.g. Partition) treats [Infeasible] as "no ILP
-         answer, fall back to the heuristic", which is the right reaction
-         to both outcomes — so the limit-hit case is also [Infeasible]. *)
-      Infeasible)
+    let fbest = Option.map finalize !best in
+    let result =
+      if !deadline_hit || !stop_hit then Timeout fbest
+      else
+        match fbest with
+        | Some sol -> if !limit_hit then Feasible sol else Optimal sol
+        | None ->
+          (* Hitting a search limit with no incumbent yields no feasibility
+             certificate either way; the result type has no "unknown" arm and
+             every caller (e.g. Partition) treats [Infeasible] as "no ILP
+             answer, fall back to the heuristic", which is the right reaction
+             to both outcomes — so the limit-hit case is also [Infeasible]. *)
+          Infeasible
+    in
+    {
+      c_result = result;
+      c_best = fbest;
+      c_limit = !limit_hit;
+      c_deadline = !deadline_hit;
+      c_stopped = !stop_hit;
+      c_carved = !carved;
+      c_nodes = !nodes;
+      c_lp_solves = !lp_solves;
+      c_lp_pivots = !pivots;
+      c_lp_certified = !certified;
+      c_lp_fallbacks = !fallbacks;
+    }
+
+let solve ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int) ?deadline_s
+    ?incumbent ?(warm_start = true) ?(float_first = true) ?should_stop model =
+  match Validate.check model with
+  | Validate.Infeasible_constraint _ :: _ -> Infeasible
+  | Validate.Unbounded_direction _ :: _ -> Unbounded
+  | [] ->
+    (* Warm start: lower the model to its standard-form template once at the
+       root; every node then only re-applies its branching bounds.  The cold
+       path ([warm_start = false]) re-runs the full model -> tableau lowering
+       per node via the reference solver — it exists as the baseline of the
+       bench/micro warm-vs-cold measurement. *)
+    let template = if warm_start then Some (Simplex.prepare model) else None in
+    (solve_core ~max_nodes ~max_pivots ~stall_nodes ~deadline_s ~should_stop ~incumbent
+       ~float_first ~template ~root:None ~carve:None model)
+      .c_result
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search: speculative execution with sequential replay        *)
+(* semantics.                                                           *)
+(*                                                                      *)
+(* Phase A carves the root's best-first frontier into a FIXED list of    *)
+(* subtrees (a pure function of the model — never of the worker count).  *)
+(* Phase B solves every subtree with FIXED inputs: the phase-A incumbent *)
+(* and the full node budget, so each subtree's answer is deterministic.  *)
+(* The shared atomic incumbent is used ONLY to abort a subtree whose     *)
+(* root bound is already dominated — any solution inside such a subtree  *)
+(* loses (or ties, which the merge also discards) against the published  *)
+(* one, so the abort can never change which answer wins.  Phase C merges *)
+(* sequentially in subtree index order: a subtree is pruned iff the      *)
+(* merge-best so far dominates its bound (exactly the sequential          *)
+(* incumbent-pruning rule); an aborted subtree the merge still needs is  *)
+(* recomputed on the spot with the same fixed inputs.  Published results *)
+(* and counters therefore depend only on the phase-A carve and the pure  *)
+(* per-subtree solves — jobs=N is byte-identical to jobs=1.              *)
+(* ------------------------------------------------------------------ *)
+
+let no_par = { par_subproblems = 0; par_pruned = 0; par_broadcasts = 0 }
+
+let solve_parallel ?(max_nodes = 20_000) ?(max_pivots = 1_500_000) ?(stall_nodes = max_int)
+    ?deadline_s ?incumbent ?(warm_start = true) ?(float_first = true) ?(subtrees = 8) ?pool
+    ?should_stop model =
+  match Validate.check model with
+  | Validate.Infeasible_constraint _ :: _ -> (Infeasible, no_par)
+  | Validate.Unbounded_direction _ :: _ -> (Unbounded, no_par)
+  | [] ->
+    let sense, _ = Model.objective model in
+    let better a b =
+      match sense with
+      | Model.Minimize -> Rat.compare a b < 0
+      | Model.Maximize -> Rat.compare a b > 0
+    in
+    let template = if warm_start then Some (Simplex.prepare model) else None in
+    let a =
+      solve_core ~max_nodes ~max_pivots ~stall_nodes ~deadline_s ~should_stop ~incumbent
+        ~float_first ~template ~root:None ~carve:(Some subtrees) model
+    in
+    (match a.c_carved with
+    | [] -> (a.c_result, no_par)
+    | boxes_list ->
+      let boxes = Array.of_list boxes_list in
+      (* Fixed seed for every subtree: the phase-A incumbent (already the
+         better of the caller's seed and any integral node phase A hit). *)
+      let seed_values = Option.map (fun s -> s.values) a.c_best in
+      let shared = Atomic.make (Option.map (fun s -> s.objective) a.c_best) in
+      let publish obj =
+        let rec go () =
+          let cur = Atomic.get shared in
+          let improved = match cur with None -> true | Some b -> better obj b in
+          if improved && not (Atomic.compare_and_set shared cur (Some obj)) then go ()
+        in
+        go ()
+      in
+      let external_stop () = match should_stop with Some f -> f () | None -> false in
+      let pure_solve ~stop box =
+        solve_core ~max_nodes ~max_pivots ~stall_nodes ~deadline_s ~should_stop:stop
+          ~incumbent:seed_values ~float_first ~template ~root:(Some box) ~carve:None model
+      in
+      let run_box box =
+        let stop () =
+          external_stop ()
+          ||
+          match Atomic.get shared with
+          | Some b -> not (better box.bound b) (* dominated: the box cannot win *)
+          | None -> false
+        in
+        let c = pure_solve ~stop:(Some stop) box in
+        (match c.c_best with Some s -> publish s.objective | None -> ());
+        c
+      in
+      let results = Pool.parallel_map ?pool run_box boxes in
+      (* Phase C: deterministic sequential replay merge. *)
+      let merged = ref a.c_best in
+      let broadcasts = ref 0 and pruned = ref 0 in
+      let tot_nodes = ref a.c_nodes
+      and tot_lp = ref a.c_lp_solves
+      and tot_piv = ref a.c_lp_pivots
+      and tot_cert = ref a.c_lp_certified
+      and tot_fall = ref a.c_lp_fallbacks in
+      let any_limit = ref a.c_limit
+      and any_deadline = ref a.c_deadline
+      and any_stop = ref false
+      and any_unbounded = ref false in
+      Array.iteri
+        (fun i box ->
+          let prune =
+            match !merged with
+            | Some s -> not (better box.bound s.objective)
+            | None -> false
+          in
+          if prune then incr pruned
+          else begin
+            let c =
+              let c0 = results.(i) in
+              if c0.c_stopped then
+                (* Speculation (or a late external cancel) stopped a
+                   subtree the deterministic merge still needs: re-solve
+                   it with the same fixed inputs, minus the shared flag. *)
+                pure_solve ~stop:(match should_stop with None -> None | Some _ -> Some external_stop) box
+              else c0
+            in
+            (match c.c_result with Unbounded -> any_unbounded := true | _ -> ());
+            if c.c_limit then any_limit := true;
+            if c.c_deadline then any_deadline := true;
+            if c.c_stopped then any_stop := true;
+            tot_nodes := !tot_nodes + c.c_nodes;
+            tot_lp := !tot_lp + c.c_lp_solves;
+            tot_piv := !tot_piv + c.c_lp_pivots;
+            tot_cert := !tot_cert + c.c_lp_certified;
+            tot_fall := !tot_fall + c.c_lp_fallbacks;
+            match c.c_best with
+            | Some s
+              when (match !merged with
+                   | None -> true
+                   | Some m -> better s.objective m.objective) ->
+              merged := Some s;
+              incr broadcasts
+            | _ -> ()
+          end)
+        boxes;
+      let stats =
+        {
+          par_subproblems = Array.length boxes;
+          par_pruned = !pruned;
+          par_broadcasts = !broadcasts;
+        }
+      in
+      let totalize s =
+        {
+          s with
+          nodes = !tot_nodes;
+          lp_solves = !tot_lp;
+          lp_pivots = !tot_piv;
+          lp_certified = !tot_cert;
+          lp_fallbacks = !tot_fall;
+        }
+      in
+      if !any_unbounded then (Unbounded, stats)
+      else
+        let best = Option.map totalize !merged in
+        if !any_deadline || !any_stop then (Timeout best, stats)
+        else (
+          match best with
+          | Some sol -> if !any_limit then (Feasible sol, stats) else (Optimal sol, stats)
+          | None -> (Infeasible, stats)))

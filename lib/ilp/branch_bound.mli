@@ -33,6 +33,21 @@ type result =
       (** the wall-clock [deadline_s] budget expired mid-search; carries
           the best incumbent found so far, if any *)
 
+type par_stats = {
+  par_subproblems : int;
+      (** subtrees carved from the root frontier by {!solve_parallel}
+          (0 when the carve phase solved the model outright) *)
+  par_pruned : int;
+      (** subtrees discarded by the deterministic merge bound without
+          their solution being consulted *)
+  par_broadcasts : int;
+      (** incumbent improvements during the sequential replay merge —
+          the deterministic analogue of "shared bound broadcasts" *)
+}
+(** Counters of one {!solve_parallel} run.  All three are pure functions
+    of the model and the budgets — independent of worker count — so they
+    can feed the compiler's bit-identical stats contract. *)
+
 val solve :
   ?max_nodes:int ->
   ?max_pivots:int ->
@@ -41,6 +56,7 @@ val solve :
   ?incumbent:Rat.t array ->
   ?warm_start:bool ->
   ?float_first:bool ->
+  ?should_stop:(unit -> bool) ->
   Model.t ->
   result
 (** [deadline_s] is a wall-clock budget: when it expires the search stops
@@ -75,9 +91,52 @@ val solve :
     child's float solve warm-restarts with a dual simplex phase instead
     of a from-scratch two-phase run.
 
+    [should_stop] is polled once per node (like the deadline).  When it
+    fires the search stops and returns [Timeout] with the best incumbent
+    so far — the cooperative-cancellation hook of the portfolio racer.
+    Like [deadline_s] it is a wall-clock lever only: callers must either
+    discard a stopped run's answer or deterministically recompute it.
+
     Models are screened through {!Validate.check} first: trivially
     infeasible or unbounded instances return [Infeasible] / [Unbounded]
     immediately, without spending the node or pivot budget. *)
+
+val solve_parallel :
+  ?max_nodes:int ->
+  ?max_pivots:int ->
+  ?stall_nodes:int ->
+  ?deadline_s:float ->
+  ?incumbent:Rat.t array ->
+  ?warm_start:bool ->
+  ?float_first:bool ->
+  ?subtrees:int ->
+  ?pool:Pool.t ->
+  ?should_stop:(unit -> bool) ->
+  Model.t ->
+  result * par_stats
+(** Parallel best-first search with sequential replay semantics.
+
+    Phase A carves the root's best-first frontier into a fixed list of
+    [subtrees] (default 8) bound boxes — a pure function of the model,
+    never of the worker count (the frontier order is total: LP bound,
+    then insertion sequence).  Phase B solves every box concurrently on
+    [pool] with {e fixed} inputs (the phase-A incumbent and the full node
+    budget), so each box's answer is deterministic; a shared atomic
+    incumbent is consulted only to {e abort} boxes whose root bound is
+    already dominated — any solution inside such a box loses (or ties,
+    which the merge also discards), so aborting cannot change the
+    outcome.  Phase C merges box results sequentially in index order,
+    pruning exactly as the sequential incumbent rule would and
+    recomputing any speculatively aborted box it still needs.
+
+    Consequently the returned result, solution values and every counter
+    (including {!par_stats}) are byte-identical for [jobs = 1] and
+    [jobs = N].  Each box receives the full [max_nodes]/[max_pivots]
+    budget, so the aggregate node budget scales with the carve width.
+
+    [deadline_s] and [should_stop] retain their wall-clock,
+    non-deterministic semantics from {!solve}: when either fires the
+    merge surfaces [Timeout] with the best merged incumbent. *)
 
 val is_feasible : Model.t -> Rat.t array -> bool
 (** Exact feasibility check of an assignment against all constraints,

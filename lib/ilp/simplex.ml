@@ -372,7 +372,8 @@ type btab = {
   bobj : Rat.t array; (* reduced costs, length ncols *)
   bubs : Rat.t option array; (* per-column upper bound (structural only) *)
   at_upper : bool array; (* nonbasic column currently at its upper bound *)
-  bncols : int;
+  mutable bncols : int; (* active column window; shrinks to [part_start]
+                           once the artificial block can no longer enter *)
   mutable iters : int; (* pivots + bound flips *)
   max_iters : int;
 }
@@ -528,13 +529,12 @@ let boptimize tab ~allowed =
 
 let solve_prepared_exn ?bounds ~max_pivots p =
   let nv = p.nv in
-  let lb = Array.copy p.base_lb in
-  let ub = Array.copy p.base_ub in
-  (match bounds with
-  | Some (l, u) ->
-    Array.blit l 0 lb 0 nv;
-    Array.blit u 0 ub 0 nv
-  | None -> ());
+  (* The node bounds are only read below, never written, so alias them
+     directly instead of copy-then-overwrite: two array allocations per
+     LP solve saved on the branch-and-bound hot path. *)
+  let lb, ub =
+    match bounds with Some (l, u) -> (l, u) | None -> (p.base_lb, p.base_ub)
+  in
   let bound_conflict = ref false in
   let shifted_ub =
     Array.init nv (fun j ->
@@ -692,20 +692,29 @@ let solve_prepared_exn ?bounds ~max_pivots p =
           tab.bbasis <- basis'
         end
       end;
+      (* Every artificial is now out of the basis (or its row dropped), and
+         phase 2 never lets one re-enter, so the artificial block can no
+         longer influence anything: shrink the active column window and
+         spare every pivot/elimination loop the all-zero tail.  On the
+         all-[Le] models branch-and-bound produces this skips the block
+         from the very first pivot. *)
+      tab.bncols <- p.part_start;
       (* Phase 2: install the real objective (internally minimized). *)
       let sense, obj_expr = Model.objective p.model in
-      let c = Array.make ncols Rat.zero in
+      let pncols = tab.bncols in
+      let c = Array.make pncols Rat.zero in
       List.iter
         (fun (v, k) -> c.(v) <- (match sense with Model.Minimize -> k | Model.Maximize -> Rat.neg k))
         (Linear.terms obj_expr);
-      Array.fill tab.bobj 0 ncols Rat.zero;
-      Array.blit c 0 tab.bobj 0 ncols;
+      (* Stale phase-1 entries past [pncols] are unreachable once the
+         window is shrunk, so only the active prefix needs installing. *)
+      Array.blit c 0 tab.bobj 0 pncols;
       Array.iteri
         (fun i b ->
           let cb = if b < nv then c.(b) else Rat.zero in
           if not (Rat.is_zero cb) then begin
             let row = tab.brows.(i) in
-            for j = 0 to ncols - 1 do
+            for j = 0 to pncols - 1 do
               tab.bobj.(j) <- Rat.sub tab.bobj.(j) (Rat.mul cb row.(j))
             done
           end)
@@ -767,7 +776,8 @@ type ftab = {
   fobj : float array; (* reduced costs *)
   fubs : float array; (* per-column upper bound; infinity when none *)
   fupper : bool array;
-  fncols : int;
+  mutable fncols : int; (* active column window; shrinks to [part_start]
+                           once no artificial can re-enter the basis *)
   mutable fiters : int;
   fmax : int;
 }
@@ -1027,13 +1037,10 @@ let fdual tab ~allowed =
    float tableau and the certification pass. *)
 let node_bounds p bounds =
   let nv = p.nv in
-  let lb = Array.copy p.base_lb in
-  let ub = Array.copy p.base_ub in
-  (match bounds with
-  | Some (l, u) ->
-    Array.blit l 0 lb 0 nv;
-    Array.blit u 0 ub 0 nv
-  | None -> ());
+  (* Read-only below: alias instead of copy-then-overwrite. *)
+  let lb, ub =
+    match bounds with Some (l, u) -> (l, u) | None -> (p.base_lb, p.base_ub)
+  in
   let conflict = ref false in
   let shifted_ub =
     Array.init nv (fun j ->
@@ -1120,7 +1127,6 @@ let finstall_objective p tab =
     (fun (v, k) ->
       c.(v) <- (match sense with Model.Minimize -> Rat.to_float k | Model.Maximize -> -.(Rat.to_float k)))
     (Linear.terms obj_expr);
-  Array.fill tab.fobj 0 tab.fncols 0.;
   Array.blit c 0 tab.fobj 0 tab.fncols;
   Array.iteri
     (fun i b ->
@@ -1188,6 +1194,9 @@ let fsolve_cold p ~lb ~shifted_ub ~max_iters =
             tab.fxb.(i) <- 0.
           end)
         tab.fbasis;
+    (* No artificial is basic any more and phase 2 never re-admits one:
+       drop the artificial block from the active window. *)
+    tab.fncols <- p.part_start;
     finstall_objective p tab;
     match foptimize tab ~allowed:(fun j -> j < p.part_start && not (fixed j)) with
     | `Unbounded -> `Unbounded
@@ -1203,8 +1212,11 @@ let fsolve_warm p warm ~lb ~shifted_ub ~max_iters =
   if Array.length warm.bcols <> m0 then raise Float_give_up;
   Array.iter (fun c -> if c < 0 || c >= p.part_start then raise Float_give_up) warm.bcols;
   let tab, _ = build_ftab p ~lb ~shifted_ub ~max_iters in
+  (* The warm basis uses only structural/slack columns (checked above),
+     so the artificial block is dead weight from the start. *)
+  tab.fncols <- p.part_start;
   let fixed = f_fixed shifted_ub p.nv in
-  let is_basic = Array.make tab.fncols false in
+  let is_basic = Array.make p.pncols false in
   Array.iter
     (fun c ->
       if is_basic.(c) then raise Float_give_up;

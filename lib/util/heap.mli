@@ -1,6 +1,8 @@
-(** Imperative binary min-heap, used as the event queue of the
-    discrete-event simulator and as the frontier of best-first
-    branch-and-bound search. *)
+(** Imperative binary min-heap.  Retired from the production hot paths —
+    the simulator's event queue and the branch-and-bound frontier both
+    moved to the flatter, cache-friendlier {!Fourheap} — and kept as the
+    independent oracle the differential property tests drain both
+    implementations against. *)
 
 type 'a t
 

@@ -130,7 +130,14 @@ let test_cache_cold_warm_identity () =
        cold.Compiler.intra warm.Compiler.intra);
   check bool "freq estimates identical" true (cold.Compiler.freq = warm.Compiler.freq);
   check bool "solver counters identical" true
-    (Compiler.solver_stats cold = Compiler.solver_stats warm)
+    (Compiler.solver_stats cold = Compiler.solver_stats warm);
+  (* A single-node cluster takes the flat paths, so the hierarchical /
+     portfolio counters must replay as exact zeroes — any nonzero here
+     means a flat solve leaked into the decomposition machinery. *)
+  let s = Compiler.solver_stats cold in
+  check Alcotest.int "flat path: no hierarchical subproblems" 0 s.Compiler.subproblems;
+  check Alcotest.int "flat path: no portfolio races" 0
+    (s.Compiler.races_exact + s.Compiler.races_anneal)
 
 let test_flows_on_small_design () =
   let g = small_chain ~tasks:4 ~lut:20_000 in

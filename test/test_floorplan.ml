@@ -518,6 +518,51 @@ let test_partition_distance_metric_matters () =
     check bool "star solution colocates or uses hub" true (s.Partition.cost <= 10.0)
   | _ -> Alcotest.fail "expected solutions")
 
+let test_partition_grouped_decomposition () =
+  (* 12 parts in 3 server-node groups: [Auto] routes through the
+     hierarchical decomposition — cluster-level assignment, one raced
+     subproblem per group, stitch — and the answer is a pure function of
+     the inputs: a worker pool changes wall clock only, and the cache
+     replays the grouped stats verbatim.  The same problem without
+     [groups] takes the flat path (distinct cache entry, no
+     subproblems). *)
+  Partition.reset_cache ();
+  let groups = Array.init 12 (fun part -> part / 4) in
+  let gdist a b = if a = b then 0 else if groups.(a) = groups.(b) then 1 else 2 in
+  let edges = List.init 35 (fun i -> (i, i + 1, float_of_int (1 + (i mod 5)))) in
+  let p = simple_problem ~k:12 ~cap:200 ~edges (List.init 36 (fun _ -> 10)) in
+  let p = { p with Partition.dist = gdist } in
+  let solve ?pool () = Partition.solve ?pool ~groups p in
+  match solve () with
+  | None -> Alcotest.fail "expected a grouped solution"
+  | Some r ->
+    check bool "feasible" true r.Partition.feasible;
+    check bool "decomposed into subproblems" true (r.Partition.stats.Partition.subproblems > 0);
+    (match solve () with
+    | Some r2 ->
+      check bool "cache replays grouped stats verbatim" true
+        (r.Partition.stats = r2.Partition.stats)
+    | None -> Alcotest.fail "expected a warm solution");
+    Partition.reset_cache ();
+    let pool = Pool.create ~domains:2 () in
+    let rp = Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () -> solve ~pool () in
+    (match rp with
+    | Some rp ->
+      check bool "pool: identical assignment" true
+        (r.Partition.assignment = rp.Partition.assignment);
+      check bool "pool: identical stats" true
+        ({ r.Partition.stats with Partition.runtime_s = 0.0 }
+        = { rp.Partition.stats with Partition.runtime_s = 0.0 })
+    | None -> Alcotest.fail "expected a pooled solution");
+    Partition.reset_cache ();
+    (match Partition.solve p with
+    | Some flat ->
+      check int "flat path spawns no subproblems" 0 flat.Partition.stats.Partition.subproblems;
+      check int "flat path runs no races" 0
+        (flat.Partition.stats.Partition.races_exact
+        + flat.Partition.stats.Partition.races_anneal)
+    | None -> Alcotest.fail "expected a flat solution")
+
 let test_intra_runtime_positive () =
   let g = big_task_graph ~tasks:10 ~lut:30_000 in
   let board = Board.u55c () in
@@ -559,6 +604,7 @@ let () =
           Alcotest.test_case "solution cache" `Quick test_partition_cache;
           Alcotest.test_case "min-cut lower bound (oracle)" `Quick test_partition_cost_bounded_by_global_mincut;
           Alcotest.test_case "distance metrics" `Quick test_partition_distance_metric_matters;
+          Alcotest.test_case "grouped decomposition" `Quick test_partition_grouped_decomposition;
         ] );
       ( "inter_fpga",
         [

@@ -477,6 +477,83 @@ let prop_bb_float_first_matches_exact =
       | Branch_bound.Feasible a, Branch_bound.Feasible b -> Rat.equal a.objective b.objective
       | _ -> false)
 
+(* Budget-limited searches must never hand back an unchecked incumbent:
+   whatever constructor comes out, any solution it carries is a feasible
+   integral assignment whose stored objective matches an exact
+   re-evaluation of the objective at those values. *)
+let prop_bb_limited_incumbents_certified =
+  QCheck.Test.make ~name:"budget-limited B&B incumbents stay feasible and certified" ~count:100
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 3 8 in
+      let ncon = Prng.int_in rng 1 4 in
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_var m Model.Binary) in
+      for _ = 1 to ncon do
+        let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars in
+        Model.add_constraint m (Linear.of_terms coeffs) Model.Le (r (Prng.int_in rng 0 8))
+      done;
+      let obj = Linear.of_terms (List.map (fun v -> (v, r (Prng.int_in rng (-9) 9))) vars) in
+      Model.set_objective m Model.Maximize obj;
+      let max_nodes = Prng.int_in rng 0 6 in
+      let certified (s : Branch_bound.solution) =
+        Branch_bound.is_feasible m s.values
+        && Rat.equal s.objective (Linear.eval obj (fun v -> s.values.(v)))
+      in
+      match Branch_bound.solve ~max_nodes m with
+      | Branch_bound.Optimal s | Branch_bound.Feasible s -> certified s
+      | Branch_bound.Timeout (Some s) -> certified s
+      | Branch_bound.Timeout None | Branch_bound.Infeasible | Branch_bound.Unbounded -> true)
+
+(* The parallel search is a wall-clock lever only: under a fixed node
+   budget — i.e. when the search may stop mid-tree with a best-so-far —
+   running on a worker pool must reproduce the poolless run byte for
+   byte, par_stats included, and every returned incumbent is feasible. *)
+let prop_bb_parallel_deterministic_best_so_far =
+  let same_solution (a : Branch_bound.solution) (b : Branch_bound.solution) =
+    Rat.equal a.objective b.objective
+    && Array.length a.values = Array.length b.values
+    && Array.for_all2 Rat.equal a.values b.values
+  in
+  let same_result a b =
+    match (a, b) with
+    | Branch_bound.Optimal x, Branch_bound.Optimal y
+    | Branch_bound.Feasible x, Branch_bound.Feasible y
+    | Branch_bound.Timeout (Some x), Branch_bound.Timeout (Some y) -> same_solution x y
+    | Branch_bound.Infeasible, Branch_bound.Infeasible
+    | Branch_bound.Unbounded, Branch_bound.Unbounded
+    | Branch_bound.Timeout None, Branch_bound.Timeout None -> true
+    | _ -> false
+  in
+  QCheck.Test.make ~name:"parallel B&B: deterministic best-so-far under a node budget" ~count:25
+    (QCheck.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = Prng.int_in rng 4 9 in
+      let ncon = Prng.int_in rng 1 4 in
+      let m = Model.create () in
+      let vars = List.init n (fun _ -> Model.add_var m Model.Binary) in
+      for _ = 1 to ncon do
+        let coeffs = List.map (fun v -> (v, r (Prng.int_in rng (-5) 5))) vars in
+        Model.add_constraint m (Linear.of_terms coeffs) Model.Le (r (Prng.int_in rng 0 8))
+      done;
+      Model.set_objective m Model.Maximize
+        (Linear.of_terms (List.map (fun v -> (v, r (Prng.int_in rng (-9) 9))) vars));
+      let max_nodes = Prng.int_in rng 2 14 in
+      let r_seq, s_seq = Branch_bound.solve_parallel ~max_nodes m in
+      let pool = Pool.create ~domains:2 () in
+      let r_par, s_par =
+        Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+        Branch_bound.solve_parallel ~max_nodes ~pool m
+      in
+      let feasible_incumbent = function
+        | Branch_bound.Optimal s | Branch_bound.Feasible s | Branch_bound.Timeout (Some s) ->
+          Branch_bound.is_feasible m s.values
+        | Branch_bound.Infeasible | Branch_bound.Unbounded | Branch_bound.Timeout None -> true
+      in
+      same_result r_seq r_par && s_seq = s_par && feasible_incumbent r_seq)
+
 let test_simplex_pivot_limit () =
   (* A model that needs pivots must raise when given none. *)
   let m = Model.create () in
@@ -565,6 +642,8 @@ let qsuite =
       prop_bb_matches_brute_force;
       prop_bb_warm_matches_cold;
       prop_bb_float_first_matches_exact;
+      prop_bb_limited_incumbents_certified;
+      prop_bb_parallel_deterministic_best_so_far;
     ]
 
 let () =
