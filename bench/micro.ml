@@ -268,6 +268,28 @@ let sim_sweep_par =
          (Staged.stage (fun () ->
               ignore (Tapa_cs_sim.Sim_sweep.run ~jobs:4 ~cache:false sweep_jobs_arr))))
 
+(* Farm re-placement latency: a placed design loses a board it uses and
+   warm re-solves onto the survivors — the per-displaced-tenant price the
+   farm controller pays on every fault event.  The solution cache is
+   reset inside the loop so the pinned number is the true cold re-solve,
+   not a content-address hit (the farm's unaffected tenants take the
+   cache path instead and never reach this solve). *)
+let farm_replace =
+  let synthesis = Synthesis.run compile_graph in
+  let cluster = Cluster.make ~board:Board.u55c 6 in
+  let prev =
+    match Inter_fpga.run ~cluster ~synthesis compile_graph with
+    | Ok r -> r
+    | Error e -> failwith (Inter_fpga.error_message e)
+  in
+  let victim = List.hd (Inter_fpga.devices_used prev) in
+  Test.make ~name:"farm re-placement, 1 dead board"
+    (Staged.stage (fun () ->
+         Partition.reset_cache ();
+         ignore
+           (Inter_fpga.replace ~failed_devices:[ victim ] ~prev ~cluster ~synthesis
+              compile_graph)))
+
 let tests =
   Test.make_grouped ~name:"kernels"
     ([
@@ -280,7 +302,8 @@ let tests =
         small_sim;
         small_sim_reference; small_sim_cached; static_bounds_bench; sim_sweep_seq;
       ]
-    @ Option.to_list sim_sweep_par)
+    @ Option.to_list sim_sweep_par
+    @ [ farm_replace ])
 
 (* Machine-readable perf trajectory: name -> ns/run, written next to the
    repo's other BENCH_*.json artifacts so successive PRs can be compared

@@ -108,14 +108,43 @@ let loss_rate_arg =
   in
   Arg.(value & opt float 0.0 & info [ "loss-rate" ] ~doc)
 
+let fail_link_arg =
+  let doc =
+    "Inject a downed inter-FPGA link as A:B (two device indices; repeatable).  The edge is \
+     removed from the topology before floorplanning — the hop metric reroutes around it.  \
+     Malformed specs are reported as a TCS308 diagnostic."
+  in
+  Arg.(value & opt_all string [] & info [ "fail-link" ] ~doc ~docv:"A:B")
+
 let seed_arg =
   let doc = "Root seed for the floorplanner and every injected fault (bit-reproducible)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
-let make_fault_plan ~seed ~loss_rate ~fail_fpgas =
-  match Tapa_cs_network.Fault.make ~seed ~loss_rate ~failed_devices:fail_fpgas () with
-  | plan -> if Tapa_cs_network.Fault.is_trivial plan then Ok None else Ok (Some plan)
-  | exception Invalid_argument m -> Error m
+(* [--fail-link] specs, parsed through the Fault-module parser; the first
+   malformed one renders as its TCS308 registry diagnostic instead of a
+   raw exception. *)
+let parse_fail_links specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match Tapa_cs_network.Fault.parse_link_spec s with
+      | Ok l -> go (l :: acc) rest
+      | Error reason ->
+        Error
+          (Tapa_cs_analysis.Diagnostic.render
+             [ Tapa_cs_analysis.Lint.fault_spec_error ~flag:"--fail-link" ~spec:s ~reason ]))
+  in
+  go [] specs
+
+let make_fault_plan ~seed ~loss_rate ~fail_fpgas ~fail_links =
+  match parse_fail_links fail_links with
+  | Error e -> Error e
+  | Ok failed_links -> (
+    match
+      Tapa_cs_network.Fault.make ~seed ~loss_rate ~failed_devices:fail_fpgas ~failed_links ()
+    with
+    | plan -> if Tapa_cs_network.Fault.is_trivial plan then Ok None else Ok (Some plan)
+    | exception Invalid_argument m -> Error m)
 
 let make_app app ~fpgas ~iters ~dataset ~n ~d ~cols =
   match app with
@@ -236,15 +265,15 @@ let verify_static_arg =
 
 let compile_cmd =
   let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
-      loss_rate fail_fpgas stats stats_json verify_static =
+      loss_rate fail_fpgas fail_links stats stats_json verify_static =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      match make_fault_plan ~seed ~loss_rate ~fail_fpgas with
+      match make_fault_plan ~seed ~loss_rate ~fail_fpgas ~fail_links with
       | Error e ->
-        prerr_endline ("invalid fault plan: " ^ e);
+        prerr_endline e;
         1
       | Ok fault_plan -> (
         Format.printf "%a@." App.pp a;
@@ -280,22 +309,22 @@ let compile_cmd =
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
           $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
-          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ stats_arg $ stats_json_arg
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ fail_link_arg $ stats_arg $ stats_json_arg
           $ verify_static_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Run the seven-step TAPA-CS compile and print the floorplan.") term
 
 let simulate_cmd =
   let run app fpgas cluster_fpgas iters dataset n d cols flow topology board threshold jobs seed
-      loss_rate fail_fpgas stats stats_json =
+      loss_rate fail_fpgas fail_links stats stats_json =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      match make_fault_plan ~seed ~loss_rate ~fail_fpgas with
+      match make_fault_plan ~seed ~loss_rate ~fail_fpgas ~fail_links with
       | Error e ->
-        prerr_endline ("invalid fault plan: " ^ e);
+        prerr_endline e;
         1
       | Ok fault_plan -> (
         match
@@ -350,7 +379,8 @@ let simulate_cmd =
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
           $ d_arg $ cols_arg $ flow_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg
-          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ sim_stats_arg $ stats_json_arg)
+          $ seed_arg $ loss_rate_arg $ fail_fpga_arg $ fail_link_arg $ sim_stats_arg
+          $ stats_json_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Compile and run the timed simulation, optionally under injected faults.") term
 
@@ -684,15 +714,15 @@ let analyze_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run app fpgas cluster_fpgas iters dataset n d cols topology board threshold jobs seed
-      loss_rate fail_fpgas json verify_static =
+      loss_rate fail_fpgas fail_links json verify_static =
     match make_app app ~fpgas ~iters ~dataset ~n ~d ~cols with
     | Error e ->
       prerr_endline e;
       1
     | Ok a -> (
-      match make_fault_plan ~seed ~loss_rate ~fail_fpgas with
+      match make_fault_plan ~seed ~loss_rate ~fail_fpgas ~fail_links with
       | Error e ->
-        prerr_endline ("invalid fault plan: " ^ e);
+        prerr_endline e;
         1
       | Ok fault_plan -> (
         match
@@ -735,7 +765,7 @@ let analyze_cmd =
   let term =
     Term.(const run $ app_arg $ fpgas_arg $ cluster_fpgas_arg $ iters_arg $ dataset_arg $ n_arg
           $ d_arg $ cols_arg $ topology_arg $ board_arg $ threshold_arg $ jobs_arg $ seed_arg
-          $ loss_rate_arg $ fail_fpga_arg $ json_arg $ verify_static_arg)
+          $ loss_rate_arg $ fail_fpga_arg $ fail_link_arg $ json_arg $ verify_static_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -744,6 +774,158 @@ let analyze_cmd =
           (TCS5xx), and round-trip the emitted CAD artifacts through the re-parser \
           (TCS6xx).  Exits non-zero on any error-severity diagnostic; --verify-static \
           additionally cross-checks the timed simulation against the interval.")
+    term
+
+let farm_cmd =
+  let module Farm = Tapa_cs_farm.Farm in
+  let module Tenant = Tapa_cs_farm.Tenant in
+  let boards_arg =
+    let doc = "Number of boards in the farm." in
+    Arg.(value & opt int 32 & info [ "boards" ] ~doc)
+  in
+  let boards_per_node_arg =
+    let doc = "Boards per server node (the paper's testbed groups 4)." in
+    Arg.(value & opt int 4 & info [ "boards-per-node" ] ~doc)
+  in
+  let mix_arg =
+    let doc =
+      "Comma-separated board mix the farm cycles through: u55c, u250, stratix10."
+    in
+    Arg.(value & opt string "u55c,u250,stratix10" & info [ "mix" ] ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of tenant designs in the seeded admission stream." in
+    Arg.(value & opt int 12 & info [ "tenants" ] ~doc)
+  in
+  let horizon_arg =
+    let doc = "Farm-clock horizon in seconds." in
+    Arg.(value & opt float 600.0 & info [ "horizon" ] ~doc)
+  in
+  let mean_gap_arg =
+    let doc = "Mean tenant inter-arrival gap in seconds." in
+    Arg.(value & opt float 30.0 & info [ "mean-gap" ] ~doc)
+  in
+  let strict_every_arg =
+    let doc = "Every Nth tenant gets the strict SLO (0 = all best-effort)." in
+    Arg.(value & opt int 3 & info [ "strict-every" ] ~doc)
+  in
+  let max_retries_arg =
+    let doc = "Consecutive failed placement attempts before a tenant is reported down." in
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base retry backoff in farm-clock seconds (doubles per failure)." in
+    Arg.(value & opt float 5.0 & info [ "backoff" ] ~doc)
+  in
+  let timeline_arg =
+    let doc =
+      "Fault/recovery timeline file: one event per line ('<t> device-down|device-up <i>', \
+       '<t> link-down|link-up <A:B>', '<t> loss <rate>'); blank lines and # comments \
+       ignored.  Malformed lines are reported as TCS308 diagnostics."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~doc ~docv:"FILE")
+  in
+  let event_arg =
+    let doc = "Inline timeline event, same syntax as a --timeline line (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "event" ] ~doc ~docv:"EVENT")
+  in
+  let stats_json_file_arg =
+    let doc = "Write the machine-readable stats timeline to this file ('-' = stdout)." in
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc ~docv:"FILE")
+  in
+  let parse_timeline ~file ~events =
+    let file_lines =
+      match file with
+      | None -> []
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        List.map (fun l -> ("--timeline", l)) (read [])
+    in
+    let all = file_lines @ List.map (fun e -> ("--event", e)) events in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (flag, line) :: rest ->
+        let t = String.trim line in
+        if t = "" || t.[0] = '#' then go acc rest
+        else begin
+          match Tapa_cs_network.Fault.parse_timeline_entry t with
+          | Ok e -> go (e :: acc) rest
+          | Error reason ->
+            Error
+              (Tapa_cs_analysis.Diagnostic.render
+                 [ Tapa_cs_analysis.Lint.fault_spec_error ~flag ~spec:line ~reason ])
+        end
+    in
+    go [] all
+  in
+  let run boards boards_per_node mix tenants topology threshold seed horizon mean_gap
+      strict_every max_retries backoff timeline_file events stats_json_file jobs =
+    let mix_names = String.split_on_char ',' mix |> List.map String.trim in
+    let bad = List.filter (fun n -> not (List.mem_assoc n board_names)) mix_names in
+    if bad <> [] then begin
+      prerr_endline ("unknown board(s) in --mix: " ^ String.concat ", " bad);
+      1
+    end
+    else begin
+      match parse_timeline ~file:timeline_file ~events with
+      | Error e ->
+        prerr_endline e;
+        1
+      | exception Sys_error m ->
+        prerr_endline m;
+        1
+      | Ok entries ->
+        let timeline = Tapa_cs_network.Fault.timeline entries in
+        let cluster =
+          Cluster.heterogeneous ~topology ~boards_per_node
+            (List.map board_of_name mix_names) boards
+        in
+        let workload =
+          Tenant.workload ~strict_every ~mean_gap_s:mean_gap ~seed ~tenants ()
+        in
+        let config =
+          { Farm.threshold; seed; max_retries; backoff_s = backoff; horizon_s = horizon }
+        in
+        let jobs = effective_jobs jobs in
+        let pool =
+          if jobs > 1 then Some (Tapa_cs_util.Pool.create ~domains:(jobs - 1) ()) else None
+        in
+        Fun.protect ~finally:(fun () -> Option.iter Tapa_cs_util.Pool.shutdown pool)
+        @@ fun () ->
+        Format.printf "%a@." Tapa_cs_network.Fault.pp_timeline timeline;
+        let stats = Farm.run ?pool ~config ~cluster ~timeline workload in
+        Format.printf "%a" Farm.pp_summary stats;
+        (match stats_json_file with
+        | None -> ()
+        | Some "-" -> print_endline (Farm.stats_json stats)
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+          output_string oc (Farm.stats_json stats);
+          output_char oc '\n';
+          Format.printf "wrote stats timeline to %s@." path);
+        0
+    end
+  in
+  let term =
+    Term.(const run $ boards_arg $ boards_per_node_arg $ mix_arg $ tenants_arg $ topology_arg
+          $ threshold_arg $ seed_arg $ horizon_arg $ mean_gap_arg $ strict_every_arg
+          $ max_retries_arg $ backoff_arg $ timeline_arg $ event_arg $ stats_json_file_arg
+          $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Run the deterministic multi-tenant farm controller: a seeded tenant stream admitted \
+          onto a heterogeneous board farm, churned by a fault/recovery timeline, with bounded-\
+          retry re-placement and availability accounting.  The --stats-json timeline is byte-\
+          identical across runs and --jobs values for equal inputs.")
     term
 
 let info_cmd =
@@ -768,7 +950,7 @@ let () =
     Cmd.group (Cmd.info "tapa_cs_cli" ~doc)
       [
         compile_cmd; simulate_cmd; sweep_cmd; dot_cmd; emit_cmd; autoscale_cmd; analyze_cmd;
-        lint_cmd; info_cmd;
+        lint_cmd; farm_cmd; info_cmd;
       ]
   in
   exit (Cmd.eval' main)

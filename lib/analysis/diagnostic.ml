@@ -90,6 +90,11 @@ let registry =
       Error,
       "floorplan solver hit its wall-clock deadline without a feasible incumbent",
       "raise the deadline, use the heuristic strategy, or shrink the instance" );
+    ( "TCS308",
+      Error,
+      "malformed fault specification (link or fleet-timeline syntax)",
+      "links are A:B with distinct non-negative device indices; timeline lines are '<t> \
+       device-down|device-up <i>', '<t> link-down|link-up <A:B>' or '<t> loss <rate>'" );
     ( "TCS401",
       Error,
       "ILP model is trivially infeasible: a constraint excludes every point in the variable \

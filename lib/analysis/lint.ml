@@ -298,6 +298,14 @@ let floorplan_error (e : Inter_fpga.error) =
   diag (Inter_fpga.error_code e) Diagnostic.Design (Inter_fpga.error_message e)
 
 (* ------------------------------------------------------------------ *)
+(* TCS308: malformed fault specifications from the CLI                 *)
+(* ------------------------------------------------------------------ *)
+
+let fault_spec_error ~flag ~spec ~reason =
+  diag "TCS308" Diagnostic.Design
+    (Printf.sprintf "%s %S: %s" flag spec reason)
+
+(* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 

@@ -43,6 +43,14 @@ val floorplan_error : Tapa_cs_floorplan.Inter_fpga.error -> Diagnostic.t
     infeasible / TCS306 over capacity / TCS307 solver timeout) — the
     single rendering the compiler and the CLI share. *)
 
+val fault_spec_error : flag:string -> spec:string -> reason:string -> Diagnostic.t
+(** A malformed CLI fault specification ([--fail-link A:B], a
+    [--timeline] line) as its TCS308 registry diagnostic, instead of a
+    raw parse exception: [flag] names the offending option, [spec] the
+    literal input, [reason] the parser's message
+    ({!Tapa_cs_network.Fault.parse_link_spec} /
+    {!Tapa_cs_network.Fault.parse_timeline_entry}). *)
+
 val run_all : ?threshold:float -> cluster:Cluster.t -> Taskgraph.t -> Diagnostic.t list
 (** Every pass (synthesizes the graph itself for the capacity check),
     sorted errors-first. *)

@@ -73,13 +73,21 @@ let port_bandwidth_gbps' ~cluster ~graph ~freq_mhz ~hbm ~assignment tid port_ind
 let extra_stage_cycles' ~pipeline fid =
   Array.fold_left (fun acc p -> acc + Pipelining.stages_of p fid) 0 pipeline
 
-let compile ?(options = default_options) ~cluster graph =
-  (* One worker pool for every parallel stage of this compile.  [jobs = 1]
-     (or a single-core host) keeps the whole pipeline on the calling
-     domain; either way the output is bit-identical because every
-     parallel_map assembles its results in index order. *)
-  let pool = if options.jobs > 1 then Some (Pool.create ~domains:(options.jobs - 1) ()) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+let compile ?(options = default_options) ?pool ~cluster graph =
+  (* One worker pool for every parallel stage of this compile.  A caller
+     running many compiles (sweeps, the farm controller) passes its own
+     [?pool] to amortize domain spawning; otherwise one is created for
+     this compile and torn down after.  [jobs = 1] (or a single-core
+     host) keeps the whole pipeline on the calling domain; either way the
+     output is bit-identical because every parallel_map assembles its
+     results in index order. *)
+  let own_pool =
+    match pool with
+    | Some _ -> None
+    | None -> if options.jobs > 1 then Some (Pool.create ~domains:(options.jobs - 1) ()) else None
+  in
+  let pool = match pool with Some _ -> pool | None -> own_pool in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown own_pool) @@ fun () ->
   (* Step 2: parallel synthesis against the first board model (clusters
      are homogeneous in the paper's testbed). *)
   let board0 = Cluster.board cluster 0 in

@@ -76,12 +76,20 @@ type options = {
 
 val default_options : options
 
-val compile : ?options:options -> cluster:Cluster.t -> Taskgraph.t -> (t, string) Stdlib.result
+val compile :
+  ?options:options ->
+  ?pool:Tapa_cs_util.Pool.t ->
+  cluster:Cluster.t ->
+  Taskgraph.t ->
+  (t, string) Stdlib.result
 (** [Error] carries either the rendered step-0 diagnostics (each line
     tagged with its [TCS] code) or a placement/routing failure reason.
     With [options.jobs > 1] the synthesis estimates and the per-FPGA
     stage tail run on a worker-domain pool; results are assembled in
-    index order so the output does not depend on [jobs]. *)
+    index order so the output does not depend on [jobs].  [pool] shares a
+    caller-owned worker pool across compiles (sweeps, the farm
+    controller) instead of spawning one per compile; it overrides
+    [options.jobs] and is never shut down here. *)
 
 type solver_stats = {
   lp_solves : int;  (** LP relaxations solved across all floorplan ILPs *)

@@ -18,6 +18,20 @@ let make ?(link = Ethernet_100g) ?(topology = Topology.Ring) ~board n =
     num_nodes = 1;
   }
 
+let heterogeneous ?(link = Ethernet_100g) ?(topology = Topology.Ring) ?(boards_per_node = 4)
+    mix n =
+  if mix = [] then invalid_arg "Cluster.heterogeneous: empty board mix";
+  if n <= 0 then invalid_arg "Cluster.heterogeneous: need at least one FPGA";
+  if boards_per_node <= 0 then invalid_arg "Cluster.heterogeneous: boards_per_node <= 0";
+  let mix = Array.of_list mix in
+  {
+    boards = Array.init n (fun i -> mix.(i mod Array.length mix) ());
+    topology;
+    link;
+    node_of = (fun i -> i / boards_per_node);
+    num_nodes = (n + boards_per_node - 1) / boards_per_node;
+  }
+
 let two_node_testbed () =
   {
     boards = Array.init 8 (fun _ -> Board.u55c ());
@@ -57,6 +71,30 @@ let link_rtt_us t i j =
 
 let total_resources t =
   Array.fold_left (fun acc b -> Resource.add acc b.Board.total) Resource.zero t.boards
+
+type view = { cluster : t; down : bool array }
+
+let full_view cluster = { cluster; down = Array.make (size cluster) false }
+
+let set_down view d flag =
+  if d < 0 || d >= Array.length view.down || view.down.(d) = flag then view
+  else begin
+    let down = Array.copy view.down in
+    down.(d) <- flag;
+    { view with down }
+  end
+
+let prune_device view d = set_down view d true
+let restore_device view d = set_down view d false
+let alive view d = d >= 0 && d < Array.length view.down && not view.down.(d)
+
+let alive_devices view =
+  List.filter (fun d -> not view.down.(d)) (List.init (Array.length view.down) Fun.id)
+
+let num_alive view = Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 view.down
+
+let failed_devices view =
+  List.filter (fun d -> view.down.(d)) (List.init (Array.length view.down) Fun.id)
 
 let pp fmt t =
   Format.fprintf fmt "%d x %s over %a (%s), %d node(s)" (size t) t.boards.(0).Board.name

@@ -1,0 +1,54 @@
+open Tapa_cs_util
+open Tapa_cs_apps
+
+type slo = Strict | Best_effort
+
+let slo_label = function Strict -> "strict" | Best_effort -> "best-effort"
+
+type t = {
+  id : int;
+  name : string;
+  slo : slo;
+  arrival_s : float;
+  graph : Tapa_cs_graph.Taskgraph.t;
+}
+
+let make ~id ~name ~slo ~arrival_s graph =
+  if id < 0 then invalid_arg "Tenant.make: negative id";
+  if arrival_s < 0.0 || not (Float.is_finite arrival_s) then
+    invalid_arg "Tenant.make: bad arrival time";
+  { id; name; slo; arrival_s; graph }
+
+(* The synthetic admission stream: small instances of the paper's three
+   benchmark families, sized for 1-3 boards each so a farm holds dozens of
+   them.  Every draw comes from one splitmix64 stream in a fixed order, so
+   a seed pins the whole workload bit-for-bit. *)
+let workload ?(strict_every = 3) ?(mean_gap_s = 30.0) ~seed ~tenants () =
+  if tenants < 0 then invalid_arg "Tenant.workload: negative tenant count";
+  if mean_gap_s <= 0.0 then invalid_arg "Tenant.workload: mean_gap_s <= 0";
+  let prng = Prng.create seed in
+  let rec gen i t acc =
+    if i >= tenants then List.rev acc
+    else begin
+      (* Uniform over [0, 2*mean); mean inter-arrival = mean_gap_s. *)
+      let t = t +. Prng.float prng (2.0 *. mean_gap_s) in
+      let fpgas = 1 + Prng.int prng 3 in
+      let name, graph =
+        match Prng.int prng 3 with
+        | 0 ->
+          let iterations = [| 64; 128; 256 |].(Prng.int prng 3) in
+          ( Printf.sprintf "stencil-i%d-f%d" iterations fpgas,
+            (Stencil.generate (Stencil.make_config ~iterations ~fpgas ())).App.graph )
+        | 1 ->
+          let n_points = 1_000_000 * (1 + Prng.int prng 2) in
+          ( Printf.sprintf "knn-n%dM-f%d" (n_points / 1_000_000) fpgas,
+            (Knn.generate (Knn.make_config ~n_points ~dims:8 ~fpgas ())).App.graph )
+        | _ ->
+          ( Printf.sprintf "cnn-c4-f%d" fpgas,
+            (Cnn.generate (Cnn.make_config ~cols:4 ~fpgas ())).App.graph )
+      in
+      let slo = if strict_every > 0 && i mod strict_every = 0 then Strict else Best_effort in
+      gen (i + 1) t (make ~id:i ~name ~slo ~arrival_s:t graph :: acc)
+    end
+  in
+  gen 0 0.0 []

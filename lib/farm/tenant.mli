@@ -1,0 +1,34 @@
+(** A tenant of the multi-FPGA farm: one design plus its service-level
+    class and arrival time.
+
+    [Strict] tenants accept only clean placements — the requested
+    utilization threshold, no greedy rung, every cut FIFO routable — and
+    fail over to spare capacity when a fault displaces them; when no
+    clean placement exists they are reported [Down], never silently
+    degraded.  [Best_effort] tenants ride the whole
+    {!Tapa_cs_floorplan.Inter_fpga} relaxation ladder and accept degraded
+    thresholds. *)
+
+type slo = Strict | Best_effort
+
+val slo_label : slo -> string
+
+type t = {
+  id : int;
+  name : string;
+  slo : slo;
+  arrival_s : float;  (** admission request time on the farm clock *)
+  graph : Tapa_cs_graph.Taskgraph.t;
+}
+
+val make : id:int -> name:string -> slo:slo -> arrival_s:float -> Tapa_cs_graph.Taskgraph.t -> t
+(** @raise Invalid_argument on a negative id or a non-finite/negative
+    arrival time. *)
+
+val workload : ?strict_every:int -> ?mean_gap_s:float -> seed:int -> tenants:int -> unit -> t list
+(** Seeded synthetic admission stream: [tenants] designs drawn from the
+    paper's stencil / KNN / CNN families at 1-3 board scale, arriving
+    with uniform inter-arrival gaps of mean [mean_gap_s] (default 30 s);
+    every [strict_every]-th tenant (default 3, starting with tenant 0) is
+    [Strict].  One {!Tapa_cs_util.Prng} stream drives every draw, so a
+    seed pins the workload bit-for-bit. *)

@@ -76,7 +76,7 @@ let over_capacity_count (p : Partition.problem) (r : Partition.result) =
 let relax_step = 0.05
 let relax_limit = 0.95
 
-let solve_chain ~strategy ~seed ~threshold ?pool ?groups ~problem_at () =
+let solve_chain ~strategy ~seed ~threshold ?pool ?groups ?warm ~problem_at () =
   let p0 = problem_at threshold in
   let attempts = ref [] in
   let record p att =
@@ -120,7 +120,7 @@ let solve_chain ~strategy ~seed ~threshold ?pool ?groups ~problem_at () =
           | [] -> if timed_out then Solver_timeout else Infeasible
           | counts -> Over_capacity (List.fold_left min max_int counts)))
   in
-  climb ~warm:None threshold
+  climb ~warm threshold
 
 (* Shared post-processing: project a partition result back onto the full
    cluster.  [to_device] maps part indices to device indices (identity for
@@ -203,49 +203,69 @@ let run ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_thresho
       (build ~cluster ~areas ~to_device:Fun.id ~hop_dist:(Cluster.dist cluster) ~fallbacks
          ~threshold_used g r)
 
-let run_degraded ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_threshold)
-    ?(seed = 1) ?pool ?(failed_devices = []) ?(failed_links = []) ~cluster ~synthesis g =
+(* Hop metric of the surviving sub-topology: BFS over the healthy
+   unit-distance edges of the original cluster, skipping failed devices
+   and downed links.  Disconnected pairs get a large finite distance so
+   the partitioner avoids (but survives) them. *)
+let survivor_hops ?(failed_devices = []) ?(failed_links = []) cluster =
   let k = Cluster.size cluster in
   let failed = Array.make k false in
   List.iter (fun d -> if d >= 0 && d < k then failed.(d) <- true) failed_devices;
   let failed_links =
     List.sort_uniq compare (List.map (fun (a, b) -> (min a b, max a b)) failed_links)
   in
-  let survivors = List.filter (fun i -> not failed.(i)) (List.init k Fun.id) in
-  match survivors with
+  let routable = Array.of_list (List.filter (fun i -> not failed.(i)) (List.init k Fun.id)) in
+  let link_up i j =
+    Cluster.dist cluster i j = 1 && not (List.mem (min i j, max i j) failed_links)
+  in
+  let hops = Array.make_matrix k k unreachable_dist in
+  Array.iter
+    (fun s ->
+      let dist_from = Array.make k (-1) in
+      dist_from.(s) <- 0;
+      let q = Queue.create () in
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Array.iter
+          (fun w ->
+            if dist_from.(w) < 0 && link_up v w then begin
+              dist_from.(w) <- dist_from.(v) + 1;
+              Queue.add w q
+            end)
+          routable
+      done;
+      Array.iter (fun d -> if dist_from.(d) >= 0 then hops.(s).(d) <- dist_from.(d)) routable)
+    routable;
+  fun i j ->
+    if i = j then 0
+    else if i < 0 || j < 0 || i >= k || j >= k then unreachable_dist
+    else hops.(i).(j)
+
+let run_degraded ?(strategy = Partition.Auto) ?(threshold = Constants.utilization_threshold)
+    ?(seed = 1) ?pool ?(failed_devices = []) ?(failed_links = []) ?(masked_devices = [])
+    ?warm_assignment ~cluster ~synthesis g =
+  let k = Cluster.size cluster in
+  let failed = Array.make k false in
+  List.iter (fun d -> if d >= 0 && d < k then failed.(d) <- true) failed_devices;
+  (* Masked devices stay routable (they still forward packets for their
+     own tenants) but receive no tasks; a device both failed and masked
+     counts as failed. *)
+  let masked = Array.make k false in
+  List.iter (fun d -> if d >= 0 && d < k && not failed.(d) then masked.(d) <- true) masked_devices;
+  let failed_links =
+    List.sort_uniq compare (List.map (fun (a, b) -> (min a b, max a b)) failed_links)
+  in
+  let placeable = List.filter (fun i -> not failed.(i) && not masked.(i)) (List.init k Fun.id) in
+  let num_failed = Array.fold_left (fun n b -> if b then n + 1 else n) 0 failed in
+  match placeable with
   | [] -> Error Infeasible
   | _ ->
-    let surv = Array.of_list survivors in
+    let surv = Array.of_list placeable in
     let k' = Array.length surv in
     if k' = k && failed_links = [] then run ~strategy ~threshold ~seed ?pool ~cluster ~synthesis g
     else begin
-      (* Hop metric of the surviving sub-topology: BFS over the healthy
-         unit-distance edges of the original cluster, skipping failed
-         devices and downed links.  Disconnected pairs get a large finite
-         distance so the partitioner avoids (but survives) them. *)
-      let link_up i j =
-        Cluster.dist cluster i j = 1 && not (List.mem (min i j, max i j) failed_links)
-      in
-      let hops = Array.make_matrix k k unreachable_dist in
-      Array.iter
-        (fun s ->
-          let dist_from = Array.make k (-1) in
-          dist_from.(s) <- 0;
-          let q = Queue.create () in
-          Queue.add s q;
-          while not (Queue.is_empty q) do
-            let v = Queue.pop q in
-            Array.iter
-              (fun w ->
-                if dist_from.(w) < 0 && link_up v w then begin
-                  dist_from.(w) <- dist_from.(v) + 1;
-                  Queue.add w q
-                end)
-              surv
-          done;
-          Array.iter (fun d -> if dist_from.(d) >= 0 then hops.(s).(d) <- dist_from.(d)) surv)
-        surv;
-      let hop_dist i j = if i = j then 0 else hops.(i).(j) in
+      let hop_dist = survivor_hops ~failed_devices ~failed_links cluster in
       let areas =
         Array.map (fun (p : Synthesis.profile) -> p.resources) synthesis.Synthesis.profiles
       in
@@ -271,18 +291,79 @@ let run_degraded ?(strategy = Partition.Auto) ?(threshold = Constants.utilizatio
         }
       in
       let groups = node_groups ~cluster ~part_device:(fun part -> surv.(part)) k' in
-      match solve_chain ~strategy ~seed ~threshold ?pool ?groups ~problem_at () with
+      (* A previous device-space assignment warm-starts the ladder: tasks
+         stranded on dead or masked devices fall back to part 0 and rely
+         on the partitioner dropping infeasible incumbents silently. *)
+      let warm =
+        Option.map
+          (fun prev ->
+            let part_of = Array.make k 0 in
+            Array.iteri (fun part d -> part_of.(d) <- part) surv;
+            Array.map
+              (fun d ->
+                if d >= 0 && d < k && not failed.(d) && not masked.(d) then part_of.(d) else 0)
+              prev)
+          warm_assignment
+      in
+      match solve_chain ~strategy ~seed ~threshold ?pool ?groups ?warm ~problem_at () with
       | Error e -> Error e
       | Ok (r, _, threshold_used, fallbacks) ->
-        let tag =
-          Printf.sprintf "degraded(%d/%d FPGAs%s)" k' k
-            (match failed_links with [] -> "" | l -> Printf.sprintf ", %d links down" (List.length l))
+        let fallbacks =
+          (* Masking alone is normal multi-tenant operation, not
+             degradation — tag only when real faults shrank the fleet. *)
+          if num_failed = 0 && failed_links = [] then fallbacks
+          else
+            Printf.sprintf "degraded(%d/%d FPGAs%s)" (k - num_failed) k
+              (match failed_links with
+              | [] -> ""
+              | l -> Printf.sprintf ", %d links down" (List.length l))
+            :: fallbacks
         in
-        Ok (build ~cluster ~areas ~to_device:(fun part -> surv.(part)) ~hop_dist
-              ~fallbacks:(tag :: fallbacks) ~threshold_used g r)
+        Ok
+          (build ~cluster ~areas ~to_device:(fun part -> surv.(part)) ~hop_dist ~fallbacks
+             ~threshold_used g r)
     end
 
 let fifos_between g t ~src_fpga ~dst_fpga =
   Array.to_list (Taskgraph.fifos g)
   |> List.filter (fun (f : Fifo.t) ->
          t.assignment.(f.src) = src_fpga && t.assignment.(f.dst) = dst_fpga)
+
+let devices_used t =
+  let k = Array.length t.per_fpga_usage in
+  let used = Array.make k false in
+  Array.iter (fun d -> if d >= 0 && d < k then used.(d) <- true) t.assignment;
+  List.filter (fun d -> used.(d)) (List.init k Fun.id)
+
+let cut_pairs t =
+  List.sort_uniq compare
+    (List.map
+       (fun (f : Fifo.t) ->
+         let a = t.assignment.(f.src) and b = t.assignment.(f.dst) in
+         (min a b, max a b))
+       t.cut_fifos)
+
+let affected ~alive ~hops ~baseline t =
+  List.exists (fun d -> not (alive d)) (devices_used t)
+  || List.exists (fun (i, j) -> hops i j <> baseline i j) (cut_pairs t)
+
+let replace ?strategy ?threshold ?seed ?pool ?(failed_devices = []) ?(failed_links = [])
+    ?(masked_devices = []) ?baseline ~prev ~cluster ~synthesis g =
+  let k = Cluster.size cluster in
+  let unusable = Array.make k false in
+  List.iter (fun d -> if d >= 0 && d < k then unusable.(d) <- true) failed_devices;
+  List.iter (fun d -> if d >= 0 && d < k then unusable.(d) <- true) masked_devices;
+  let reusable =
+    match baseline with
+    | None -> false
+    | Some base ->
+      let hops = survivor_hops ~failed_devices ~failed_links cluster in
+      affected
+        ~alive:(fun d -> d >= 0 && d < k && not unusable.(d))
+        ~hops ~baseline:base prev
+      |> not
+  in
+  if reusable then Ok prev
+  else
+    run_degraded ?strategy ?threshold ?seed ?pool ~failed_devices ~failed_links ~masked_devices
+      ~warm_assignment:prev.assignment ~cluster ~synthesis g

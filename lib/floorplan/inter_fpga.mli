@@ -84,6 +84,8 @@ val run_degraded :
   ?pool:Pool.t ->
   ?failed_devices:int list ->
   ?failed_links:(int * int) list ->
+  ?masked_devices:int list ->
+  ?warm_assignment:int array ->
   cluster:Cluster.t ->
   synthesis:Synthesis.report ->
   Taskgraph.t ->
@@ -95,6 +97,63 @@ val run_degraded :
     solve degrades instead of crashing.  The returned [assignment] still
     indexes the original cluster (failed devices simply receive no
     tasks), and [fallbacks] is prefixed with a [degraded(k'/k FPGAs)]
-    tag.  With nothing failed this is exactly {!run}. *)
+    tag.  With nothing failed this is exactly {!run}.
+
+    [masked_devices] are the multi-tenant overlay: boards owned by other
+    tenants receive no tasks but stay in the BFS routing metric (they
+    still forward packets), and masking alone adds no [degraded] tag.
+    [warm_assignment] seeds the relaxation ladder with a previous
+    device-space assignment (tasks stranded on dead or masked devices are
+    remapped arbitrarily; an infeasible seed is dropped silently), which
+    is how a re-placement after a small fault converges fast. *)
+
+val unreachable_dist : int
+(** Surrogate hop count reported for device pairs the surviving topology
+    cannot connect — large but finite so solves degrade instead of
+    crashing. *)
+
+val survivor_hops :
+  ?failed_devices:int list -> ?failed_links:(int * int) list -> Cluster.t -> int -> int -> int
+(** [survivor_hops cluster] precomputes (eagerly, O(k^2) BFS) the hop
+    metric of the surviving sub-topology that {!run_degraded} uses:
+    unit-distance edges of the original topology minus failed devices and
+    downed links.  Unreachable or out-of-range pairs get
+    {!unreachable_dist}; the diagonal is 0.  Snapshot one of these at
+    placement time and hand it to {!affected} as the [baseline]. *)
+
+val devices_used : t -> int list
+(** Ascending device indices actually hosting at least one task. *)
+
+val cut_pairs : t -> (int * int) list
+(** Normalized [(min, max)] device pairs joined by at least one cut FIFO,
+    sorted, deduplicated. *)
+
+val affected : alive:(int -> bool) -> hops:(int -> int -> int) -> baseline:(int -> int -> int) -> t -> bool
+(** Does a fleet change touch this placement?  True iff some used device
+    is no longer [alive], or some cut pair's hop distance under the
+    current [hops] metric differs from the [baseline] snapshot taken when
+    the placement was made (covering both links going down {e and}
+    recovering). *)
+
+val replace :
+  ?strategy:Partition.strategy ->
+  ?threshold:float ->
+  ?seed:int ->
+  ?pool:Pool.t ->
+  ?failed_devices:int list ->
+  ?failed_links:(int * int) list ->
+  ?masked_devices:int list ->
+  ?baseline:(int -> int -> int) ->
+  prev:t ->
+  cluster:Cluster.t ->
+  synthesis:Synthesis.report ->
+  Taskgraph.t ->
+  (t, error) Stdlib.result
+(** Incremental re-placement.  When [baseline] is given and {!affected}
+    says the fleet change leaves [prev] untouched (all its devices alive
+    and unmasked, all its cut-pair hop distances unchanged), returns
+    [Ok prev] without solving — the farm's cache-reuse fast path for
+    unaffected tenants.  Otherwise {!run_degraded} warm-started from
+    [prev.assignment]. *)
 
 val fifos_between : Taskgraph.t -> t -> src_fpga:int -> dst_fpga:int -> Fifo.t list

@@ -6,8 +6,6 @@ type link_fault = {
   jitter_s : float;
 }
 
-let ideal = { loss_rate = 0.0; down = []; jitter_s = 0.0 }
-
 let check_fault f =
   if not (f.loss_rate >= 0.0 && f.loss_rate < 1.0) then
     invalid_arg (Printf.sprintf "Fault: loss_rate %g outside [0, 1)" f.loss_rate);
@@ -16,10 +14,29 @@ let check_fault f =
     (fun (s, e) -> if s < 0.0 || e < s then invalid_arg "Fault: malformed down window")
     f.down
 
-let lossy p =
-  let f = { ideal with loss_rate = p } in
+(* Sort by start and coalesce overlapping or touching windows, so every
+   [link_fault] that goes through the constructor satisfies the
+   "disjoint and sorted by start" invariant [add_down_windows] needs.
+   Zero-length windows stall nothing and are dropped. *)
+let normalize_down down =
+  List.iter
+    (fun (s, e) -> if s < 0.0 || e < s then invalid_arg "Fault: malformed down window")
+    down;
+  let sorted = List.sort compare (List.filter (fun (s, e) -> e > s) down) in
+  let rec merge = function
+    | (s1, e1) :: (s2, e2) :: rest when s2 <= e1 -> merge ((s1, Float.max e1 e2) :: rest)
+    | w :: rest -> w :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let link_fault ?(loss_rate = 0.0) ?(down = []) ?(jitter_s = 0.0) () =
+  let f = { loss_rate; down = normalize_down down; jitter_s } in
   check_fault f;
   f
+
+let ideal = link_fault ()
+let lossy p = link_fault ~loss_rate:p ()
 
 type retrans = { window : int; timeout_s : float; backoff : float; max_retries : int }
 
@@ -193,3 +210,170 @@ let pp ppf p =
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
          Format.pp_print_string)
       (describe p)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet fault/recovery timelines                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_link_spec s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ a; b ] -> (
+    match (int_of_string_opt (String.trim a), int_of_string_opt (String.trim b)) with
+    | Some a, Some b when a >= 0 && b >= 0 && a <> b -> Ok (min a b, max a b)
+    | Some a, Some b when a = b -> Error (Printf.sprintf "link %d:%d connects a device to itself" a b)
+    | Some _, Some _ -> Error "device indices must be non-negative"
+    | _ -> Error (Printf.sprintf "%S is not a pair of device indices" s))
+  | _ -> Error (Printf.sprintf "%S is not of the form A:B" s)
+
+type fleet_event =
+  | Device_down of int
+  | Device_up of int
+  | Link_down of (int * int)
+  | Link_up of (int * int)
+  | Loss_rate of float
+
+type timeline_entry = { at_s : float; event : fleet_event }
+type timeline = timeline_entry list
+
+let check_event = function
+  | Device_down d | Device_up d ->
+    if d < 0 then invalid_arg "Fault.timeline: negative device index"
+  | Link_down (a, b) | Link_up (a, b) ->
+    if a < 0 || b < 0 then invalid_arg "Fault.timeline: negative device index";
+    if a = b then invalid_arg "Fault.timeline: self-link"
+  | Loss_rate r ->
+    if not (r >= 0.0 && r < 1.0) then
+      invalid_arg (Printf.sprintf "Fault.timeline: loss rate %g outside [0, 1)" r)
+
+let normalize_event = function
+  | Link_down (a, b) -> Link_down (min a b, max a b)
+  | Link_up (a, b) -> Link_up (min a b, max a b)
+  | e -> e
+
+let timeline events =
+  let entries =
+    List.map
+      (fun (at_s, event) ->
+        if at_s < 0.0 || not (Float.is_finite at_s) then
+          invalid_arg "Fault.timeline: negative or non-finite timestamp";
+        check_event event;
+        { at_s; event = normalize_event event })
+      events
+  in
+  List.stable_sort (fun a b -> Float.compare a.at_s b.at_s) entries
+
+let timeline_events tl = List.map (fun e -> (e.at_s, e.event)) tl
+
+(* Fold matched down/up events into [(start, stop))] windows, closing a
+   dangling down at the horizon, then normalize through the link_fault
+   constructor so the result obeys its disjoint-and-sorted contract. *)
+let windows_of ~horizon_s ~is_down ~is_up tl =
+  let open_since = ref None in
+  let windows = ref [] in
+  List.iter
+    (fun { at_s; event } ->
+      if at_s < horizon_s then begin
+        if is_down event then begin
+          match !open_since with Some _ -> () | None -> open_since := Some at_s
+        end
+        else if is_up event then begin
+          match !open_since with
+          | Some s ->
+            windows := (s, at_s) :: !windows;
+            open_since := None
+          | None -> ()
+        end
+      end)
+    tl;
+  (match !open_since with Some s -> windows := (s, horizon_s) :: !windows | None -> ());
+  (link_fault ~down:!windows ()).down
+
+let device_down_windows tl ~horizon_s d =
+  windows_of ~horizon_s
+    ~is_down:(function Device_down x -> x = d | _ -> false)
+    ~is_up:(function Device_up x -> x = d | _ -> false)
+    tl
+
+let link_down_windows tl ~horizon_s (a, b) =
+  let a, b = (min a b, max a b) in
+  let own =
+    windows_of ~horizon_s
+      ~is_down:(function Link_down l -> l = (a, b) | _ -> false)
+      ~is_up:(function Link_up l -> l = (a, b) | _ -> false)
+      tl
+  in
+  let ends =
+    device_down_windows tl ~horizon_s a @ device_down_windows tl ~horizon_s b
+  in
+  (link_fault ~down:(own @ ends) ()).down
+
+let loss_episodes tl ~horizon_s =
+  let episodes = ref [] in
+  let current = ref None in
+  List.iter
+    (fun { at_s; event } ->
+      match event with
+      | Loss_rate r when at_s < horizon_s ->
+        (match !current with
+        | Some (s, rate) when rate > 0.0 && at_s > s -> episodes := (s, at_s, rate) :: !episodes
+        | _ -> ());
+        current := if r > 0.0 then Some (at_s, r) else None
+      | _ -> ())
+    tl;
+  (match !current with
+  | Some (s, rate) when rate > 0.0 && horizon_s > s -> episodes := (s, horizon_s, rate) :: !episodes
+  | _ -> ());
+  List.rev !episodes
+
+let parse_timeline_entry line =
+  let ( let* ) = Result.bind in
+  match
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+  with
+  | [ t; kind; arg ] -> (
+    let* at_s =
+      match float_of_string_opt t with
+      | Some t when t >= 0.0 && Float.is_finite t -> Ok t
+      | _ -> Error (Printf.sprintf "%S is not a non-negative timestamp" t)
+    in
+    let device () =
+      match int_of_string_opt arg with
+      | Some d when d >= 0 -> Ok d
+      | _ -> Error (Printf.sprintf "%S is not a device index" arg)
+    in
+    match kind with
+    | "device-down" ->
+      let* d = device () in
+      Ok (at_s, Device_down d)
+    | "device-up" ->
+      let* d = device () in
+      Ok (at_s, Device_up d)
+    | "link-down" ->
+      let* l = parse_link_spec arg in
+      Ok (at_s, Link_down l)
+    | "link-up" ->
+      let* l = parse_link_spec arg in
+      Ok (at_s, Link_up l)
+    | "loss" -> (
+      match float_of_string_opt arg with
+      | Some r when r >= 0.0 && r < 1.0 -> Ok (at_s, Loss_rate r)
+      | _ -> Error (Printf.sprintf "%S is not a loss rate in [0, 1)" arg))
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown event %S (expected device-down, device-up, link-down, link-up or loss)"
+           other))
+  | _ -> Error (Printf.sprintf "%S is not of the form '<t> <event> <arg>'" (String.trim line))
+
+let describe_event = function
+  | Device_down d -> Printf.sprintf "device %d down" d
+  | Device_up d -> Printf.sprintf "device %d up" d
+  | Link_down (a, b) -> Printf.sprintf "link %d-%d down" a b
+  | Link_up (a, b) -> Printf.sprintf "link %d-%d up" a b
+  | Loss_rate r -> if r > 0.0 then Printf.sprintf "loss episode %g" r else "loss episode ends"
+
+let pp_timeline ppf tl =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf { at_s; event } ->
+         Format.fprintf ppf "%8.3f s: %s" at_s (describe_event event)))
+    tl

@@ -31,6 +31,17 @@ val ideal : link_fault
 val lossy : float -> link_fault
 (** [lossy p] is {!ideal} with [loss_rate = p]. *)
 
+val link_fault :
+  ?loss_rate:float -> ?down:(float * float) list -> ?jitter_s:float -> unit -> link_fault
+(** The validating constructor every fault description should go through
+    (and {!ideal} / {!lossy} do): [down] windows are sorted by start and
+    overlapping or touching windows are merged, so the result always
+    satisfies the "disjoint and sorted" invariant the record type
+    documents.  Zero-length windows are dropped.
+    @raise Invalid_argument on a loss rate outside [0, 1), a negative
+    jitter, a negative window start, or a window whose stop precedes its
+    start. *)
+
 type retrans = {
   window : int;  (** go-back-N window: packets in flight per loss event *)
   timeout_s : float;  (** initial retransmission timeout *)
@@ -128,3 +139,63 @@ val describe : plan -> string list
     [Degraded] reasons the simulator and compiler report. *)
 
 val pp : Format.formatter -> plan -> unit
+
+val parse_link_spec : string -> (int * int, string) Stdlib.result
+(** Parse an undirected link as ["A:B"] (two distinct non-negative device
+    indices, normalized to [(min, max)]) — the CLI [--fail-link] format.
+    [Error] carries the reason for a TCS308 diagnostic; this function
+    never raises. *)
+
+(** {1 Fleet fault/recovery timelines}
+
+    {!plan} describes faults fixed before a compile starts.  A farm of
+    FPGAs additionally churns {e over time}: devices and links fail and
+    recover mid-operation, and the interconnect suffers loss-rate
+    episodes.  A {!timeline} is that event sequence — the input of the
+    farm controller ({!Tapa_cs_farm.Farm}). *)
+
+type fleet_event =
+  | Device_down of int
+  | Device_up of int
+  | Link_down of (int * int)  (** undirected topology edge, normalized [(min, max)] *)
+  | Link_up of (int * int)
+  | Loss_rate of float
+      (** ambient per-packet loss on every inter-FPGA link from this
+          instant on; [0] ends the episode *)
+
+type timeline_entry = { at_s : float; event : fleet_event }
+
+type timeline = timeline_entry list
+(** Sorted by time (stable for simultaneous events); only the smart
+    constructor {!timeline} builds values of this type. *)
+
+val timeline : (float * fleet_event) list -> timeline
+(** Smart constructor: normalizes link pairs to [(min, max)], sorts by
+    timestamp (stable, so simultaneous events keep their given order).
+    @raise Invalid_argument on a negative timestamp, a negative device
+    index, a self-link, or a loss rate outside [0, 1). *)
+
+val timeline_events : timeline -> (float * fleet_event) list
+
+val device_down_windows : timeline -> horizon_s:float -> int -> (float * float) list
+(** The absolute [(start, stop))] outage windows of one device implied by
+    its [Device_down]/[Device_up] events, clamped to [[0, horizon_s]] and
+    normalized through {!link_fault} (sorted, disjoint, merged). *)
+
+val link_down_windows : timeline -> horizon_s:float -> int * int -> (float * float) list
+(** Same for one undirected link: its own [Link_down]/[Link_up] windows
+    merged with the outage windows of both endpoint devices (a link makes
+    no progress while either endpoint is dead). *)
+
+val loss_episodes : timeline -> horizon_s:float -> (float * float * float) list
+(** [(start, stop, rate)] episodes of ambient link loss, in time order;
+    an episode ends at the next [Loss_rate] event or the horizon. *)
+
+val parse_timeline_entry : string -> (float * fleet_event, string) Stdlib.result
+(** One timeline line: [<t> device-down <i>], [<t> device-up <i>],
+    [<t> link-down <A:B>], [<t> link-up <A:B>] or [<t> loss <rate>].
+    Blank lines and [#] comments are rejected here — callers filter them.
+    [Error] carries the reason for a TCS308 diagnostic; never raises. *)
+
+val describe_event : fleet_event -> string
+val pp_timeline : Format.formatter -> timeline -> unit

@@ -874,6 +874,15 @@ let test_registry_exhaustive () =
       ( "TCS307",
         (fun () -> [ Lint.floorplan_error If.Solver_timeout ]),
         fun () -> [ Lint.floorplan_error (If.Over_capacity 1) ] );
+      ( "TCS308",
+        (fun () ->
+          match Tapa_cs_network.Fault.parse_link_spec "0:x" with
+          | Error reason -> [ Lint.fault_spec_error ~flag:"--fail-link" ~spec:"0:x" ~reason ]
+          | Ok _ -> []),
+        fun () ->
+          match Tapa_cs_network.Fault.parse_link_spec "0:1" with
+          | Error reason -> [ Lint.fault_spec_error ~flag:"--fail-link" ~spec:"0:1" ~reason ]
+          | Ok _ -> [] );
       ( "TCS401",
         (fun () -> Lint.ilp_model (infeasible_model ())),
         fun () -> Lint.ilp_model (capped_model ()) );

@@ -97,6 +97,31 @@ let test_jobs_determinism () =
       done)
     apps
 
+let test_external_pool_equivalence () =
+  (* A caller-owned domain pool (sweeps, the farm controller) must
+     produce the same design as the compiler's own per-call pool, and
+     must survive the compile: Compiler.compile never shuts down a pool
+     it did not create. *)
+  let g = (Stencil.generate (Stencil.make_config ~iterations:8 ~fpgas:2 ())).App.graph in
+  let cluster = Cluster.make ~board:Board.u55c 2 in
+  let pool = Tapa_cs_util.Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Tapa_cs_util.Pool.shutdown pool) @@ fun () ->
+  let run ?pool () =
+    match Compiler.compile ~options:fast_options ?pool ~cluster g with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let own = run () in
+  let shared = run ~pool () in
+  check bool "shared pool: same assignment" true
+    (own.Compiler.inter.Inter_fpga.assignment = shared.Compiler.inter.Inter_fpga.assignment);
+  check (Alcotest.float 0.0) "shared pool: same clock" own.Compiler.freq_mhz
+    shared.Compiler.freq_mhz;
+  (* The pool is still usable after both compiles. *)
+  let again = run ~pool () in
+  check bool "pool survives repeated compiles" true
+    (again.Compiler.inter.Inter_fpga.assignment = own.Compiler.inter.Inter_fpga.assignment)
+
 let test_cache_cold_warm_identity () =
   (* The floorplan solution cache's contract: a warm compile replays the
      stored solver records verbatim, so every output field — including
@@ -633,6 +658,8 @@ let () =
           Alcotest.test_case "port bandwidth wire cap" `Quick test_port_bandwidth_capped_by_wire;
           Alcotest.test_case "board generality (U250, Stratix-10)" `Quick test_board_generality;
           Alcotest.test_case "jobs=1 and jobs=4 outputs identical" `Quick test_jobs_determinism;
+          Alcotest.test_case "caller-owned pool equivalent and survives" `Quick
+            test_external_pool_equivalence;
           Alcotest.test_case "cache-cold and cache-warm outputs identical" `Quick
             test_cache_cold_warm_identity;
           Alcotest.test_case "degraded compile survives device failure" `Quick

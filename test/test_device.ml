@@ -163,6 +163,51 @@ let test_two_node_testbed () =
     true
     (Cluster.link_bandwidth_gbytes c 3 4 < Cluster.link_bandwidth_gbytes c 0 1)
 
+let test_heterogeneous_farm () =
+  let mix = [ Board.u55c; Board.u250; Board.stratix10 ] in
+  let c = Cluster.heterogeneous ~boards_per_node:4 mix 10 in
+  check int "10 boards" 10 (Cluster.size c);
+  check int "3 nodes of <=4" 3 c.Cluster.num_nodes;
+  (* The mix cycles: board i has the model of mix[i mod 3]. *)
+  let u55c = Board.u55c () and u250 = Board.u250 () and s10 = Board.stratix10 () in
+  check Alcotest.string "board 0 is u55c" u55c.Board.name (Cluster.board c 0).Board.name;
+  check Alcotest.string "board 1 is u250" u250.Board.name (Cluster.board c 1).Board.name;
+  check Alcotest.string "board 2 is stratix10" s10.Board.name (Cluster.board c 2).Board.name;
+  check Alcotest.string "board 3 cycles back" u55c.Board.name (Cluster.board c 3).Board.name;
+  (* Node grouping: 0..3 share a node, 4 starts the next one. *)
+  check bool "0 and 3 same node" true (Cluster.same_node c 0 3);
+  check bool "3 and 4 cross node" false (Cluster.same_node c 3 4);
+  check bool "cross-node slower" true
+    (Cluster.link_bandwidth_gbytes c 3 4 < Cluster.link_bandwidth_gbytes c 0 1);
+  (* Invalid shapes are rejected. *)
+  let rejects name bad =
+    check bool name true (match bad () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  rejects "empty mix" (fun () -> Cluster.heterogeneous [] 4);
+  rejects "zero boards" (fun () -> Cluster.heterogeneous mix 0);
+  rejects "zero per node" (fun () -> Cluster.heterogeneous ~boards_per_node:0 mix 4)
+
+let test_survivor_views () =
+  let c = Cluster.make ~board:Board.u55c 4 in
+  let v = Cluster.full_view c in
+  check int "all alive initially" 4 (Cluster.num_alive v);
+  check (Alcotest.list int) "no failures" [] (Cluster.failed_devices v);
+  let v2 = Cluster.prune_device v 2 in
+  (* Persistence: the original view is untouched. *)
+  check int "original still 4 alive" 4 (Cluster.num_alive v);
+  check int "pruned view 3 alive" 3 (Cluster.num_alive v2);
+  check bool "2 dead in pruned" false (Cluster.alive v2 2);
+  check (Alcotest.list int) "survivors ascend" [ 0; 1; 3 ] (Cluster.alive_devices v2);
+  check (Alcotest.list int) "failed ascend" [ 2 ] (Cluster.failed_devices v2);
+  (* Idempotence and physical sharing on no-ops. *)
+  check bool "re-prune is a no-op" true (Cluster.prune_device v2 2 == v2);
+  check bool "restore of alive is a no-op" true (Cluster.restore_device v2 0 == v2);
+  check bool "out-of-range ignored" true
+    (Cluster.prune_device v2 99 == v2 && Cluster.prune_device v2 (-1) == v2);
+  let v3 = Cluster.restore_device v2 2 in
+  check int "restored back to 4" 4 (Cluster.num_alive v3);
+  check bool "underlying cluster shared" true (v3.Cluster.cluster == c)
+
 let test_constants () =
   check (Alcotest.float 1e-9) "HBM aggregate" 460.0 Constants.hbm_bandwidth_gbps;
   check (Alcotest.float 1e-6) "per-channel" (460.0 /. 32.0) Constants.hbm_channel_bandwidth_gbps;
@@ -209,6 +254,8 @@ let () =
           Alcotest.test_case "single node ring" `Quick test_cluster_single_node;
           Alcotest.test_case "pcie scaling" `Quick test_cluster_pcie;
           Alcotest.test_case "two-node testbed (§5.7)" `Quick test_two_node_testbed;
+          Alcotest.test_case "heterogeneous farm" `Quick test_heterogeneous_farm;
+          Alcotest.test_case "survivor views" `Quick test_survivor_views;
           Alcotest.test_case "calibration constants" `Quick test_constants;
         ] );
       ("properties", qsuite);

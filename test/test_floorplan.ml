@@ -319,6 +319,80 @@ let test_run_degraded_edge_cases () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "1.8M LUT cannot fit one U55C"
 
+let test_run_degraded_masked_devices () =
+  let g, synthesis, cluster = degraded_fixture () in
+  (* Masking excludes boards from placement (another tenant owns them)
+     without declaring them dead: no degraded tag, tasks avoid them. *)
+  match Inter_fpga.run_degraded ~masked_devices:[ 0 ] ~cluster ~synthesis g with
+  | Ok r ->
+    check bool "no task on the masked board" true
+      (Array.for_all (fun f -> f <> 0) r.Inter_fpga.assignment);
+    check bool "masking alone is not degradation" true
+      (not
+         (List.exists
+            (fun t -> String.length t >= 8 && String.sub t 0 8 = "degraded")
+            r.Inter_fpga.fallbacks))
+  | Error e -> Alcotest.failf "masked solve failed: %s" (Inter_fpga.error_message e)
+
+let test_survivor_hops () =
+  let cluster = Cluster.make ~board:Board.u55c 4 in
+  (* Healthy ring of 4: opposite corners are 2 hops apart. *)
+  let h = Inter_fpga.survivor_hops cluster in
+  check int "ring diameter" 2 (h 0 2);
+  check int "diagonal zero" 0 (h 3 3);
+  (* Killing device 1 forces 0..2 the long way round. *)
+  let h' = Inter_fpga.survivor_hops ~failed_devices:[ 1 ] cluster in
+  check int "detour around dead device" 2 (h' 0 2);
+  check int "neighbor unaffected" 1 (h' 2 3);
+  (* Cutting both links of device 0 isolates it. *)
+  let h'' = Inter_fpga.survivor_hops ~failed_links:[ (0, 1); (0, 3) ] cluster in
+  check int "isolated device unreachable" Inter_fpga.unreachable_dist (h'' 0 2);
+  check int "rest of the ring survives" 2 (h'' 1 3);
+  check int "out of range unreachable" Inter_fpga.unreachable_dist (h 0 99)
+
+let test_replace_fast_path_and_affected () =
+  let g, synthesis, cluster = degraded_fixture () in
+  let prev =
+    match Inter_fpga.run_degraded ~cluster ~synthesis g with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "baseline solve failed: %s" (Inter_fpga.error_message e)
+  in
+  let baseline = Inter_fpga.survivor_hops cluster in
+  let used = Inter_fpga.devices_used prev in
+  check bool "uses at least 3 boards" true (List.length used >= 3);
+  check bool "cut pairs normalized" true
+    (List.for_all (fun (a, b) -> a < b) (Inter_fpga.cut_pairs prev));
+  (* A fault touching nothing the placement uses: replace returns the
+     previous result physically (the farm's cache-reuse path). *)
+  let spare =
+    match List.filter (fun d -> not (List.mem d used)) [ 0; 1; 2; 3 ] with
+    | d :: _ -> d
+    | [] -> Alcotest.fail "fixture must leave a spare board"
+  in
+  let hops_after = Inter_fpga.survivor_hops ~failed_devices:[ spare ] cluster in
+  (match
+     ( Inter_fpga.affected ~alive:(fun d -> d <> spare) ~hops:hops_after ~baseline prev,
+       Inter_fpga.replace ~failed_devices:[ spare ] ~baseline ~prev ~cluster ~synthesis g )
+   with
+  | affected, Ok r ->
+    (* The spare board sits on the ring, so losing it may still stretch a
+       cut pair's route; reuse is exact iff [affected] says untouched. *)
+    check bool "replace reuses iff unaffected" (not affected) (r == prev)
+  | _, Error e -> Alcotest.failf "spare-fault replace failed: %s" (Inter_fpga.error_message e));
+  (* A fault killing a used board forces a real re-solve away from it. *)
+  let victim = List.hd used in
+  check bool "victim fault is affected" true
+    (Inter_fpga.affected
+       ~alive:(fun d -> d <> victim)
+       ~hops:(Inter_fpga.survivor_hops ~failed_devices:[ victim ] cluster)
+       ~baseline prev);
+  match Inter_fpga.replace ~failed_devices:[ victim ] ~baseline ~prev ~cluster ~synthesis g with
+  | Ok r ->
+    check bool "re-solve is a new placement" true (r != prev);
+    check bool "victim evacuated" true
+      (Array.for_all (fun f -> f <> victim) r.Inter_fpga.assignment)
+  | Error e -> Alcotest.failf "victim replace failed: %s" (Inter_fpga.error_message e)
+
 (* ------------------------------------------------------------------ *)
 (* Intra-FPGA floorplanning                                            *)
 (* ------------------------------------------------------------------ *)
@@ -618,6 +692,9 @@ let () =
           Alcotest.test_case "degraded survives downed link" `Quick test_run_degraded_survives_downed_link;
           Alcotest.test_case "degraded deterministic" `Quick test_run_degraded_deterministic;
           Alcotest.test_case "degraded edge cases" `Quick test_run_degraded_edge_cases;
+          Alcotest.test_case "masked devices (multi-tenant)" `Quick test_run_degraded_masked_devices;
+          Alcotest.test_case "survivor hop metric" `Quick test_survivor_hops;
+          Alcotest.test_case "replace fast path" `Quick test_replace_fast_path_and_affected;
         ] );
       ( "intra_fpga",
         [

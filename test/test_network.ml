@@ -197,6 +197,150 @@ let test_fault_sampling () =
     | _ -> false
     | exception Fault.Link_lost _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-model edge cases and the link_fault smart constructor         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_edge_cases () =
+  let l = Link.alveolink in
+  (* Loss rate at the open boundary: huge slowdown, but still finite and
+     above the ideal time — the closed forms never divide by zero. *)
+  let near_one = 1.0 -. 1e-9 in
+  let t = Fault.transfer_time_s ~fault:(Fault.lossy near_one) l 1e6 in
+  check bool "loss 1-1e-9 finite" true (Float.is_finite t);
+  check bool "loss 1-1e-9 dominates ideal" true (t > Link.transfer_time_s l 1e6);
+  check bool "expected transmissions finite at 1-1e-9" true
+    (Float.is_finite (Fault.expected_transmissions ~loss_rate:near_one Fault.roce_v2));
+  (* Link_lost carries the retry count at which the link gave up. *)
+  let fragile = { Fault.roce_v2 with Fault.max_retries = 2 } in
+  (match
+     Fault.sample_transfer_time_s ~retrans:fragile ~fault:(Fault.lossy 0.999)
+       ~prng:(Tapa_cs_util.Prng.create 5) l 64e6
+   with
+  | _ -> Alcotest.fail "0.999 loss with 2 retries must lose the link"
+  | exception Fault.Link_lost { retries; link } ->
+    check Alcotest.int "gave up at max_retries" 2 retries;
+    check Alcotest.string "names the link" l.Link.name link);
+  (* A transfer starting exactly at a window's stop edge is unaffected
+     ([(start, stop)) is half-open); starting exactly at its start waits
+     the full window. *)
+  let ideal_t = Link.transfer_time_s l 1e6 in
+  let fault = Fault.link_fault ~down:[ (1.0, 1.5) ] () in
+  check fl "start at stop edge: untouched" ideal_t
+    (Fault.transfer_time_s ~at:1.5 ~fault l 1e6);
+  check fl "start at start edge: waits full window" (ideal_t +. 0.5)
+    (Fault.transfer_time_s ~at:1.0 ~fault l 1e6);
+  (* Zero jitter, zero loss: the sampler is fully deterministic and equals
+     the closed form, whatever the seed. *)
+  let plain = Fault.link_fault ~down:[ (0.0, 1e-3) ] () in
+  let s seed =
+    Fault.sample_transfer_time_s ~fault:plain ~prng:(Tapa_cs_util.Prng.create seed) l 1e6
+  in
+  check fl "zero-jitter sample seed-independent" (s 11) (s 99);
+  (* Fault-free sampling consumes no randomness at all: identical across
+     seeds and never below the ideal wire time (the sampler rounds the
+     last partial packet up to a full service slot). *)
+  let plain_sample seed =
+    Fault.sample_transfer_time_s ~fault:Fault.ideal ~prng:(Tapa_cs_util.Prng.create seed) l 1e6
+  in
+  check fl "fault-free sample seed-independent" (plain_sample 11) (plain_sample 99);
+  check bool "fault-free sample >= ideal" true (plain_sample 11 >= Link.transfer_time_s l 1e6)
+
+let test_link_fault_constructor () =
+  (* Windows are sorted, overlapping and touching windows merged,
+     zero-length windows dropped. *)
+  let f = Fault.link_fault ~down:[ (5.0, 6.0); (1.0, 2.0); (1.5, 3.0); (3.0, 4.0); (7.0, 7.0) ] () in
+  check
+    (Alcotest.list (Alcotest.pair fl fl))
+    "sorted, merged, zero-length dropped"
+    [ (1.0, 4.0); (5.0, 6.0) ]
+    f.Fault.down;
+  (* Invalid inputs are rejected with precise messages. *)
+  let rejects name bad =
+    check bool name true
+      (match bad () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  rejects "negative window start" (fun () -> Fault.link_fault ~down:[ (-1.0, 2.0) ] ());
+  rejects "stop before start" (fun () -> Fault.link_fault ~down:[ (3.0, 2.0) ] ());
+  rejects "loss rate 1" (fun () -> Fault.link_fault ~loss_rate:1.0 ());
+  rejects "negative jitter" (fun () -> Fault.link_fault ~jitter_s:(-1e-9) ());
+  (* ideal/lossy go through the same validation path. *)
+  check fl "ideal has no loss" 0.0 Fault.ideal.Fault.loss_rate;
+  check fl "lossy keeps rate" 0.25 (Fault.lossy 0.25).Fault.loss_rate
+
+let test_fleet_timeline () =
+  let tl =
+    Fault.timeline
+      [
+        (40.0, Fault.Device_down 3);
+        (10.0, Fault.Link_down (5, 2));
+        (90.0, Fault.Device_up 3);
+        (55.0, Fault.Link_up (2, 5));
+        (100.0, Fault.Loss_rate 0.05);
+        (160.0, Fault.Loss_rate 0.0);
+      ]
+  in
+  (* Sorted by time, link pairs normalized to (min, max). *)
+  (match Fault.timeline_events tl with
+  | (10.0, Fault.Link_down (2, 5)) :: _ -> ()
+  | _ -> Alcotest.fail "expected normalized link-down first");
+  check
+    (Alcotest.list (Alcotest.pair fl fl))
+    "device windows from down/up pairs"
+    [ (40.0, 90.0) ]
+    (Fault.device_down_windows tl ~horizon_s:600.0 3);
+  (* A link is down while it is down OR either endpoint is: here only its
+     own window matters (devices 2 and 5 never fail). *)
+  check
+    (Alcotest.list (Alcotest.pair fl fl))
+    "link windows" [ (10.0, 55.0) ]
+    (Fault.link_down_windows tl ~horizon_s:600.0 (2, 5));
+  (* A link touching the downed device inherits its outage. *)
+  check
+    (Alcotest.list (Alcotest.pair fl fl))
+    "endpoint outage folds into link windows"
+    [ (40.0, 90.0) ]
+    (Fault.link_down_windows tl ~horizon_s:600.0 (0, 3));
+  (* Unclosed down events clamp at the horizon. *)
+  let open_ended = Fault.timeline [ (500.0, Fault.Device_down 1) ] in
+  check
+    (Alcotest.list (Alcotest.pair fl fl))
+    "open outage clamps to horizon"
+    [ (500.0, 600.0) ]
+    (Fault.device_down_windows open_ended ~horizon_s:600.0 1);
+  (* Loss episodes close at the next Loss_rate event. *)
+  (match Fault.loss_episodes tl ~horizon_s:600.0 with
+  | [ (100.0, 160.0, rate) ] -> check fl "episode rate" 0.05 rate
+  | eps -> Alcotest.failf "expected one loss episode, got %d" (List.length eps));
+  (* The smart constructor rejects malformed events. *)
+  let rejects name bad =
+    check bool name true
+      (match bad () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  rejects "negative timestamp" (fun () -> Fault.timeline [ (-1.0, Fault.Device_down 0) ]);
+  rejects "self link" (fun () -> Fault.timeline [ (0.0, Fault.Link_down (2, 2)) ]);
+  rejects "loss rate 1" (fun () -> Fault.timeline [ (0.0, Fault.Loss_rate 1.0) ])
+
+let test_fault_spec_parsing () =
+  (* parse_link_spec: the --fail-link format, normalized, never raising. *)
+  check bool "0:3 parses normalized" true (Fault.parse_link_spec "3:0" = Ok (0, 3));
+  check bool "self link rejected" true (Result.is_error (Fault.parse_link_spec "2:2"));
+  check bool "garbage rejected" true (Result.is_error (Fault.parse_link_spec "a:b"));
+  check bool "negative rejected" true (Result.is_error (Fault.parse_link_spec "-1:2"));
+  (* parse_timeline_entry: the --timeline / --event line format. *)
+  check bool "device-down line" true
+    (Fault.parse_timeline_entry "40 device-down 3" = Ok (40.0, Fault.Device_down 3));
+  check bool "link-up line normalized" true
+    (Fault.parse_timeline_entry "55 link-up 5:2" = Ok (55.0, Fault.Link_up (2, 5)));
+  check bool "loss line" true
+    (Fault.parse_timeline_entry "100 loss 0.05" = Ok (100.0, Fault.Loss_rate 0.05));
+  check bool "unknown verb rejected" true
+    (Result.is_error (Fault.parse_timeline_entry "10 reboot 3"));
+  check bool "missing argument rejected" true
+    (Result.is_error (Fault.parse_timeline_entry "10 device-down"));
+  check bool "negative time rejected" true
+    (Result.is_error (Fault.parse_timeline_entry "-5 loss 0.1"))
+
 (* qcheck property: the faulty expected time dominates the ideal time and
    equals it at loss rate 0 (satellite). *)
 let prop_faulty_dominates =
@@ -233,6 +377,13 @@ let () =
           Alcotest.test_case "closed forms" `Quick test_fault_closed_forms;
           Alcotest.test_case "faulty transfer time" `Quick test_fault_transfer_time;
           Alcotest.test_case "deterministic sampling" `Quick test_fault_sampling;
+          Alcotest.test_case "edge cases" `Quick test_fault_edge_cases;
+          Alcotest.test_case "link_fault constructor" `Quick test_link_fault_constructor;
           QCheck_alcotest.to_alcotest prop_faulty_dominates;
+        ] );
+      ( "timelines",
+        [
+          Alcotest.test_case "fleet timeline" `Quick test_fleet_timeline;
+          Alcotest.test_case "fault-spec parsing" `Quick test_fault_spec_parsing;
         ] );
     ]
