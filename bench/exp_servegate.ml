@@ -1,0 +1,138 @@
+(* CI gate for the compile service (DESIGN.md §5j).
+
+   Four properties:
+
+   1. Determinism (hard): the scripted replay runs on a virtual clock
+      with a fixed virtual worker count, so its report JSON — counters,
+      makespan, latency percentiles, embedded cache stats — must be
+      byte-identical across repeated runs and across jobs = 1 vs
+      jobs = N.  Any divergence means wall-clock or domain-scheduling
+      state leaked into an answer.
+
+   2. Coalescing (hard): a round of N identical requests computes
+      exactly once — misses = 1, coalesced = N - 1 — and every follower
+      gets the byte-identical response the leader got, which is also
+      the response an uncoalesced computation produces.
+
+   3. Admission control (hard): a flood of distinct requests beyond the
+      configured depth is rejected *explicitly* — every over-depth
+      request carries a TCS701 code, best-effort sheds at its earlier
+      bound while strict still admits, and the books close:
+      received = completed + rejected, misses = admitted distinct.
+
+   4. Warm speedup (hard): answering a request from the warm response
+      cache must be >= 100x faster than the cold compile that filled
+      it, measured on the wall clock and pinned in BENCH_micro.json. *)
+
+open Tapa_cs_util
+open Tapa_cs_service
+module Tenant = Tapa_cs_farm.Tenant
+
+let fail fmt = Printf.ksprintf (fun s -> Printf.printf "  FAIL %s\n" s; exit 1) fmt
+
+let script_config =
+  { Script.default_config with Script.clients = 4; requests_per_client = 8; distinct = 6; seed = 3 }
+
+let check_determinism () =
+  let run pool = Script.report_json (Script.run ?pool script_config) in
+  let seq = run None in
+  if run None <> seq then fail "script: two jobs=1 replays emitted different reports";
+  if Pool.default_jobs () >= 2 then begin
+    let pool = Pool.create () in
+    let par = Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> run (Some pool)) in
+    if par <> seq then fail "script: jobs=1 and jobs=N reports differ"
+  end;
+  Printf.printf "  determinism: scripted replay byte-identical across repeats and jobs\n"
+
+let check_coalescing () =
+  Service.reset_process_caches ();
+  let svc = Service.create () in
+  let n = 4 in
+  let reqs =
+    Array.init n (fun i -> Request.make ~id:i ~iters:8 ~kind:Request.Compile ~app:"stencil" ())
+  in
+  let verdicts = Service.schedule svc reqs in
+  let c = Service.counters svc in
+  if c.Service.misses <> 1 then fail "coalescing: %d identical requests computed %d time(s)" n c.Service.misses;
+  if c.Service.coalesced <> n - 1 then
+    fail "coalescing: expected %d coalesced follower(s), got %d" (n - 1) c.Service.coalesced;
+  (* Followers answer byte-identically to the leader, and both equal an
+     uncoalesced computation of the same request. *)
+  let body = function
+    | Service.Hit reply | Service.Done { reply; _ } -> Service.response_json ~id:0 (Service.Hit reply)
+    | Service.Rejected _ -> fail "coalescing: request rejected below the admission bound"
+  in
+  let leader = body verdicts.(0) in
+  Array.iteri
+    (fun i v -> if body v <> leader then fail "coalescing: follower %d diverged from its leader" i)
+    verdicts;
+  let solo = Service.response_json ~id:0 (Service.Hit (Service.compute svc reqs.(0))) in
+  if solo <> leader then fail "coalescing: coalesced response differs from uncoalesced compute";
+  Printf.printf "  coalescing: %d identical requests -> 1 compute, %d coalesced, equal bytes\n" n
+    (n - 1)
+
+let check_admission () =
+  Service.reset_process_caches ();
+  let config = { Service.max_depth = 8; best_effort_depth = 4; cache_entries = 64 } in
+  let svc = Service.create ~config () in
+  let n = 16 in
+  let reqs =
+    Array.init n (fun u ->
+        let klass = if u mod 2 = 0 then Tenant.Strict else Tenant.Best_effort in
+        Request.make ~id:u ~iters:(8 + u) ~klass ~kind:Request.Compile ~app:"stencil" ())
+  in
+  let verdicts = Service.schedule svc reqs in
+  let c = Service.counters svc in
+  (* Arrival order S B S B …: best-effort sheds once 4 computations are
+     pending, strict admits up to 8. *)
+  if c.Service.misses <> 8 then fail "admission: expected 8 admitted computations, got %d" c.Service.misses;
+  if c.Service.shed_best_effort <> 6 then
+    fail "admission: expected 6 best-effort sheds, got %d" c.Service.shed_best_effort;
+  if c.Service.rejected_strict <> 2 then
+    fail "admission: expected 2 strict rejections, got %d" c.Service.rejected_strict;
+  if c.Service.received <> c.Service.completed + c.Service.rejected_strict + c.Service.shed_best_effort
+  then
+    fail "admission: books do not close (received %d, completed %d, rejected %d+%d)"
+      c.Service.received c.Service.completed c.Service.rejected_strict c.Service.shed_best_effort;
+  (* Every rejection is explicit and TCS-coded; nothing is dropped. *)
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Service.Rejected { code; _ } when code <> "TCS701" ->
+        fail "admission: request %d rejected with code %s, want TCS701" i code
+      | _ -> ())
+    verdicts;
+  if Array.length verdicts <> n then fail "admission: %d requests got %d verdicts" n (Array.length verdicts);
+  Printf.printf "  admission: 16 distinct -> 8 admitted, 6 shed, 2 strict-rejected, all TCS701\n"
+
+let check_warm_speedup () =
+  Service.reset_process_caches ();
+  let svc = Service.create () in
+  let r = Request.make ~iters:16 ~kind:Request.Compile ~app:"stencil" () in
+  let t0 = Unix.gettimeofday () in
+  (match Service.handle svc r with
+  | Service.Done { leader = true; _ } -> ()
+  | _ -> fail "warm: first request did not compute");
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let reps = 200 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    match Service.handle svc r with
+    | Service.Hit _ -> ()
+    | _ -> fail "warm: repeat request missed the response cache"
+  done;
+  let warm_s = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let speedup = cold_s /. warm_s in
+  if speedup < 100.0 then
+    fail "warm: served hit only %.0fx faster than cold compile (%.3f ms vs %.3f us)" speedup
+      (cold_s *. 1e3) (warm_s *. 1e6);
+  Printf.printf "  warm path: %.3f ms cold compile vs %.1f us served hit (%.0fx)\n" (cold_s *. 1e3)
+    (warm_s *. 1e6) speedup
+
+let run () =
+  Exp_common.section "Serve gate: coalescing + admission + determinism (CI)";
+  check_determinism ();
+  check_coalescing ();
+  check_admission ();
+  check_warm_speedup ();
+  Printf.printf "  serve gate: all checks passed\n"

@@ -53,6 +53,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("analyzegate", "static performance verifier gate (CI)", Exp_analyzegate.run);
     ("ilpgate", "hierarchical floorplan determinism + scale gate (CI)", Exp_ilpgate.run);
     ("farmgate", "multi-tenant farm churn determinism + SLO gate (CI)", Exp_farmgate.run);
+    ("servegate", "compile-service coalescing + admission gate (CI)", Exp_servegate.run);
   ]
 
 let usage () =

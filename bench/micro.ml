@@ -290,6 +290,35 @@ let farm_replace =
            (Inter_fpga.replace ~failed_devices:[ victim ] ~prev ~cluster ~synthesis
               compile_graph)))
 
+(* Compile service: the cold path pays one full compile through the
+   admission/coalescing machinery with every cache reset; the warm path
+   is the same request answered from the response cache.  Their ratio is
+   the acceptance bar the serve gate enforces (>= 100x).  The scripted
+   closed-loop pair pins end-to-end requests/s at 4 clients for both
+   cache states. *)
+let serve_request =
+  Tapa_cs_service.Request.make ~iters:16 ~kind:Tapa_cs_service.Request.Compile ~app:"stencil" ()
+
+let serve_cold =
+  Test.make ~name:"served compile, cold (caches reset)"
+    (Staged.stage (fun () ->
+         Tapa_cs_service.Service.reset_process_caches ();
+         let svc = Tapa_cs_service.Service.create () in
+         ignore (Tapa_cs_service.Service.handle svc serve_request)))
+
+let serve_warm =
+  let svc = Tapa_cs_service.Service.create () in
+  ignore (Tapa_cs_service.Service.handle svc serve_request);
+  Test.make ~name:"served compile, warm hit"
+    (Staged.stage (fun () -> ignore (Tapa_cs_service.Service.handle svc serve_request)))
+
+let serve_script ~warm name =
+  let cfg = { Tapa_cs_service.Script.default_config with Tapa_cs_service.Script.warm } in
+  Test.make ~name (Staged.stage (fun () -> ignore (Tapa_cs_service.Script.run cfg)))
+
+let serve_script_cold = serve_script ~warm:false "serve script 4-client stream, cold"
+let serve_script_warm = serve_script ~warm:true "serve script 4-client stream, warm"
+
 let tests =
   Test.make_grouped ~name:"kernels"
     ([
@@ -303,7 +332,7 @@ let tests =
         small_sim_reference; small_sim_cached; static_bounds_bench; sim_sweep_seq;
       ]
     @ Option.to_list sim_sweep_par
-    @ [ farm_replace ])
+    @ [ farm_replace; serve_cold; serve_warm; serve_script_cold; serve_script_warm ])
 
 (* Machine-readable perf trajectory: name -> ns/run, written next to the
    repo's other BENCH_*.json artifacts so successive PRs can be compared

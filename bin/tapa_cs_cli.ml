@@ -928,6 +928,211 @@ let farm_cmd =
           identical across runs and --jobs values for equal inputs.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* serve / request: the compile service (DESIGN.md §5j)                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Service = Tapa_cs_service.Service in
+  let module Script = Tapa_cs_service.Script in
+  let module Server = Tapa_cs_service.Server in
+  let socket_arg =
+    let doc = "Unix domain socket path to listen on (live mode)." in
+    Arg.(value & opt string "/tmp/tapa_cs.sock" & info [ "socket" ] ~doc)
+  in
+  let script_arg =
+    let doc =
+      "Replay mode: drive a seeded synthetic client stream on a virtual clock instead of \
+       listening on a socket.  The report is wall-clock-free and byte-identical across runs \
+       and --jobs."
+    in
+    Arg.(value & flag & info [ "script" ] ~doc)
+  in
+  let clients_arg =
+    let doc = "Closed-loop clients in --script mode." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc)
+  in
+  let rpc_arg =
+    let doc = "Requests each scripted client issues." in
+    Arg.(value & opt int 8 & info [ "requests-per-client" ] ~doc)
+  in
+  let distinct_arg =
+    let doc = "Size of the request universe the scripted clients draw from." in
+    Arg.(value & opt int 6 & info [ "distinct" ] ~doc)
+  in
+  let warm_arg =
+    let doc = "Pre-fill the response cache with the whole universe before the measured stream." in
+    Arg.(value & flag & info [ "warm" ] ~doc)
+  in
+  let think_ms_arg =
+    let doc = "Virtual think time between a scripted response and the next request, ms." in
+    Arg.(value & opt float 0.0 & info [ "think-ms" ] ~doc)
+  in
+  let max_depth_arg =
+    let doc = "Admission bound: distinct computations a round may schedule (strict class)." in
+    Arg.(value & opt int Service.default_config.Service.max_depth & info [ "max-depth" ] ~doc)
+  in
+  let best_effort_depth_arg =
+    let doc = "Earlier shedding bound for best-effort requests (clamped to --max-depth)." in
+    Arg.(value
+         & opt int Service.default_config.Service.best_effort_depth
+         & info [ "best-effort-depth" ] ~doc)
+  in
+  let max_requests_arg =
+    let doc = "Live mode: exit after answering this many requests (0 = serve forever)." in
+    Arg.(value & opt int 0 & info [ "max-requests" ] ~doc)
+  in
+  let stats_json_arg =
+    let doc = "Write the final report/metrics JSON to $(docv) ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~doc ~docv:"FILE")
+  in
+  let emit_stats stats_json_file json =
+    match stats_json_file with
+    | None -> ()
+    | Some "-" -> print_endline json
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+      output_string oc json;
+      output_char oc '\n';
+      Format.printf "wrote service stats to %s@." path
+  in
+  let run script socket clients rpc distinct seed warm think_ms max_depth best_effort_depth
+      max_requests stats_json_file jobs =
+    let jobs = effective_jobs jobs in
+    let pool =
+      if jobs > 1 then Some (Tapa_cs_util.Pool.create ~domains:(jobs - 1) ()) else None
+    in
+    Fun.protect ~finally:(fun () -> Option.iter Tapa_cs_util.Pool.shutdown pool) @@ fun () ->
+    let service_config = { Service.max_depth; best_effort_depth; cache_entries = 8192 } in
+    if script then begin
+      let cfg =
+        {
+          Script.default_config with
+          Script.clients;
+          requests_per_client = rpc;
+          distinct;
+          seed;
+          warm;
+          think_s = think_ms /. 1000.0;
+          service_config;
+        }
+      in
+      let report = Script.run ?pool cfg in
+      let c = report.Script.counters in
+      Format.printf
+        "script: %d clients x %d requests, universe %d, %s@." cfg.Script.clients
+        cfg.Script.requests_per_client cfg.Script.distinct
+        (if warm then "warm" else "cold");
+      Format.printf
+        "  received %d  completed %d  hits %d  misses %d  coalesced %d  rejected %d@."
+        c.Service.received c.Service.completed c.Service.hits c.Service.misses
+        c.Service.coalesced
+        (c.Service.rejected_strict + c.Service.shed_best_effort);
+      Format.printf "  virtual makespan %.6f s  throughput %.1f req/s@."
+        report.Script.virtual_makespan_s report.Script.virtual_requests_per_s;
+      emit_stats stats_json_file (Script.report_json report);
+      0
+    end
+    else begin
+      let svc = Service.create ?pool ~config:service_config () in
+      let server = Server.create ~socket_path:socket svc in
+      Fun.protect ~finally:(fun () -> Server.close server) @@ fun () ->
+      Format.printf "listening on %s (max-depth %d, best-effort %d, jobs %d)@." socket max_depth
+        best_effort_depth jobs;
+      let served = Server.serve ~max_requests server in
+      Format.printf "served %d request(s)@." served;
+      emit_stats stats_json_file (Service.metrics_json svc);
+      0
+    end
+  in
+  let term =
+    Term.(const run $ script_arg $ socket_arg $ clients_arg $ rpc_arg $ distinct_arg $ seed_arg
+          $ warm_arg $ think_ms_arg $ max_depth_arg $ best_effort_depth_arg $ max_requests_arg
+          $ stats_json_arg $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile service: newline-delimited JSON requests over a Unix domain socket, \
+          deduplicated against the warm caches, coalesced, and batched through the shared \
+          worker pool behind a bounded admission queue.  --script replays a seeded synthetic \
+          client stream on a virtual clock instead, for byte-identical benchmarking.")
+    term
+
+let request_cmd =
+  let module Request = Tapa_cs_service.Request in
+  let module Server = Tapa_cs_service.Server in
+  let socket_arg =
+    let doc = "Unix domain socket path of the running service." in
+    Arg.(value & opt string "/tmp/tapa_cs.sock" & info [ "socket" ] ~doc)
+  in
+  let kind_arg =
+    let doc = "Request kind: compile, simulate or metrics." in
+    Arg.(value
+         & opt
+             (enum
+                [ ("compile", Request.Compile); ("simulate", Request.Simulate);
+                  ("metrics", Request.Metrics) ])
+             Request.Compile
+         & info [ "kind" ] ~doc)
+  in
+  let app_opt_arg =
+    let doc = "Benchmark application: " ^ String.concat ", " app_names ^ "." in
+    Arg.(value
+         & opt (enum (List.map (fun a -> (a, a)) app_names)) "stencil"
+         & info [ "app" ] ~doc)
+  in
+  let id_arg =
+    let doc = "Correlation id echoed in the response." in
+    Arg.(value & opt int 0 & info [ "id" ] ~doc)
+  in
+  let class_arg =
+    let doc = "Admission class: strict or best-effort." in
+    Arg.(value
+         & opt
+             (enum
+                [ ("strict", Tapa_cs_farm.Tenant.Strict);
+                  ("best-effort", Tapa_cs_farm.Tenant.Best_effort) ])
+             Tapa_cs_farm.Tenant.Best_effort
+         & info [ "class" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Send this raw JSON line instead of building one from the flags." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc)
+  in
+  let metrics_arg =
+    let doc = "Shortcut for --kind metrics." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run socket json metrics kind app fpgas iters dataset n d cols seed klass id =
+    let line =
+      match json with
+      | Some j -> j
+      | None ->
+        let kind = if metrics then Request.Metrics else kind in
+        Request.to_line
+          (Request.make ~id ~fpgas ~iters ~dataset ~n ~d ~cols ~seed ~klass ~kind ~app ())
+    in
+    match Server.request_once ~socket_path:socket line with
+    | Ok response ->
+      print_endline response;
+      0
+    | Error e ->
+      prerr_endline e;
+      1
+  in
+  let term =
+    Term.(const run $ socket_arg $ json_arg $ metrics_arg $ kind_arg $ app_opt_arg $ fpgas_arg
+          $ iters_arg $ dataset_arg $ n_arg $ d_arg $ cols_arg $ seed_arg $ class_arg $ id_arg)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running compile service and print the response line \
+          (one-shot client for scripts and CI smoke tests).")
+    term
+
 let info_cmd =
   let run () =
     let b = Board.u55c () in
@@ -950,7 +1155,7 @@ let () =
     Cmd.group (Cmd.info "tapa_cs_cli" ~doc)
       [
         compile_cmd; simulate_cmd; sweep_cmd; dot_cmd; emit_cmd; autoscale_cmd; analyze_cmd;
-        lint_cmd; farm_cmd; info_cmd;
+        lint_cmd; farm_cmd; serve_cmd; request_cmd; info_cmd;
       ]
   in
   exit (Cmd.eval' main)

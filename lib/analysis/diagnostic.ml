@@ -132,6 +132,12 @@ let registry =
       Error,
       "cut-set pipeline stages in the emitted Tcl do not re-derive the in-memory latency balance",
       "re-emit the artifacts; unbalanced cut latencies break the throughput argument" );
+    ( "TCS701",
+      Error,
+      "compile-service admission queue is full: the request was rejected before any work was \
+       scheduled",
+      "retry with backoff, raise the service --max-depth, or accept best-effort shedding under \
+       load" );
   ]
 
 (* One lookup shared by every accessor, so severity / meaning / hint can

@@ -306,6 +306,16 @@ let fault_spec_error ~flag ~spec ~reason =
     (Printf.sprintf "%s %S: %s" flag spec reason)
 
 (* ------------------------------------------------------------------ *)
+(* TCS701: compile-service admission rejection                         *)
+(* ------------------------------------------------------------------ *)
+
+let admission_reject ~klass ~depth ~limit =
+  diag "TCS701" Diagnostic.Design
+    (Printf.sprintf
+       "%s request rejected: admission queue holds %d pending computation(s), limit %d" klass
+       depth limit)
+
+(* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 

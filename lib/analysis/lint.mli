@@ -51,6 +51,14 @@ val fault_spec_error : flag:string -> spec:string -> reason:string -> Diagnostic
     ({!Tapa_cs_network.Fault.parse_link_spec} /
     {!Tapa_cs_network.Fault.parse_timeline_entry}). *)
 
+val admission_reject : klass:string -> depth:int -> limit:int -> Diagnostic.t
+(** A compile-service admission rejection as its TCS701 registry
+    diagnostic: the bounded queue already holds [depth] pending
+    computations against the [limit] that applies to this request class
+    ([klass] is the farm SLO vocabulary: ["strict"] or ["best-effort"]).
+    Rejections are always explicit responses — the service never
+    silently drops a request. *)
+
 val run_all : ?threshold:float -> cluster:Cluster.t -> Taskgraph.t -> Diagnostic.t list
 (** Every pass (synthesizes the graph itself for the capacity check),
     sorted errors-first. *)

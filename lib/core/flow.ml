@@ -53,10 +53,10 @@ let vitis ?(board = Board.u55c) graph =
       }
   end
 
-let tapa ?(board = Board.u55c) ?(options = Compiler.default_options) graph =
+let tapa ?(board = Board.u55c) ?(options = Compiler.default_options) ?pool graph =
   let board = board () in
   let cluster = Cluster.make ~board:(fun () -> board) 1 in
-  match Compiler.compile ~options ~cluster graph with
+  match Compiler.compile ~options ?pool ~cluster graph with
   | Error e -> Error ("TAPA flow: " ^ e)
   | Ok c ->
     Ok
@@ -76,8 +76,8 @@ let tapa ?(board = Board.u55c) ?(options = Compiler.default_options) graph =
         compiled = Some c;
       }
 
-let tapa_cs ?(options = Compiler.default_options) ~cluster graph =
-  match Compiler.compile ~options ~cluster graph with
+let tapa_cs ?(options = Compiler.default_options) ?pool ~cluster graph =
+  match Compiler.compile ~options ?pool ~cluster graph with
   | Error e -> Error ("TAPA-CS flow: " ^ e)
   | Ok c ->
     Ok

@@ -29,10 +29,24 @@ type design = {
 }
 
 val vitis : ?board:(unit -> Board.t) -> Taskgraph.t -> (design, string) Stdlib.result
-val tapa : ?board:(unit -> Board.t) -> ?options:Compiler.options -> Taskgraph.t -> (design, string) Stdlib.result
+
+val tapa :
+  ?board:(unit -> Board.t) ->
+  ?options:Compiler.options ->
+  ?pool:Tapa_cs_util.Pool.t ->
+  Taskgraph.t ->
+  (design, string) Stdlib.result
 
 val tapa_cs :
-  ?options:Compiler.options -> cluster:Cluster.t -> Taskgraph.t -> (design, string) Stdlib.result
+  ?options:Compiler.options ->
+  ?pool:Tapa_cs_util.Pool.t ->
+  cluster:Cluster.t ->
+  Taskgraph.t ->
+  (design, string) Stdlib.result
+(** [pool] shares a caller-owned worker pool across compiles (the
+    compile service, sweeps, the farm controller) instead of spawning
+    one per compile; it overrides [options.jobs] and is never shut down
+    here ({!Compiler.compile}). *)
 
 val sim_config : ?chunks:int -> design -> Design_sim.config
 (** The simulator configuration [simulate] runs — exposed so callers can

@@ -1,0 +1,187 @@
+(* Live transport: newline-delimited JSON over a Unix domain socket.
+
+   One [select] loop owns every connection; each wake-up drains all the
+   readable clients, and every complete request line collected in that
+   sweep becomes ONE scheduling round ([Service.schedule]).  That is
+   where batching comes from in live mode: concurrent clients that race
+   a burst of identical requests land in the same round and coalesce to
+   a single computation, and the admission bound applies to the whole
+   burst, not per connection.  Metrics requests and malformed lines are
+   answered inline without touching the scheduler. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes received, not yet terminated by '\n' *)
+  mutable closed : bool;
+}
+
+type t = {
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  socket_path : string;
+  mutable conns : conn list;
+  mutable served : int;  (* completed + rejected + metrics + errors *)
+}
+
+let create ~socket_path service =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.bind fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen fd 64;
+  { service; listen_fd = fd; socket_path; conns = []; served = 0 }
+
+let close t =
+  List.iter (fun c -> if not c.closed then try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.socket_path with Unix.Unix_error _ -> ()
+
+let write_line fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write fd payload !off (len - !off)
+    done;
+    true
+  with Unix.Unix_error _ -> false
+
+(* Pull complete lines out of a connection buffer, leaving the partial
+   tail in place. *)
+let take_lines c =
+  let s = Buffer.contents c.buf in
+  Buffer.clear c.buf;
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i ch ->
+      if ch = '\n' then begin
+        lines := String.sub s !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    s;
+  Buffer.add_string c.buf (String.sub s !start (String.length s - !start));
+  List.rev !lines
+
+let read_chunk = Bytes.create 65536
+
+let drain c =
+  match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 ->
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    []
+  | n ->
+    Buffer.add_subbytes c.buf read_chunk 0 n;
+    List.map (fun line -> (c, line)) (take_lines c)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> []
+  | exception Unix.Unix_error _ ->
+    c.closed <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    []
+
+(* Serve until [max_requests] requests have been answered (0 = forever).
+   Returns the number served. *)
+let serve ?(max_requests = 0) t =
+  let stop = ref false in
+  while not !stop do
+    let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+    let readable, _, _ =
+      try Unix.select fds [] [] 1.0
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem t.listen_fd readable then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.set_close_on_exec fd;
+        t.conns <- { fd; buf = Buffer.create 256; closed = false } :: t.conns
+      | exception Unix.Unix_error _ -> ()
+    end;
+    (* Drain every readable client; the lines collected in this sweep
+       are one scheduling round. *)
+    let pending =
+      List.concat_map
+        (fun c -> if c.closed || not (List.memq c.fd readable) then [] else drain c)
+        t.conns
+    in
+    t.conns <- List.filter (fun c -> not c.closed) t.conns;
+    (* Answer metrics and malformed lines inline; batch the rest. *)
+    let batch = ref [] in
+    List.iter
+      (fun (c, line) ->
+        if String.trim line <> "" then
+          match Request.of_line line with
+          | Error reason ->
+            ignore (write_line c.fd (Service.error_json ~id:0 reason));
+            t.served <- t.served + 1
+          | Ok r when r.Request.kind = Request.Metrics ->
+            ignore (write_line c.fd (Service.metrics_json t.service));
+            t.served <- t.served + 1
+          | Ok r -> batch := (c, r) :: !batch)
+      pending;
+    let batch = Array.of_list (List.rev !batch) in
+    if Array.length batch > 0 then begin
+      let t0 = Unix.gettimeofday () in
+      let verdicts = Service.schedule t.service (Array.map snd batch) in
+      let dt = Unix.gettimeofday () -. t0 in
+      Array.iteri
+        (fun i v ->
+          let c, r = batch.(i) in
+          Service.note_latency t.service dt;
+          ignore (write_line c.fd (Service.response_json ~id:r.Request.id v));
+          t.served <- t.served + 1)
+        verdicts
+    end;
+    if max_requests > 0 && t.served >= max_requests then stop := true
+  done;
+  t.served
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let connect ?(retries = 50) socket_path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> Ok fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when n > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      go (n - 1)
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+  in
+  go retries
+
+let read_line_fd fd =
+  let b = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | _ ->
+      if Bytes.get one 0 = '\n' then Some (Buffer.contents b)
+      else begin
+        Buffer.add_char b (Bytes.get one 0);
+        go ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* One-shot client: connect (with retries while the server starts up),
+   send one request line, return the one response line. *)
+let request_once ?retries ~socket_path line =
+  match connect ?retries socket_path with
+  | Error e -> Error (Printf.sprintf "connect %s: %s" socket_path e)
+  | Ok fd ->
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    Fun.protect ~finally (fun () ->
+        if not (write_line fd line) then Error "write failed"
+        else
+          match read_line_fd fd with
+          | Some resp -> Ok resp
+          | None -> Error "server closed the connection without responding")

@@ -1,26 +1,86 @@
+(* Two-generation content-addressed memo with single-flight computation.
+
+   Entries live in a [young] and an [old] hash table.  Inserts go to
+   [young]; when [young] reaches the per-generation capacity the
+   generations rotate: the previous [old] generation is discarded (its
+   entries counted as evictions), [young] becomes [old], and a fresh
+   [young] receives the insert.  A lookup that finds its key in [old]
+   promotes it back into [young], so a hot working set survives
+   rotation after rotation — unlike the previous wholesale clear, which
+   dropped every entry at once the moment the table overflowed.
+
+   Single-flight: the first caller to miss on a key becomes its leader
+   and computes outside the lock; callers that miss on the same key
+   while the leader is still computing wait on a condition variable and
+   receive the leader's value instead of duplicating the work.  If the
+   leader's computation raises, waiters retry from scratch (one of them
+   becomes the new leader); the exception propagates only to the leader
+   that observed it. *)
+
+type 'a pending = {
+  mutable value : 'a option;
+  mutable failed : bool;
+}
+
 type 'a t = {
-  table : (string, 'a) Hashtbl.t;
+  mutable young : (string, 'a) Hashtbl.t;
+  mutable old : (string, 'a) Hashtbl.t;
+  inflight : (string, 'a pending) Hashtbl.t;
   lock : Mutex.t;
-  max_entries : int;
+  resolved : Condition.t;
+  gen_entries : int;  (* per-generation capacity: max_entries / 2 *)
   hits : int Atomic.t;
   misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ?(max_entries = 8192) () =
+  let max_entries = max max_entries 2 in
   {
-    table = Hashtbl.create 64;
+    young = Hashtbl.create 64;
+    old = Hashtbl.create 64;
+    inflight = Hashtbl.create 8;
     lock = Mutex.create ();
-    max_entries = max max_entries 1;
+    resolved = Condition.create ();
+    gen_entries = max 1 (max_entries / 2);
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Insert into [young], rotating generations first if it is full.  The
+   caller holds the lock.  Values never change on rotation — eviction
+   only ever costs a recomputation, never a different answer. *)
+let insert_locked t key v =
+  if Hashtbl.length t.young >= t.gen_entries && not (Hashtbl.mem t.young key) then begin
+    let dropped = Hashtbl.length t.old in
+    if dropped > 0 then ignore (Atomic.fetch_and_add t.evictions dropped);
+    let emptied = t.old in
+    t.old <- t.young;
+    t.young <- emptied;
+    Hashtbl.reset t.young
+  end;
+  Hashtbl.replace t.young key v
+
+(* Young first, then old with promotion back into young.  The caller
+   holds the lock. *)
+let lookup_locked t key =
+  match Hashtbl.find_opt t.young key with
+  | Some _ as v -> v
+  | None -> (
+    match Hashtbl.find_opt t.old key with
+    | Some v ->
+      Hashtbl.remove t.old key;
+      insert_locked t key v;
+      Some v
+    | None -> None)
+
 let find t ~key =
-  match with_lock t (fun () -> Hashtbl.find_opt t.table key) with
+  match with_lock t (fun () -> lookup_locked t key) with
   | Some _ as v ->
     Atomic.incr t.hits;
     v
@@ -28,28 +88,65 @@ let find t ~key =
     Atomic.incr t.misses;
     None
 
-let store t key v =
-  with_lock t (fun () ->
-      if not (Hashtbl.mem t.table key) then begin
-        if Hashtbl.length t.table >= t.max_entries then Hashtbl.reset t.table;
-        Hashtbl.add t.table key v
-      end)
-
 let find_or_compute t ~key f =
-  match find t ~key with
-  | Some v -> (v, true)
-  | None ->
-    (* Compute outside the lock: the determinism contract makes a racing
-       duplicate compute return the same value, so first-store-wins is
-       safe and slow solves don't block unrelated lookups. *)
-    let v = f () in
-    store t key v;
-    (v, false)
+  Mutex.lock t.lock;
+  let rec attempt () =
+    match lookup_locked t key with
+    | Some v ->
+      Mutex.unlock t.lock;
+      Atomic.incr t.hits;
+      (v, true)
+    | None -> (
+      match Hashtbl.find_opt t.inflight key with
+      | Some p ->
+        (* A leader is computing this key right now: wait for it instead
+           of duplicating the work.  The condition is shared by every
+           key, so re-check our pending slot on each wakeup. *)
+        while p.value = None && not p.failed do
+          Condition.wait t.resolved t.lock
+        done;
+        (match p.value with
+        | Some v ->
+          Mutex.unlock t.lock;
+          Atomic.incr t.hits;
+          (v, true)
+        | None ->
+          (* The leader raised; race to become the new leader. *)
+          attempt ())
+      | None ->
+        let p = { value = None; failed = false } in
+        Hashtbl.add t.inflight key p;
+        Mutex.unlock t.lock;
+        (* Compute outside the lock so a slow solve does not serialize
+           unrelated lookups. *)
+        (match f () with
+        | v ->
+          Mutex.lock t.lock;
+          p.value <- Some v;
+          Hashtbl.remove t.inflight key;
+          insert_locked t key v;
+          Condition.broadcast t.resolved;
+          Mutex.unlock t.lock;
+          Atomic.incr t.misses;
+          (v, false)
+        | exception e ->
+          Mutex.lock t.lock;
+          p.failed <- true;
+          Hashtbl.remove t.inflight key;
+          Condition.broadcast t.resolved;
+          Mutex.unlock t.lock;
+          raise e))
+  in
+  attempt ()
 
-let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let length t = with_lock t (fun () -> Hashtbl.length t.young + Hashtbl.length t.old)
 let stats t = (Atomic.get t.hits, Atomic.get t.misses)
+let evictions t = Atomic.get t.evictions
 
 let reset t =
-  with_lock t (fun () -> Hashtbl.reset t.table);
+  with_lock t (fun () ->
+      Hashtbl.reset t.young;
+      Hashtbl.reset t.old);
   Atomic.set t.hits 0;
-  Atomic.set t.misses 0
+  Atomic.set t.misses 0;
+  Atomic.set t.evictions 0

@@ -2,44 +2,66 @@
 
     A [t] maps canonical string keys (typically a [Digest.string] of a
     serialized problem) to previously computed values.  It is designed for
-    caching solver results across the compile pipeline:
+    caching solver results across the compile pipeline and the serving
+    layer:
 
     - Thread/domain-safe: lookups and insertions take an internal mutex, so
       a single global table can be shared by [Pool] workers.
-    - Compute-outside-lock: [find_or_compute] releases the mutex while the
-      supplied thunk runs, so a slow solve does not serialize unrelated
-      lookups.  Two domains racing on the same key may both compute; the
-      first store wins and the value is identical by the determinism
-      contract (same key => same canonical problem => same result), so the
-      duplicate work is harmless.
-    - Bounded: when the table exceeds [max_entries] it is cleared wholesale
-      before the next insertion.  Eviction only ever costs recomputation,
-      never changes results.
+    - Single-flight: the first caller to miss on a key computes it with
+      the mutex released; callers that miss on the {e same} key while that
+      computation is still running wait and receive the leader's value
+      instead of duplicating the work (one computation, N waiters).
+      Waiters count as hits, the leader as a miss, so hit/miss totals for
+      a set of concurrent same-key calls are independent of interleaving.
+      Distinct keys never wait on each other.
+    - Two-generation eviction: entries live in a young and an old
+      generation of [max_entries / 2] each.  When the young generation
+      fills, the old one is discarded (counted in {!evictions}) and the
+      generations rotate; a lookup that lands in the old generation
+      promotes its entry back into the young one.  A hot working set
+      therefore survives overflow — only entries untouched for a full
+      generation are dropped, never the whole table at once.  Eviction
+      only ever costs recomputation, never changes results (cold and warm
+      lookups are bit-identical by the determinism contract).
 
-    Hit/miss counters are kept in atomics and can be read or reset at any
-    time; they are observability-only and must never feed back into cached
-    values (that would break cold-vs-warm bit-identity). *)
+    Hit/miss/eviction counters are kept in atomics and can be read or
+    reset at any time; they are observability-only and must never feed
+    back into cached values (that would break cold-vs-warm bit-identity). *)
 
 type 'a t
 
 val create : ?max_entries:int -> unit -> 'a t
-(** [create ()] makes an empty table.  [max_entries] defaults to 8192. *)
+(** [create ()] makes an empty table.  [max_entries] (default 8192,
+    clamped to [>= 2]) bounds the total entry count across both
+    generations. *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
 (** [find_or_compute t ~key f] returns [(v, hit)]: the cached value for
     [key] with [hit = true], or [f ()] (stored under [key]) with
-    [hit = false].  If [f] raises, nothing is stored and the exception
-    propagates.  The caller must treat [v] as shared: copy any mutable
+    [hit = false].  A caller arriving while another domain is already
+    computing [key] blocks until that computation resolves and returns
+    its value with [hit = true] — [f] runs exactly once per miss.  If
+    [f] raises, nothing is stored, the exception propagates to the
+    caller that ran [f], and any waiters retry (one of them becomes the
+    new leader).  The caller must treat [v] as shared: copy any mutable
     structure before handing it out. *)
 
 val find : 'a t -> key:string -> 'a option
-(** Lookup without computing; counts as a hit or miss. *)
+(** Lookup without computing; counts as a hit or miss.  Never waits on
+    an in-flight computation. *)
 
 val length : 'a t -> int
-(** Number of entries currently stored. *)
+(** Number of entries currently stored (both generations). *)
 
 val stats : 'a t -> int * int
-(** [(hits, misses)] since creation or the last [reset]. *)
+(** [(hits, misses)] since creation or the last [reset].  Every
+    {!find_or_compute} that returns normally and every {!find} counts
+    exactly one hit or one miss, so [hits + misses] equals the number of
+    completed lookups. *)
+
+val evictions : 'a t -> int
+(** Entries dropped by generation rotation since creation or the last
+    {!reset}. *)
 
 val reset : 'a t -> unit
 (** Drop all entries and zero the counters. *)

@@ -11,6 +11,11 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   nworkers : int;
+  (* Observability only (atomics, no locks): items published but not yet
+     claimed, and domains currently inside a mapped closure.  Never read
+     by the scheduler itself. *)
+  queued : int Atomic.t;
+  busy : int Atomic.t;
 }
 
 (* Set in every worker so nested [parallel_map] calls (e.g. a parallel
@@ -61,12 +66,15 @@ let create ?domains () =
       stop = false;
       workers = [];
       nworkers;
+      queued = Atomic.make 0;
+      busy = Atomic.make 0;
     }
   in
   pool.workers <- List.init nworkers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
 let size pool = pool.nworkers
+let snapshot pool = (Atomic.get pool.queued, Atomic.get pool.busy)
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -88,9 +96,12 @@ let run_batch pool f a =
     let rec claim () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        ignore (Atomic.fetch_and_add pool.queued (-1));
+        ignore (Atomic.fetch_and_add pool.busy 1);
         (match f a.(i) with
         | v -> results.(i) <- Some v
         | exception e -> ignore (Atomic.compare_and_set failure None (Some e)));
+        ignore (Atomic.fetch_and_add pool.busy (-1));
         if Atomic.fetch_and_add completed 1 = n - 1 then begin
           Mutex.lock done_mutex;
           Condition.broadcast done_cond;
@@ -101,6 +112,7 @@ let run_batch pool f a =
     in
     claim ()
   in
+  ignore (Atomic.fetch_and_add pool.queued n);
   Mutex.lock pool.mutex;
   pool.batch_id <- pool.batch_id + 1;
   pool.batch <- Some help;

@@ -37,6 +37,15 @@ val size : t -> int
 (** Number of worker domains (excluding the caller, which also works
     during a batch). *)
 
+val snapshot : t -> int * int
+(** [(queue_depth, busy_workers)]: items of the current batch published
+    but not yet claimed, and domains (workers or the caller) currently
+    inside a mapped closure.  Lock-free atomic reads, observability only
+    — the serving layer reports pool saturation from this without ever
+    touching scheduling.  Both are [0] when the pool is idle; values read
+    while a batch is in flight are instantaneous and may be stale by the
+    time the caller uses them. *)
+
 val parallel_map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ?pool f a] is [Array.map f a] with the elements
     evaluated concurrently by the pool's workers plus the calling domain.

@@ -915,6 +915,9 @@ let test_registry_exhaustive () =
           AC.check_report ~expected:faithful_report { faithful_report with AC.fpgas = 1 }),
         fun () -> AC.check_report ~expected:faithful_report faithful_report );
       ("TCS604", stage_fixture true, stage_fixture false);
+      ( "TCS701",
+        (fun () -> [ Lint.admission_reject ~klass:"best-effort" ~depth:64 ~limit:48 ]),
+        fun () -> [ Lint.floorplan_error If.Infeasible ] );
     ]
   in
   List.iter

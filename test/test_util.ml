@@ -393,6 +393,29 @@ let test_pool_failing_batch_drains () =
   let ok = Pool.parallel_map ~pool succ (Array.init 10 Fun.id) in
   check bool "next batch clean" true (ok = Array.init 10 succ)
 
+let test_pool_snapshot () =
+  (* The queue/busy snapshot is observability-only: idle pools read
+     (0, 0), and a batch in flight shows busy workers without perturbing
+     the result. *)
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  check bool "idle snapshot" true (Pool.snapshot pool = (0, 0));
+  let seen_busy = Atomic.make 0 in
+  let got =
+    Pool.parallel_map ~pool
+      (fun i ->
+        let queued, busy = Pool.snapshot pool in
+        if busy > 0 then Atomic.incr seen_busy;
+        (* 2 workers + the helping caller bound the busy count. *)
+        check bool "snapshot sane mid-batch" true (queued >= 0 && busy >= 1 && busy <= 3);
+        i * 3)
+      (Array.init 64 Fun.id)
+  in
+  check bool "result unperturbed" true (got = Array.init 64 (fun i -> i * 3));
+  (* Every mapped closure at least observes itself as busy. *)
+  check int "busy observed by every item" 64 (Atomic.get seen_busy);
+  check bool "drained snapshot" true (Pool.snapshot pool = (0, 0))
+
 let test_pool_small_arrays () =
   check bool "empty" true (Pool.parallel_map Fun.id [||] = [||]);
   check bool "singleton" true (Pool.parallel_map succ [| 41 |] = [| 42 |]);
@@ -428,9 +451,73 @@ let test_memo_capacity () =
   for i = 0 to 9 do
     ignore (Memo.find_or_compute m ~key:(string_of_int i) (fun () -> i))
   done;
-  (* The table clears wholesale at capacity instead of growing without
-     bound; it must never exceed max_entries. *)
+  (* Overflow rotates the young generation into the old one and drops
+     the previous old generation; it must never exceed max_entries. *)
   check bool "bounded" true (Memo.length m <= 4)
+
+let test_memo_single_flight () =
+  (* N domains race the same absent key.  Single-flight means exactly
+     one computes (the leader); every waiter blocks for the leader's
+     value instead of duplicating the work, and counts as a hit — so
+     hit/miss totals are interleaving-independent. *)
+  let m = Memo.create () in
+  let computes = Atomic.make 0 in
+  let release = Atomic.make false in
+  let domains = 6 in
+  let worker () =
+    Memo.find_or_compute m ~key:"heavy" (fun () ->
+        Atomic.incr computes;
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        1234)
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  (* Let every waiter pile up behind the leader before releasing it. *)
+  while Atomic.get computes = 0 do Domain.cpu_relax () done;
+  Unix.sleepf 0.02;
+  Atomic.set release true;
+  let results = List.map Domain.join ds in
+  check int "computed exactly once" 1 (Atomic.get computes);
+  List.iter (fun (v, _) -> check int "every racer got the value" 1234 v) results;
+  let hits, misses = Memo.stats m in
+  check int "one miss (the leader)" 1 misses;
+  check int "every other racer is a hit" (domains - 1) hits;
+  check int "counters close" domains (hits + misses)
+
+let test_memo_single_flight_failure () =
+  (* A leader that raises must not poison the key: waiters retry, and a
+     later computation can succeed. *)
+  let m = Memo.create () in
+  let attempts = ref 0 in
+  (try ignore (Memo.find_or_compute m ~key:"k" (fun () -> incr attempts; failwith "boom"))
+   with Failure _ -> ());
+  let v, hit = Memo.find_or_compute m ~key:"k" (fun () -> incr attempts; 7) in
+  check int "value after a failed first attempt" 7 v;
+  check bool "recomputation is a miss" false hit;
+  check int "both attempts ran" 2 !attempts
+
+let test_memo_two_generations () =
+  (* A key that stays hot survives generation rotation by promotion;
+     untouched keys age out.  Re-computation after eviction returns the
+     identical value (cold/warm bit-identity). *)
+  let m = Memo.create ~max_entries:8 () in
+  let compute k () = k * 11 in
+  ignore (Memo.find_or_compute m ~key:"hot" (fun () -> 999));
+  for i = 0 to 30 do
+    ignore (Memo.find_or_compute m ~key:(string_of_int i) (compute i));
+    (* Touch the hot key every insert so each lookup either hits young
+       or promotes it out of the old generation before rotation. *)
+    let v, hit = Memo.find_or_compute m ~key:"hot" (fun () -> 999) in
+    check bool "hot key never recomputed" true hit;
+    check int "hot value stable" 999 v
+  done;
+  check bool "rotation happened" true (Memo.evictions m > 0);
+  check bool "still bounded" true (Memo.length m <= 8);
+  (* Key 0 is long gone; recomputing it gives the same answer. *)
+  let v, hit = Memo.find_or_compute m ~key:"0" (compute 0) in
+  check bool "cold key aged out" false hit;
+  check int "recompute identical" 0 v;
+  Memo.reset m;
+  check int "reset clears evictions" 0 (Memo.evictions m)
 
 let test_memo_concurrent () =
   (* Hammer one table from several domains: every computed value must be
@@ -514,6 +601,7 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
           Alcotest.test_case "failing batch drains" `Quick test_pool_failing_batch_drains;
           Alcotest.test_case "nested + shutdown" `Quick test_pool_nested_and_shutdown;
+          Alcotest.test_case "snapshot observability" `Quick test_pool_snapshot;
           Alcotest.test_case "small arrays" `Quick test_pool_small_arrays;
         ] );
       ( "memo",
@@ -521,6 +609,9 @@ let () =
           Alcotest.test_case "basics" `Quick test_memo_basics;
           Alcotest.test_case "capacity bound" `Quick test_memo_capacity;
           Alcotest.test_case "domain concurrency" `Quick test_memo_concurrent;
+          Alcotest.test_case "single flight" `Quick test_memo_single_flight;
+          Alcotest.test_case "single flight failure" `Quick test_memo_single_flight_failure;
+          Alcotest.test_case "two generations" `Quick test_memo_two_generations;
         ] );
       ("properties", qsuite);
     ]
