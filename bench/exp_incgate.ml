@@ -1,0 +1,185 @@
+(* CI gate for subproblem-granular incremental recompilation.
+
+   The tentpole contract: after an edit to a placed design, the grouped
+   floorplanner re-solves only the node groups whose canonical
+   subproblem digest changed and replays every untouched group from the
+   process-wide fragment cache — and the stitched result is
+   byte-identical to a cold solve of the edited design.  Four hard
+   properties:
+
+   1. Byte-identity (hard): the incremental re-solve of an edited
+      100-FPGA/1000-task design equals the fully cold re-solve of the
+      same edited design — assignment, cost and solver stats
+      (runtime_s excepted) — at jobs=1 and jobs=N alike.  Fragments may
+      only ever change wall-clock, never an answer.
+
+   2. Dirty-set locality (hard): a single FIFO-width edit re-solves at
+      most a handful of the 24 node-group subproblems; the rest are
+      fragment-cache hits.
+
+   3. Speedup (hard): the incremental re-solve beats the cold solve of
+      the same design by a conservative margin on any host (the pinned
+      trajectory in BENCH_micro.json records the real ratio).
+
+   4. Farm reuse (hard): a 1-dead-board churn scenario through the farm
+      controller shows fragment-cache hits in its stats-json — with the
+      availability accounting closure and repeat-run byte-identity of
+      the farm gate fully intact. *)
+
+open Tapa_cs_util
+open Tapa_cs_device
+open Tapa_cs_floorplan
+open Tapa_cs_farm
+module Fault = Tapa_cs_network.Fault
+
+let fail fmt = Printf.ksprintf (fun s -> Printf.printf "  FAIL %s\n" s; exit 1) fmt
+
+(* Speedup floor for incremental vs cold on the same edited design.
+   Measured ~7x on the reference host (285 ms cold, 39 ms incremental);
+   4x leaves headroom for slow CI machines while still failing hard if
+   the fragment path stops short-circuiting work. *)
+let min_speedup = 4.0
+
+let stats_equal (a : Partition.stats) (b : Partition.stats) =
+  { a with Partition.runtime_s = 0.0 } = { b with Partition.runtime_s = 0.0 }
+
+(* A single-task edit: widen the FIFO between tasks 500 and 501.  Under
+   the weight-independent BFS chunking the edit cannot move any chunk
+   boundary, so it dirties exactly the group(s) hosting that edge. *)
+let edited (p : Partition.problem) delta =
+  {
+    p with
+    Partition.edges =
+      List.map
+        (fun (a, b, w) -> if a = 500 && b = 501 then (a, b, w +. delta) else (a, b, w))
+        p.Partition.edges;
+  }
+
+let results_equal label (a : Partition.result) (b : Partition.result) =
+  if a.Partition.assignment <> b.Partition.assignment then
+    fail "%s: assignments differ" label;
+  if a.Partition.cost <> b.Partition.cost then
+    fail "%s: cost %.6f <> %.6f" label a.Partition.cost b.Partition.cost;
+  if not (stats_equal a.Partition.stats b.Partition.stats) then
+    fail "%s: solver stats differ" label
+
+let incremental_check pool jobs_label =
+  let problem, groups = Exp_ilpgate.synthetic ~fpgas:100 ~tasks:1000 () in
+  let solve p =
+    match Partition.solve ?pool ~groups p with
+    | Some r -> r
+    | None -> fail "%s: grouped solve returned no result" jobs_label
+  in
+  (* Cold base solve: populates the fragment cache. *)
+  Partition.reset_cache ();
+  let t0 = Unix.gettimeofday () in
+  let base = solve problem in
+  let t_cold = Unix.gettimeofday () -. t0 in
+  let fs_cold = Partition.fragment_stats () in
+  if fs_cold.Partition.frag_misses = 0 then
+    fail "%s: cold solve consulted no fragments (grouped path off?)" jobs_label;
+  if not base.Partition.feasible then fail "%s: base solve infeasible" jobs_label;
+  (* Incremental re-solve of the edited design on warm fragments. *)
+  let edited_problem = edited problem 32.0 in
+  let t0 = Unix.gettimeofday () in
+  let inc = solve edited_problem in
+  let t_inc = Unix.gettimeofday () -. t0 in
+  let fs_inc = Partition.fragment_stats () in
+  let hits = fs_inc.Partition.frag_hits - fs_cold.Partition.frag_hits in
+  let dirty = fs_inc.Partition.groups_resolved - fs_cold.Partition.groups_resolved in
+  if hits = 0 then fail "%s: incremental re-solve replayed no fragments" jobs_label;
+  if dirty > 4 then
+    fail "%s: single-task edit re-solved %d groups (dirty set should be <= 4)" jobs_label dirty;
+  (* Byte-identity: cold re-solve of the same edited design. *)
+  Partition.reset_cache ();
+  let t0 = Unix.gettimeofday () in
+  let cold = solve edited_problem in
+  let t_cold_edited = Unix.gettimeofday () -. t0 in
+  results_equal (jobs_label ^ ": incremental vs cold") inc cold;
+  let t_ref = Float.min t_cold t_cold_edited in
+  if t_inc *. min_speedup > t_ref then
+    fail "%s: incremental %.3fs vs cold %.3fs (< %.0fx)" jobs_label t_inc t_ref min_speedup;
+  (base, inc, t_cold, t_inc, hits, dirty)
+
+(* A farm whose single tenant is large enough to take the grouped
+   hierarchical path (4 node groups on a 16-board farm), churned by a
+   board death, its recovery, and a link flap.  The link round-trip
+   forces a re-solve of a topology whose untouched node groups are
+   already cached — fragment identity is content-derived and seed-free,
+   so the re-solve replays them even though every farm attempt carries
+   a fresh solver seed. *)
+let farm_scenario () =
+  let cluster = Cluster.heterogeneous ~boards_per_node:4 [ Board.u55c ] 16 in
+  let graph =
+    (Tapa_cs_apps.Stencil.generate (Tapa_cs_apps.Stencil.make_config ~iterations:8 ~fpgas:12 ()))
+      .Tapa_cs_apps.App.graph
+  in
+  let tenant = Tenant.make ~id:0 ~name:"big" ~slo:Tenant.Best_effort ~arrival_s:0.0 graph in
+  let timeline =
+    Fault.timeline
+      [
+        (50.0, Fault.Device_down 1);
+        (100.0, Fault.Device_up 1);
+        (150.0, Fault.Link_down (8, 9));
+        (200.0, Fault.Link_up (8, 9));
+      ]
+  in
+  let config = { Farm.default_config with Farm.seed = 5; horizon_s = 300.0 } in
+  fun pool -> Farm.run ?pool ~config ~cluster ~timeline [ tenant ]
+
+let run () =
+  Exp_common.section "Incremental gate: fragment cache + dirty-set re-solving (CI)";
+  let pool1 = Pool.create ~domains:0 () in
+  let b1, i1, t_cold, t_inc, hits, dirty = incremental_check (Some pool1) "jobs=1" in
+  Pool.shutdown pool1;
+  Printf.printf
+    "  100-FPGA/1000-task edit: cold %.2fs -> incremental %.3fs (%.1fx), %d fragment hits, \
+     dirty set %d/24 groups\n"
+    t_cold t_inc (t_cold /. t_inc) hits dirty;
+  if Pool.default_jobs () >= 2 then begin
+    let pooln = Pool.create () in
+    let bn, inn, _, _, hits_n, dirty_n = incremental_check (Some pooln) "jobs=N" in
+    Pool.shutdown pooln;
+    (* jobs must never change an answer — nor, thanks to single-flight
+       fragment computation, the cache-traffic totals. *)
+    results_equal "base jobs=1 vs jobs=N" b1 bn;
+    results_equal "incremental jobs=1 vs jobs=N" i1 inn;
+    if hits <> hits_n || dirty <> dirty_n then
+      fail "fragment traffic differs across jobs (hits %d/%d, dirty %d/%d)" hits hits_n dirty_n
+        dirty_n;
+    Printf.printf "  jobs=N: identical assignment, stats and fragment traffic\n"
+  end;
+  (* Farm churn with fragment reuse. *)
+  let scenario = farm_scenario () in
+  let stats = scenario None in
+  if stats.Farm.frag_hits = 0 then
+    fail "farm churn produced no fragment-cache hits (got %d misses)" stats.Farm.frag_misses;
+  (* Accounting closure is untouched by the cache layer. *)
+  List.iter
+    (fun (r : Farm.tenant_report) ->
+      let lifetime = stats.Farm.horizon_s -. r.Farm.tenant.Tenant.arrival_s in
+      let sum = r.Farm.healthy_s +. r.Farm.degraded_s +. r.Farm.down_s in
+      if Float.abs (sum -. lifetime) > 1e-6 then
+        fail "farm churn: tenant %s accounts %.6f s of a %.6f s lifetime"
+          r.Farm.tenant.Tenant.name sum lifetime)
+    stats.Farm.tenants;
+  let json = Farm.stats_json stats in
+  let contains_frag =
+    let needle = "\"frag_hits\":" in
+    let n = String.length json and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub json i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  if not contains_frag then fail "farm stats-json carries no frag_hits field";
+  (* Repeat-run and jobs byte-identity still hold with the cache layer on. *)
+  if Farm.stats_json (scenario None) <> json then
+    fail "farm churn: two jobs=1 runs emitted different stats-json";
+  if Pool.default_jobs () >= 2 then begin
+    let pool = Pool.create () in
+    let par = Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> scenario (Some pool)) in
+    if Farm.stats_json par <> json then fail "farm churn: jobs=1 and jobs=N stats-json differ"
+  end;
+  Printf.printf
+    "  farm churn (death + recovery + link flap): %d fragment hits / %d misses, %d groups \
+     re-solved, accounting closed\n"
+    stats.Farm.frag_hits stats.Farm.frag_misses stats.Farm.groups_resolved

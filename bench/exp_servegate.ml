@@ -129,10 +129,84 @@ let check_warm_speedup () =
   Printf.printf "  warm path: %.3f ms cold compile vs %.1f us served hit (%.0fx)\n" (cold_s *. 1e3)
     (warm_s *. 1e6) speedup
 
+(* Stage-timing diagnosis of the warm-stream regression: the old warm
+   serve bench reset the process caches and re-ran the pre-warm compiles
+   inside the measured region, so "warm" cost ~the cold stream.  The
+   breakdown makes that visible — in a cold stream the solve stage
+   dominates end-to-end time; in a genuinely warm stream (process caches
+   kept, response cache pre-filled outside the measurement) the solve
+   stage collapses and the stream runs at probe/admission speed. *)
+let check_stage_timings () =
+  let field json name =
+    let needle = Printf.sprintf "\"%s\":" name in
+    match String.index_opt json '{' with
+    | None -> fail "timings: malformed metrics json"
+    | Some _ -> (
+      let n = String.length json and m = String.length needle in
+      let rec find i =
+        if i + m > n then fail "timings: metrics json lacks %s" name
+        else if String.sub json i m = needle then i + m
+        else find (i + 1)
+      in
+      let start = find 0 in
+      let stop = ref start in
+      while
+        !stop < n && (match json.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      match float_of_string_opt (String.sub json start (!stop - start)) with
+      | Some v -> v
+      | None -> fail "timings: %s is not a number" name)
+  in
+  let stream svc =
+    let reqs =
+      Array.init 6 (fun u ->
+          Request.make ~id:u ~iters:(8 + (8 * (u mod 3))) ~kind:Request.Compile ~app:"stencil" ())
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Service.schedule svc reqs);
+    Unix.gettimeofday () -. t0
+  in
+  Service.reset_process_caches ();
+  let svc = Service.create () in
+  let cold_s = stream svc in
+  let m = Service.metrics_json svc in
+  let solve = field m "stage_solve_s" in
+  let probe = field m "stage_probe_s" in
+  let admission = field m "stage_admission_s" in
+  if solve <= 0.0 then fail "timings: cold stream recorded no solve time";
+  if solve < 0.5 *. cold_s then
+    fail "timings: cold stream solve stage %.4fs < half of %.4fs end-to-end" solve cold_s;
+  if probe < 0.0 || admission < 0.0 then fail "timings: negative stage time";
+  (* Same stream again on the warm service: all hits, so the solve stage
+     must not grow while the stream itself speeds up by orders of
+     magnitude. *)
+  Service.reset_counters svc;
+  let warm_s = stream svc in
+  let m' = Service.metrics_json svc in
+  let solve' = field m' "stage_solve_s" in
+  if solve' > 1e-3 then fail "timings: warm all-hit stream spent %.4fs solving" solve';
+  if warm_s *. 10.0 > cold_s then
+    fail "timings: warm stream %.4fs not clearly faster than cold %.4fs" warm_s cold_s;
+  (* The deterministic script report must not carry any of this. *)
+  let report = Script.report_json (Script.run script_config) in
+  let m_len = String.length report and needle = "stage_solve_s" in
+  let rec has i =
+    i + String.length needle <= m_len
+    && (String.sub report i (String.length needle) = needle || has (i + 1))
+  in
+  if has 0 then fail "timings: wall-clock stage fields leaked into the script report";
+  Printf.printf
+    "  stage timings: cold stream %.1f ms (solve %.1f ms, probe %.2f ms, admission %.2f ms); \
+     warm stream %.2f ms with zero solve\n"
+    (cold_s *. 1e3) (solve *. 1e3) (probe *. 1e3) (admission *. 1e3) (warm_s *. 1e3)
+
 let run () =
   Exp_common.section "Serve gate: coalescing + admission + determinism (CI)";
   check_determinism ();
   check_coalescing ();
   check_admission ();
   check_warm_speedup ();
+  check_stage_timings ();
   Printf.printf "  serve gate: all checks passed\n"

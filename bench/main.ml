@@ -52,6 +52,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("simgate", "simulation determinism gate (CI)", Exp_simgate.run);
     ("analyzegate", "static performance verifier gate (CI)", Exp_analyzegate.run);
     ("ilpgate", "hierarchical floorplan determinism + scale gate (CI)", Exp_ilpgate.run);
+    ("incgate", "incremental recompilation fragment-cache gate (CI)", Exp_incgate.run);
     ("farmgate", "multi-tenant farm churn determinism + SLO gate (CI)", Exp_farmgate.run);
     ("servegate", "compile-service coalescing + admission gate (CI)", Exp_servegate.run);
   ]

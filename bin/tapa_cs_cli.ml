@@ -191,14 +191,16 @@ let print_solver_stats ~json c =
   let s = Compiler.solver_stats c in
   let cache_hits, cache_misses = Tapa_cs_floorplan.Partition.cache_stats () in
   let sim_hits, sim_misses = Tapa_cs_sim.Design_sim.cache_stats () in
+  let fs = Compiler.fragment_stats () in
   let static_pruned = Tapa_cs_sim.Sim_sweep.static_pruned () in
   if json then
     Format.printf
-      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"subproblems\":%d,\"races_exact\":%d,\"races_anneal\":%d,\"incumbent_broadcasts\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d,\"static_pruned\":%d}@."
+      "{\"lp_solves\":%d,\"lp_pivots\":%d,\"lp_certified\":%d,\"lp_fallbacks\":%d,\"bb_nodes\":%d,\"refinement_moves\":%d,\"subproblems\":%d,\"races_exact\":%d,\"races_anneal\":%d,\"incumbent_broadcasts\":%d,\"floorplan_cache_hits\":%d,\"floorplan_cache_misses\":%d,\"frag_hits\":%d,\"frag_misses\":%d,\"groups_resolved\":%d,\"sim_cache_hits\":%d,\"sim_cache_misses\":%d,\"static_pruned\":%d}@."
       s.Compiler.lp_solves s.Compiler.lp_pivots s.Compiler.lp_certified s.Compiler.lp_fallbacks
       s.Compiler.bb_nodes s.Compiler.refinement_moves s.Compiler.subproblems
       s.Compiler.races_exact s.Compiler.races_anneal s.Compiler.incumbent_broadcasts cache_hits
-      cache_misses sim_hits sim_misses static_pruned
+      cache_misses fs.Compiler.frag_hits fs.Compiler.frag_misses fs.Compiler.groups_resolved
+      sim_hits sim_misses static_pruned
   else begin
     let i = string_of_int in
     Tapa_cs_util.Table.print ~title:"solver statistics"
@@ -217,6 +219,9 @@ let print_solver_stats ~json c =
         [ "incumbent broadcasts"; i s.Compiler.incumbent_broadcasts ];
         [ "floorplan cache hits (process)"; i cache_hits ];
         [ "floorplan cache misses (process)"; i cache_misses ];
+        [ "fragment cache hits (process)"; i fs.Compiler.frag_hits ];
+        [ "fragment cache misses (process)"; i fs.Compiler.frag_misses ];
+        [ "subproblems re-solved (process)"; i fs.Compiler.groups_resolved ];
         [ "sim cache hits (process)"; i sim_hits ];
         [ "sim cache misses (process)"; i sim_misses ];
         [ "statically pruned sweep points (process)"; i static_pruned ];

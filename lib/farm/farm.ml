@@ -63,6 +63,9 @@ type stats = {
   faults : fault_report list;
   timeline : sample list;
   reused : int;
+  frag_hits : int;
+  frag_misses : int;
+  groups_resolved : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -103,6 +106,12 @@ type frecord = {
 let norm_pair (a, b) = (min a b, max a b)
 
 let run ?pool ?(config = default_config) ~cluster ~timeline tenants =
+  (* Start from cold caches so every counter in the emitted stats —
+     including the fragment-cache fields below — is a pure function of
+     (cluster, workload, timeline, config), never of what ran earlier in
+     the process.  That is the byte-identity contract farmgate pins
+     across repeats and [--jobs] values. *)
+  Tapa_cs_floorplan.Partition.reset_cache ();
   let k = Cluster.size cluster in
   let horizon = config.horizon_s in
   let states =
@@ -539,6 +548,10 @@ let run ?pool ?(config = default_config) ~cluster ~timeline tenants =
         })
       !faults
   in
+  (* Fragment counters since the reset at entry: single-flight makes the
+     hit/miss totals a pure function of the subproblem multiset, so they
+     are identical across repeats and [--jobs] values. *)
+  let fs = Tapa_cs_floorplan.Partition.fragment_stats () in
   {
     boards = k;
     horizon_s = horizon;
@@ -547,6 +560,9 @@ let run ?pool ?(config = default_config) ~cluster ~timeline tenants =
     faults = fault_reports;
     timeline = List.rev !samples;
     reused = !reused;
+    frag_hits = fs.Tapa_cs_floorplan.Partition.frag_hits;
+    frag_misses = fs.Tapa_cs_floorplan.Partition.frag_misses;
+    groups_resolved = fs.Tapa_cs_floorplan.Partition.groups_resolved;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -612,6 +628,10 @@ let stats_json stats =
   field false "horizon_s" (fun () -> Buffer.add_string b (json_float stats.horizon_s));
   field false "seed" (fun () -> Buffer.add_string b (string_of_int stats.seed));
   field false "reused_placements" (fun () -> Buffer.add_string b (string_of_int stats.reused));
+  field false "frag_hits" (fun () -> Buffer.add_string b (string_of_int stats.frag_hits));
+  field false "frag_misses" (fun () -> Buffer.add_string b (string_of_int stats.frag_misses));
+  field false "groups_resolved" (fun () ->
+      Buffer.add_string b (string_of_int stats.groups_resolved));
   field false "total_tenant_s" (fun () -> Buffer.add_string b (json_float (total_tenant_s stats)));
   field false "mean_ttr_s" (fun () ->
       Buffer.add_string b

@@ -92,6 +92,14 @@ type stats = {
   reused : int;
       (** re-placement rounds answered by the unaffected fast path — the
           placement (and its cached solve) survived the fleet change *)
+  frag_hits : int;
+      (** per-group floorplan subproblems replayed from the fragment
+          cache during this run — e.g. the untouched node groups of a
+          re-placement after a board death, or content-identical
+          subproblems shared across tenants *)
+  frag_misses : int;  (** subproblem lookups that had to solve *)
+  groups_resolved : int;
+      (** subproblems actually (re-)solved — the cumulative dirty set *)
 }
 
 val run :
@@ -103,7 +111,10 @@ val run :
   stats
 (** Run the farm to the horizon.  [pool] parallelizes the per-tenant
     solver portfolios (wall-clock only; the stats are bit-identical with
-    and without it).  Tenants arriving after the horizon are ignored. *)
+    and without it).  Tenants arriving after the horizon are ignored.
+    Starts from cold floorplan caches (solution + fragment), so the
+    emitted stats — including the fragment-cache counters — are a pure
+    function of the inputs, independent of process history. *)
 
 val total_tenant_s : stats -> float
 (** Sum of every tenant's three buckets = total accounted tenant-time. *)

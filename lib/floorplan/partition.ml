@@ -893,6 +893,399 @@ let exact_race ?timeout_flag ?pool ~seed ~incumbent p =
       else None
 
 (* ------------------------------------------------------------------ *)
+(* Subproblem fragments: renaming-invariant canonicalization and the
+   second-level fragment cache.
+
+   The grouped decomposition re-derives one subproblem per part group
+   from scratch on every solve.  After a small design edit, a board
+   fault or a farm re-placement, almost all of those subproblems are
+   unchanged *up to renaming* — local task ids and part ids shift, the
+   content does not.  Each subproblem is therefore canonicalized
+   (renaming-invariant digest plus canonical form), solved in canonical
+   space with a seed derived from its own content, memoized in a
+   process-wide [Util.Memo], and mapped back through the permutation.
+   The dirty set falls out for free: groups whose digest changed miss
+   the cache and re-solve; untouched groups replay their fragment.
+
+   Determinism contract (same as the solution cache): fragments change
+   wall-clock only, never results.  Cold and warm solves are
+   byte-identical by construction because *both* solve the canonical
+   problem with the content-derived seed — the cache merely skips the
+   recomputation.  The caller's seed must not enter fragment identity:
+   the farm seeds every placement attempt differently and tenants seed
+   independently, so a caller-seeded fragment would never be shared. *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact, order-normalized serialization: every input the sub-solver
+   consults is in the bytes ([dist] as its full k x k table, floats
+   hex-exact, edge/pull/fixed lists sorted), so two problems with equal
+   [problem_bytes] are solution-equivalent. *)
+let problem_bytes p =
+  let buf = Buffer.create 1024 in
+  let int i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
+  let flt f =
+    Buffer.add_string buf (Printf.sprintf "%h" f);
+    Buffer.add_char buf ';'
+  in
+  let res (r : Resource.t) = int r.lut; int r.ff; int r.bram; int r.dsp; int r.uram in
+  int (num_items p);
+  Array.iter res p.areas;
+  int p.k;
+  Array.iter res p.capacities;
+  let edges =
+    List.sort compare
+      (List.map (fun (a, b, w) -> (Stdlib.min a b, Stdlib.max a b, w)) p.edges)
+  in
+  int (List.length edges);
+  List.iter (fun (a, b, w) -> int a; int b; flt w) edges;
+  let pulls = List.sort compare p.pulls in
+  int (List.length pulls);
+  List.iter (fun (i, part, w) -> int i; int part; flt w) pulls;
+  for a = 0 to p.k - 1 do
+    for b = 0 to p.k - 1 do
+      int (p.dist a b)
+    done
+  done;
+  let fixed = List.sort compare p.fixed in
+  int (List.length fixed);
+  List.iter (fun (i, part) -> int i; int part) fixed;
+  Buffer.contents buf
+
+(* Iterated structural color refinement (Weisfeiler-Leman over the
+   bipartite item/part structure).  Initial colors come from content
+   (areas, capacities); each round folds in the sorted multiset of each
+   element's weighted relations — item edges, pulls in both directions,
+   pins, and the distance row for parts.  Renumbering items or permuting
+   parts permutes the color arrays but never changes any color value or
+   any multiset, which is exactly the invariance the digest needs.  The
+   round count is bounded and content-determined (stop when the distinct
+   counts stabilize), so it is itself renaming-invariant.  More rounds
+   only sharpen the canonical *order* (fewer index tie-breaks); they
+   cannot affect correctness — ties are guarded by the exact
+   serialization in the cache key, so a tie broken differently across
+   renamings costs a cache miss, never a wrong replay. *)
+let refine_rounds = 8
+
+let refine_colors p =
+  let n = num_items p and k = p.k in
+  let dtab = Array.init k (fun a -> Array.init k (fun b -> p.dist a b)) in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, w) ->
+      adj.(a) <- (w, b) :: adj.(a);
+      adj.(b) <- (w, a) :: adj.(b))
+    p.edges;
+  let pulls_of = Array.make n [] and pulled = Array.make k [] in
+  List.iter
+    (fun (i, part, w) ->
+      pulls_of.(i) <- (w, part) :: pulls_of.(i);
+      pulled.(part) <- (w, i) :: pulled.(part))
+    p.pulls;
+  let pins_of = Array.make n [] and pinned = Array.make k [] in
+  List.iter
+    (fun (i, part) ->
+      pins_of.(i) <- part :: pins_of.(i);
+      pinned.(part) <- i :: pinned.(part))
+    p.fixed;
+  let res_str (r : Resource.t) =
+    Printf.sprintf "%d,%d,%d,%d,%d" r.lut r.ff r.bram r.dsp r.uram
+  in
+  let item_c = Array.init n (fun i -> Digest.string ("I" ^ res_str p.areas.(i))) in
+  let part_c = Array.init k (fun q -> Digest.string ("P" ^ res_str p.capacities.(q))) in
+  let distinct a = List.length (List.sort_uniq compare (Array.to_list a)) in
+  let sig_list parts = String.concat "" (List.sort compare parts) in
+  let rounds = ref 0 and stable = ref false in
+  while (not !stable) && !rounds < refine_rounds do
+    let before = (distinct item_c, distinct part_c) in
+    let item_c' =
+      Array.init n (fun i ->
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf item_c.(i);
+          Buffer.add_char buf 'E';
+          Buffer.add_string buf
+            (sig_list (List.map (fun (w, j) -> Printf.sprintf "%h|" w ^ item_c.(j)) adj.(i)));
+          Buffer.add_char buf 'U';
+          Buffer.add_string buf
+            (sig_list
+               (List.map (fun (w, q) -> Printf.sprintf "%h|" w ^ part_c.(q)) pulls_of.(i)));
+          Buffer.add_char buf 'F';
+          Buffer.add_string buf (sig_list (List.map (fun q -> part_c.(q)) pins_of.(i)));
+          Digest.string (Buffer.contents buf))
+    in
+    let part_c' =
+      Array.init k (fun q ->
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf part_c.(q);
+          Buffer.add_char buf 'D';
+          Buffer.add_string buf
+            (sig_list
+               (List.init k (fun q' -> Printf.sprintf "%d|" dtab.(q).(q') ^ part_c.(q'))));
+          Buffer.add_char buf 'U';
+          Buffer.add_string buf
+            (sig_list (List.map (fun (w, i) -> Printf.sprintf "%h|" w ^ item_c.(i)) pulled.(q)));
+          Buffer.add_char buf 'F';
+          Buffer.add_string buf (sig_list (List.map (fun i -> item_c.(i)) pinned.(q)));
+          Digest.string (Buffer.contents buf))
+    in
+    Array.blit item_c' 0 item_c 0 n;
+    Array.blit part_c' 0 part_c 0 k;
+    incr rounds;
+    stable := (distinct item_c, distinct part_c) = before
+  done;
+  (item_c, part_c)
+
+type canon = {
+  c_problem : problem;  (* the canonical-space instance *)
+  c_bytes : string;  (* [problem_bytes c_problem] *)
+  c_digest : string;  (* renaming-invariant digest, hex *)
+  c_items : int array;  (* canonical item position -> original item *)
+  c_parts : int array;  (* canonical part position -> original part *)
+}
+
+let canonicalize p =
+  let n = num_items p and k = p.k in
+  let item_c, part_c = refine_colors p in
+  (* Canonical order: refined color, ties broken by original index.  The
+     tie-break is the one renaming-sensitive step — two automorphic
+     items can land in either order — which is why the cache key carries
+     the full canonical serialization besides the digest. *)
+  let items = Array.init n Fun.id in
+  Array.sort (fun a b -> compare (item_c.(a), a) (item_c.(b), b)) items;
+  let parts = Array.init k Fun.id in
+  Array.sort (fun a b -> compare (part_c.(a), a) (part_c.(b), b)) parts;
+  let inv_item = Array.make n 0 and inv_part = Array.make k 0 in
+  Array.iteri (fun ci oi -> inv_item.(oi) <- ci) items;
+  Array.iteri (fun cq oq -> inv_part.(oq) <- cq) parts;
+  let dtab = Array.init k (fun a -> Array.init k (fun b -> p.dist parts.(a) parts.(b))) in
+  let c_problem =
+    {
+      areas = Array.map (fun oi -> p.areas.(oi)) items;
+      edges =
+        List.sort compare
+          (List.map
+             (fun (a, b, w) ->
+               let a = inv_item.(a) and b = inv_item.(b) in
+               (Stdlib.min a b, Stdlib.max a b, w))
+             p.edges);
+      pulls =
+        List.sort compare
+          (List.map (fun (i, part, w) -> (inv_item.(i), inv_part.(part), w)) p.pulls);
+      k;
+      capacities = Array.map (fun oq -> p.capacities.(oq)) parts;
+      dist = (fun a b -> dtab.(a).(b));
+      fixed =
+        List.sort compare
+          (List.map (fun (i, part) -> (inv_item.(i), inv_part.(part))) p.fixed);
+    }
+  in
+  (* The invariant digest hashes only permutation-invariant views: the
+     sorted color multisets and every relation re-expressed in color
+     space, sorted. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';';
+  Buffer.add_string buf (string_of_int k);
+  Buffer.add_char buf ';';
+  List.iter (Buffer.add_string buf) (List.sort compare (Array.to_list item_c));
+  Buffer.add_char buf '/';
+  List.iter (Buffer.add_string buf) (List.sort compare (Array.to_list part_c));
+  Buffer.add_char buf '/';
+  List.iter
+    (fun (a, b, w) ->
+      Buffer.add_string buf a;
+      Buffer.add_string buf b;
+      Buffer.add_string buf w;
+      Buffer.add_char buf ';')
+    (List.sort compare
+       (List.map
+          (fun (a, b, w) ->
+            let ca = item_c.(a) and cb = item_c.(b) in
+            (Stdlib.min ca cb, Stdlib.max ca cb, Printf.sprintf "%h" w))
+          p.edges));
+  Buffer.add_char buf '/';
+  List.iter
+    (fun (a, b, w) ->
+      Buffer.add_string buf a;
+      Buffer.add_string buf b;
+      Buffer.add_string buf w;
+      Buffer.add_char buf ';')
+    (List.sort compare
+       (List.map (fun (i, q, w) -> (item_c.(i), part_c.(q), Printf.sprintf "%h" w)) p.pulls));
+  Buffer.add_char buf '/';
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf a;
+      Buffer.add_string buf b;
+      Buffer.add_char buf ';')
+    (List.sort compare (List.map (fun (i, q) -> (item_c.(i), part_c.(q))) p.fixed));
+  let c_digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  { c_problem; c_bytes = problem_bytes c_problem; c_digest; c_items = items; c_parts = parts }
+
+let fragment_digest p = (canonicalize p).c_digest
+
+type fragment_stats = {
+  frag_hits : int;
+  frag_misses : int;
+  groups_resolved : int;
+  frag_entries : int;
+  frag_evictions : int;
+}
+
+let frag_cache : (int array * ilp_counters * race_stats * int) option Memo.t =
+  Memo.create ~max_entries:8192 ()
+
+let frag_resolved = Atomic.make 0
+
+let fragment_stats () =
+  let s = Memo.stats frag_cache in
+  {
+    frag_hits = s.Memo.hits;
+    frag_misses = s.Memo.misses;
+    groups_resolved = Atomic.get frag_resolved;
+    frag_entries = s.Memo.young_entries + s.Memo.old_entries;
+    frag_evictions = s.Memo.evictions;
+  }
+
+let reset_fragments () =
+  Memo.reset frag_cache;
+  Atomic.set frag_resolved 0
+
+(* The canonical-space solve seeds its heuristics from the fragment's
+   own content, never from the caller: farm attempts and independent
+   tenants all seed differently, and a caller-seeded fragment would
+   neither be shared across requests nor renaming-invariant. *)
+let frag_seed bytes =
+  let d = Digest.string bytes in
+  (Char.code d.[0] lor (Char.code d.[1] lsl 8) lor (Char.code d.[2] lsl 16)
+  lor (Char.code d.[3] lsl 24))
+  land 0x3FFFFFFF
+
+(* One per-group subproblem, solved directly (no cache): the portfolio
+   race when the exact arm can afford it — its B&B arm is the parallel
+   subtree search, and a certified anneal cancels it early on the easy
+   instances — otherwise anneal from the heuristic start with greedy as
+   the last rung. *)
+let solve_sub_core ?pool ~seed ~exact_var_limit sub =
+  if binary_var_count sub <= 2 * exact_var_limit then
+    match exact_race ?pool ~seed ~incumbent:None sub with
+    | Some (a, cnt, _proven, race, mv) -> Some (a, cnt, { race with r_sub = 1 }, mv)
+    | None -> None
+  else begin
+    let h = heuristic ~seed sub in
+    let init =
+      match h with
+      | Some (a, _, _, _) -> a
+      | None -> (
+        match greedy sub with Some r -> r.assignment | None -> Array.make (num_items sub) 0)
+    in
+    let o =
+      Anneal.run ~areas:sub.areas ~edges:sub.edges ~pulls:sub.pulls ~k:sub.k
+        ~capacities:sub.capacities ~dist:sub.dist ~fixed:sub.fixed ~seed
+        ~iters:(race_iters sub) ~init ()
+    in
+    if o.feasible && feasible_assignment sub o.assignment then
+      (* no exact arm ran, so this is not a race win — only [r_sub] *)
+      Some (o.assignment, zero_counters, { zero_race with r_sub = 1 }, o.moves)
+    else
+      match h with
+      | Some (a, _, true, mv) -> Some (a, zero_counters, { zero_race with r_sub = 1 }, mv)
+      | _ -> (
+        (* last rung: first-fit-decreasing, accepted only when feasible *)
+        match greedy sub with
+        | Some r when r.feasible ->
+          Some (r.assignment, zero_counters, { zero_race with r_sub = 1 }, 0)
+        | _ -> None)
+  end
+
+(* Canonicalize, consult the fragment cache, solve in canonical space on
+   a miss, map the assignment back through the item/part permutations.
+   The key pairs the invariant digest with a hash of the exact canonical
+   serialization (plus the exact-arm budget, which routes the backend):
+   a digest collision or an automorphism tie broken differently can only
+   cause a miss, never a wrong replay.  The cached array is shared; it
+   is read (never mutated) while mapping back into a fresh array. *)
+let solve_fragment ?pool ~exact_var_limit sub =
+  let c = canonicalize sub in
+  let key =
+    c.c_digest ^ "/"
+    ^ Digest.to_hex (Digest.string c.c_bytes)
+    ^ ";" ^ string_of_int exact_var_limit
+  in
+  let solved, _hit =
+    Memo.find_or_compute frag_cache ~key (fun () ->
+        Atomic.incr frag_resolved;
+        solve_sub_core ?pool ~seed:(frag_seed c.c_bytes) ~exact_var_limit c.c_problem)
+  in
+  Option.map
+    (fun (a, cnt, race, mv) ->
+      let back = Array.make (num_items sub) 0 in
+      Array.iteri (fun ci part -> back.(c.c_items.(ci)) <- c.c_parts.(part)) a;
+      (back, cnt, race, mv))
+    solved
+
+(* Cluster-level chunking: the deterministic BFS placement order —
+   structure only, no edge weights — packed contiguously into groups
+   under a quantized utilization target.  Edit-stable by design:
+   changing an edge weight or a pull cannot move a chunk boundary, so
+   after a small design edit every untouched group re-derives the same
+   subproblem and replays its fragment.  (A capacity change — e.g. a
+   dead board — shifts boundaries only from the affected group onward:
+   the dirty set is a suffix, not the whole design.)  The legacy greedy
+   + cluster anneal (~295 ms of the 703 ms 100-FPGA/1000-task pin, and
+   weight-sensitive: one edited weight reshuffles every group) remains
+   the fallback when chunking cannot place feasibly. *)
+let cluster_chunk gproblem =
+  let n = num_items gproblem and g = gproblem.k in
+  let fixed_part = Array.make n (-1) in
+  List.iter (fun (i, part) -> fixed_part.(i) <- part) gproblem.fixed;
+  let assignment = Array.make n (-1) in
+  let usage = Array.make g Resource.zero in
+  for i = 0 to n - 1 do
+    if fixed_part.(i) >= 0 then begin
+      assignment.(i) <- fixed_part.(i);
+      usage.(fixed_part.(i)) <- Resource.add usage.(fixed_part.(i)) gproblem.areas.(i)
+    end
+  done;
+  (* Fill groups toward a common utilization target with a little slack,
+     quantized to 1/32 so a marginal change in total area or capacity
+     cannot shift every boundary. *)
+  let total_area = Resource.sum (Array.to_list gproblem.areas) in
+  let total_cap = Resource.sum (Array.to_list gproblem.capacities) in
+  let u = Resource.utilization total_area ~total:total_cap in
+  let target = Float.min 1.0 (1.10 *. (Float.ceil (u *. 32.0) /. 32.0)) in
+  let order = placement_order ~perturb:false gproblem (Prng.create 0) in
+  let gi = ref 0 and ok = ref true in
+  Array.iter
+    (fun i ->
+      if assignment.(i) < 0 then begin
+        let fits q =
+          Resource.fits
+            (Resource.add usage.(q) gproblem.areas.(i))
+            ~within:gproblem.capacities.(q)
+        in
+        let below q =
+          Resource.utilization
+            (Resource.add usage.(q) gproblem.areas.(i))
+            ~total:gproblem.capacities.(q)
+          <= target
+        in
+        (* monotone group pointer: chunks are contiguous in BFS order *)
+        while !gi < g - 1 && not (fits !gi && below !gi) do
+          incr gi
+        done;
+        if fits !gi then begin
+          assignment.(i) <- !gi;
+          usage.(!gi) <- Resource.add usage.(!gi) gproblem.areas.(i)
+        end
+        else ok := false
+      end)
+    order;
+  if !ok && feasible_assignment gproblem assignment then Some assignment else None
+
+(* ------------------------------------------------------------------ *)
 (* Grouped decomposition (hierarchical floorplanning across server
    nodes): a cluster-level assignment of items to part *groups* (the
    FPGAs of one server node), then one independent subproblem per group
@@ -941,26 +1334,32 @@ let solve_grouped ~seed ~exact_var_limit ?pool ~groups p =
         fixed = List.map (fun (i, part) -> (i, groups.(part))) p.fixed;
       }
     in
-    (* Cluster-level solve: greedy first fit, then delta-cost annealing.
-       The move-refinement heuristic recomputes the full objective per
-       candidate move (O(n * k * E) per pass) — fine at intra-node scale,
-       hopeless at 1000 tasks x dozens of groups — whereas the annealer's
-       per-proposal cost is O(degree). *)
+    (* Cluster-level solve: deterministic weight-independent BFS
+       chunking first (edit-stable, which is what keeps the fragment
+       cache warm across design edits), falling back to greedy first
+       fit + delta-cost annealing when chunking cannot place.  The
+       move-refinement heuristic recomputes the full objective per
+       candidate move (O(n * k * E) per pass) — fine at intra-node
+       scale, hopeless at 1000 tasks x dozens of groups — whereas the
+       annealer's per-proposal cost is O(degree). *)
     let cluster =
-      match greedy gproblem with
-      | None -> None
-      | Some g0 ->
-        let o =
-          Anneal.run ~areas:gproblem.areas ~edges:gproblem.edges ~pulls:gproblem.pulls
-            ~k:gproblem.k ~capacities:gproblem.capacities ~dist:gproblem.dist
-            ~fixed:gproblem.fixed ~seed
-            ~iters:(Stdlib.min 400_000 (400 * n))
-            ~init:g0.assignment ()
-        in
-        if o.feasible && feasible_assignment gproblem o.assignment then
-          Some (o.assignment, zero_counters, o.moves)
-        else if g0.feasible then Some (g0.assignment, zero_counters, 0)
-        else None
+      match cluster_chunk gproblem with
+      | Some a -> Some (a, zero_counters, 0)
+      | None -> (
+        match greedy gproblem with
+        | None -> None
+        | Some g0 ->
+          let o =
+            Anneal.run ~areas:gproblem.areas ~edges:gproblem.edges ~pulls:gproblem.pulls
+              ~k:gproblem.k ~capacities:gproblem.capacities ~dist:gproblem.dist
+              ~fixed:gproblem.fixed ~seed
+              ~iters:(Stdlib.min 400_000 (400 * n))
+              ~init:g0.assignment ()
+          in
+          if o.feasible && feasible_assignment gproblem o.assignment then
+            Some (o.assignment, zero_counters, o.moves)
+          else if g0.feasible then Some (g0.assignment, zero_counters, 0)
+          else None)
     in
     match cluster with
     | None -> None
@@ -1043,47 +1442,14 @@ let solve_grouped ~seed ~exact_var_limit ?pool ~groups p =
           fixed = !sub_fixed;
         }
       in
+      (* Every non-empty subproblem goes through the fragment cache: an
+         unchanged group replays its cached solution, a dirty group
+         re-solves in canonical space (content-derived seed, so the
+         answer — and hence the fragment — is shareable across attempts,
+         tenants and renamings). *)
       let solve_sub sub =
         if num_items sub = 0 then Some (Array.make 0 0, zero_counters, zero_race, 0)
-        else if
-          (* The race earns a bigger exact budget than the flat joint
-             path: its B&B arm is the parallel subtree search, and a
-             certified anneal cancels it early on the easy instances. *)
-          binary_var_count sub <= 2 * exact_var_limit
-        then
-          match exact_race ?pool ~seed ~incumbent:None sub with
-          | Some (a, cnt, _proven, race, mv) -> Some (a, cnt, { race with r_sub = 1 }, mv)
-          | None -> None
-        else begin
-          (* Too large for the exact arm: anneal from the heuristic
-             start, falling back to the heuristic answer itself. *)
-          let h = heuristic ~seed sub in
-          let init =
-            match h with
-            | Some (a, _, _, _) -> a
-            | None -> (
-              match greedy sub with Some r -> r.assignment | None -> Array.make (num_items sub) 0)
-          in
-          let o =
-            Anneal.run ~areas:sub.areas ~edges:sub.edges ~pulls:sub.pulls ~k:sub.k
-              ~capacities:sub.capacities ~dist:sub.dist ~fixed:sub.fixed ~seed
-              ~iters:(race_iters sub) ~init ()
-          in
-          if o.feasible && feasible_assignment sub o.assignment then
-            (* no exact arm ran, so this is not a race win — only
-               [r_sub] is counted *)
-            Some (o.assignment, zero_counters, { zero_race with r_sub = 1 }, o.moves)
-          else
-            match h with
-            | Some (a, _, true, mv) -> Some (a, zero_counters, { zero_race with r_sub = 1 }, mv)
-            | _ -> (
-              (* last rung: first-fit-decreasing, accepted only when it
-                 lands feasible *)
-              match greedy sub with
-              | Some r when r.feasible ->
-                Some (r.assignment, zero_counters, { zero_race with r_sub = 1 }, 0)
-              | _ -> None)
-        end
+        else solve_fragment ?pool ~exact_var_limit sub
       in
       let subs = Array.init g_count make_sub in
       let solved = Pool.parallel_map ?pool solve_sub subs in
@@ -1102,23 +1468,48 @@ let solve_grouped ~seed ~exact_var_limit ?pool ~groups p =
             race := add_race !race rc;
             moves := !moves + mv)
           solved;
-        (* Polish across group boundaries; only a feasible, no-worse
-           answer may replace the stitched one. *)
-        let o =
-          Anneal.run ~areas:p.areas ~edges:p.edges ~pulls:p.pulls ~k:p.k
-            ~capacities:p.capacities ~dist:p.dist ~fixed:p.fixed ~seed
-            ~iters:(Stdlib.min 200_000 (100 * n)) ~init:assignment ()
-        in
+        (* Polish across group boundaries only: interior items are
+           pinned, so the anneal explores the cut — the only place the
+           decomposition can have lost cost — and its budget scales with
+           the boundary size, not the whole design.  Only a feasible,
+           no-worse answer may replace the stitched one. *)
+        let boundary = Array.make n false in
+        List.iter
+          (fun (a, b, _) ->
+            if cluster_assign.(a) <> cluster_assign.(b) then begin
+              boundary.(a) <- true;
+              boundary.(b) <- true
+            end)
+          p.edges;
+        List.iter
+          (fun (i, part, _) ->
+            if groups.(part) <> cluster_assign.(i) then boundary.(i) <- true)
+          p.pulls;
+        let n_boundary = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 boundary in
         let final =
-          if
-            o.feasible
-            && feasible_assignment p o.assignment
-            && cost_of p o.assignment <= cost_of p assignment +. 1e-9
-          then begin
-            moves := !moves + o.moves;
-            o.assignment
+          if n_boundary = 0 then assignment
+          else begin
+            let pins = ref p.fixed in
+            Array.iteri
+              (fun i b ->
+                if (not b) && fixed_part.(i) < 0 then pins := (i, assignment.(i)) :: !pins)
+              boundary;
+            let o =
+              Anneal.run ~areas:p.areas ~edges:p.edges ~pulls:p.pulls ~k:p.k
+                ~capacities:p.capacities ~dist:p.dist ~fixed:!pins ~seed
+                ~iters:(Stdlib.min 200_000 (30 * n_boundary))
+                ~init:assignment ()
+            in
+            if
+              o.feasible
+              && feasible_assignment p o.assignment
+              && cost_of p o.assignment <= cost_of p assignment +. 1e-9
+            then begin
+              moves := !moves + o.moves;
+              o.assignment
+            end
+            else assignment
           end
-          else assignment
         in
         Some (final, !counters, !race, !moves)
       end
@@ -1336,5 +1727,13 @@ let solve ?(strategy = Auto) ?(seed = 1) ?(exact_var_limit = 28) ?deadline_s ?wa
        mutation must not poison later hits. *)
     Option.map (fun r -> { r with assignment = Array.copy r.assignment }) r
 
-let cache_stats () = Memo.stats cache
-let reset_cache () = Memo.reset cache
+let cache_stats () =
+  let s = Memo.stats cache in
+  (s.Memo.hits, s.Memo.misses)
+
+(* "Cold means cold": clearing the solution cache also clears the
+   fragment cache, so benchmarks and tests that reset before a cold
+   measurement cannot be silently warmed by second-level fragments. *)
+let reset_cache () =
+  Memo.reset cache;
+  reset_fragments ()

@@ -89,14 +89,28 @@ val solve :
     [groups] (one group id per part, e.g. the server node hosting each
     FPGA) enables the hierarchical decomposition on large [Auto]
     instances ([k > 8], at least two non-trivial groups, no deadline): a
-    cluster-level assignment of items to groups, then one independent
-    subproblem per group — each racing exact parallel branch-and-bound
-    against deterministic simulated annealing — solved concurrently on
-    [pool], stitched and polished.  Without [groups] (or outside those
-    conditions) the flat paths run exactly as before.  [pool] only ever
-    changes wall-clock time, never the answer: both race arms are
-    deterministic and the arbitration is a pure function of their
-    results.
+    cluster-level assignment of items to groups (deterministic
+    weight-independent BFS chunking, greedy + anneal as fallback), then
+    one independent subproblem per group — each racing exact parallel
+    branch-and-bound against deterministic simulated annealing — solved
+    concurrently on [pool], stitched and polished across the group
+    boundary.  Without [groups] (or outside those conditions) the flat
+    paths run exactly as before.  [pool] only ever changes wall-clock
+    time, never the answer: both race arms are deterministic and the
+    arbitration is a pure function of their results.
+
+    Each per-group subproblem additionally goes through a second-level
+    {e fragment cache}: the subproblem is canonicalized under a
+    renaming-invariant digest, solved in canonical space with a seed
+    derived from its own content, memoized process-wide, and mapped
+    back.  After a design edit, a board fault or a farm re-placement,
+    only the groups whose digest changed (the dirty set) re-solve;
+    untouched groups replay their fragments — and distinct callers
+    (attempts, tenants) with content-identical subproblems share them.
+    Fragments obey the same determinism contract as the solution cache:
+    cold and warm solves are byte-identical by construction, because
+    both solve the canonical problem with the content-derived seed.
+    Observe via {!fragment_stats}.
 
     Results are memoized in a content-addressed cache keyed on a
     canonical digest of every argument that influences the answer
@@ -114,7 +128,39 @@ val cache_stats : unit -> int * int
 (** [(hits, misses)] of the process-wide solution cache. *)
 
 val reset_cache : unit -> unit
-(** Clears the solution cache and its counters (tests / benchmarks). *)
+(** Clears the solution cache, the fragment cache and all their counters
+    (tests / benchmarks): "cold" measurements must not be warmed by
+    second-level fragments either. *)
+
+type fragment_stats = {
+  frag_hits : int;
+      (** per-group subproblems replayed from the fragment cache *)
+  frag_misses : int;  (** subproblem lookups that had to solve *)
+  groups_resolved : int;
+      (** subproblems actually (re-)solved — the cumulative dirty set;
+          [= frag_misses] minus single-flight de-duplication *)
+  frag_entries : int;  (** fragments currently cached *)
+  frag_evictions : int;  (** fragments dropped by generation rotation *)
+}
+
+val fragment_stats : unit -> fragment_stats
+(** Process-wide counters of the second-level fragment cache.  These are
+    deliberately {e not} part of {!stats} / {!result}: the result record
+    is bit-identical between cache-cold and cache-warm solves, and a
+    cache-state-dependent count would break that contract. *)
+
+val reset_fragments : unit -> unit
+(** Clears only the fragment cache and its counters. *)
+
+val fragment_digest : problem -> string
+(** Renaming-invariant digest of a subproblem: invariant under any item
+    renumbering and part permutation (areas, capacities, edges, pulls,
+    distance table and pins are all hashed in canonical color space).
+    Digest inequality therefore implies a solution-relevant difference —
+    the two instances are not renamings of each other.  Exposed for
+    property tests and diagnostics; the fragment cache key additionally
+    carries the exact canonical serialization, so digest collisions can
+    only cost a miss, never a wrong replay. *)
 
 val greedy : problem -> result option
 (** Deterministic first-fit-decreasing placement — no search, no

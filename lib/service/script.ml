@@ -26,6 +26,11 @@ type config = {
   distinct : int;  (** size of the request universe the clients draw from *)
   seed : int;
   warm : bool;  (** pre-warm the response cache with the whole universe *)
+  keep_caches : bool;
+      (** skip the process-wide cache reset at entry, so the run reuses
+          floorplan/sim state left by earlier runs.  Benchmark-only: with
+          it set the report is no longer a pure function of (config,
+          seed) — it also depends on process history. *)
   think_s : float;  (** virtual pause between a response and the next request *)
   model_workers : int;  (** virtual parallelism of the cost model *)
   service_config : Service.config;
@@ -38,6 +43,7 @@ let default_config =
     distinct = 6;
     seed = 1;
     warm = false;
+    keep_caches = false;
     think_s = 0.0;
     model_workers = 4;
     service_config = Service.default_config;
@@ -80,7 +86,7 @@ let run ?pool (cfg : config) : report =
     }
   in
   (* Repeat runs must not see each other's process-wide caches. *)
-  Service.reset_process_caches ();
+  if not cfg.keep_caches then Service.reset_process_caches ();
   let svc = Service.create ?pool ~config:cfg.service_config () in
   if cfg.warm then begin
     (* Pre-warm outside the measured stream: one round over the whole
@@ -177,7 +183,7 @@ let run ?pool (cfg : config) : report =
     counters;
     virtual_makespan_s = makespan;
     virtual_requests_per_s = (if makespan > 0.0 then float_of_int served /. makespan else 0.0);
-    metrics = Service.metrics_json ~pool_fields:false svc;
+    metrics = Service.metrics_json ~pool_fields:false ~timing_fields:false svc;
   }
 
 let report_json (r : report) =

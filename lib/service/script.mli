@@ -16,6 +16,11 @@ type config = {
   distinct : int;
   seed : int;
   warm : bool;  (** pre-fill the response cache with the whole universe first *)
+  keep_caches : bool;
+      (** skip the entry reset of the process-wide floorplan/sim caches.
+          Benchmark-only: lets a warm-stream measurement pre-warm once
+          outside the timed region, at the cost of the report depending
+          on process history (default [false]). *)
   think_s : float;
   model_workers : int;
   service_config : Service.config;
@@ -23,7 +28,7 @@ type config = {
 
 val default_config : config
 (** 4 clients × 8 requests over a 6-variant universe, cold, no think
-    time, 4 virtual workers. *)
+    time, 4 virtual workers, [keep_caches = false]. *)
 
 type report = {
   config : config;
@@ -34,8 +39,8 @@ type report = {
 }
 
 val run : ?pool:Tapa_cs_util.Pool.t -> config -> report
-(** Resets the process-wide floorplan/sim caches first, so repeat runs
-    are independent and byte-identical. *)
+(** Resets the process-wide floorplan/sim caches first (unless
+    [keep_caches]), so repeat runs are independent and byte-identical. *)
 
 val report_json : report -> string
 (** One-line JSON: script parameters, virtual makespan/throughput and

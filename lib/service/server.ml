@@ -99,7 +99,11 @@ let serve ?(max_requests = 0) t =
       | exception Unix.Unix_error _ -> ()
     end;
     (* Drain every readable client; the lines collected in this sweep
-       are one scheduling round. *)
+       are one scheduling round.  Socket reads, request parsing and
+       response writes are the transport stage — accounted separately
+       from the scheduler so the metrics can say where a stream's time
+       actually goes (select idle time is deliberately not counted). *)
+    let transport0 = Unix.gettimeofday () in
     let pending =
       List.concat_map
         (fun c -> if c.closed || not (List.memq c.fd readable) then [] else drain c)
@@ -121,17 +125,20 @@ let serve ?(max_requests = 0) t =
           | Ok r -> batch := (c, r) :: !batch)
       pending;
     let batch = Array.of_list (List.rev !batch) in
+    Service.note_transport t.service (Unix.gettimeofday () -. transport0);
     if Array.length batch > 0 then begin
       let t0 = Unix.gettimeofday () in
       let verdicts = Service.schedule t.service (Array.map snd batch) in
       let dt = Unix.gettimeofday () -. t0 in
+      let write0 = Unix.gettimeofday () in
       Array.iteri
         (fun i v ->
           let c, r = batch.(i) in
           Service.note_latency t.service dt;
           ignore (write_line c.fd (Service.response_json ~id:r.Request.id v));
           t.served <- t.served + 1)
-        verdicts
+        verdicts;
+      Service.note_transport t.service (Unix.gettimeofday () -. write0)
     end;
     if max_requests > 0 && t.served >= max_requests then stop := true
   done;

@@ -80,6 +80,14 @@ type stats = {
   mutable inflight_peak : int;
   mutable latencies : float list;  (* newest first; sorted at metrics time *)
   mutable nlatencies : int;
+  (* Cumulative wall-clock per pipeline stage, for diagnosing where a
+     request stream spends its time (e.g. why a warm stream is barely
+     faster than a cold one).  Wall-clock, so excluded from the
+     deterministic script reports via [metrics_json ~timing_fields:false]. *)
+  mutable transport_s : float;  (* parse + response write, noted by the server *)
+  mutable admission_s : float;  (* planning pass minus the cache probes *)
+  mutable probe_s : float;  (* response-cache lookups in the planning pass *)
+  mutable solve_s : float;  (* the batched compute over distinct requests *)
 }
 
 type t = {
@@ -115,6 +123,10 @@ let create ?pool ?(config = default_config) () =
         inflight_peak = 0;
         latencies = [];
         nlatencies = 0;
+        transport_s = 0.0;
+        admission_s = 0.0;
+        probe_s = 0.0;
+        solve_s = 0.0;
       };
   }
 
@@ -131,7 +143,11 @@ let reset_counters t =
   s.queue_depth_peak <- 0;
   s.inflight_peak <- 0;
   s.latencies <- [];
-  s.nlatencies <- 0
+  s.nlatencies <- 0;
+  s.transport_s <- 0.0;
+  s.admission_s <- 0.0;
+  s.probe_s <- 0.0;
+  s.solve_s <- 0.0
 
 let counters t =
   let s = t.stats in
@@ -242,11 +258,21 @@ let schedule t (reqs : Request.t array) : verdict array =
     let pending : (string, int) Hashtbl.t = Hashtbl.create 16 in
     let distinct = ref [] in
     let ndistinct = ref 0 in
+    (* Stage accounting: the planning pass is split into cache-probe
+       time (the [Memo.find] calls) and everything else (admission /
+       coalescing bookkeeping); the batched compute below is the solve
+       stage.  Timing never influences any decision — the verdicts are
+       a pure function of the request array and cache state. *)
+    let plan_start = Unix.gettimeofday () in
+    let probe_acc = ref 0.0 in
     let plans =
       Array.map
         (fun (r : Request.t) ->
           let key = Request.key r in
-          match Memo.find t.cache ~key with
+          let probe_start = Unix.gettimeofday () in
+          let probed = Memo.find t.cache ~key in
+          probe_acc := !probe_acc +. (Unix.gettimeofday () -. probe_start);
+          match probed with
           | Some reply ->
             st.hits <- st.hits + 1;
             Plan_hit reply
@@ -284,18 +310,22 @@ let schedule t (reqs : Request.t array) : verdict array =
               end))
         reqs
     in
+    st.probe_s <- st.probe_s +. !probe_acc;
+    st.admission_s <- st.admission_s +. (Unix.gettimeofday () -. plan_start -. !probe_acc);
     let distinct = Array.of_list (List.rev !distinct) in
     if Array.length distinct > st.inflight_peak then st.inflight_peak <- Array.length distinct;
     (* One batch over the shared pool.  Inside a worker the compiler's
        own parallel stages degrade to sequential, so the batch is the
        parallelism; a batch of one runs on the caller and the compile's
        inner stages use the pool instead. *)
+    let solve_start = Unix.gettimeofday () in
     let replies =
       Pool.parallel_map ?pool:t.pool
         (fun (r : Request.t) ->
           fst (Memo.find_or_compute t.cache ~key:(Request.key r) (fun () -> compute t r)))
         distinct
     in
+    st.solve_s <- st.solve_s +. (Unix.gettimeofday () -. solve_start);
     Array.map
       (fun plan ->
         match plan with
@@ -318,6 +348,8 @@ let note_latency t dt =
   let st = t.stats in
   st.latencies <- dt :: st.latencies;
   st.nlatencies <- st.nlatencies + 1
+
+let note_transport t dt = t.stats.transport_s <- t.stats.transport_s +. dt
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -376,7 +408,7 @@ let latency_percentiles t =
   Array.sort compare a;
   (percentile a 50.0, percentile a 95.0, percentile a 99.0)
 
-let metrics_json ?(pool_fields = true) t =
+let metrics_json ?(pool_fields = true) ?(timing_fields = true) t =
   let s = t.stats in
   let p50, p95, p99 = latency_percentiles t in
   let fp_hits, fp_misses = Tapa_cs_floorplan.Partition.cache_stats () in
@@ -389,13 +421,20 @@ let metrics_json ?(pool_fields = true) t =
       Printf.sprintf
         {|{"received":%d,"completed":%d,"rejected_strict":%d,"shed_best_effort":%d,"cache_hits":%d,"cache_misses":%d,"coalesced":%d,"cache_entries":%d,"cache_evictions":%d,"rounds":%d,"queue_depth_peak":%d,"inflight_peak":%d|}
         s.received s.completed s.rejected_strict s.shed_best_effort s.hits s.misses s.coalesced
-        (Memo.length t.cache) (Memo.evictions t.cache) s.rounds s.queue_depth_peak s.inflight_peak;
+        (Memo.length t.cache)
+        (Memo.stats t.cache).Memo.evictions
+        s.rounds s.queue_depth_peak s.inflight_peak;
       (if pool_fields then
          Printf.sprintf {|,"pool_workers":%d,"pool_queue_depth":%d,"pool_busy_workers":%d|}
            pool_workers pool_queue pool_busy
        else "");
       Printf.sprintf {|,"latency_p50_s":%s,"latency_p95_s":%s,"latency_p99_s":%s|} (f p50) (f p95)
         (f p99);
+      (if timing_fields then
+         Printf.sprintf
+           {|,"stage_transport_s":%s,"stage_admission_s":%s,"stage_probe_s":%s,"stage_solve_s":%s|}
+           (f s.transport_s) (f s.admission_s) (f s.probe_s) (f s.solve_s)
+       else "");
       Printf.sprintf
         {|,"floorplan_cache_hits":%d,"floorplan_cache_misses":%d,"sim_cache_hits":%d,"sim_cache_misses":%d,"static_pruned":%d}|}
         fp_hits fp_misses sim_hits sim_misses

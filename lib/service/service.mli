@@ -82,6 +82,12 @@ val note_latency : t -> float -> unit
 (** Record one request's service latency (wall-clock seconds in live
     mode, virtual seconds in script mode) for the percentile metrics. *)
 
+val note_transport : t -> float -> unit
+(** Accrue wall-clock seconds into the transport stage bucket (request
+    parsing + response writing, measured by the live server outside
+    {!schedule}).  The other three stage buckets — admission, cache
+    probe, solve — are accrued inside {!schedule} itself. *)
+
 val latency_percentiles : t -> float * float * float
 (** Nearest-rank p50/p95/p99 over latencies recorded so far. *)
 
@@ -92,12 +98,15 @@ val response_json : id:int -> verdict -> string
 val error_json : id:int -> string -> string
 (** Response for a malformed request line. *)
 
-val metrics_json : ?pool_fields:bool -> t -> string
+val metrics_json : ?pool_fields:bool -> ?timing_fields:bool -> t -> string
 (** Live metrics: service counters, response-cache length/evictions,
-    pool queue/busy snapshot, latency percentiles and the process-wide
+    pool queue/busy snapshot, latency percentiles, cumulative per-stage
+    wall-clock ([stage_transport_s] / [stage_admission_s] /
+    [stage_probe_s] / [stage_solve_s]) and the process-wide
     floorplan/simulation cache counters.  [pool_fields:false] omits the
-    pool snapshot — the one field set that legitimately varies with
-    [--jobs] — so scripted reports stay byte-identical. *)
+    pool snapshot and [timing_fields:false] the stage wall-clock — the
+    two field sets that legitimately vary with [--jobs] and machine
+    speed — so scripted reports stay byte-identical. *)
 
 val reset_process_caches : unit -> unit
 (** Clear the process-wide floorplan and simulation caches (scripted

@@ -858,7 +858,11 @@ let run_sim ~(mode : engine_mode) ~(faults : Network.Fault.plan) cfg =
 type sim_memo = result * deadlock_info option * (int * string) list
 
 let cache : sim_memo Memo.t = Memo.create ()
-let cache_stats () = Memo.stats cache
+
+let cache_stats () =
+  let s = Memo.stats cache in
+  (s.Memo.hits, s.Memo.misses)
+
 let reset_cache () = Memo.reset cache
 
 let sim_key ~mode ~(faults : Network.Fault.plan) cfg =

@@ -22,6 +22,14 @@ type 'a pending = {
   mutable failed : bool;
 }
 
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  young_entries : int;
+  old_entries : int;
+}
+
 type 'a t = {
   mutable young : (string, 'a) Hashtbl.t;
   mutable old : (string, 'a) Hashtbl.t;
@@ -29,9 +37,15 @@ type 'a t = {
   lock : Mutex.t;
   resolved : Condition.t;
   gen_entries : int;  (* per-generation capacity: max_entries / 2 *)
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-  evictions : int Atomic.t;
+  (* Counters live under [lock], not in free-running atomics: a hit or
+     miss is
+     recorded in the same critical section that resolved the lookup, so
+     [stats] can never observe a completed lookup that is not yet
+     counted — the totals for a set of concurrent same-key calls are a
+     pure function of the call multiset, independent of interleaving. *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable eviction_count : int;
 }
 
 let create ?(max_entries = 8192) () =
@@ -43,9 +57,9 @@ let create ?(max_entries = 8192) () =
     lock = Mutex.create ();
     resolved = Condition.create ();
     gen_entries = max 1 (max_entries / 2);
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    evictions = Atomic.make 0;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
   }
 
 let with_lock t f =
@@ -58,7 +72,7 @@ let with_lock t f =
 let insert_locked t key v =
   if Hashtbl.length t.young >= t.gen_entries && not (Hashtbl.mem t.young key) then begin
     let dropped = Hashtbl.length t.old in
-    if dropped > 0 then ignore (Atomic.fetch_and_add t.evictions dropped);
+    if dropped > 0 then t.eviction_count <- t.eviction_count + dropped;
     let emptied = t.old in
     t.old <- t.young;
     t.young <- emptied;
@@ -80,21 +94,22 @@ let lookup_locked t key =
     | None -> None)
 
 let find t ~key =
-  match with_lock t (fun () -> lookup_locked t key) with
-  | Some _ as v ->
-    Atomic.incr t.hits;
-    v
-  | None ->
-    Atomic.incr t.misses;
-    None
+  with_lock t (fun () ->
+      match lookup_locked t key with
+      | Some _ as v ->
+        t.hit_count <- t.hit_count + 1;
+        v
+      | None ->
+        t.miss_count <- t.miss_count + 1;
+        None)
 
 let find_or_compute t ~key f =
   Mutex.lock t.lock;
   let rec attempt () =
     match lookup_locked t key with
     | Some v ->
+      t.hit_count <- t.hit_count + 1;
       Mutex.unlock t.lock;
-      Atomic.incr t.hits;
       (v, true)
     | None -> (
       match Hashtbl.find_opt t.inflight key with
@@ -107,8 +122,8 @@ let find_or_compute t ~key f =
         done;
         (match p.value with
         | Some v ->
+          t.hit_count <- t.hit_count + 1;
           Mutex.unlock t.lock;
-          Atomic.incr t.hits;
           (v, true)
         | None ->
           (* The leader raised; race to become the new leader. *)
@@ -125,9 +140,9 @@ let find_or_compute t ~key f =
           p.value <- Some v;
           Hashtbl.remove t.inflight key;
           insert_locked t key v;
+          t.miss_count <- t.miss_count + 1;
           Condition.broadcast t.resolved;
           Mutex.unlock t.lock;
-          Atomic.incr t.misses;
           (v, false)
         | exception e ->
           Mutex.lock t.lock;
@@ -140,13 +155,21 @@ let find_or_compute t ~key f =
   attempt ()
 
 let length t = with_lock t (fun () -> Hashtbl.length t.young + Hashtbl.length t.old)
-let stats t = (Atomic.get t.hits, Atomic.get t.misses)
-let evictions t = Atomic.get t.evictions
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hit_count;
+        misses = t.miss_count;
+        evictions = t.eviction_count;
+        young_entries = Hashtbl.length t.young;
+        old_entries = Hashtbl.length t.old;
+      })
 
 let reset t =
   with_lock t (fun () ->
       Hashtbl.reset t.young;
-      Hashtbl.reset t.old);
-  Atomic.set t.hits 0;
-  Atomic.set t.misses 0;
-  Atomic.set t.evictions 0
+      Hashtbl.reset t.old;
+      t.hit_count <- 0;
+      t.miss_count <- 0;
+      t.eviction_count <- 0)

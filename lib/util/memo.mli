@@ -24,11 +24,25 @@
       only ever costs recomputation, never changes results (cold and warm
       lookups are bit-identical by the determinism contract).
 
-    Hit/miss/eviction counters are kept in atomics and can be read or
-    reset at any time; they are observability-only and must never feed
-    back into cached values (that would break cold-vs-warm bit-identity). *)
+    Hit/miss/eviction counters are updated inside the same critical
+    section that resolves the lookup, so {!stats} never observes a
+    completed lookup that is not yet counted, and the totals produced by
+    a set of concurrent same-key calls (e.g. a [Pool] fan-out over
+    duplicate subproblems) are a pure function of the call multiset —
+    one miss for the leader, one hit per follower — independent of how
+    the domains interleaved.  The counters are observability-only and
+    must never feed back into cached values (that would break
+    cold-vs-warm bit-identity). *)
 
 type 'a t
+
+type stats = {
+  hits : int;  (** lookups answered from the table or an in-flight leader *)
+  misses : int;  (** lookups that ran (or reported the need for) a computation *)
+  evictions : int;  (** entries dropped by generation rotation *)
+  young_entries : int;  (** current size of the young generation *)
+  old_entries : int;  (** current size of the old generation *)
+}
 
 val create : ?max_entries:int -> unit -> 'a t
 (** [create ()] makes an empty table.  [max_entries] (default 8192,
@@ -53,15 +67,21 @@ val find : 'a t -> key:string -> 'a option
 val length : 'a t -> int
 (** Number of entries currently stored (both generations). *)
 
-val stats : 'a t -> int * int
-(** [(hits, misses)] since creation or the last [reset].  Every
+val stats : 'a t -> stats
+(** Counter snapshot since creation or the last [reset].  Every
     {!find_or_compute} that returns normally and every {!find} counts
     exactly one hit or one miss, so [hits + misses] equals the number of
-    completed lookups. *)
+    completed lookups.  [young_entries + old_entries] equals {!length}.
 
-val evictions : 'a t -> int
-(** Entries dropped by generation rotation since creation or the last
-    {!reset}. *)
+    Two-generation eviction semantics: an insert that would push the
+    young generation past [max_entries / 2] first rotates the
+    generations — every entry still sitting in the old generation is
+    dropped (added to [evictions]), the young generation becomes the old
+    one, and the insert lands in a fresh young generation.  Lookups that
+    land in the old generation promote their entry back into the young
+    one, so an entry is evicted only after going un-touched for a full
+    generation.  Eviction never changes answers, only costs a
+    recomputation. *)
 
 val reset : 'a t -> unit
 (** Drop all entries and zero the counters. *)

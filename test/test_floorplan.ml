@@ -637,6 +637,170 @@ let test_partition_grouped_decomposition () =
         + flat.Partition.stats.Partition.races_anneal)
     | None -> Alcotest.fail "expected a flat solution")
 
+(* ------------------------------------------------------------------ *)
+(* Fragment digest + cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeded random subproblem of the shape the grouped decomposition
+   hands to the fragment cache: a handful of items and parts, random
+   edges / pulls / pins and a symmetric distance table. *)
+let random_digest_problem rng =
+  let n = 3 + Prng.int rng 8 in
+  let k = 2 + Prng.int rng 3 in
+  let areas = Array.init n (fun _ -> res (10 + Prng.int rng 50)) in
+  let edges =
+    List.filter_map Fun.id
+      (List.init
+         (Prng.int rng (2 * n))
+         (fun _ ->
+           let a = Prng.int rng n and b = Prng.int rng n in
+           if a = b then None else Some (a, b, float_of_int (1 + Prng.int rng 64))))
+  in
+  let pulls =
+    List.init (Prng.int rng 3) (fun _ ->
+        (Prng.int rng n, Prng.int rng k, float_of_int (1 + Prng.int rng 16)))
+  in
+  let fixed = if Prng.int rng 4 = 0 then [ (Prng.int rng n, Prng.int rng k) ] else [] in
+  let dtab = Array.make_matrix k k 0 in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let d = 1 + Prng.int rng 3 in
+      dtab.(i).(j) <- d;
+      dtab.(j).(i) <- d
+    done
+  done;
+  {
+    Partition.areas;
+    edges;
+    pulls;
+    k;
+    capacities = Array.init k (fun _ -> res (100 + Prng.int rng 100));
+    dist = (fun a b -> dtab.(a).(b));
+    fixed;
+  }
+
+let shuffled rng n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* Apply an item renumbering and a part permutation: the renamed problem
+   describes the identical instance, so its digest must not move. *)
+let renamed rng (p : Partition.problem) =
+  let n = Array.length p.Partition.areas and k = p.Partition.k in
+  let iperm = shuffled rng n and pperm = shuffled rng k in
+  let pinv = Array.make k 0 in
+  Array.iteri (fun old now -> pinv.(now) <- old) pperm;
+  let areas = Array.make n p.Partition.areas.(0) in
+  Array.iteri (fun old a -> areas.(iperm.(old)) <- a) p.Partition.areas;
+  let capacities = Array.make k p.Partition.capacities.(0) in
+  Array.iteri (fun old c -> capacities.(pperm.(old)) <- c) p.Partition.capacities;
+  {
+    Partition.areas;
+    edges = List.map (fun (a, b, w) -> (iperm.(a), iperm.(b), w)) p.Partition.edges;
+    pulls = List.map (fun (i, g, w) -> (iperm.(i), pperm.(g), w)) p.Partition.pulls;
+    k;
+    capacities;
+    dist = (fun a b -> p.Partition.dist pinv.(a) pinv.(b));
+    fixed = List.map (fun (i, g) -> (iperm.(i), pperm.(g))) p.Partition.fixed;
+  }
+
+let prop_digest_renaming_invariant =
+  QCheck.Test.make ~name:"fragment digest invariant under renaming" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let p = random_digest_problem rng in
+      let d = Partition.fragment_digest p in
+      (* Several independent renamings of the same instance. *)
+      List.for_all
+        (fun _ -> Partition.fragment_digest (renamed rng p) = d)
+        [ (); (); () ])
+
+let prop_digest_mutation_sensitive =
+  QCheck.Test.make ~name:"solution-relevant mutation changes fragment digest" ~count:40
+    QCheck.(pair (int_range 0 100_000) (int_range 0 2))
+    (fun (seed, kind) ->
+      let rng = Prng.create seed in
+      let p = random_digest_problem rng in
+      let d = Partition.fragment_digest p in
+      (* Mutate to a value no other element carries, so the change can
+         never be absorbed by an automorphism of the instance. *)
+      let mutated =
+        match kind with
+        | 0 when p.Partition.edges <> [] ->
+          let wmax =
+            List.fold_left (fun m (_, _, w) -> Float.max m w) 0.0 p.Partition.edges
+          in
+          let (a0, b0, _) = List.hd p.Partition.edges in
+          {
+            p with
+            Partition.edges =
+              (a0, b0, wmax +. 17.0) :: List.tl p.Partition.edges;
+          }
+        | 1 ->
+          let areas = Array.copy p.Partition.areas in
+          areas.(0) <- res 7777;
+          { p with Partition.areas = areas }
+        | _ ->
+          let capacities = Array.copy p.Partition.capacities in
+          capacities.(0) <- res 9999;
+          { p with Partition.capacities = capacities }
+      in
+      Partition.fragment_digest mutated <> d)
+
+let test_fragment_cache () =
+  (* A 12-part / 3-group instance through the grouped path twice under
+     different caller seeds: the second solve must replay every fragment
+     (content-derived identity, caller seed excluded), and reset_cache
+     must leave the fragment layer genuinely cold. *)
+  Partition.reset_cache ();
+  let rng = Prng.create 41 in
+  let fpgas = 12 and tasks = 30 in
+  let groups = Array.init fpgas (fun f -> f / 4) in
+  let dist a b = if a = b then 0 else if groups.(a) = groups.(b) then 1 else 2 in
+  let areas = Array.init tasks (fun _ -> res (30_000 + Prng.int rng 20_000)) in
+  let edges =
+    List.init (tasks - 1) (fun i -> (i, i + 1, float_of_int (32 * (1 + Prng.int rng 8))))
+  in
+  let p =
+    {
+      Partition.areas;
+      edges;
+      pulls = [];
+      k = fpgas;
+      capacities = caps fpgas 600_000;
+      dist;
+      fixed = [];
+    }
+  in
+  (match Partition.solve ~groups p with
+  | Some r -> check bool "cold grouped solve feasible" true r.Partition.feasible
+  | None -> Alcotest.fail "expected a grouped solution");
+  let cold = Partition.fragment_stats () in
+  check bool "cold solve filled fragments" true (cold.Partition.frag_misses > 0);
+  check int "cold solve replayed nothing" 0 cold.Partition.frag_hits;
+  check bool "entries track misses" true (cold.Partition.frag_entries > 0);
+  (match Partition.solve ~seed:2 ~groups p with
+  | Some r -> check bool "warm grouped solve feasible" true r.Partition.feasible
+  | None -> Alcotest.fail "expected a warm grouped solution");
+  let warm = Partition.fragment_stats () in
+  check bool "re-solve under a fresh seed replays fragments" true
+    (warm.Partition.frag_hits >= cold.Partition.frag_misses);
+  check int "no subproblem re-solved on replay" cold.Partition.groups_resolved
+    warm.Partition.groups_resolved;
+  Partition.reset_cache ();
+  let reset = Partition.fragment_stats () in
+  check int "reset clears entries" 0 reset.Partition.frag_entries;
+  check int "reset clears hits" 0 reset.Partition.frag_hits;
+  check int "reset clears misses" 0 reset.Partition.frag_misses;
+  check int "reset clears resolved" 0 reset.Partition.groups_resolved
+
 let test_intra_runtime_positive () =
   let g = big_task_graph ~tasks:10 ~lut:30_000 in
   let board = Board.u55c () in
@@ -679,7 +843,10 @@ let () =
           Alcotest.test_case "min-cut lower bound (oracle)" `Quick test_partition_cost_bounded_by_global_mincut;
           Alcotest.test_case "distance metrics" `Quick test_partition_distance_metric_matters;
           Alcotest.test_case "grouped decomposition" `Quick test_partition_grouped_decomposition;
-        ] );
+          Alcotest.test_case "fragment cache" `Quick test_fragment_cache;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_digest_renaming_invariant; prop_digest_mutation_sensitive ] );
       ( "inter_fpga",
         [
           Alcotest.test_case "spreads big designs" `Quick test_inter_fpga_spreads_when_needed;

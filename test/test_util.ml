@@ -438,13 +438,22 @@ let test_memo_basics () =
   check bool "second is a hit" true hit2;
   check int "computed once" 1 !computes;
   check int "length" 1 (Memo.length m);
-  check bool "stats after one miss, one hit" true (Memo.stats m = (1, 1));
+  let s = Memo.stats m in
+  check int "one hit" 1 s.Memo.hits;
+  check int "one miss" 1 s.Memo.misses;
+  check int "no evictions yet" 0 s.Memo.evictions;
+  check int "generation sizes cover length" (Memo.length m)
+    (s.Memo.young_entries + s.Memo.old_entries);
   check bool "find present" true (Memo.find m ~key:"a" = Some 42);
   check bool "find absent" true (Memo.find m ~key:"b" = None);
-  check bool "find counts toward stats" true (Memo.stats m = (2, 2));
+  let s = Memo.stats m in
+  check bool "find counts toward stats" true (s.Memo.hits = 2 && s.Memo.misses = 2);
   Memo.reset m;
   check int "reset empties" 0 (Memo.length m);
-  check bool "reset clears counters" true (Memo.stats m = (0, 0))
+  let s = Memo.stats m in
+  check bool "reset clears counters" true
+    (s.Memo.hits = 0 && s.Memo.misses = 0 && s.Memo.evictions = 0
+    && s.Memo.young_entries = 0 && s.Memo.old_entries = 0)
 
 let test_memo_capacity () =
   let m = Memo.create ~max_entries:4 () in
@@ -478,10 +487,10 @@ let test_memo_single_flight () =
   let results = List.map Domain.join ds in
   check int "computed exactly once" 1 (Atomic.get computes);
   List.iter (fun (v, _) -> check int "every racer got the value" 1234 v) results;
-  let hits, misses = Memo.stats m in
-  check int "one miss (the leader)" 1 misses;
-  check int "every other racer is a hit" (domains - 1) hits;
-  check int "counters close" domains (hits + misses)
+  let s = Memo.stats m in
+  check int "one miss (the leader)" 1 s.Memo.misses;
+  check int "every other racer is a hit" (domains - 1) s.Memo.hits;
+  check int "counters close" domains (s.Memo.hits + s.Memo.misses)
 
 let test_memo_single_flight_failure () =
   (* A leader that raises must not poison the key: waiters retry, and a
@@ -510,14 +519,14 @@ let test_memo_two_generations () =
     check bool "hot key never recomputed" true hit;
     check int "hot value stable" 999 v
   done;
-  check bool "rotation happened" true (Memo.evictions m > 0);
+  check bool "rotation happened" true ((Memo.stats m).Memo.evictions > 0);
   check bool "still bounded" true (Memo.length m <= 8);
   (* Key 0 is long gone; recomputing it gives the same answer. *)
   let v, hit = Memo.find_or_compute m ~key:"0" (compute 0) in
   check bool "cold key aged out" false hit;
   check int "recompute identical" 0 v;
   Memo.reset m;
-  check int "reset clears evictions" 0 (Memo.evictions m)
+  check int "reset clears evictions" 0 (Memo.stats m).Memo.evictions
 
 let test_memo_concurrent () =
   (* Hammer one table from several domains: every computed value must be
@@ -535,8 +544,8 @@ let test_memo_concurrent () =
   in
   let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
   List.iter Domain.join ds;
-  let hits, misses = Memo.stats m in
-  check int "every lookup accounted" (domains * per_domain) (hits + misses);
+  let s = Memo.stats m in
+  check int "every lookup accounted" (domains * per_domain) (s.Memo.hits + s.Memo.misses);
   check bool "table bounded by keyspace" true (Memo.length m <= keyspace);
   (* Every stored value is right regardless of which domain stored it. *)
   for k = 0 to keyspace - 1 do
